@@ -1,0 +1,236 @@
+//! Distortion-ranked estimates and best-estimate selection (Algorithm 3).
+
+use core::fmt;
+
+use crate::BeliefEstimator;
+
+/// How eroded an estimate is, by distance and staleness.
+///
+/// The paper (Section 4.2) attaches a *distortion factor* to every
+/// estimate: the minimum value is the network distance between the
+/// observer and the estimated entity, and the factor grows while no fresh
+/// news arrives. Estimates start at [`Distortion::Infinite`] — a process
+/// initially knows nothing about remote entities — and a process's
+/// knowledge of *itself* is always [`Distortion::ZERO`].
+///
+/// `Distortion` orders naturally: lower is better, and `Infinite` is worse
+/// than every finite value.
+///
+/// # Example
+///
+/// ```
+/// use diffuse_bayes::Distortion;
+///
+/// assert!(Distortion::ZERO < Distortion::finite(3));
+/// assert!(Distortion::finite(3) < Distortion::Infinite);
+/// assert_eq!(Distortion::finite(3).incremented(), Distortion::finite(4));
+/// assert_eq!(Distortion::Infinite.incremented(), Distortion::Infinite);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Distortion {
+    /// A finite distortion value; smaller is more accurate.
+    Finite(u32),
+    /// No information at all (the initial state for remote processes).
+    Infinite,
+}
+
+impl Distortion {
+    /// Perfect, first-hand knowledge (a process about itself, or a direct
+    /// link observation).
+    pub const ZERO: Distortion = Distortion::Finite(0);
+
+    /// Creates a finite distortion.
+    pub const fn finite(value: u32) -> Self {
+        Distortion::Finite(value)
+    }
+
+    /// The distortion after one more hop or one more silent timeout
+    /// period; saturates at `u32::MAX` and leaves `Infinite` unchanged.
+    #[must_use]
+    pub fn incremented(self) -> Self {
+        match self {
+            Distortion::Finite(v) => Distortion::Finite(v.saturating_add(1)),
+            Distortion::Infinite => Distortion::Infinite,
+        }
+    }
+
+    /// Returns the finite value, or `None` for `Infinite`.
+    pub fn value(self) -> Option<u32> {
+        match self {
+            Distortion::Finite(v) => Some(v),
+            Distortion::Infinite => None,
+        }
+    }
+
+    /// Returns `true` for `Infinite`.
+    pub fn is_infinite(self) -> bool {
+        matches!(self, Distortion::Infinite)
+    }
+}
+
+impl Default for Distortion {
+    /// The default is `Infinite`: no knowledge until evidence arrives.
+    fn default() -> Self {
+        Distortion::Infinite
+    }
+}
+
+impl fmt::Display for Distortion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Distortion::Finite(v) => write!(f, "{v}"),
+            Distortion::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+/// A reliability estimate: a Bayesian posterior plus its distortion.
+///
+/// This pairs the paper's belief structure (`C_k[p_i]` / `C_k[l_j]`) with
+/// its distortion factor `d`. The protocol-level bookkeeping (heartbeat
+/// sequence numbers, suspicion counters, timeouts) lives with the adaptive
+/// protocol in `diffuse-core`; this type is the portable, gossiped part.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Estimate {
+    /// The Bayesian posterior over the failure probability.
+    pub beliefs: BeliefEstimator,
+    /// How eroded this posterior is.
+    pub distortion: Distortion,
+}
+
+impl Estimate {
+    /// A fresh estimate with `intervals` intervals and infinite distortion
+    /// (how remote processes start out — Algorithm 4, lines 2–4).
+    pub fn unknown(intervals: usize) -> Self {
+        Estimate {
+            beliefs: BeliefEstimator::new(intervals),
+            distortion: Distortion::Infinite,
+        }
+    }
+
+    /// A first-hand estimate with `intervals` intervals and zero
+    /// distortion (self-knowledge and direct links — Algorithm 4, lines
+    /// 8–12).
+    pub fn first_hand(intervals: usize) -> Self {
+        Estimate {
+            beliefs: BeliefEstimator::new(intervals),
+            distortion: Distortion::ZERO,
+        }
+    }
+
+    /// Algorithm 3, `selectBestEstimate`: if `theirs` is strictly less
+    /// distorted than `self`, adopt it and increment the distortion (the
+    /// adopted copy is second-hand). Returns `true` if adopted.
+    ///
+    /// Adoption is cheap: the belief vector is shared copy-on-write.
+    pub fn adopt_if_better(&mut self, theirs: &Estimate) -> bool {
+        if theirs.distortion < self.distortion {
+            self.beliefs = theirs.beliefs.clone();
+            self.distortion = theirs.distortion.incremented();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Adopts `theirs` unconditionally, incrementing distortion — used for
+    /// links freshly learned from a neighbor (Algorithm 4, lines 30–32).
+    pub fn adopt(&mut self, theirs: &Estimate) {
+        self.beliefs = theirs.beliefs.clone();
+        self.distortion = theirs.distortion.incremented();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distortion_ordering_matches_paper_semantics() {
+        assert!(Distortion::ZERO < Distortion::finite(1));
+        assert!(Distortion::finite(7) < Distortion::finite(8));
+        assert!(Distortion::finite(u32::MAX) < Distortion::Infinite);
+        assert_eq!(Distortion::default(), Distortion::Infinite);
+    }
+
+    #[test]
+    fn distortion_increment_saturates() {
+        assert_eq!(
+            Distortion::finite(u32::MAX).incremented(),
+            Distortion::finite(u32::MAX)
+        );
+        assert_eq!(Distortion::Infinite.incremented(), Distortion::Infinite);
+    }
+
+    #[test]
+    fn distortion_value_and_display() {
+        assert_eq!(Distortion::finite(4).value(), Some(4));
+        assert_eq!(Distortion::Infinite.value(), None);
+        assert!(Distortion::Infinite.is_infinite());
+        assert_eq!(Distortion::finite(4).to_string(), "4");
+        assert_eq!(Distortion::Infinite.to_string(), "∞");
+    }
+
+    #[test]
+    fn adopt_if_better_takes_less_distorted() {
+        let mut mine = Estimate::unknown(10);
+        let mut theirs = Estimate::first_hand(10);
+        theirs.beliefs.decrease_reliability(3);
+
+        assert!(mine.adopt_if_better(&theirs));
+        // Adopted copy is second-hand: distortion 0 + 1.
+        assert_eq!(mine.distortion, Distortion::finite(1));
+        assert_eq!(mine.beliefs, theirs.beliefs);
+        // Shared storage until someone mutates.
+        assert!(mine.beliefs.shares_storage_with(&theirs.beliefs));
+    }
+
+    #[test]
+    fn adopt_if_better_keeps_equal_or_better() {
+        let mut mine = Estimate::first_hand(10);
+        mine.beliefs.increase_reliability(1);
+        let kept = mine.clone();
+
+        // Equal distortion: keep ours (strict inequality in Algorithm 3).
+        let other = Estimate::first_hand(10);
+        assert!(!mine.adopt_if_better(&other));
+        assert_eq!(mine, kept);
+
+        // Worse distortion: keep ours.
+        let worse = Estimate::unknown(10);
+        assert!(!mine.adopt_if_better(&worse));
+        assert_eq!(mine, kept);
+    }
+
+    #[test]
+    fn self_estimate_always_wins_over_relayed() {
+        // The paper: "having the distortion factor C_j[p_j].d = 0
+        // guarantees that the estimate of p_j concerning its own
+        // reliability will always be adopted by p_k".
+        let mut relayed = Estimate {
+            beliefs: BeliefEstimator::new(10),
+            distortion: Distortion::finite(1),
+        };
+        let self_estimate = Estimate::first_hand(10);
+        assert!(relayed.adopt_if_better(&self_estimate));
+    }
+
+    #[test]
+    fn unconditional_adopt_increments_distortion() {
+        let mut mine = Estimate::first_hand(5);
+        let theirs = Estimate {
+            beliefs: BeliefEstimator::new(5),
+            distortion: Distortion::finite(7),
+        };
+        mine.adopt(&theirs);
+        assert_eq!(mine.distortion, Distortion::finite(8));
+    }
+
+    #[test]
+    fn infinite_never_improves_by_adopting_infinite() {
+        let mut mine = Estimate::unknown(5);
+        let theirs = Estimate::unknown(5);
+        assert!(!mine.adopt_if_better(&theirs));
+        assert!(mine.distortion.is_infinite());
+    }
+}

@@ -1,0 +1,589 @@
+//! Interval Bayesian belief estimators (Algorithm 5 of the paper).
+
+use std::sync::Arc;
+
+use diffuse_model::Probability;
+
+/// Default number of probability intervals `U` (Algorithm 5, line 2).
+pub const DEFAULT_INTERVALS: usize = 100;
+
+/// Above this update factor the estimator switches to log-space updates to
+/// avoid floating-point underflow in `likelihood^factor`.
+const LOG_SPACE_THRESHOLD: u32 = 32;
+
+/// A Bayesian estimator of a failure probability, discretized over `U`
+/// equal-width intervals of `[0, 1]`.
+///
+/// This is the paper's "small Bayesian network `b → s`" (Section 4.3): the
+/// estimator holds, for each interval `u ∈ 1..=U`, a belief `P_B[u]` that
+/// the true failure probability lies in that interval, with the interval
+/// represented by its midpoint `P_{F|B}[u] = (2u - 1) / 2U`. Observing a
+/// failure (or a suspicion of one) calls [`decrease_reliability`]; observing
+/// a success calls [`increase_reliability`]; both are Bayes-theorem updates
+/// (Eq. 4).
+///
+/// Beliefs always sum to one — the invariant `Σ_u P_B[u] = 1` the paper
+/// states below Table 1 — and are stored behind an [`Arc`] with
+/// copy-on-write mutation, so *adopting* another process's estimate (which
+/// the adaptive protocol does constantly) is a cheap pointer copy.
+///
+/// [`decrease_reliability`]: BeliefEstimator::decrease_reliability
+/// [`increase_reliability`]: BeliefEstimator::increase_reliability
+///
+/// # Example
+///
+/// The paper's Table 1 (`U = 5`): one suspicion moves the uniform prior to
+/// `[0.04, 0.12, 0.20, 0.28, 0.36]`.
+///
+/// ```
+/// use diffuse_bayes::BeliefEstimator;
+///
+/// let mut e = BeliefEstimator::new(5);
+/// e.decrease_reliability(1);
+/// let expected = [0.04, 0.12, 0.20, 0.28, 0.36];
+/// for (u, want) in expected.iter().enumerate() {
+///     assert!((e.belief(u) - want).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeliefEstimator {
+    beliefs: Arc<Vec<f64>>,
+}
+
+impl BeliefEstimator {
+    /// Creates an estimator with `intervals` equal-width probability
+    /// intervals and a uniform prior (Algorithm 5, `initializeReliability`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals == 0`.
+    pub fn new(intervals: usize) -> Self {
+        assert!(intervals > 0, "at least one probability interval required");
+        BeliefEstimator {
+            beliefs: Arc::new(vec![1.0 / intervals as f64; intervals]),
+        }
+    }
+
+    /// Reconstructs an estimator from raw belief values (e.g. decoded
+    /// from the wire). The vector is normalized to sum to one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending value if any belief is negative, non-finite,
+    /// or the vector is empty/degenerate (sums to zero).
+    pub fn from_beliefs(beliefs: Vec<f64>) -> Result<Self, f64> {
+        if beliefs.is_empty() {
+            return Err(0.0);
+        }
+        let mut sum = 0.0;
+        for &b in &beliefs {
+            if !b.is_finite() || b < 0.0 {
+                return Err(b);
+            }
+            sum += b;
+        }
+        if sum <= 0.0 {
+            return Err(sum);
+        }
+        let normalized = beliefs.into_iter().map(|b| b / sum).collect();
+        Ok(BeliefEstimator {
+            beliefs: Arc::new(normalized),
+        })
+    }
+
+    /// Number of intervals `U`.
+    pub fn intervals(&self) -> usize {
+        self.beliefs.len()
+    }
+
+    /// Midpoint `P_{F|B}[u]` of the 0-indexed interval `u`:
+    /// `(2u + 1) / 2U`.
+    pub fn midpoint(&self, u: usize) -> f64 {
+        (2 * u + 1) as f64 / (2 * self.intervals()) as f64
+    }
+
+    /// Bounds `[lower, upper)` of the 0-indexed interval `u`.
+    pub fn interval_bounds(&self, u: usize) -> (f64, f64) {
+        let width = 1.0 / self.intervals() as f64;
+        (u as f64 * width, (u + 1) as f64 * width)
+    }
+
+    /// Current belief `P_B[u]` for the 0-indexed interval `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= intervals()`.
+    pub fn belief(&self, u: usize) -> f64 {
+        self.beliefs[u]
+    }
+
+    /// All beliefs, in interval order.
+    pub fn beliefs(&self) -> &[f64] {
+        &self.beliefs
+    }
+
+    /// Applies `beliefs[u] *= weight(u)^factor` followed by normalization,
+    /// switching to log-space when `factor` is large.
+    fn apply(&mut self, factor: u32, weight: impl Fn(f64) -> f64) {
+        if factor == 0 {
+            return;
+        }
+        let beliefs = Arc::make_mut(&mut self.beliefs);
+        let u_count = beliefs.len();
+        if factor <= LOG_SPACE_THRESHOLD {
+            let mut sum = 0.0;
+            for (u, b) in beliefs.iter_mut().enumerate() {
+                let mid = (2 * u + 1) as f64 / (2 * u_count) as f64;
+                *b *= weight(mid).powi(factor as i32);
+                sum += *b;
+            }
+            if sum > 0.0 {
+                for b in beliefs.iter_mut() {
+                    *b /= sum;
+                }
+            } else {
+                // Degenerate case (all likelihoods zero): reset to uniform
+                // rather than propagate NaNs.
+                beliefs.fill(1.0 / u_count as f64);
+            }
+        } else {
+            // Log-space: b' ∝ exp(ln b + factor · ln w), stabilized by the
+            // maximum exponent.
+            let mut logs: Vec<f64> = beliefs
+                .iter()
+                .enumerate()
+                .map(|(u, &b)| {
+                    let mid = (2 * u + 1) as f64 / (2 * u_count) as f64;
+                    let lw = weight(mid).ln();
+                    if b > 0.0 {
+                        b.ln() + factor as f64 * lw
+                    } else {
+                        f64::NEG_INFINITY
+                    }
+                })
+                .collect();
+            let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if max == f64::NEG_INFINITY {
+                beliefs.fill(1.0 / u_count as f64);
+                return;
+            }
+            let mut sum = 0.0;
+            for l in &mut logs {
+                *l = (*l - max).exp();
+                sum += *l;
+            }
+            for (b, l) in beliefs.iter_mut().zip(logs) {
+                *b = l / sum;
+            }
+        }
+    }
+
+    /// Records `factor` failure observations (crash, loss, or suspicion of
+    /// one): `P_B[u] ∝ P_B[u] · P_{F|B}[u]` per observation — Algorithm 5's
+    /// `decreaseReliability`.
+    pub fn decrease_reliability(&mut self, factor: u32) {
+        self.apply(factor, |mid| mid);
+    }
+
+    /// Records `factor` success observations (absence of failure):
+    /// `P_B[u] ∝ P_B[u] · (1 - P_{F|B}[u])` per observation — Algorithm 5's
+    /// `increaseReliability`.
+    pub fn increase_reliability(&mut self, factor: u32) {
+        self.apply(factor, |mid| 1.0 - mid);
+    }
+
+    /// Exactly reverts `factor` earlier [`decrease_reliability`] updates by
+    /// dividing out the likelihood and renormalizing.
+    ///
+    /// Used when a suspicion turns out to have been unfounded (the sender
+    /// never sent, so the link never lost anything): a Bayesian *increase*
+    /// does not cancel a decrease, but this inverse does, up to floating
+    /// point round-off. See DESIGN.md §4.5.
+    ///
+    /// [`decrease_reliability`]: BeliefEstimator::decrease_reliability
+    pub fn undo_decrease(&mut self, factor: u32) {
+        self.apply(factor, |mid| 1.0 / mid);
+    }
+
+    /// Exactly reverts `factor` earlier [`increase_reliability`] updates.
+    ///
+    /// [`increase_reliability`]: BeliefEstimator::increase_reliability
+    pub fn undo_increase(&mut self, factor: u32) {
+        self.apply(factor, |mid| 1.0 / (1.0 - mid));
+    }
+
+    /// Records a single Bernoulli observation: a success increases
+    /// reliability, a failure decreases it.
+    pub fn observe(&mut self, failed: bool) {
+        if failed {
+            self.decrease_reliability(1);
+        } else {
+            self.increase_reliability(1);
+        }
+    }
+
+    /// Posterior mean of the failure probability: `Σ_u P_B[u] · P_{F|B}[u]`.
+    ///
+    /// This is the scalar the protocol feeds into MRT construction and the
+    /// `reach` function.
+    pub fn mean(&self) -> Probability {
+        let m = self
+            .beliefs
+            .iter()
+            .enumerate()
+            .map(|(u, &b)| b * self.midpoint(u))
+            .sum();
+        Probability::clamped(m)
+    }
+
+    /// The maximum-a-posteriori interval: the 0-indexed interval with the
+    /// highest belief (ties break toward the lower interval).
+    pub fn map_interval(&self) -> usize {
+        let mut best = 0;
+        for (u, &b) in self.beliefs.iter().enumerate() {
+            if b > self.beliefs[best] {
+                best = u;
+            }
+        }
+        best
+    }
+
+    /// Returns `true` iff `probability` falls inside the MAP interval.
+    pub fn map_contains(&self, probability: f64) -> bool {
+        let (lo, hi) = self.interval_bounds(self.map_interval());
+        let last = self.map_interval() + 1 == self.intervals();
+        // The final interval is closed ([0.8, 1.0] in Table 1).
+        probability >= lo && (probability < hi || (last && probability <= hi))
+    }
+
+    /// Smallest highest-posterior-density credible set covering at least
+    /// `mass`, returned as `(lower, upper)` bounds over the union of the
+    /// chosen intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mass` is not within `(0, 1]`.
+    pub fn credible_bounds(&self, mass: f64) -> (f64, f64) {
+        assert!(mass > 0.0 && mass <= 1.0, "mass must be in (0, 1]");
+        let mut indexed: Vec<(usize, f64)> =
+            self.beliefs.iter().copied().enumerate().collect();
+        indexed.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut covered = 0.0;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (u, b) in indexed {
+            let (l, h) = self.interval_bounds(u);
+            lo = lo.min(l);
+            hi = hi.max(h);
+            covered += b;
+            if covered >= mass {
+                break;
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Doubles the number of intervals, splitting each interval's belief
+    /// evenly between its two halves.
+    ///
+    /// This implements the refinement the paper lists as future work
+    /// ("dynamically increasing the number of probabilistic intervals when
+    /// better precision is required", Section 7). The posterior mean is
+    /// preserved exactly.
+    pub fn refine(&mut self) {
+        let old = self.beliefs.as_slice();
+        let mut refined = Vec::with_capacity(old.len() * 2);
+        for &b in old {
+            refined.push(b / 2.0);
+            refined.push(b / 2.0);
+        }
+        self.beliefs = Arc::new(refined);
+    }
+
+    /// Returns `true` when both estimators share the same belief storage
+    /// (used to verify the copy-on-write adoption path).
+    pub fn shares_storage_with(&self, other: &BeliefEstimator) -> bool {
+        Arc::ptr_eq(&self.beliefs, &other.beliefs)
+    }
+}
+
+impl Default for BeliefEstimator {
+    fn default() -> Self {
+        BeliefEstimator::new(DEFAULT_INTERVALS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn belief_sum(e: &BeliefEstimator) -> f64 {
+        e.beliefs().iter().sum()
+    }
+
+    #[test]
+    fn initial_prior_is_uniform() {
+        let e = BeliefEstimator::new(5);
+        for u in 0..5 {
+            assert!((e.belief(u) - 0.2).abs() < EPS);
+        }
+        assert!((e.mean().value() - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn midpoints_match_paper_formula() {
+        // U = 5: midpoints 0.1, 0.3, 0.5, 0.7, 0.9.
+        let e = BeliefEstimator::new(5);
+        for (u, want) in [0.1, 0.3, 0.5, 0.7, 0.9].iter().enumerate() {
+            assert!((e.midpoint(u) - want).abs() < EPS);
+        }
+        assert_eq!(e.interval_bounds(0), (0.0, 0.2));
+        assert_eq!(e.interval_bounds(4), (0.8, 1.0));
+    }
+
+    #[test]
+    fn table1_one_suspicion() {
+        // The paper's Table 1(b).
+        let mut e = BeliefEstimator::new(5);
+        e.decrease_reliability(1);
+        for (u, want) in [0.04, 0.12, 0.20, 0.28, 0.36].iter().enumerate() {
+            assert!(
+                (e.belief(u) - want).abs() < EPS,
+                "interval {u}: got {} want {want}",
+                e.belief(u)
+            );
+        }
+        assert!((belief_sum(&e) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn increase_mirrors_decrease() {
+        let mut e = BeliefEstimator::new(5);
+        e.increase_reliability(1);
+        // By symmetry with Table 1: reversed beliefs.
+        for (u, want) in [0.36, 0.28, 0.20, 0.12, 0.04].iter().enumerate() {
+            assert!((e.belief(u) - want).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn zero_factor_is_a_no_op() {
+        let mut e = BeliefEstimator::new(7);
+        let before = e.clone();
+        e.decrease_reliability(0);
+        e.increase_reliability(0);
+        e.undo_decrease(0);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn undo_decrease_is_exact_inverse() {
+        let mut e = BeliefEstimator::new(100);
+        e.increase_reliability(10); // some non-trivial posterior
+        let before = e.clone();
+        e.decrease_reliability(3);
+        e.undo_decrease(3);
+        for u in 0..100 {
+            assert!((e.belief(u) - before.belief(u)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn undo_increase_is_exact_inverse() {
+        let mut e = BeliefEstimator::new(50);
+        e.decrease_reliability(2);
+        let before = e.clone();
+        e.increase_reliability(4);
+        e.undo_increase(4);
+        for u in 0..50 {
+            assert!((e.belief(u) - before.belief(u)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bayes_increase_does_not_cancel_decrease() {
+        // The motivation for undo_decrease (DESIGN.md §4.5): a Bayesian
+        // increase after a decrease is *not* the identity.
+        let mut e = BeliefEstimator::new(10);
+        let before = e.clone();
+        e.decrease_reliability(1);
+        e.increase_reliability(1);
+        let drift: f64 = (0..10).map(|u| (e.belief(u) - before.belief(u)).abs()).sum();
+        assert!(drift > 1e-3, "expected visible drift, got {drift}");
+    }
+
+    #[test]
+    fn large_factor_uses_log_space_without_underflow() {
+        let mut e = BeliefEstimator::new(100);
+        e.decrease_reliability(10_000);
+        assert!((belief_sum(&e) - 1.0).abs() < 1e-9);
+        // Mass should pile up on the top interval.
+        assert_eq!(e.map_interval(), 99);
+        assert!(e.belief(99) > 0.9);
+    }
+
+    #[test]
+    fn small_and_large_factor_paths_agree() {
+        let mut a = BeliefEstimator::new(20);
+        let mut b = BeliefEstimator::new(20);
+        // 40 > LOG_SPACE_THRESHOLD, exercised as one log-space call vs
+        // repeated linear calls.
+        a.decrease_reliability(40);
+        for _ in 0..40 {
+            b.decrease_reliability(1);
+        }
+        for u in 0..20 {
+            assert!((a.belief(u) - b.belief(u)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mean_tracks_bernoulli_rate() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for &rate in &[0.02f64, 0.3, 0.7] {
+            let mut e = BeliefEstimator::new(100);
+            for _ in 0..3000 {
+                e.observe(rng.gen_bool(rate));
+            }
+            assert!(
+                (e.mean().value() - rate).abs() < 0.05,
+                "rate {rate}: mean {}",
+                e.mean()
+            );
+            // The MAP interval should be the true rate's interval or an
+            // immediate neighbor (rates on an interval boundary can fall
+            // either way).
+            let width = 1.0 / e.intervals() as f64;
+            let map_mid = e.midpoint(e.map_interval());
+            assert!(
+                (map_mid - rate).abs() <= 2.5 * width,
+                "rate {rate}: MAP midpoint {map_mid}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_contains_handles_closed_last_interval() {
+        let mut e = BeliefEstimator::new(5);
+        e.decrease_reliability(50);
+        assert_eq!(e.map_interval(), 4);
+        assert!(e.map_contains(1.0));
+        assert!(!e.map_contains(0.0));
+    }
+
+    #[test]
+    fn credible_bounds_cover_map_interval() {
+        let mut e = BeliefEstimator::new(10);
+        e.decrease_reliability(5);
+        let (lo, hi) = e.credible_bounds(0.5);
+        let (mlo, mhi) = e.interval_bounds(e.map_interval());
+        assert!(lo <= mlo && hi >= mhi);
+        let (full_lo, full_hi) = e.credible_bounds(1.0);
+        assert_eq!((full_lo, full_hi), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "mass")]
+    fn credible_bounds_rejects_zero_mass() {
+        let _ = BeliefEstimator::new(5).credible_bounds(0.0);
+    }
+
+    #[test]
+    fn refine_doubles_resolution_and_preserves_mean() {
+        let mut e = BeliefEstimator::new(5);
+        e.decrease_reliability(2);
+        let mean_before = e.mean().value();
+        e.refine();
+        assert_eq!(e.intervals(), 10);
+        assert!((belief_sum(&e) - 1.0).abs() < EPS);
+        assert!((e.mean().value() - mean_before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clone_shares_storage_until_mutation() {
+        let mut a = BeliefEstimator::new(100);
+        a.decrease_reliability(1);
+        let b = a.clone();
+        assert!(a.shares_storage_with(&b));
+        a.increase_reliability(1);
+        assert!(!a.shares_storage_with(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_intervals_panics() {
+        let _ = BeliefEstimator::new(0);
+    }
+
+    #[test]
+    fn from_beliefs_round_trips_and_normalizes() {
+        let mut original = BeliefEstimator::new(10);
+        original.decrease_reliability(2);
+        let back = BeliefEstimator::from_beliefs(original.beliefs().to_vec()).unwrap();
+        assert_eq!(back, original);
+
+        // Unnormalized input is normalized.
+        let e = BeliefEstimator::from_beliefs(vec![2.0, 2.0]).unwrap();
+        assert_eq!(e.beliefs(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn from_beliefs_rejects_bad_input() {
+        assert!(BeliefEstimator::from_beliefs(vec![]).is_err());
+        assert!(BeliefEstimator::from_beliefs(vec![0.5, -0.1]).is_err());
+        assert!(BeliefEstimator::from_beliefs(vec![f64::NAN]).is_err());
+        assert!(BeliefEstimator::from_beliefs(vec![0.0, 0.0]).is_err());
+    }
+
+    proptest! {
+        /// Invariant from the paper: Σ_u P_B[u] = 1 after any update
+        /// sequence.
+        #[test]
+        fn prop_beliefs_always_sum_to_one(
+            updates in proptest::collection::vec((any::<bool>(), 1u32..60), 0..40),
+            intervals in 1usize..150,
+        ) {
+            let mut e = BeliefEstimator::new(intervals);
+            for (failed, factor) in updates {
+                if failed {
+                    e.decrease_reliability(factor);
+                } else {
+                    e.increase_reliability(factor);
+                }
+                prop_assert!((belief_sum(&e) - 1.0).abs() < 1e-9);
+                prop_assert!(e.beliefs().iter().all(|&b| (0.0..=1.0).contains(&b)));
+            }
+        }
+
+        /// Failures can only push the posterior mean up, successes down.
+        #[test]
+        fn prop_updates_move_mean_monotonically(intervals in 2usize..120) {
+            let mut e = BeliefEstimator::new(intervals);
+            let m0 = e.mean().value();
+            e.decrease_reliability(1);
+            let m1 = e.mean().value();
+            prop_assert!(m1 > m0);
+            e.increase_reliability(2);
+            prop_assert!(e.mean().value() < m1);
+        }
+
+        /// Refinement never changes the posterior mean.
+        #[test]
+        fn prop_refine_preserves_mean(
+            updates in proptest::collection::vec(any::<bool>(), 0..30),
+        ) {
+            let mut e = BeliefEstimator::new(25);
+            for failed in updates {
+                e.observe(failed);
+            }
+            let before = e.mean().value();
+            e.refine();
+            prop_assert!((e.mean().value() - before).abs() < 1e-9);
+        }
+    }
+}

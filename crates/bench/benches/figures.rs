@@ -1,0 +1,103 @@
+//! One benchmark per paper table/figure: each measures the cost of
+//! regenerating one representative point of the corresponding experiment
+//! (the full sweeps run via `repro`; see EXPERIMENTS.md for the numbers).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diffuse_core::analysis;
+use diffuse_experiments::fig4::Panel;
+use diffuse_experiments::{fig1, fig4, fig5, fig6, hetero, refine, table1, Effort};
+
+/// A deliberately small effort so benches stay fast; shapes are still
+/// the paper's.
+fn bench_effort() -> Effort {
+    Effort {
+        gossip_runs: 10,
+        graphs: 1,
+        max_ticks: 600,
+        tolerance: 0.03,
+        check_every: 10,
+        connectivities: vec![6],
+        sizes: vec![40],
+        threads: 1,
+        seed: 0xBE9C,
+    }
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group.bench_function("closed_form_table", |b| b.iter(fig1::run));
+    group.bench_function("two_path_monte_carlo", |b| {
+        b.iter(|| fig1::monte_carlo_check(6, 0.05, 4.0, 2_000, 3))
+    });
+    group.bench_function("message_ratio_point", |b| {
+        b.iter(|| analysis::message_ratio(10.0, 1e-4).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group.bench_function("belief_table", |b| b.iter(table1::run));
+    group.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let effort = bench_effort();
+    group.bench_function("point_c6_L003", |b| {
+        b.iter(|| fig4::measure_point(6, 0.03, Panel::LossSweep, &effort))
+    });
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    let effort = bench_effort();
+    group.bench_function("convergence_point_c6_L001", |b| {
+        b.iter(|| fig5::measure_point(6, 0.01, Panel::LossSweep, &effort))
+    });
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    let effort = bench_effort();
+    group.bench_function("ring_point_n40", |b| {
+        b.iter(|| fig6::measure_point(fig6::Family::Ring, 40, &effort))
+    });
+    group.bench_function("tree_point_n40", |b| {
+        b.iter(|| fig6::measure_point(fig6::Family::RandomTree, 40, &effort))
+    });
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let effort = bench_effort();
+    group.bench_function("hetero_point", |b| {
+        b.iter(|| hetero::measure_point(0.3, &effort))
+    });
+    group.bench_function("refine_errors_n200", |b| {
+        b.iter(|| refine::errors_after(200, 0.03, 3, 9))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_table1,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_extensions
+);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Micro-benchmarks of the paper's building blocks: MRT construction
+//! (Appendix B), the reach function (Eq. 2), the greedy optimizer
+//! (Algorithm 2), Bayesian belief updates (Algorithm 5), heartbeat
+//! processing (Algorithm 4, Event 1), and the wire codec.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diffuse_bayes::BeliefEstimator;
+use diffuse_bench::{fixture, fixture_tree};
+use diffuse_core::{
+    optimize, reach, Actions, AdaptiveBroadcast, AdaptiveParams, MessageVector, Protocol,
+};
+use diffuse_graph::maximum_reliability_tree;
+use diffuse_model::ProcessId;
+use diffuse_net::codec::{decode_message, encode_message};
+use diffuse_sim::SimTime;
+
+fn bench_mrt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mrt");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for &(n, k) in &[(100u32, 8u32), (100, 20), (240, 8)] {
+        let (topology, config) = fixture(n, k, 0.05);
+        group.bench_with_input(
+            BenchmarkId::new("prim", format!("n{n}_k{k}")),
+            &(topology, config),
+            |b, (t, cfg)| {
+                b.iter(|| maximum_reliability_tree(t, cfg, ProcessId::new(0)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reach_and_optimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for &loss in &[0.01f64, 0.07] {
+        let tree = fixture_tree(100, 8, loss);
+        let m = MessageVector::ones(tree.link_count());
+        group.bench_with_input(
+            BenchmarkId::new("reach_eq2", format!("L{loss}")),
+            &tree,
+            |b, t| b.iter(|| reach(t, &m)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy_k9999", format!("L{loss}")),
+            &tree,
+            |b, t| b.iter(|| optimize(t, 0.9999).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_bayes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bayes");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group.bench_function("observe_u100", |b| {
+        let mut e = BeliefEstimator::new(100);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            e.observe(i % 20 == 0);
+        });
+    });
+    group.bench_function("batch_decrease_1000_log_space", |b| {
+        b.iter(|| {
+            let mut e = BeliefEstimator::new(100);
+            e.decrease_reliability(1000);
+            e
+        });
+    });
+    group.finish();
+}
+
+fn bench_heartbeat_processing(c: &mut Criterion) {
+    // End-to-end cost of one heartbeat round on a 30-node system.
+    let mut group = c.benchmark_group("heartbeat");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let (topology, _) = fixture(30, 4, 0.0);
+    let all: Vec<ProcessId> = topology.processes().collect();
+    group.bench_function("round_30_nodes", |b| {
+        let mut nodes: Vec<AdaptiveBroadcast> = all
+            .iter()
+            .map(|&id| {
+                AdaptiveBroadcast::new(
+                    id,
+                    all.clone(),
+                    topology.neighbors(id).collect(),
+                    AdaptiveParams::default(),
+                )
+            })
+            .collect();
+        let mut actions = Actions::new();
+        let mut tick = 0u64;
+        b.iter(|| {
+            tick += 1;
+            let now = SimTime::new(tick);
+            let mut inboxes: Vec<(usize, ProcessId, diffuse_core::Message)> = Vec::new();
+            for node in nodes.iter_mut() {
+                node.handle_tick(now, &mut actions);
+                let from = node.id();
+                for (to, m) in actions.take_sends() {
+                    let target = all.iter().position(|&p| p == to).unwrap();
+                    inboxes.push((target, from, m));
+                }
+            }
+            for (target, from, m) in inboxes {
+                nodes[target].handle_message(now, from, m, &mut actions);
+                actions.clear();
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    // A realistic heartbeat from a live 20-node adaptive instance.
+    let (topology, _) = fixture(20, 4, 0.0);
+    let all: Vec<ProcessId> = topology.processes().collect();
+    let mut node = AdaptiveBroadcast::new(
+        ProcessId::new(0),
+        all,
+        topology.neighbors(ProcessId::new(0)).collect(),
+        AdaptiveParams::default(),
+    );
+    let mut actions = Actions::new();
+    node.handle_tick(SimTime::new(1), &mut actions);
+    let (_, heartbeat) = actions.take_sends().remove(0);
+    let frame = encode_message(&heartbeat);
+    group.bench_function("encode_heartbeat", |b| b.iter(|| encode_message(&heartbeat)));
+    group.bench_function("decode_heartbeat", |b| {
+        b.iter(|| decode_message(&frame).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mrt,
+    bench_reach_and_optimize,
+    bench_bayes,
+    bench_heartbeat_processing,
+    bench_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,952 @@
+//! The adaptive probabilistic reliable broadcast (Section 4,
+//! Algorithms 3–5).
+//!
+//! The protocol runs two activities side by side:
+//!
+//! * the **broadcast activity** — identical to the optimal Algorithm 1,
+//!   but fed by the approximated knowledge below;
+//! * the **approximation activity** (Algorithm 4) — periodic heartbeats
+//!   carrying the local `(Λ_k, C_k)` view, Bayesian updates from observed
+//!   receipts/timeouts, and distortion-ranked adoption of remote
+//!   estimates (`selectBestEstimate`, Algorithm 3).
+//!
+//! If the system's topology and failure probabilities remain stable long
+//! enough, every process's view converges to the real `(G, C)` and the
+//! broadcast activity's message counts coincide with the optimal
+//! algorithm's — the paper's Definition 2 of adaptiveness.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use diffuse_bayes::{Distortion, Estimate};
+use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
+use diffuse_sim::SimTime;
+
+use crate::knowledge::View;
+use crate::optimal::propagate;
+use crate::params::{AdaptiveParams, CorrectionMode, LinkBlame, ReconcileMode};
+use crate::protocol::{
+    Actions, BroadcastId, HeartbeatMessage, Message, Payload, Protocol,
+};
+use crate::{CoreError, NetworkKnowledge};
+
+/// Per-process bookkeeping (`C_k[p_i]` plus its protocol fields).
+#[derive(Debug, Clone)]
+struct PeerRecord {
+    /// The Bayesian estimate with its distortion factor.
+    estimate: Estimate,
+    /// Sequence number of the last heartbeat received (neighbors only).
+    last_seq: u64,
+    /// Suspicions since the last heartbeat (neighbors only).
+    suspected: u32,
+    /// Suspicion timeout `∆_k[p_i]`, in ticks.
+    timeout: u64,
+    /// Next Event-2 check.
+    deadline: SimTime,
+    /// Ticks this process itself was down since the last heartbeat from
+    /// this peer — misses that must not be blamed on the link.
+    downtime_since_receipt: u64,
+}
+
+/// The adaptive reliable broadcast protocol.
+///
+/// # Example
+///
+/// Two neighbors exchanging heartbeats learn that their link is reliable:
+///
+/// ```
+/// use diffuse_core::{AdaptiveBroadcast, AdaptiveParams, Actions, Protocol};
+/// use diffuse_model::{LinkId, ProcessId};
+/// use diffuse_sim::SimTime;
+///
+/// let ids = vec![ProcessId::new(0), ProcessId::new(1)];
+/// let mut a = AdaptiveBroadcast::new(ids[0], ids.clone(), vec![ids[1]], AdaptiveParams::default());
+/// let mut b = AdaptiveBroadcast::new(ids[1], ids.clone(), vec![ids[0]], AdaptiveParams::default());
+///
+/// let mut actions = Actions::new();
+/// for t in 1..50u64 {
+///     let now = SimTime::new(t);
+///     a.handle_tick(now, &mut actions);
+///     for (to, m) in actions.take_sends() {
+///         assert_eq!(to, ids[1]);
+///         b.handle_message(now, ids[0], m, &mut actions);
+///     }
+///     b.handle_tick(now, &mut actions);
+///     for (_, m) in actions.take_sends() {
+///         a.handle_message(now, ids[1], m, &mut actions);
+///     }
+/// }
+/// let link = LinkId::new(ids[0], ids[1]).unwrap();
+/// let loss = a.estimated_loss(link).unwrap().value();
+/// assert!(loss < 0.05, "estimated loss {loss} should approach 0");
+/// ```
+#[derive(Debug)]
+pub struct AdaptiveBroadcast {
+    id: ProcessId,
+    params: AdaptiveParams,
+    neighbors: Vec<ProcessId>,
+    all_processes: Vec<ProcessId>,
+
+    /// `Λ_k` — the known topology (always includes this process).
+    topology: Arc<Topology>,
+    topology_version: u64,
+    /// Last topology version merged from each neighbor.
+    merged_versions: BTreeMap<ProcessId, u64>,
+
+    peers: BTreeMap<ProcessId, PeerRecord>,
+    links: BTreeMap<LinkId, Estimate>,
+
+    my_seq: u64,
+    next_heartbeat: SimTime,
+    next_self_tick: SimTime,
+
+    // Broadcast activity.
+    next_bcast_seq: u64,
+    seen: BTreeSet<BroadcastId>,
+    delivered: Vec<(BroadcastId, Payload)>,
+    errors: u64,
+    heartbeats_sent: u64,
+}
+
+impl AdaptiveBroadcast {
+    /// Creates an adaptive node.
+    ///
+    /// `all_processes` is the system membership `Π` (the paper assumes it
+    /// is known from the start — Section 4.2); `neighbors` are the
+    /// processes connected to `id` by direct links, the only thing a
+    /// process initially knows about `Λ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neighbors` contains `id` itself or processes outside
+    /// `all_processes`.
+    pub fn new(
+        id: ProcessId,
+        all_processes: Vec<ProcessId>,
+        neighbors: Vec<ProcessId>,
+        params: AdaptiveParams,
+    ) -> Self {
+        assert!(
+            !neighbors.contains(&id),
+            "a process cannot neighbor itself"
+        );
+        assert!(
+            neighbors.iter().all(|n| all_processes.contains(n)),
+            "neighbors must be part of the system membership"
+        );
+        let mut all = all_processes;
+        all.sort_unstable();
+        all.dedup();
+
+        let u = params.intervals;
+        let delta = params.heartbeat_period;
+        let mut peers = BTreeMap::new();
+        for &p in &all {
+            peers.insert(
+                p,
+                PeerRecord {
+                    // Lines 2–7: unknown estimates, ∞ distortion, timeout δ.
+                    estimate: Estimate::unknown(u),
+                    last_seq: 0,
+                    suspected: 0,
+                    timeout: delta,
+                    // Grace period: no suspicions before the first
+                    // heartbeats can possibly arrive.
+                    deadline: SimTime::new(2 * delta + 1),
+                    downtime_since_receipt: 0,
+                },
+            );
+        }
+        // Line 8: p_k sees itself with no distortion.
+        if let Some(me) = peers.get_mut(&id) {
+            me.estimate = Estimate::first_hand(u);
+        }
+
+        // Lines 9–12: Λ_k starts with the direct links, at distortion 0.
+        let mut topology = Topology::new();
+        topology.add_process(id);
+        let mut links = BTreeMap::new();
+        for &n in &neighbors {
+            let link = topology.add_link(id, n).expect("validated above");
+            links.insert(link, Estimate::first_hand(u));
+        }
+
+        AdaptiveBroadcast {
+            id,
+            neighbors,
+            all_processes: all,
+            topology: Arc::new(topology),
+            topology_version: 1,
+            merged_versions: BTreeMap::new(),
+            peers,
+            links,
+            my_seq: 0,
+            next_heartbeat: SimTime::ZERO,
+            next_self_tick: SimTime::new(params.self_tick_period),
+            next_bcast_seq: 0,
+            seen: BTreeSet::new(),
+            delivered: Vec::new(),
+            errors: 0,
+            heartbeats_sent: 0,
+            params,
+        }
+    }
+
+    /// The protocol parameters.
+    pub fn params(&self) -> &AdaptiveParams {
+        &self.params
+    }
+
+    /// The currently known topology `Λ_k`.
+    pub fn known_topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Current estimate of a process's crash probability (posterior
+    /// mean), or `None` for unknown processes.
+    pub fn estimated_crash(&self, p: ProcessId) -> Option<Probability> {
+        self.peers.get(&p).map(|r| r.estimate.beliefs.mean())
+    }
+
+    /// Current estimate of a link's loss probability (posterior mean), or
+    /// `None` for unknown links.
+    pub fn estimated_loss(&self, l: LinkId) -> Option<Probability> {
+        self.links.get(&l).map(|e| e.beliefs.mean())
+    }
+
+    /// The full estimate (posterior + distortion) for a process.
+    pub fn process_estimate(&self, p: ProcessId) -> Option<&Estimate> {
+        self.peers.get(&p).map(|r| &r.estimate)
+    }
+
+    /// The full estimate for a link.
+    pub fn link_estimate(&self, l: LinkId) -> Option<&Estimate> {
+        self.links.get(&l)
+    }
+
+    /// Heartbeats sent so far.
+    pub fn heartbeats_sent(&self) -> u64 {
+        self.heartbeats_sent
+    }
+
+    /// Malformed or un-forwardable messages ignored so far.
+    pub fn error_count(&self) -> u64 {
+        self.errors
+    }
+
+    /// Returns `true` once `Λ_k` spans the whole membership `Π` — the
+    /// precondition for building spanning trees.
+    pub fn topology_complete(&self) -> bool {
+        self.topology.process_count() == self.all_processes.len()
+            && self.topology.is_connected()
+    }
+
+    /// Snapshot of the approximated knowledge `(Λ_k, C_k)` as scalar
+    /// probabilities (posterior means), ready for MRT construction.
+    pub fn knowledge_snapshot(&self) -> NetworkKnowledge {
+        let mut config = Configuration::new();
+        for (&p, record) in &self.peers {
+            config.set_crash(p, record.estimate.beliefs.mean());
+        }
+        for (&l, estimate) in &self.links {
+            config.set_loss(l, estimate.beliefs.mean());
+        }
+        NetworkKnowledge::exact(Topology::clone(&self.topology), config)
+    }
+
+    /// Builds the shareable view of `(Λ_k, C_k)` for heartbeats.
+    fn build_view(&self) -> Arc<View> {
+        Arc::new(View {
+            topology_version: self.topology_version,
+            topology: Arc::clone(&self.topology),
+            processes: self
+                .peers
+                .iter()
+                .map(|(&p, r)| (p, r.estimate.clone()))
+                .collect(),
+            links: self.links.iter().map(|(&l, e)| (l, e.clone())).collect(),
+        })
+    }
+
+    /// Event 1 bookkeeping for the link to the heartbeat's sender.
+    fn reconcile_link(&mut self, from: ProcessId, seq: u64, now: SimTime) {
+        let link = LinkId::new(self.id, from).expect("sender differs from self");
+        let Some(record) = self.peers.get_mut(&from) else {
+            return;
+        };
+        let gap = seq.saturating_sub(record.last_seq);
+        if gap == 0 {
+            // Duplicate or reordered heartbeat: estimates were already
+            // merged for a newer one; skip bookkeeping.
+            return;
+        }
+        let missed = (gap - 1) as u32;
+
+        let delta = self.params.heartbeat_period;
+        let suspected = record.suspected;
+        let (adjust_pos, adjust_neg): (u32, u32) = match self.params.reconcile {
+            ReconcileMode::SeqGap => {
+                // Misses during my own downtime are nobody's fault.
+                let excused =
+                    u32::try_from(record.downtime_since_receipt / delta.max(1))
+                        .unwrap_or(u32::MAX)
+                        .min(missed);
+                let blamable = missed - excused;
+                if suspected >= blamable {
+                    (suspected - blamable, 0)
+                } else {
+                    (0, blamable - suspected)
+                }
+            }
+            ReconcileMode::PaperLiteral => {
+                let gap32 = u32::try_from(gap).unwrap_or(u32::MAX);
+                if suspected >= gap32 {
+                    (suspected - gap32, 0)
+                } else {
+                    (0, gap32 - suspected)
+                }
+            }
+        };
+
+        if let Some(estimate) = self.links.get_mut(&link) {
+            match self.params.link_blame {
+                LinkBlame::OnReconcile => {
+                    // Blame exactly the proven losses; suspicions never
+                    // touched the link.
+                    let blamable = match self.params.reconcile {
+                        ReconcileMode::SeqGap => {
+                            let excused =
+                                u32::try_from(record.downtime_since_receipt / delta.max(1))
+                                    .unwrap_or(u32::MAX)
+                                    .min(missed);
+                            missed - excused
+                        }
+                        ReconcileMode::PaperLiteral => missed,
+                    };
+                    if blamable > 0 {
+                        estimate.beliefs.decrease_reliability(blamable);
+                    }
+                }
+                LinkBlame::OnTimeout => {
+                    // Suspicions already decreased the link; settle the
+                    // difference.
+                    if adjust_pos > 0 {
+                        match self.params.correction {
+                            CorrectionMode::Exact => {
+                                estimate.beliefs.undo_decrease(adjust_pos)
+                            }
+                            CorrectionMode::Bayes => {
+                                estimate.beliefs.increase_reliability(adjust_pos)
+                            }
+                        }
+                    }
+                    if adjust_neg > 0 {
+                        estimate.beliefs.decrease_reliability(adjust_neg);
+                    }
+                }
+            }
+            // The received heartbeat itself is a success observation.
+            if self.params.reconcile == ReconcileMode::SeqGap {
+                estimate.beliefs.increase_reliability(1);
+            }
+        }
+
+        // Line 23: repeated over-suspicion means the timeout is too tight.
+        if self.params.timeout_growth && adjust_pos > 1 {
+            record.timeout += delta;
+        }
+        record.suspected = 0;
+        record.last_seq = seq;
+        record.downtime_since_receipt = 0;
+        record.deadline = now + record.timeout;
+    }
+
+    /// Merges the sender's view (topology + estimates) into local state.
+    fn merge_view(&mut self, from: ProcessId, view: &View, now: SimTime) {
+        // Topology: merge only when the sender's version moved.
+        let last = self.merged_versions.get(&from).copied().unwrap_or(0);
+        if view.topology_version > last {
+            let before = (
+                self.topology.process_count(),
+                self.topology.link_count(),
+            );
+            let merged = Arc::make_mut(&mut self.topology);
+            merged.merge(&view.topology);
+            if (merged.process_count(), merged.link_count()) != before {
+                self.topology_version += 1;
+            }
+            self.merged_versions.insert(from, view.topology_version);
+        }
+
+        // Process estimates: lines 26–27, selectBestEstimate for every
+        // process. The sender's self-estimate has distortion 0 and is
+        // always adopted.
+        for (p, theirs) in &view.processes {
+            if *p == self.id {
+                continue; // my own estimate is never overwritten
+            }
+            if let Some(record) = self.peers.get_mut(p) {
+                if record.estimate.adopt_if_better(theirs) {
+                    // Adoption counts as an update of C_k[p_i] (Event 2's
+                    // "not updated … in the last ∆" clock restarts).
+                    record.deadline = now + record.timeout;
+                }
+            }
+        }
+
+        // Link estimates: lines 28–32 — select best for known links,
+        // adopt (distortion + 1) for new ones. My own direct links keep
+        // their first-hand estimates (strict distortion comparison).
+        for (l, theirs) in &view.links {
+            match self.links.get_mut(l) {
+                Some(mine) => {
+                    mine.adopt_if_better(theirs);
+                }
+                None => {
+                    let mut adopted = Estimate::unknown(self.params.intervals);
+                    adopted.adopt(theirs);
+                    self.links.insert(*l, adopted);
+                    let merged = Arc::make_mut(&mut self.topology);
+                    if !merged.contains_link(*l) {
+                        merged.insert_link(*l);
+                        self.topology_version += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for AdaptiveBroadcast {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn handle_message(
+        &mut self,
+        now: SimTime,
+        from: ProcessId,
+        message: Message,
+        actions: &mut Actions,
+    ) {
+        match message {
+            Message::Heartbeat(HeartbeatMessage { seq, view }) => {
+                if !self.neighbors.contains(&from) {
+                    self.errors += 1;
+                    return;
+                }
+                // Event 1: reconcile the direct link, then merge the view.
+                self.reconcile_link(from, seq, now);
+                self.merge_view(from, &view, now);
+            }
+            Message::Data(data) => {
+                if !self.seen.insert(data.id) {
+                    return;
+                }
+                self.delivered.push((data.id, data.payload.clone()));
+                actions.deliver(data.id, data.payload.clone());
+                if propagate(
+                    self.id,
+                    data.id,
+                    &data.payload,
+                    &data.tree,
+                    self.params.target_reliability,
+                    actions,
+                )
+                .is_err()
+                {
+                    self.errors += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_tick(&mut self, now: SimTime, actions: &mut Actions) {
+        // Heartbeat emission (lines 14–17): one view snapshot, one
+        // sequenced heartbeat per neighbor.
+        if now >= self.next_heartbeat {
+            self.my_seq += 1;
+            // My own seq rides in the message; receivers track it in
+            // their PeerRecord.
+            let view = self.build_view();
+            for &n in &self.neighbors {
+                actions.send(
+                    n,
+                    Message::Heartbeat(HeartbeatMessage {
+                        seq: self.my_seq,
+                        view: Arc::clone(&view),
+                    }),
+                );
+                self.heartbeats_sent += 1;
+            }
+            self.next_heartbeat = now + self.params.heartbeat_period;
+        }
+
+        // Event 2: per-peer staleness checks.
+        let is_neighbor: BTreeSet<ProcessId> = self.neighbors.iter().copied().collect();
+        let blame_link_now = self.params.link_blame == LinkBlame::OnTimeout
+            || self.params.reconcile == ReconcileMode::PaperLiteral;
+        let mut suspected_neighbors: Vec<ProcessId> = Vec::new();
+        for (&p, record) in self.peers.iter_mut() {
+            if p == self.id || now < record.deadline {
+                continue;
+            }
+            if is_neighbor.contains(&p) {
+                // Lines 36–38: suspect the neighbor and decrease its
+                // reliability belief. The suspicion is *first-hand*
+                // evidence observed at network distance 1, so the
+                // estimate's distortion is pinned there — otherwise stale
+                // pre-crash copies echoing back from third parties (with
+                // lower distortion) would keep overwriting the fresh
+                // negative evidence. See DESIGN.md §4.
+                record.suspected += 1;
+                record.estimate.beliefs.decrease_reliability(1);
+                record.estimate.distortion = Distortion::finite(1);
+                suspected_neighbors.push(p);
+            } else {
+                // Line 35: remote knowledge gets distorted with time.
+                record.estimate.distortion = record.estimate.distortion.incremented();
+            }
+            record.deadline = now + record.timeout;
+        }
+        // Line 39 (paper mode): the link to a suspected neighbor is
+        // decreased as well.
+        if blame_link_now {
+            for p in suspected_neighbors {
+                let link = LinkId::new(self.id, p).expect("neighbor differs");
+                if let Some(estimate) = self.links.get_mut(&link) {
+                    estimate.beliefs.decrease_reliability(1);
+                }
+            }
+        }
+
+        // Event 3: my own uptime is evidence of my reliability.
+        if now >= self.next_self_tick {
+            if let Some(me) = self.peers.get_mut(&self.id) {
+                me.estimate.beliefs.increase_reliability(1);
+            }
+            self.next_self_tick = now + self.params.self_tick_period;
+        }
+    }
+
+    fn handle_recovery(&mut self, now: SimTime, down_ticks: u64, _actions: &mut Actions) {
+        // Event 4: a crash lasting n × ∆tick is n failure observations.
+        let n = u32::try_from((down_ticks / self.params.self_tick_period).max(1))
+            .unwrap_or(u32::MAX);
+        if let Some(me) = self.peers.get_mut(&self.id) {
+            me.estimate.beliefs.decrease_reliability(n);
+        }
+        // My silence was my fault, not my neighbors': excuse the misses I
+        // caused and give everyone a fresh grace period.
+        for (&p, record) in self.peers.iter_mut() {
+            if p == self.id {
+                continue;
+            }
+            record.downtime_since_receipt += down_ticks;
+            record.deadline = now + record.timeout;
+        }
+        self.next_self_tick = now + self.params.self_tick_period;
+        self.next_heartbeat = now; // announce recovery promptly
+    }
+
+    fn broadcast(
+        &mut self,
+        _now: SimTime,
+        payload: Payload,
+        actions: &mut Actions,
+    ) -> Result<BroadcastId, CoreError> {
+        if !self.topology_complete() {
+            return Err(CoreError::KnowledgeIncomplete);
+        }
+        let knowledge = self.knowledge_snapshot();
+        let tree = knowledge.reliability_tree(self.id)?;
+        let wire = Arc::new(tree.to_wire());
+        let id = BroadcastId {
+            origin: self.id,
+            seq: self.next_bcast_seq,
+        };
+        self.next_bcast_seq += 1;
+        self.seen.insert(id);
+        propagate(
+            self.id,
+            id,
+            &payload,
+            &wire,
+            self.params.target_reliability,
+            actions,
+        )?;
+        self.delivered.push((id, payload.clone()));
+        actions.deliver(id, payload);
+        Ok(id)
+    }
+
+    fn delivered(&self) -> &[(BroadcastId, Payload)] {
+        &self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffuse_bayes::Distortion;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn params() -> AdaptiveParams {
+        AdaptiveParams::default()
+    }
+
+    fn line3() -> (AdaptiveBroadcast, AdaptiveBroadcast, AdaptiveBroadcast) {
+        // 0 — 1 — 2.
+        let all = vec![p(0), p(1), p(2)];
+        (
+            AdaptiveBroadcast::new(p(0), all.clone(), vec![p(1)], params()),
+            AdaptiveBroadcast::new(p(1), all.clone(), vec![p(0), p(2)], params()),
+            AdaptiveBroadcast::new(p(2), all, vec![p(1)], params()),
+        )
+    }
+
+    /// Runs one tick for every node, routing messages instantly.
+    fn exchange(nodes: &mut [&mut AdaptiveBroadcast], now: SimTime) {
+        let mut actions = Actions::new();
+        let mut pending: Vec<(ProcessId, ProcessId, Message)> = Vec::new();
+        for node in nodes.iter_mut() {
+            node.handle_tick(now, &mut actions);
+            let from = node.id();
+            for (to, m) in actions.take_sends() {
+                pending.push((from, to, m));
+            }
+        }
+        for (from, to, m) in pending {
+            for node in nodes.iter_mut() {
+                if node.id() == to {
+                    node.handle_message(now, from, m.clone(), &mut actions);
+                    actions.clear();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn initial_state_matches_algorithm4_initialization() {
+        let node = AdaptiveBroadcast::new(
+            p(0),
+            vec![p(0), p(1), p(2)],
+            vec![p(1)],
+            params(),
+        );
+        // Own estimate: distortion 0. Remote: ∞.
+        assert_eq!(
+            node.process_estimate(p(0)).unwrap().distortion,
+            Distortion::ZERO
+        );
+        assert!(node
+            .process_estimate(p(2))
+            .unwrap()
+            .distortion
+            .is_infinite());
+        // Direct links at distortion 0; only those exist.
+        let l01 = LinkId::new(p(0), p(1)).unwrap();
+        assert_eq!(node.link_estimate(l01).unwrap().distortion, Distortion::ZERO);
+        assert!(node.link_estimate(LinkId::new(p(1), p(2)).unwrap()).is_none());
+        assert!(!node.topology_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "neighbor")]
+    fn self_neighbor_is_rejected() {
+        let _ = AdaptiveBroadcast::new(p(0), vec![p(0)], vec![p(0)], params());
+    }
+
+    #[test]
+    fn topology_spreads_along_a_line() {
+        let (mut a, mut b, mut c) = line3();
+        // Two exchanges: a learns l12 via b's second heartbeat.
+        for t in 1..=4u64 {
+            exchange(&mut [&mut a, &mut b, &mut c], SimTime::new(t));
+        }
+        assert!(a.topology_complete(), "a's topology: {:?}", a.known_topology());
+        assert!(c.topology_complete());
+        assert!(a
+            .known_topology()
+            .contains_link(LinkId::new(p(1), p(2)).unwrap()));
+    }
+
+    #[test]
+    fn reliable_heartbeats_drive_link_estimates_down() {
+        let (mut a, mut b, mut c) = line3();
+        let l01 = LinkId::new(p(0), p(1)).unwrap();
+        let before = a.estimated_loss(l01).unwrap().value();
+        for t in 1..=60u64 {
+            exchange(&mut [&mut a, &mut b, &mut c], SimTime::new(t));
+        }
+        let after = a.estimated_loss(l01).unwrap().value();
+        assert!(before > 0.4, "uniform prior mean should start near 0.5");
+        assert!(after < 0.05, "estimated loss {after} should approach 0");
+        // And remote link estimates were learned through b.
+        let l12 = LinkId::new(p(1), p(2)).unwrap();
+        assert!(a.estimated_loss(l12).unwrap().value() < 0.2);
+    }
+
+    #[test]
+    fn sender_self_estimate_is_always_adopted() {
+        let (mut a, mut b, mut c) = line3();
+        for t in 1..=10u64 {
+            exchange(&mut [&mut a, &mut b, &mut c], SimTime::new(t));
+        }
+        // a's estimate of b is second-hand: distortion exactly 1.
+        assert_eq!(
+            a.process_estimate(p(1)).unwrap().distortion,
+            Distortion::finite(1)
+        );
+        // a's estimate of c traveled two hops: distortion 2.
+        assert_eq!(
+            a.process_estimate(p(2)).unwrap().distortion,
+            Distortion::finite(2)
+        );
+    }
+
+    #[test]
+    fn silence_triggers_suspicions_and_decreases_beliefs() {
+        let all = vec![p(0), p(1)];
+        let mut a = AdaptiveBroadcast::new(p(0), all.clone(), vec![p(1)], params());
+        let mut b = AdaptiveBroadcast::new(p(1), all, vec![p(0)], params());
+
+        // Warm up with healthy exchanges.
+        for t in 1..=20u64 {
+            exchange(&mut [&mut a, &mut b], SimTime::new(t));
+        }
+        let healthy = a.estimated_crash(p(1)).unwrap().value();
+
+        // Now b goes silent; a ticks alone.
+        let mut actions = Actions::new();
+        for t in 21..=40u64 {
+            a.handle_tick(SimTime::new(t), &mut actions);
+            actions.clear();
+        }
+        let suspected = a.estimated_crash(p(1)).unwrap().value();
+        assert!(
+            suspected > healthy,
+            "silence must increase the crash estimate ({healthy} → {suspected})"
+        );
+        // Default (paper) blame mode: total silence also degrades the
+        // link estimate — a dead link and a dead peer are indistinguishable
+        // until a sequence number proves otherwise.
+        let l01 = LinkId::new(p(0), p(1)).unwrap();
+        assert!(a.estimated_loss(l01).unwrap().value() > 0.1);
+    }
+
+    #[test]
+    fn crash_only_silence_is_undone_on_the_link_after_reconcile() {
+        // b never sends for a while (crashed — its seq does not advance),
+        // then resumes: the link's timeout-time decreases are exactly
+        // undone because no sequence gap appears.
+        let all = vec![p(0), p(1)];
+        let mut a = AdaptiveBroadcast::new(p(0), all.clone(), vec![p(1)], params());
+        let mut b = AdaptiveBroadcast::new(p(1), all, vec![p(0)], params());
+        let l01 = LinkId::new(p(0), p(1)).unwrap();
+        let mut actions = Actions::new();
+
+        // Healthy warm-up.
+        for t in 1..=30u64 {
+            let now = SimTime::new(t);
+            a.handle_tick(now, &mut actions);
+            for (_, m) in actions.take_sends() {
+                b.handle_message(now, p(0), m, &mut actions);
+            }
+            actions.clear();
+            b.handle_tick(now, &mut actions);
+            for (_, m) in actions.take_sends() {
+                a.handle_message(now, p(1), m, &mut actions);
+            }
+            actions.clear();
+        }
+        let healthy = a.estimated_loss(l01).unwrap().value();
+
+        // b silent (crashed) for 15 periods: a suspects, link degrades.
+        for t in 31..=45u64 {
+            a.handle_tick(SimTime::new(t), &mut actions);
+            actions.clear();
+        }
+        let during = a.estimated_loss(l01).unwrap().value();
+        assert!(during > healthy, "{healthy} → {during}");
+
+        // b resumes; its seq advanced by 0 while down (it sent nothing).
+        b.handle_tick(SimTime::new(46), &mut actions);
+        let now = SimTime::new(46);
+        for (_, m) in actions.take_sends() {
+            a.handle_message(now, p(1), m, &mut actions);
+        }
+        let after = a.estimated_loss(l01).unwrap().value();
+        assert!(
+            after < healthy + 0.02,
+            "exact undo must clear crash-only suspicions ({healthy} → {during} → {after})"
+        );
+    }
+
+    #[test]
+    fn seq_gaps_blame_the_link() {
+        let all = vec![p(0), p(1)];
+        let mut a = AdaptiveBroadcast::new(p(0), all.clone(), vec![p(1)], params());
+        let mut b = AdaptiveBroadcast::new(p(1), all, vec![p(0)], params());
+        let l01 = LinkId::new(p(0), p(1)).unwrap();
+
+        let mut actions = Actions::new();
+        let mut drop_every = 3u64; // drop every third heartbeat b → a
+        let mut dropped = 0u32;
+        for t in 1..=90u64 {
+            let now = SimTime::new(t);
+            a.handle_tick(now, &mut actions);
+            for (_, m) in actions.take_sends() {
+                b.handle_message(now, p(0), m, &mut actions);
+                actions.clear();
+            }
+            b.handle_tick(now, &mut actions);
+            for (_, m) in actions.take_sends() {
+                drop_every -= 1;
+                if drop_every == 0 {
+                    drop_every = 3;
+                    dropped += 1;
+                    continue; // lost on the wire
+                }
+                a.handle_message(now, p(1), m, &mut actions);
+                actions.clear();
+            }
+        }
+        assert!(dropped > 20);
+        let estimated = a.estimated_loss(l01).unwrap().value();
+        assert!(
+            (estimated - 1.0 / 3.0).abs() < 0.12,
+            "loss estimate {estimated} should approach 1/3"
+        );
+    }
+
+    #[test]
+    fn events_3_and_4_shape_self_estimate() {
+        let all = vec![p(0), p(1)];
+        let mut node = AdaptiveBroadcast::new(p(0), all, vec![p(1)], params());
+        let mut actions = Actions::new();
+        for t in 1..=50u64 {
+            node.handle_tick(SimTime::new(t), &mut actions);
+            actions.clear();
+        }
+        let up_only = node.estimated_crash(p(0)).unwrap().value();
+        assert!(up_only < 0.05, "all-up self estimate {up_only}");
+
+        // A 50-tick outage halves the observed uptime.
+        node.handle_recovery(SimTime::new(101), 50, &mut actions);
+        let after_crash = node.estimated_crash(p(0)).unwrap().value();
+        assert!(
+            after_crash > up_only,
+            "downtime must raise the crash estimate"
+        );
+        assert!((after_crash - 0.5).abs() < 0.15, "estimate {after_crash}");
+    }
+
+    #[test]
+    fn broadcast_requires_complete_topology_then_works() {
+        let (mut a, mut b, mut c) = line3();
+        let mut actions = Actions::new();
+        assert!(matches!(
+            a.broadcast(SimTime::ZERO, Payload::from("x"), &mut actions),
+            Err(CoreError::KnowledgeIncomplete)
+        ));
+
+        for t in 1..=30u64 {
+            exchange(&mut [&mut a, &mut b, &mut c], SimTime::new(t));
+        }
+        let id = a
+            .broadcast(SimTime::new(31), Payload::from("x"), &mut actions)
+            .unwrap();
+        assert_eq!(id.origin, p(0));
+        // All copies go to the line's next hop.
+        assert!(actions.sends().iter().all(|(to, _)| *to == p(1)));
+        assert!(!actions.sends().is_empty());
+
+        // Deliver one copy at b: it forwards toward c.
+        let (_, m) = actions.take_sends()[0].clone();
+        let mut b_actions = Actions::new();
+        b.handle_message(SimTime::new(32), p(0), m, &mut b_actions);
+        assert_eq!(b.delivered().len(), 1);
+        assert!(b_actions.sends().iter().all(|(to, _)| *to == p(2)));
+    }
+
+    #[test]
+    fn heartbeats_from_strangers_are_ignored() {
+        let all = vec![p(0), p(1), p(2)];
+        let mut node = AdaptiveBroadcast::new(p(0), all, vec![p(1)], params());
+        let view = node.build_view();
+        let mut actions = Actions::new();
+        node.handle_message(
+            SimTime::new(1),
+            p(2), // not a neighbor
+            Message::Heartbeat(HeartbeatMessage { seq: 1, view }),
+            &mut actions,
+        );
+        assert_eq!(node.error_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_heartbeat_seq_is_idempotent() {
+        let all = vec![p(0), p(1)];
+        let mut a = AdaptiveBroadcast::new(p(0), all.clone(), vec![p(1)], params());
+        let b = AdaptiveBroadcast::new(p(1), all, vec![p(0)], params());
+        let view = b.build_view();
+        let mut actions = Actions::new();
+        let hb = Message::Heartbeat(HeartbeatMessage { seq: 1, view });
+        a.handle_message(SimTime::new(1), p(1), hb.clone(), &mut actions);
+        let after_first = a.estimated_loss(LinkId::new(p(0), p(1)).unwrap()).unwrap();
+        a.handle_message(SimTime::new(1), p(1), hb, &mut actions);
+        let after_second = a.estimated_loss(LinkId::new(p(0), p(1)).unwrap()).unwrap();
+        assert_eq!(after_first, after_second);
+    }
+
+    #[test]
+    fn recovery_excuses_missed_heartbeats() {
+        let all = vec![p(0), p(1)];
+        let mut a = AdaptiveBroadcast::new(p(0), all.clone(), vec![p(1)], params());
+        let mut b = AdaptiveBroadcast::new(p(1), all, vec![p(0)], params());
+        let l01 = LinkId::new(p(0), p(1)).unwrap();
+
+        let mut actions = Actions::new();
+        // Healthy warm-up.
+        for t in 1..=30u64 {
+            let now = SimTime::new(t);
+            a.handle_tick(now, &mut actions);
+            for (_, m) in actions.take_sends() {
+                b.handle_message(now, p(0), m, &mut actions);
+            }
+            actions.clear();
+            b.handle_tick(now, &mut actions);
+            for (_, m) in actions.take_sends() {
+                a.handle_message(now, p(1), m, &mut actions);
+            }
+            actions.clear();
+        }
+        let healthy = a.estimated_loss(l01).unwrap().value();
+
+        // a is down for ticks 31–50: b keeps sending (messages vanish),
+        // b's seq advances by 20.
+        for t in 31..=50u64 {
+            b.handle_tick(SimTime::new(t), &mut actions);
+            actions.clear();
+        }
+        a.handle_recovery(SimTime::new(51), 20, &mut actions);
+        actions.clear();
+        // Next heartbeat from b arrives with a 20-gap; all excused.
+        b.handle_tick(SimTime::new(51), &mut actions);
+        let sends = actions.take_sends();
+        let now = SimTime::new(51);
+        for (_, m) in sends {
+            a.handle_message(now, p(1), m, &mut actions);
+        }
+        let after = a.estimated_loss(l01).unwrap().value();
+        assert!(
+            after <= healthy + 0.02,
+            "own downtime must not poison the link estimate ({healthy} → {after})"
+        );
+    }
+}

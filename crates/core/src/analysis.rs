@@ -1,0 +1,152 @@
+//! Closed-form analysis of the two-path example (Section 1, Appendix A,
+//! Figure 1).
+//!
+//! Two nodes are connected by two independent paths: path one loses
+//! messages with probability `L`, path two with probability `αL`
+//! (`α > 1`). A *typical* gossip algorithm splits its `k₀` messages evenly
+//! across both paths; the *adaptive* algorithm sends all `k₁` messages
+//! down the more reliable path. Equating the two delivery probabilities
+//! yields the paper's headline ratio `k₁/k₀ = ½·log_L α + 1` (< 1).
+
+use crate::CoreError;
+
+/// Validates the two-path parameters: `0 < l < 1`, `alpha ≥ 1`, and
+/// `alpha * l ≤ 1`.
+fn validate(alpha: f64, l: f64) -> Result<(), CoreError> {
+    if !(l.is_finite() && 0.0 < l && l < 1.0) {
+        return Err(CoreError::InvalidTarget(l));
+    }
+    if !(alpha.is_finite() && alpha >= 1.0 && alpha * l <= 1.0) {
+        return Err(CoreError::InvalidTarget(alpha));
+    }
+    Ok(())
+}
+
+/// Probability that at least one of `k0` messages arrives under the
+/// *typical* gossip algorithm, which alternates paths:
+/// `1 - (√α · L)^{k0}` (Appendix A).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidTarget`] for parameters outside
+/// `0 < l < 1`, `alpha ≥ 1`, `alpha·l ≤ 1`.
+pub fn typical_gossip_reach(k0: u32, l: f64, alpha: f64) -> Result<f64, CoreError> {
+    validate(alpha, l)?;
+    Ok(1.0 - (alpha.sqrt() * l).powi(k0 as i32))
+}
+
+/// Probability that at least one of `k1` messages arrives under the
+/// *adaptive* algorithm, which always uses the better path: `1 - L^{k1}`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidTarget`] unless `0 < l < 1`.
+pub fn adaptive_reach(k1: u32, l: f64) -> Result<f64, CoreError> {
+    validate(1.0, l)?;
+    Ok(1.0 - l.powi(k1 as i32))
+}
+
+/// The message ratio `k₁/k₀ = ½·log_L α + 1` at equal reliability
+/// (Figure 1's y-axis).
+///
+/// Since `0 < L < 1`, `log_L α = ln α / ln L` is negative for `α > 1`, so
+/// the ratio is below 1: the adaptive algorithm needs *fewer* messages.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidTarget`] for parameters outside
+/// `0 < l < 1`, `alpha ≥ 1`, `alpha·l ≤ 1`.
+///
+/// # Example
+///
+/// The paper: "when α = 10 … L = 0.0001, an adaptive algorithm only needs
+/// about 87% of the messages sent by a traditional gossip algorithm".
+///
+/// ```
+/// use diffuse_core::analysis::message_ratio;
+///
+/// let ratio = message_ratio(10.0, 1e-4)?;
+/// assert!((ratio - 0.875).abs() < 0.001);
+/// # Ok::<(), diffuse_core::CoreError>(())
+/// ```
+pub fn message_ratio(alpha: f64, l: f64) -> Result<f64, CoreError> {
+    validate(alpha, l)?;
+    Ok(0.5 * (alpha.ln() / l.ln()) + 1.0)
+}
+
+/// Messages the adaptive algorithm needs to match `k0` typical-gossip
+/// messages, rounded up: `⌈k0 · (½·log_L α + 1)⌉`.
+///
+/// # Errors
+///
+/// Same conditions as [`message_ratio`].
+pub fn equivalent_adaptive_messages(k0: u32, l: f64, alpha: f64) -> Result<u32, CoreError> {
+    let ratio = message_ratio(alpha, l)?;
+    Ok((k0 as f64 * ratio).ceil() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_paths_have_ratio_one() {
+        // α = 1: no difference between the algorithms.
+        assert!((message_ratio(1.0, 0.01).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_headline_number() {
+        // α = 10, L = 1e-4 → ≈ 0.875 ("about 87%").
+        let r = message_ratio(10.0, 1e-4).unwrap();
+        assert!((r - 0.875).abs() < 1e-3, "ratio {r}");
+    }
+
+    #[test]
+    fn ratio_decreases_with_alpha_and_grows_with_reliability() {
+        // More lopsided paths → bigger advantage (smaller ratio).
+        let r2 = message_ratio(2.0, 0.01).unwrap();
+        let r10 = message_ratio(10.0, 0.01).unwrap();
+        assert!(r10 < r2);
+        // Less reliable best path (larger L) → bigger advantage too.
+        let r_good = message_ratio(10.0, 1e-4).unwrap();
+        let r_bad = message_ratio(10.0, 1e-2).unwrap();
+        assert!(r_bad < r_good);
+    }
+
+    #[test]
+    fn reach_formulas_agree_at_the_equated_point() {
+        // By construction: typical with k0 equals adaptive with
+        // k1 = k0 * ratio (allowing fractional k1 via powf).
+        let (k0, l, alpha) = (10u32, 0.01, 4.0);
+        let ratio = message_ratio(alpha, l).unwrap();
+        let typical = typical_gossip_reach(k0, l, alpha).unwrap();
+        let k1 = k0 as f64 * ratio;
+        let adaptive = 1.0 - l.powf(k1);
+        assert!((typical - adaptive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_beats_typical_for_equal_message_count() {
+        let (k, l, alpha) = (6u32, 0.05, 5.0);
+        let typical = typical_gossip_reach(k, l, alpha).unwrap();
+        let adaptive = adaptive_reach(k, l).unwrap();
+        assert!(adaptive > typical);
+    }
+
+    #[test]
+    fn equivalent_messages_round_up() {
+        let k1 = equivalent_adaptive_messages(10, 1e-4, 10.0).unwrap();
+        assert_eq!(k1, 9); // 10 * 0.875 = 8.75 → 9
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(message_ratio(0.5, 0.01).is_err()); // α < 1
+        assert!(message_ratio(10.0, 0.0).is_err()); // L = 0
+        assert!(message_ratio(10.0, 1.0).is_err()); // L = 1
+        assert!(message_ratio(200.0, 0.01).is_err()); // αL > 1
+        assert!(typical_gossip_reach(5, -0.1, 2.0).is_err());
+        assert!(adaptive_reach(5, 2.0).is_err());
+    }
+}

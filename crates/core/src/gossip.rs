@@ -1,0 +1,381 @@
+//! The reference gossip algorithm (Section 5).
+//!
+//! "Our results were compared to a reference algorithm, implementing a
+//! typical gossip-based reliable broadcast. The execution proceeds in
+//! steps, and in each step processes forward data messages to their
+//! neighbors. […] As a simple optimization, processes acknowledge the
+//! receipt of data messages. Thus, when choosing the neighbors to which
+//! some data message m will be forwarded, each process p never forwards m
+//! to its neighbor q if (a) it has previously received m from q, or (b) it
+//! has received an acknowledgment message from q for m."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use diffuse_model::ProcessId;
+use diffuse_sim::SimTime;
+
+use crate::protocol::{Actions, BroadcastId, GossipMessage, Message, Payload, Protocol};
+use crate::CoreError;
+
+/// Per-broadcast forwarding state.
+#[derive(Debug, Clone)]
+struct GossipState {
+    payload: Payload,
+    /// Neighbors this message was received from (exclusion rule a).
+    received_from: BTreeSet<ProcessId>,
+    /// Neighbors that acknowledged this message (exclusion rule b).
+    acked_by: BTreeSet<ProcessId>,
+    /// Forwarding steps left before this entry goes quiet.
+    remaining_steps: u32,
+}
+
+/// The reference gossip protocol: step-based flooding with ACK
+/// suppression.
+///
+/// `steps` bounds how many ticks each process keeps forwarding a message
+/// after first receiving it; the paper chose it "interactively" so that
+/// all processes are reached with probability 0.9999 — the experiment
+/// harness calibrates it by Monte-Carlo search
+/// (`diffuse-experiments::calibrate_gossip_steps`).
+#[derive(Debug)]
+pub struct ReferenceGossip {
+    id: ProcessId,
+    neighbors: Vec<ProcessId>,
+    steps: u32,
+    /// Ticks per forwarding step (see [`ReferenceGossip::with_step_period`]).
+    step_period: u64,
+    next_seq: u64,
+    active: BTreeMap<BroadcastId, GossipState>,
+    delivered: Vec<(BroadcastId, Payload)>,
+    /// Data copies this process has pushed to the network.
+    data_sent: u64,
+    /// ACKs this process has pushed to the network.
+    acks_sent: u64,
+}
+
+impl ReferenceGossip {
+    /// Creates a gossip node with the given direct neighbors and
+    /// forwarding step budget.
+    pub fn new(id: ProcessId, neighbors: Vec<ProcessId>, steps: u32) -> Self {
+        ReferenceGossip {
+            id,
+            neighbors,
+            steps,
+            step_period: 1,
+            next_seq: 0,
+            active: BTreeMap::new(),
+            delivered: Vec::new(),
+            data_sent: 0,
+            acks_sent: 0,
+        }
+    }
+
+    /// The forwarding step budget per message.
+    pub fn steps(&self) -> u32 {
+        self.steps
+    }
+
+    /// Stretches one forwarding step over `ticks` clock ticks (clamped to
+    /// at least 1).
+    ///
+    /// With a one-tick message latency, a period of 2 lets data *and* its
+    /// acknowledgement land between forwarding rounds — the paper's notion
+    /// of a step (forward, receive, acknowledge) — so senders do not
+    /// retransmit while an ACK is still in flight.
+    #[must_use]
+    pub fn with_step_period(mut self, ticks: u64) -> Self {
+        self.step_period = ticks.max(1);
+        self
+    }
+
+    /// Data copies sent so far by this process.
+    pub fn data_sent(&self) -> u64 {
+        self.data_sent
+    }
+
+    /// Acknowledgements sent so far by this process.
+    pub fn acks_sent(&self) -> u64 {
+        self.acks_sent
+    }
+
+    /// Returns `true` iff this process delivered the given broadcast.
+    pub fn has_delivered(&self, id: BroadcastId) -> bool {
+        self.delivered.iter().any(|(d, _)| *d == id)
+    }
+
+    fn start_state(&mut self, id: BroadcastId, payload: Payload, remaining_steps: u32) {
+        self.active.insert(
+            id,
+            GossipState {
+                payload,
+                received_from: BTreeSet::new(),
+                acked_by: BTreeSet::new(),
+                remaining_steps,
+            },
+        );
+    }
+}
+
+impl Protocol for ReferenceGossip {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn handle_message(
+        &mut self,
+        _now: SimTime,
+        from: ProcessId,
+        message: Message,
+        actions: &mut Actions,
+    ) {
+        match message {
+            Message::Gossip(data) => {
+                // Acknowledge every received copy; with lossy links a
+                // single ACK could vanish and stall suppression forever.
+                actions.send(from, Message::Ack { id: data.id });
+                self.acks_sent += 1;
+                match self.active.get_mut(&data.id) {
+                    Some(state) => {
+                        state.received_from.insert(from);
+                    }
+                    None => {
+                        if self.has_delivered(data.id) {
+                            return; // already completed its step budget
+                        }
+                        self.delivered.push((data.id, data.payload.clone()));
+                        actions.deliver(data.id, data.payload.clone());
+                        // The copy's TTL says how many global steps remain.
+                        self.start_state(data.id, data.payload, data.ttl);
+                        self.active
+                            .get_mut(&data.id)
+                            .expect("just inserted")
+                            .received_from
+                            .insert(from);
+                    }
+                }
+            }
+            Message::Ack { id } => {
+                if let Some(state) = self.active.get_mut(&id) {
+                    state.acked_by.insert(from);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_tick(&mut self, now: SimTime, actions: &mut Actions) {
+        if now.ticks() % self.step_period != 0 {
+            return;
+        }
+        let mut finished = Vec::new();
+        for (&id, state) in self.active.iter_mut() {
+            if state.remaining_steps == 0 {
+                finished.push(id);
+                continue;
+            }
+            state.remaining_steps -= 1;
+            for &q in &self.neighbors {
+                if state.received_from.contains(&q) || state.acked_by.contains(&q) {
+                    continue;
+                }
+                actions.send(
+                    q,
+                    Message::Gossip(GossipMessage {
+                        id,
+                        payload: state.payload.clone(),
+                        ttl: state.remaining_steps,
+                    }),
+                );
+                self.data_sent += 1;
+            }
+        }
+        for id in finished {
+            self.active.remove(&id);
+        }
+    }
+
+    fn broadcast(
+        &mut self,
+        _now: SimTime,
+        payload: Payload,
+        actions: &mut Actions,
+    ) -> Result<BroadcastId, CoreError> {
+        let id = BroadcastId {
+            origin: self.id,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.delivered.push((id, payload.clone()));
+        actions.deliver(id, payload.clone());
+        let steps = self.steps;
+        self.start_state(id, payload, steps);
+        Ok(id)
+    }
+
+    fn delivered(&self) -> &[(BroadcastId, Payload)] {
+        &self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn data(id: BroadcastId) -> Message {
+        data_with_ttl(id, 3)
+    }
+
+    fn data_with_ttl(id: BroadcastId, ttl: u32) -> Message {
+        Message::Gossip(GossipMessage {
+            id,
+            payload: Payload::from("x"),
+            ttl,
+        })
+    }
+
+    #[test]
+    fn broadcast_floods_on_following_ticks() {
+        let mut node = ReferenceGossip::new(p(0), vec![p(1), p(2)], 2);
+        let mut actions = Actions::new();
+        let id = node
+            .broadcast(SimTime::ZERO, Payload::from("x"), &mut actions)
+            .unwrap();
+        // Broadcast itself sends nothing; forwarding happens on ticks.
+        assert!(actions.sends().is_empty());
+        assert_eq!(actions.deliveries().len(), 1);
+
+        let mut tick1 = Actions::new();
+        node.handle_tick(SimTime::new(1), &mut tick1);
+        assert_eq!(tick1.sends().len(), 2); // both neighbors
+
+        let mut tick2 = Actions::new();
+        node.handle_tick(SimTime::new(2), &mut tick2);
+        assert_eq!(tick2.sends().len(), 2); // no acks yet → keep pushing
+
+        // Step budget exhausted.
+        let mut tick3 = Actions::new();
+        node.handle_tick(SimTime::new(3), &mut tick3);
+        assert!(tick3.sends().is_empty());
+        assert_eq!(node.data_sent(), 4);
+        assert!(node.has_delivered(id));
+    }
+
+    #[test]
+    fn receipt_triggers_ack_delivery_and_forwarding() {
+        let mut node = ReferenceGossip::new(p(1), vec![p(0), p(2)], 3);
+        let id = BroadcastId {
+            origin: p(0),
+            seq: 0,
+        };
+        let mut actions = Actions::new();
+        node.handle_message(SimTime::new(1), p(0), data(id), &mut actions);
+        // ACK back to the sender, delivery, no immediate forward.
+        assert_eq!(actions.sends().len(), 1);
+        assert!(matches!(actions.sends()[0], (to, Message::Ack { .. }) if to == p(0)));
+        assert_eq!(node.delivered().len(), 1);
+        assert_eq!(node.acks_sent(), 1);
+
+        // Next tick: forwards only to p2 (rule a excludes p0).
+        let mut tick = Actions::new();
+        node.handle_tick(SimTime::new(2), &mut tick);
+        let targets: Vec<ProcessId> = tick.sends().iter().map(|(to, _)| *to).collect();
+        assert_eq!(targets, vec![p(2)]);
+    }
+
+    #[test]
+    fn duplicate_receipt_is_acked_but_not_redelivered() {
+        let mut node = ReferenceGossip::new(p(1), vec![p(0), p(2)], 3);
+        let id = BroadcastId {
+            origin: p(0),
+            seq: 0,
+        };
+        let mut a1 = Actions::new();
+        node.handle_message(SimTime::new(1), p(0), data(id), &mut a1);
+        let mut a2 = Actions::new();
+        node.handle_message(SimTime::new(1), p(2), data(id), &mut a2);
+        assert_eq!(node.delivered().len(), 1);
+        assert_eq!(a2.sends().len(), 1); // the ack
+        assert!(a2.deliveries().is_empty());
+
+        // Both neighbors are now sources → nothing left to forward to.
+        let mut tick = Actions::new();
+        node.handle_tick(SimTime::new(2), &mut tick);
+        assert!(tick.sends().is_empty());
+    }
+
+    #[test]
+    fn acks_suppress_forwarding() {
+        let mut node = ReferenceGossip::new(p(0), vec![p(1), p(2)], 5);
+        let mut actions = Actions::new();
+        let id = node
+            .broadcast(SimTime::ZERO, Payload::from("x"), &mut actions)
+            .unwrap();
+        node.handle_message(SimTime::new(1), p(1), Message::Ack { id }, &mut actions);
+
+        let mut tick = Actions::new();
+        node.handle_tick(SimTime::new(1), &mut tick);
+        let targets: Vec<ProcessId> = tick.sends().iter().map(|(to, _)| *to).collect();
+        assert_eq!(targets, vec![p(2)]); // p1 suppressed by its ack
+    }
+
+    #[test]
+    fn received_ttl_bounds_forwarding() {
+        // A copy arriving with ttl = 0 is delivered but never forwarded:
+        // the global step budget is exhausted.
+        let mut node = ReferenceGossip::new(p(1), vec![p(0), p(2)], 9);
+        let id = BroadcastId {
+            origin: p(0),
+            seq: 0,
+        };
+        let mut a = Actions::new();
+        node.handle_message(SimTime::new(1), p(0), data_with_ttl(id, 0), &mut a);
+        assert_eq!(node.delivered().len(), 1);
+        let mut tick = Actions::new();
+        node.handle_tick(SimTime::new(2), &mut tick);
+        assert!(tick.sends().is_empty());
+    }
+
+    #[test]
+    fn late_duplicates_after_completion_do_not_restart() {
+        let mut node = ReferenceGossip::new(p(1), vec![p(0)], 1);
+        let id = BroadcastId {
+            origin: p(0),
+            seq: 0,
+        };
+        let mut a = Actions::new();
+        node.handle_message(SimTime::new(1), p(0), data_with_ttl(id, 1), &mut a);
+        node.handle_tick(SimTime::new(2), &mut a); // consumes the only step
+        node.handle_tick(SimTime::new(3), &mut a); // cleans up state
+
+        let mut late = Actions::new();
+        node.handle_message(SimTime::new(4), p(0), data(id), &mut late);
+        // Acked, but not redelivered and not reactivated.
+        assert_eq!(late.sends().len(), 1);
+        assert!(late.deliveries().is_empty());
+        let mut tick = Actions::new();
+        node.handle_tick(SimTime::new(5), &mut tick);
+        assert!(tick.sends().is_empty());
+    }
+
+    #[test]
+    fn ack_for_unknown_broadcast_is_ignored() {
+        let mut node = ReferenceGossip::new(p(0), vec![p(1)], 2);
+        let mut actions = Actions::new();
+        node.handle_message(
+            SimTime::new(1),
+            p(1),
+            Message::Ack {
+                id: BroadcastId {
+                    origin: p(9),
+                    seq: 3,
+                },
+            },
+            &mut actions,
+        );
+        assert!(actions.is_empty());
+    }
+}

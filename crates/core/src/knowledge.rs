@@ -1,0 +1,211 @@
+//! Knowledge about the system: exact or approximated `(G, C)`.
+
+use std::sync::Arc;
+
+use diffuse_bayes::Estimate;
+use diffuse_graph::maximum_reliability_tree;
+use diffuse_model::{Configuration, LinkId, ProcessId, Topology};
+
+use crate::{optimize, CoreError, MessagePlan, ReliabilityTree};
+
+/// A process's knowledge of the system: a topology `G` plus a failure
+/// configuration `C`.
+///
+/// The optimal algorithm is handed an exact `NetworkKnowledge` up front;
+/// the adaptive algorithm *approximates* one continuously and snapshots it
+/// before each broadcast. Either way, broadcasting is the same two steps
+/// (Algorithm 1): build the MRT rooted at the sender, then run
+/// `optimize()` on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkKnowledge {
+    topology: Topology,
+    config: Configuration,
+}
+
+impl NetworkKnowledge {
+    /// Wraps an exact topology and configuration (the optimal algorithm's
+    /// full-knowledge assumption).
+    pub fn exact(topology: Topology, config: Configuration) -> Self {
+        NetworkKnowledge { topology, config }
+    }
+
+    /// The known topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The known failure configuration.
+    pub fn config(&self) -> &Configuration {
+        &self.config
+    }
+
+    /// Builds the maximum reliability tree rooted at `root` and labels it
+    /// with λ values.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::KnowledgeIncomplete`] if the known topology does not
+    ///   span all known processes (or does not contain `root`);
+    /// * any labelling error from [`ReliabilityTree::from_spanning_tree`].
+    pub fn reliability_tree(&self, root: ProcessId) -> Result<ReliabilityTree, CoreError> {
+        let tree = maximum_reliability_tree(&self.topology, &self.config, root)
+            .map_err(|_| CoreError::KnowledgeIncomplete)?;
+        ReliabilityTree::from_spanning_tree(&tree, &self.config)
+    }
+
+    /// Builds the full broadcast plan for a sender: the MRT plus the
+    /// per-link message counts reaching everyone with probability `k`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetworkKnowledge::reliability_tree`] and
+    /// [`optimize`] errors.
+    pub fn broadcast_plan(
+        &self,
+        root: ProcessId,
+        k: f64,
+    ) -> Result<(ReliabilityTree, MessagePlan), CoreError> {
+        let tree = self.reliability_tree(root)?;
+        let plan = optimize(&tree, k)?;
+        Ok((tree, plan))
+    }
+}
+
+/// A gossiped snapshot of one process's `(Λ_k, C_k)` view, carried inside
+/// heartbeats.
+///
+/// Estimates are stored as *sorted vectors* so receivers can merge-join
+/// them against their own ordered maps in linear time, and the belief
+/// vectors inside are copy-on-write, so building and adopting views is
+/// cheap. The topology is behind an [`Arc`] with a version counter:
+/// receivers skip re-merging a topology they have already merged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct View {
+    /// Incremented by the sender whenever its `Λ_k` changes.
+    pub topology_version: u64,
+    /// The sender's known topology.
+    pub topology: Arc<Topology>,
+    /// Process estimates, sorted by process id.
+    pub processes: Vec<(ProcessId, Estimate)>,
+    /// Link estimates, sorted by link id.
+    pub links: Vec<(LinkId, Estimate)>,
+}
+
+impl View {
+    /// Looks up the estimate for a process (binary search).
+    pub fn process_estimate(&self, p: ProcessId) -> Option<&Estimate> {
+        self.processes
+            .binary_search_by_key(&p, |(id, _)| *id)
+            .ok()
+            .map(|i| &self.processes[i].1)
+    }
+
+    /// Looks up the estimate for a link (binary search).
+    pub fn link_estimate(&self, l: LinkId) -> Option<&Estimate> {
+        self.links
+            .binary_search_by_key(&l, |(id, _)| *id)
+            .ok()
+            .map(|i| &self.links[i].1)
+    }
+
+    /// Approximate encoded size in bytes, for bandwidth accounting: the
+    /// paper reports 50 KB heartbeats for 100 processes with `U = 100`.
+    pub fn wire_size(&self) -> usize {
+        let estimate_size = |e: &Estimate| e.beliefs.intervals() * 8 + 8;
+        8 + self.topology.link_count() * 8
+            + self
+                .processes
+                .iter()
+                .map(|(_, e)| 4 + estimate_size(e))
+                .sum::<usize>()
+            + self
+                .links
+                .iter()
+                .map(|(_, e)| 8 + estimate_size(e))
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffuse_bayes::Distortion;
+    use diffuse_model::Probability;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn diamond_knowledge() -> NetworkKnowledge {
+        // 0-1, 0-2, 1-3, 2-3 with one bad path.
+        let mut g = Topology::new();
+        g.add_link(p(0), p(1)).unwrap();
+        g.add_link(p(0), p(2)).unwrap();
+        g.add_link(p(1), p(3)).unwrap();
+        g.add_link(p(2), p(3)).unwrap();
+        let mut c = Configuration::uniform(&g, Probability::ZERO, Probability::new(0.05).unwrap());
+        c.set_loss(
+            LinkId::new(p(2), p(3)).unwrap(),
+            Probability::new(0.6).unwrap(),
+        );
+        NetworkKnowledge::exact(g, c)
+    }
+
+    #[test]
+    fn reliability_tree_prefers_good_paths() {
+        let k = diamond_knowledge();
+        let tree = k.reliability_tree(p(0)).unwrap();
+        assert_eq!(tree.root(), p(0));
+        // p3 must be reached through p1, not the 60%-loss link from p2.
+        assert_eq!(tree.tree().parent(p(3)), Some(p(1)));
+    }
+
+    #[test]
+    fn broadcast_plan_meets_target() {
+        let k = diamond_knowledge();
+        let (tree, plan) = k.broadcast_plan(p(0), 0.999).unwrap();
+        assert_eq!(tree.link_count(), 3);
+        assert!(plan.reach() >= 0.999);
+        assert!(plan.total_messages() >= 3);
+    }
+
+    #[test]
+    fn disconnected_knowledge_is_incomplete() {
+        let mut g = Topology::new();
+        g.add_link(p(0), p(1)).unwrap();
+        g.add_process(p(2));
+        let k = NetworkKnowledge::exact(g, Configuration::new());
+        assert!(matches!(
+            k.reliability_tree(p(0)),
+            Err(CoreError::KnowledgeIncomplete)
+        ));
+        assert!(matches!(
+            k.broadcast_plan(p(9), 0.9),
+            Err(CoreError::KnowledgeIncomplete)
+        ));
+    }
+
+    #[test]
+    fn view_lookup_and_size() {
+        let mut topo = Topology::new();
+        topo.add_link(p(0), p(1)).unwrap();
+        let link = LinkId::new(p(0), p(1)).unwrap();
+        let view = View {
+            topology_version: 1,
+            topology: Arc::new(topo),
+            processes: vec![
+                (p(0), Estimate::first_hand(10)),
+                (p(1), Estimate::unknown(10)),
+            ],
+            links: vec![(link, Estimate::first_hand(10))],
+        };
+        assert_eq!(
+            view.process_estimate(p(0)).unwrap().distortion,
+            Distortion::ZERO
+        );
+        assert!(view.process_estimate(p(9)).is_none());
+        assert!(view.link_estimate(link).is_some());
+        assert!(view.link_estimate(LinkId::new(p(1), p(2)).unwrap()).is_none());
+        assert!(view.wire_size() > 3 * 80);
+    }
+}

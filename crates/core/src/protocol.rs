@@ -1,0 +1,398 @@
+//! The sans-io protocol interface shared by all broadcast algorithms.
+//!
+//! Protocols are pure state machines: they consume events (messages,
+//! ticks, recoveries, broadcast requests) and emit [`Actions`] — sends and
+//! local deliveries — without touching any transport. The same protocol
+//! instance therefore runs unchanged on the deterministic simulator (via
+//! [`ProtocolActor`]) and on real sockets (via `diffuse-net`'s runtime).
+
+use core::fmt;
+use std::sync::Arc;
+
+use diffuse_model::ProcessId;
+use diffuse_sim::{Actor, Context, SimMessage, SimTime};
+
+use crate::knowledge::View;
+use crate::tree::SharedWireTree;
+
+/// An immutable, cheaply clonable application payload.
+///
+/// # Example
+///
+/// ```
+/// use diffuse_core::Payload;
+///
+/// let p = Payload::from("hello");
+/// assert_eq!(p.as_bytes(), b"hello");
+/// assert_eq!(p.len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// Creates an empty payload.
+    pub fn empty() -> Self {
+        Payload::default()
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` for a zero-length payload.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<&str> for Payload {
+    fn from(s: &str) -> Self {
+        Payload(Arc::from(s.as_bytes()))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(b: &[u8]) -> Self {
+        Payload(Arc::from(b))
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+/// Globally unique identity of one broadcast: the originating process and
+/// its local sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BroadcastId {
+    /// The process that called `broadcast`.
+    pub origin: ProcessId,
+    /// Origin-local sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Display for BroadcastId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+/// A data message of the tree-based (optimal/adaptive) algorithms:
+/// the payload plus the maximum reliability tree it must follow
+/// (Algorithm 1 sends `(m, mrt_j)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataMessage {
+    /// Broadcast identity, for duplicate suppression.
+    pub id: BroadcastId,
+    /// Application payload.
+    pub payload: Payload,
+    /// The tree to forward along, with the sender's λ labels.
+    pub tree: SharedWireTree,
+}
+
+/// A data message of the reference gossip algorithm (no tree attached).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipMessage {
+    /// Broadcast identity.
+    pub id: BroadcastId,
+    /// Application payload.
+    pub payload: Payload,
+    /// Remaining forwarding steps: the paper's execution runs for a fixed
+    /// global number of steps, so each copy carries how many are left.
+    pub ttl: u32,
+}
+
+/// A heartbeat of the adaptive protocol's approximation activity:
+/// the sender's sequence number and its `(Λ, C)` view (Algorithm 4,
+/// line 17). The view is shared — one snapshot per period serves every
+/// neighbor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeartbeatMessage {
+    /// Sender's heartbeat sequence number (`C_j[p_j].seq`).
+    pub seq: u64,
+    /// Sender's topology and reliability view.
+    pub view: Arc<View>,
+}
+
+/// Every message exchanged by the protocols in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Tree-routed data (optimal and adaptive algorithms).
+    Data(DataMessage),
+    /// Flooded data (reference gossip algorithm).
+    Gossip(GossipMessage),
+    /// Receipt acknowledgement (reference gossip optimization, §5).
+    Ack {
+        /// The acknowledged broadcast.
+        id: BroadcastId,
+    },
+    /// Approximation-activity heartbeat (adaptive algorithm).
+    Heartbeat(HeartbeatMessage),
+}
+
+impl SimMessage for Message {
+    fn kind(&self) -> &'static str {
+        match self {
+            Message::Data(_) | Message::Gossip(_) => "data",
+            Message::Ack { .. } => "ack",
+            Message::Heartbeat(_) => "heartbeat",
+        }
+    }
+}
+
+/// The outputs of one protocol step.
+#[derive(Debug, Clone, Default)]
+pub struct Actions {
+    sends: Vec<(ProcessId, Message)>,
+    deliveries: Vec<(BroadcastId, Payload)>,
+}
+
+impl Actions {
+    /// Creates an empty action set.
+    pub fn new() -> Self {
+        Actions::default()
+    }
+
+    /// Queues a message for a neighbor.
+    pub fn send(&mut self, to: ProcessId, message: Message) {
+        self.sends.push((to, message));
+    }
+
+    /// Reports a local delivery of a broadcast payload.
+    pub fn deliver(&mut self, id: BroadcastId, payload: Payload) {
+        self.deliveries.push((id, payload));
+    }
+
+    /// Queued sends.
+    pub fn sends(&self) -> &[(ProcessId, Message)] {
+        &self.sends
+    }
+
+    /// Queued deliveries.
+    pub fn deliveries(&self) -> &[(BroadcastId, Payload)] {
+        &self.deliveries
+    }
+
+    /// Returns `true` when nothing was produced.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.deliveries.is_empty()
+    }
+
+    /// Removes and returns all queued sends.
+    pub fn take_sends(&mut self) -> Vec<(ProcessId, Message)> {
+        std::mem::take(&mut self.sends)
+    }
+
+    /// Removes and returns all queued deliveries.
+    pub fn take_deliveries(&mut self) -> Vec<(BroadcastId, Payload)> {
+        std::mem::take(&mut self.deliveries)
+    }
+
+    /// Clears everything.
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.deliveries.clear();
+    }
+}
+
+/// A broadcast protocol as a pure state machine.
+///
+/// Time is carried as [`SimTime`] ticks; on a real deployment the runtime
+/// supplies a monotonic tick counter. All outputs go through [`Actions`].
+pub trait Protocol {
+    /// This process's identity.
+    fn id(&self) -> ProcessId;
+
+    /// Handles a message from a neighbor.
+    fn handle_message(
+        &mut self,
+        now: SimTime,
+        from: ProcessId,
+        message: Message,
+        actions: &mut Actions,
+    );
+
+    /// Handles one clock tick.
+    fn handle_tick(&mut self, now: SimTime, actions: &mut Actions) {
+        let _ = (now, actions);
+    }
+
+    /// Handles recovery from a crash that lasted `down_ticks` ticks.
+    fn handle_recovery(&mut self, now: SimTime, down_ticks: u64, actions: &mut Actions) {
+        let _ = (now, down_ticks, actions);
+    }
+
+    /// Initiates a broadcast of `payload`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`CoreError`](crate::CoreError) when a
+    /// broadcast cannot be initiated (e.g. the local topology view does
+    /// not yet span the system).
+    fn broadcast(
+        &mut self,
+        now: SimTime,
+        payload: Payload,
+        actions: &mut Actions,
+    ) -> Result<BroadcastId, crate::CoreError>;
+
+    /// Broadcast payloads delivered so far, in delivery order.
+    fn delivered(&self) -> &[(BroadcastId, Payload)];
+}
+
+/// Adapter running any [`Protocol`] inside the deterministic simulator.
+///
+/// Deliveries are accumulated on the protocol itself (see
+/// [`Protocol::delivered`]); sends are forwarded to the simulated
+/// network.
+#[derive(Debug)]
+pub struct ProtocolActor<P> {
+    protocol: P,
+    actions: Actions,
+}
+
+impl<P: Protocol> ProtocolActor<P> {
+    /// Wraps a protocol for simulation.
+    pub fn new(protocol: P) -> Self {
+        ProtocolActor {
+            protocol,
+            actions: Actions::new(),
+        }
+    }
+
+    /// The wrapped protocol.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Mutable access to the wrapped protocol (e.g. to trigger a
+    /// broadcast from a simulation command).
+    pub fn protocol_mut(&mut self) -> &mut P {
+        &mut self.protocol
+    }
+
+    /// Runs a broadcast through the protocol and flushes the resulting
+    /// sends into the simulation context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the protocol's broadcast error.
+    pub fn broadcast_now(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        payload: Payload,
+    ) -> Result<BroadcastId, crate::CoreError> {
+        let id = self
+            .protocol
+            .broadcast(ctx.now(), payload, &mut self.actions)?;
+        self.flush(ctx);
+        Ok(id)
+    }
+
+    fn flush(&mut self, ctx: &mut Context<'_, Message>) {
+        for (to, message) in self.actions.take_sends() {
+            ctx.send(to, message);
+        }
+        // Deliveries stay recorded inside the protocol; nothing to do.
+        self.actions.take_deliveries();
+    }
+}
+
+impl<P: Protocol> Actor for ProtocolActor<P> {
+    type Message = Message;
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        from: ProcessId,
+        message: Message,
+    ) {
+        self.protocol
+            .handle_message(ctx.now(), from, message, &mut self.actions);
+        self.flush(ctx);
+    }
+
+    fn on_tick(&mut self, ctx: &mut Context<'_, Message>) {
+        self.protocol.handle_tick(ctx.now(), &mut self.actions);
+        self.flush(ctx);
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, Message>, down_ticks: u64) {
+        self.protocol
+            .handle_recovery(ctx.now(), down_ticks, &mut self.actions);
+        self.flush(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_conversions() {
+        let a = Payload::from("abc");
+        let b = Payload::from(&b"abc"[..]);
+        let c = Payload::from(vec![b'a', b'b', b'c']);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Payload::empty().is_empty());
+    }
+
+    #[test]
+    fn broadcast_id_display() {
+        let id = BroadcastId {
+            origin: ProcessId::new(3),
+            seq: 7,
+        };
+        assert_eq!(id.to_string(), "p3#7");
+    }
+
+    #[test]
+    fn message_kinds_label_metrics() {
+        let id = BroadcastId {
+            origin: ProcessId::new(0),
+            seq: 0,
+        };
+        let gossip = Message::Gossip(GossipMessage {
+            id,
+            payload: Payload::empty(),
+            ttl: 3,
+        });
+        assert_eq!(gossip.kind(), "data");
+        assert_eq!(Message::Ack { id }.kind(), "ack");
+    }
+
+    #[test]
+    fn actions_accumulate_and_drain() {
+        let mut a = Actions::new();
+        assert!(a.is_empty());
+        let id = BroadcastId {
+            origin: ProcessId::new(0),
+            seq: 1,
+        };
+        a.send(
+            ProcessId::new(1),
+            Message::Ack { id },
+        );
+        a.deliver(id, Payload::from("x"));
+        assert_eq!(a.sends().len(), 1);
+        assert_eq!(a.deliveries().len(), 1);
+        assert!(!a.is_empty());
+
+        let sends = a.take_sends();
+        assert_eq!(sends.len(), 1);
+        assert!(a.sends().is_empty());
+        a.clear();
+        assert!(a.is_empty());
+    }
+}

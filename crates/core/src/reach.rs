@@ -1,0 +1,221 @@
+//! The `reach` function (Eq. 1 and Eq. 2 of the paper).
+
+use diffuse_model::ProcessId;
+
+use crate::ReliabilityTree;
+
+/// Per-link message counts `m⃗`, indexed by tree link index.
+///
+/// `m⃗[j]` is the number of copies of the broadcast message that cross the
+/// tree link leading to process `p_j`. The paper's optimization starts
+/// from the all-ones vector and increments entries greedily.
+///
+/// # Example
+///
+/// ```
+/// use diffuse_core::MessageVector;
+///
+/// let mut m = MessageVector::ones(3);
+/// m.increment(1);
+/// assert_eq!(m.counts(), &[1, 2, 1]);
+/// assert_eq!(m.total(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageVector(Vec<u32>);
+
+impl MessageVector {
+    /// The paper's initial minimal solution `(1, 1, …, 1)`.
+    pub fn ones(links: usize) -> Self {
+        MessageVector(vec![1; links])
+    }
+
+    /// Builds a vector from explicit counts.
+    pub fn from_counts(counts: Vec<u32>) -> Self {
+        MessageVector(counts)
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` for the empty vector (singleton tree).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Count for link index `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn get(&self, j: usize) -> u32 {
+        self.0[j]
+    }
+
+    /// All counts, by link index.
+    pub fn counts(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Adds one message to link index `j` (the greedy step `m⃗ + u⃗_j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn increment(&mut self, j: usize) {
+        self.0[j] += 1;
+    }
+
+    /// Total messages `c(m⃗) = Σ_j m⃗[j]` — the paper's cost function.
+    pub fn total(&self) -> u64 {
+        self.0.iter().map(|&m| m as u64).sum()
+    }
+}
+
+/// Probability that at least one of `m` transmissions with per-copy
+/// failure probability `lambda` gets through: `1 - λ^m`.
+pub fn link_success(lambda: f64, m: u32) -> f64 {
+    1.0 - lambda.powi(m as i32)
+}
+
+/// The `reach` function in its iterative form (Eq. 2):
+/// `reach(T, m⃗) = Π_j (1 - λ_j^{m⃗[j]})`.
+///
+/// # Panics
+///
+/// Panics if `m.len() != tree.link_count()`.
+pub fn reach(tree: &ReliabilityTree, m: &MessageVector) -> f64 {
+    assert_eq!(
+        m.len(),
+        tree.link_count(),
+        "message vector must cover every tree link"
+    );
+    tree.lambdas()
+        .iter()
+        .zip(m.counts())
+        .map(|(&lambda, &mj)| link_success(lambda, mj))
+        .product()
+}
+
+/// The `reach` function in its recursive form (Eq. 1), computed by
+/// walking the subtree rooted at `root`.
+///
+/// For the whole tree call it with `tree.root()`; the paper's
+/// `reach(T_i, m⃗_i)` for a subtree corresponds to passing that subtree's
+/// root. Leaves yield 1 (`reach(⊥, 0⃗) = 1`).
+///
+/// Exists alongside [`reach`] to mirror the paper faithfully and to
+/// cross-check the two forms in tests; both always agree.
+///
+/// # Panics
+///
+/// Panics if `m.len() != tree.link_count()` or `root` is not in the tree.
+pub fn reach_recursive(tree: &ReliabilityTree, m: &MessageVector, root: ProcessId) -> f64 {
+    assert_eq!(
+        m.len(),
+        tree.link_count(),
+        "message vector must cover every tree link"
+    );
+    assert!(
+        tree.tree().contains(root),
+        "reach_recursive root must be in the tree"
+    );
+    let mut product = 1.0;
+    // Π over direct subtrees T_j ∈ S_root.
+    for &child in tree.children(root) {
+        let j = tree
+            .index_of(child)
+            .expect("children always have a link index");
+        product *= link_success(tree.lambda(j), m.get(j)) * reach_recursive(tree, m, child);
+    }
+    product
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::{chain_tree, star_tree, tree_with_lambdas};
+
+    #[test]
+    fn message_vector_basics() {
+        let m = MessageVector::ones(0);
+        assert!(m.is_empty());
+        assert_eq!(m.total(), 0);
+
+        let mut m = MessageVector::from_counts(vec![2, 1, 3]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(2), 3);
+        m.increment(0);
+        assert_eq!(m.counts(), &[3, 1, 3]);
+        assert_eq!(m.total(), 7);
+    }
+
+    #[test]
+    fn link_success_formula() {
+        assert_eq!(link_success(0.0, 1), 1.0);
+        assert_eq!(link_success(1.0, 5), 0.0);
+        assert!((link_success(0.5, 3) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reach_on_single_link() {
+        let tree = chain_tree(&[0.2]);
+        let m = MessageVector::ones(1);
+        assert!((reach(&tree, &m) - 0.8).abs() < 1e-12);
+        let m = MessageVector::from_counts(vec![2]);
+        assert!((reach(&tree, &m) - 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reach_multiplies_across_links() {
+        // Chain of three links with distinct λ.
+        let tree = chain_tree(&[0.1, 0.2, 0.3]);
+        let m = MessageVector::ones(3);
+        assert!((reach(&tree, &m) - 0.9 * 0.8 * 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recursive_equals_iterative_on_chain_and_star() {
+        for tree in [chain_tree(&[0.1, 0.2, 0.3]), star_tree(&[0.05, 0.5, 0.9])] {
+            let m = MessageVector::from_counts(vec![1, 2, 3]);
+            let a = reach(&tree, &m);
+            let b = reach_recursive(&tree, &m, tree.root());
+            assert!((a - b).abs() < 1e-12, "iterative {a} recursive {b}");
+        }
+    }
+
+    #[test]
+    fn reach_of_perfect_tree_is_one() {
+        let tree = star_tree(&[0.0, 0.0]);
+        let m = MessageVector::ones(2);
+        assert_eq!(reach(&tree, &m), 1.0);
+    }
+
+    #[test]
+    fn reach_with_dead_link_is_zero() {
+        let tree = chain_tree(&[0.0, 1.0]);
+        let m = MessageVector::from_counts(vec![1, 100]);
+        assert_eq!(reach(&tree, &m), 0.0);
+    }
+
+    #[test]
+    fn reach_is_monotone_in_message_counts() {
+        let tree = tree_with_lambdas();
+        let mut m = MessageVector::ones(tree.link_count());
+        let mut last = reach(&tree, &m);
+        for j in 0..tree.link_count() {
+            m.increment(j);
+            let next = reach(&tree, &m);
+            assert!(next >= last, "adding a message must not reduce reach");
+            last = next;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "message vector")]
+    fn reach_rejects_wrong_vector_length() {
+        let tree = chain_tree(&[0.1, 0.2]);
+        let _ = reach(&tree, &MessageVector::ones(1));
+    }
+}

@@ -1,0 +1,390 @@
+//! Reliability-labelled trees and their wire representation.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use diffuse_graph::SpanningTree;
+use diffuse_model::{Configuration, ProcessId};
+
+use crate::CoreError;
+
+/// A spanning tree labelled for the optimization problem of Section 3.2.
+///
+/// Every non-root process `p_i` is assigned a dense *link index*
+/// (breadth-first order) addressing the tree link `l_i` that leads to it,
+/// and every link carries its single-transmission failure probability
+/// `λ_i = 1 - (1 - P_{pred(i)})(1 - L_i)(1 - P_i)` (Eq. 1).
+///
+/// The λ labels are *baked in* at construction: Algorithm 1 ships the tree
+/// together with data messages, and every receiver must re-derive exactly
+/// the same per-link message counts, so all of them must work from the
+/// sender's reliability view rather than their own.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityTree {
+    tree: SpanningTree,
+    /// `index_of[p]` is the link index of the link leading to `p`.
+    index_of: BTreeMap<ProcessId, usize>,
+    /// `process_at[i]` is the process reached through link index `i`.
+    process_at: Vec<ProcessId>,
+    /// `lambda[i]` is λ of link index `i`.
+    lambda: Vec<f64>,
+}
+
+impl ReliabilityTree {
+    /// Labels `tree` with λ values computed from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; the `Result` reserves room for future
+    /// validation and keeps call sites uniform with
+    /// [`ReliabilityTree::from_wire`].
+    pub fn from_spanning_tree(
+        tree: &SpanningTree,
+        config: &Configuration,
+    ) -> Result<Self, CoreError> {
+        let mut index_of = BTreeMap::new();
+        let mut process_at = Vec::with_capacity(tree.link_count());
+        let mut lambda = Vec::with_capacity(tree.link_count());
+        for (parent, child) in tree.edges() {
+            index_of.insert(child, process_at.len());
+            process_at.push(child);
+            lambda.push(config.lambda(parent, child).value());
+        }
+        Ok(ReliabilityTree {
+            tree: tree.clone(),
+            index_of,
+            process_at,
+            lambda,
+        })
+    }
+
+    /// Reconstructs a labelled tree from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedWireTree`] if the wire data is
+    /// inconsistent (see [`WireTree`] invariants).
+    pub fn from_wire(wire: &WireTree) -> Result<Self, CoreError> {
+        wire.validate()?;
+        let mut parents = BTreeMap::new();
+        for (i, &p) in wire.nodes.iter().enumerate().skip(1) {
+            let parent = wire.nodes[wire.parent[i - 1] as usize];
+            parents.insert(p, parent);
+        }
+        let tree = SpanningTree::from_parents(wire.root, parents)
+            .map_err(|_| CoreError::MalformedWireTree("parent indices do not form a tree"))?;
+
+        // Re-index in the *tree's* BFS order; λ values come from the wire.
+        let wire_index: BTreeMap<ProcessId, usize> = wire
+            .nodes
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &p)| (p, i - 1))
+            .collect();
+        let mut index_of = BTreeMap::new();
+        let mut process_at = Vec::with_capacity(tree.link_count());
+        let mut lambda = Vec::with_capacity(tree.link_count());
+        for (_, child) in tree.edges() {
+            index_of.insert(child, process_at.len());
+            process_at.push(child);
+            lambda.push(wire.lambda[wire_index[&child]]);
+        }
+        Ok(ReliabilityTree {
+            tree,
+            index_of,
+            process_at,
+            lambda,
+        })
+    }
+
+    /// The underlying rooted tree.
+    pub fn tree(&self) -> &SpanningTree {
+        &self.tree
+    }
+
+    /// The root (broadcasting) process.
+    pub fn root(&self) -> ProcessId {
+        self.tree.root()
+    }
+
+    /// Number of tree links (`|Π| - 1`).
+    pub fn link_count(&self) -> usize {
+        self.lambda.len()
+    }
+
+    /// λ of the link with index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn lambda(&self, i: usize) -> f64 {
+        self.lambda[i]
+    }
+
+    /// All λ values, indexed by link index.
+    pub fn lambdas(&self) -> &[f64] {
+        &self.lambda
+    }
+
+    /// Link index of the link leading to `p`; `None` for the root or
+    /// unknown processes.
+    pub fn index_of(&self, p: ProcessId) -> Option<usize> {
+        self.index_of.get(&p).copied()
+    }
+
+    /// The process reached through link index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn process_at(&self, i: usize) -> ProcessId {
+        self.process_at[i]
+    }
+
+    /// Children of `p` in the tree (its direct subtrees `S_p`).
+    pub fn children(&self, p: ProcessId) -> &[ProcessId] {
+        self.tree.children(p)
+    }
+
+    /// Serializes into the wire form shipped with data messages.
+    pub fn to_wire(&self) -> WireTree {
+        let mut nodes = Vec::with_capacity(self.tree.process_count());
+        nodes.push(self.root());
+        let mut node_index: BTreeMap<ProcessId, u32> = BTreeMap::new();
+        node_index.insert(self.root(), 0);
+        let mut parent = Vec::with_capacity(self.link_count());
+        let mut lambda = Vec::with_capacity(self.link_count());
+        for (par, child) in self.tree.edges() {
+            parent.push(node_index[&par]);
+            node_index.insert(child, nodes.len() as u32);
+            nodes.push(child);
+            lambda.push(self.lambda[self.index_of[&child]]);
+        }
+        WireTree {
+            root: self.root(),
+            nodes,
+            parent,
+            lambda,
+        }
+    }
+}
+
+/// The serializable tree representation attached to data messages.
+///
+/// Algorithm 1 sends `(m, mrt_j)` — the message together with the tree it
+/// must follow. `WireTree` is that `mrt_j`: a compact, position-indexed
+/// encoding with the sender's λ per link, so every receiver re-derives
+/// the same [`MessagePlan`](crate::MessagePlan) deterministically.
+///
+/// Invariants (checked by [`ReliabilityTree::from_wire`]):
+///
+/// * `nodes` is non-empty and duplicate-free, `nodes[0]` is `root`;
+/// * `parent.len() == lambda.len() == nodes.len() - 1`;
+/// * `parent[i] < i + 1` (parents precede children — BFS order);
+/// * every λ is a finite value in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTree {
+    pub(crate) root: ProcessId,
+    pub(crate) nodes: Vec<ProcessId>,
+    pub(crate) parent: Vec<u32>,
+    pub(crate) lambda: Vec<f64>,
+}
+
+impl WireTree {
+    /// The tree's root process.
+    pub fn root(&self) -> ProcessId {
+        self.root
+    }
+
+    /// Number of processes in the tree.
+    pub fn process_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` iff `p` appears in the tree.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.nodes.contains(&p)
+    }
+
+    /// Raw field access for codecs: `(root, nodes, parent, lambda)`.
+    pub fn parts(&self) -> (ProcessId, &[ProcessId], &[u32], &[f64]) {
+        (self.root, &self.nodes, &self.parent, &self.lambda)
+    }
+
+    /// Rebuilds a wire tree from raw parts (the codec's inverse of
+    /// [`WireTree::parts`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedWireTree`] on inconsistent input.
+    pub fn from_parts(
+        root: ProcessId,
+        nodes: Vec<ProcessId>,
+        parent: Vec<u32>,
+        lambda: Vec<f64>,
+    ) -> Result<Self, CoreError> {
+        let wire = WireTree {
+            root,
+            nodes,
+            parent,
+            lambda,
+        };
+        wire.validate()?;
+        Ok(wire)
+    }
+
+    /// Approximate encoded size in bytes (for bandwidth accounting).
+    pub fn wire_size(&self) -> usize {
+        4 + self.nodes.len() * 4 + self.parent.len() * 4 + self.lambda.len() * 8
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), CoreError> {
+        if self.nodes.is_empty() {
+            return Err(CoreError::MalformedWireTree("empty node list"));
+        }
+        if self.nodes[0] != self.root {
+            return Err(CoreError::MalformedWireTree("nodes[0] must be the root"));
+        }
+        if self.parent.len() != self.nodes.len() - 1 || self.lambda.len() != self.parent.len() {
+            return Err(CoreError::MalformedWireTree("length mismatch"));
+        }
+        for (i, &par) in self.parent.iter().enumerate() {
+            if par as usize > i {
+                return Err(CoreError::MalformedWireTree(
+                    "parent index must precede child (BFS order)",
+                ));
+            }
+        }
+        let mut sorted = self.nodes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != self.nodes.len() {
+            return Err(CoreError::MalformedWireTree("duplicate process in tree"));
+        }
+        if self
+            .lambda
+            .iter()
+            .any(|l| !l.is_finite() || !(0.0..=1.0).contains(l))
+        {
+            return Err(CoreError::MalformedWireTree("lambda out of range"));
+        }
+        Ok(())
+    }
+}
+
+/// A shared, immutable wire tree as carried inside data messages.
+pub type SharedWireTree = Arc<WireTree>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffuse_model::{Probability, Topology};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn sample_tree() -> (SpanningTree, Configuration) {
+        // 0 → {1, 2}; 1 → {3}.
+        let parents: BTreeMap<ProcessId, ProcessId> =
+            [(p(1), p(0)), (p(2), p(0)), (p(3), p(1))].into_iter().collect();
+        let tree = SpanningTree::from_parents(p(0), parents).unwrap();
+        let mut topo = Topology::new();
+        for (a, b) in tree.edges() {
+            topo.add_link(a, b).unwrap();
+        }
+        let mut config = Configuration::uniform(
+            &topo,
+            Probability::new(0.1).unwrap(),
+            Probability::new(0.2).unwrap(),
+        );
+        config.set_crash(p(3), Probability::new(0.5).unwrap());
+        (tree, config)
+    }
+
+    #[test]
+    fn labels_follow_bfs_order() {
+        let (tree, config) = sample_tree();
+        let rt = ReliabilityTree::from_spanning_tree(&tree, &config).unwrap();
+        assert_eq!(rt.link_count(), 3);
+        assert_eq!(rt.process_at(0), p(1));
+        assert_eq!(rt.process_at(1), p(2));
+        assert_eq!(rt.process_at(2), p(3));
+        assert_eq!(rt.index_of(p(3)), Some(2));
+        assert_eq!(rt.index_of(p(0)), None);
+        assert_eq!(rt.index_of(p(42)), None);
+    }
+
+    #[test]
+    fn lambda_matches_formula() {
+        let (tree, config) = sample_tree();
+        let rt = ReliabilityTree::from_spanning_tree(&tree, &config).unwrap();
+        // λ for link 0→1: 1 - 0.9 * 0.8 * 0.9.
+        assert!((rt.lambda(0) - (1.0 - 0.9 * 0.8 * 0.9)).abs() < 1e-12);
+        // λ for link 1→3: 1 - 0.9 * 0.8 * 0.5 (p3 crashes half the time).
+        assert!((rt.lambda(2) - (1.0 - 0.9 * 0.8 * 0.5)).abs() < 1e-12);
+        assert_eq!(rt.lambdas().len(), 3);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_everything() {
+        let (tree, config) = sample_tree();
+        let rt = ReliabilityTree::from_spanning_tree(&tree, &config).unwrap();
+        let wire = rt.to_wire();
+        assert_eq!(wire.root(), p(0));
+        assert_eq!(wire.process_count(), 4);
+        assert!(wire.contains(p(3)));
+        assert!(!wire.contains(p(9)));
+        assert!(wire.wire_size() > 0);
+
+        let back = ReliabilityTree::from_wire(&wire).unwrap();
+        assert_eq!(back.root(), rt.root());
+        assert_eq!(back.link_count(), rt.link_count());
+        for i in 0..rt.link_count() {
+            assert_eq!(back.process_at(i), rt.process_at(i));
+            assert!((back.lambda(i) - rt.lambda(i)).abs() < 1e-15);
+        }
+        assert_eq!(back.children(p(0)), rt.children(p(0)));
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        // Valid single-edge tree.
+        let ok = WireTree::from_parts(p(0), vec![p(0), p(1)], vec![0], vec![0.5]);
+        assert!(ok.is_ok());
+
+        // Root mismatch.
+        assert!(matches!(
+            WireTree::from_parts(p(1), vec![p(0), p(1)], vec![0], vec![0.5]),
+            Err(CoreError::MalformedWireTree(_))
+        ));
+        // Length mismatch.
+        assert!(WireTree::from_parts(p(0), vec![p(0), p(1)], vec![0], vec![]).is_err());
+        // Forward parent reference.
+        assert!(
+            WireTree::from_parts(p(0), vec![p(0), p(1), p(2)], vec![2, 0], vec![0.1, 0.1])
+                .is_err()
+        );
+        // Duplicate node.
+        assert!(
+            WireTree::from_parts(p(0), vec![p(0), p(1), p(1)], vec![0, 0], vec![0.1, 0.1])
+                .is_err()
+        );
+        // Lambda out of range.
+        assert!(WireTree::from_parts(p(0), vec![p(0), p(1)], vec![0], vec![1.5]).is_err());
+        // Empty.
+        assert!(WireTree::from_parts(p(0), vec![], vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn singleton_tree_round_trips() {
+        let tree = SpanningTree::from_parents(p(7), BTreeMap::new()).unwrap();
+        let rt = ReliabilityTree::from_spanning_tree(&tree, &Configuration::new()).unwrap();
+        assert_eq!(rt.link_count(), 0);
+        let wire = rt.to_wire();
+        let back = ReliabilityTree::from_wire(&wire).unwrap();
+        assert_eq!(back.root(), p(7));
+        assert_eq!(back.link_count(), 0);
+    }
+}

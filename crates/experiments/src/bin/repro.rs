@@ -1,0 +1,99 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment> [--quick] [--csv] [--runs N] [--graphs N] [--seed N]
+//!
+//! experiments: fig1 table1 fig4a fig4b fig5a fig5b fig6 hetero refine all
+//! ```
+
+use std::process::ExitCode;
+
+use diffuse_experiments::fig4::Panel;
+use diffuse_experiments::{fig1, fig4, fig5, fig6, hetero, refine, table1, Effort, Table};
+
+fn print_table(table: &Table, csv: bool) {
+    if csv {
+        println!("# {}", table.title());
+        print!("{}", table.to_csv());
+    } else {
+        println!("{}", table.to_aligned());
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <fig1|table1|fig4a|fig4b|fig5a|fig5b|fig6|hetero|refine|all> \
+         [--quick] [--csv] [--runs N] [--graphs N] [--seed N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(experiment) = args.first().cloned() else {
+        return usage();
+    };
+
+    let mut effort = if args.iter().any(|a| a == "--quick") {
+        Effort::quick()
+    } else {
+        Effort::standard()
+    };
+    let csv = args.iter().any(|a| a == "--csv");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let parse = |v: Option<&String>| v.and_then(|s| s.parse::<u64>().ok());
+        match a.as_str() {
+            "--runs" => {
+                if let Some(v) = parse(it.next()) {
+                    effort.gossip_runs = v as u32;
+                }
+            }
+            "--graphs" => {
+                if let Some(v) = parse(it.next()) {
+                    effort.graphs = v as u32;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = parse(it.next()) {
+                    effort.seed = v;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let tables: Vec<Table> = match experiment.as_str() {
+        "fig1" => vec![fig1::run()],
+        "table1" => vec![table1::run()],
+        "fig4a" => vec![fig4::run(Panel::CrashSweep, &effort)],
+        "fig4b" => vec![fig4::run(Panel::LossSweep, &effort)],
+        "fig5a" => vec![fig5::run(Panel::CrashSweep, &effort)],
+        "fig5b" => vec![fig5::run(Panel::LossSweep, &effort)],
+        "fig6" => vec![fig6::run(&effort)],
+        "hetero" => vec![hetero::run(&effort)],
+        "refine" => vec![refine::run()],
+        "all" => vec![
+            fig1::run(),
+            table1::run(),
+            fig4::run(Panel::CrashSweep, &effort),
+            fig4::run(Panel::LossSweep, &effort),
+            fig5::run(Panel::CrashSweep, &effort),
+            fig5::run(Panel::LossSweep, &effort),
+            fig6::run(&effort),
+            hetero::run(&effort),
+            refine::run(),
+        ],
+        _ => return usage(),
+    };
+
+    for table in &tables {
+        print_table(table, csv);
+        println!();
+    }
+    eprintln!("[repro] {} finished in {:.1?}", experiment, start.elapsed());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,83 @@
+//! Experiment effort presets.
+
+/// How much compute to spend on an experiment sweep.
+///
+/// `standard()` regenerates the paper's figures with enough Monte-Carlo
+/// runs to show the shapes clearly on a laptop; `quick()` subsamples the
+/// sweeps for smoke tests and CI. Field-level overrides compose on top of
+/// either preset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Effort {
+    /// Monte-Carlo runs per gossip calibration/measurement point.
+    pub gossip_runs: u32,
+    /// Random graphs per Figure-6 point.
+    pub graphs: u32,
+    /// Convergence-run tick cap.
+    pub max_ticks: u64,
+    /// Convergence tolerance (|estimate − truth|).
+    pub tolerance: f64,
+    /// Convergence predicate period, in ticks.
+    pub check_every: u64,
+    /// Network connectivities (neighbors per process) to sweep.
+    pub connectivities: Vec<u32>,
+    /// System sizes for the scalability experiment.
+    pub sizes: Vec<u32>,
+    /// Worker threads for independent sweep points.
+    pub threads: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Effort {
+    /// The full sweep (paper-shaped axes).
+    pub fn standard() -> Self {
+        Effort {
+            gossip_runs: 200,
+            graphs: 10,
+            max_ticks: 4000,
+            tolerance: 0.012,
+            check_every: 10,
+            connectivities: vec![2, 4, 6, 8, 10, 12, 14, 16, 18, 20],
+            sizes: vec![100, 120, 140, 160, 180, 200, 220, 240],
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2),
+            seed: 0xD1FF_0001,
+        }
+    }
+
+    /// A subsampled sweep for smoke tests.
+    pub fn quick() -> Self {
+        Effort {
+            gossip_runs: 40,
+            graphs: 3,
+            max_ticks: 2500,
+            tolerance: 0.02,
+            check_every: 10,
+            connectivities: vec![2, 8, 14, 20],
+            sizes: vec![100, 160, 220],
+            ..Effort::standard()
+        }
+    }
+}
+
+impl Default for Effort {
+    fn default() -> Self {
+        Effort::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_standard() {
+        let q = Effort::quick();
+        let s = Effort::standard();
+        assert!(q.gossip_runs < s.gossip_runs);
+        assert!(q.connectivities.len() < s.connectivities.len());
+        assert!(q.sizes.len() < s.sizes.len());
+        assert_eq!(Effort::default(), s);
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 1: adaptive versus traditional gossip on the two-path example.
+//!
+//! Pure closed form (`k1/k0 = ½·log_L α + 1`, Appendix A), cross-checked
+//! by a Monte-Carlo simulation of the two-path system.
+
+use diffuse_core::analysis;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::table::{fmt, Table};
+
+/// The loss probabilities of the paper's Figure 1 series.
+pub const FIG1_LOSSES: [f64; 3] = [1e-2, 1e-3, 1e-4];
+
+/// Regenerates Figure 1: the ratio `k1/k0` as a function of `α ∈ [1, 10]`
+/// for each loss probability series.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "Figure 1 — k1/k0 vs α (adaptive vs traditional gossip, two paths)",
+        &["alpha", "L=1e-2", "L=1e-3", "L=1e-4"],
+    );
+    for alpha10 in (10..=100).step_by(10) {
+        let alpha = alpha10 as f64 / 10.0;
+        let mut row = vec![fmt(alpha)];
+        for l in FIG1_LOSSES {
+            row.push(fmt(
+                analysis::message_ratio(alpha, l).expect("valid parameters"),
+            ));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Monte-Carlo cross-check of Appendix A's `1 - (√α · L)^{k0}` formula:
+/// simulates `runs` two-path transmissions alternating paths and compares
+/// the empirical delivery rate with the closed form.
+pub fn monte_carlo_check(k0: u32, l: f64, alpha: f64, runs: u32, seed: u64) -> (f64, f64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut delivered = 0u32;
+    for _ in 0..runs {
+        let mut got = false;
+        for i in 0..k0 {
+            // Typical gossip alternates paths; odd sends use the αL path.
+            let loss = if i % 2 == 0 { l } else { alpha * l };
+            if !rng.gen_bool(loss.clamp(0.0, 1.0)) {
+                got = true;
+                break;
+            }
+        }
+        if got {
+            delivered += 1;
+        }
+    }
+    let empirical = delivered as f64 / runs as f64;
+    let closed_form = analysis::typical_gossip_reach(k0, l, alpha).expect("valid parameters");
+    (empirical, closed_form)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_paper_axes() {
+        let t = run();
+        assert_eq!(t.row_count(), 10);
+        let text = t.to_aligned();
+        assert!(text.contains("L=1e-4"));
+        // α = 1 row: all ratios are 1.
+        assert!(t.to_csv().contains("1.00,1.00,1.00,1.00"));
+    }
+
+    #[test]
+    fn ratio_is_monotone_in_alpha() {
+        let t = run();
+        let csv = t.to_csv();
+        let ratios: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(ratios.windows(2).all(|w| w[1] <= w[0] + 1e-9));
+    }
+
+    #[test]
+    fn monte_carlo_matches_closed_form() {
+        let (empirical, closed) = monte_carlo_check(6, 0.05, 4.0, 60_000, 11);
+        assert!(
+            (empirical - closed).abs() < 0.01,
+            "empirical {empirical} vs closed form {closed}"
+        );
+    }
+}

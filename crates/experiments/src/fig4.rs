@@ -1,0 +1,205 @@
+//! Figure 4: reference-gossip vs optimal message ratio as a function of
+//! network connectivity.
+//!
+//! For every connectivity (neighbors per process, circulant topologies
+//! over 100 processes) and every failure probability series, the harness
+//! calibrates the reference algorithm's step budget until Monte-Carlo
+//! trials reach every process (the paper's `K = 0.9999` criterion,
+//! bounded by the run count), measures its mean data-message cost, and
+//! divides by the optimal algorithm's deterministic cost
+//! `c(optimize(mrt, K))`.
+
+use diffuse_graph::generators;
+use diffuse_model::Probability;
+
+use crate::harness::{
+    adaptive_broadcast_cost, calibrate_gossip_steps, gossip_mean_messages,
+};
+use crate::parallel::parallel_map;
+use crate::table::{fmt, Table};
+use crate::Effort;
+
+/// Target reliability used throughout the paper's evaluation.
+pub const TARGET_RELIABILITY: f64 = 0.9999;
+
+/// System size used by Figures 4 and 5.
+pub const SYSTEM_SIZE: u32 = 100;
+
+/// The failure-probability series of each panel.
+pub const FIG4_SERIES: [f64; 4] = [0.01, 0.03, 0.05, 0.07];
+
+/// Which panel of Figure 4 (and 5) to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Panel {
+    /// Vary crash probability `P`, keep links reliable (`L = 0`).
+    CrashSweep,
+    /// Vary loss probability `L`, keep processes reliable (`P = 0`).
+    LossSweep,
+}
+
+impl Panel {
+    fn split(self, value: f64) -> (Probability, Probability) {
+        let v = Probability::new(value).expect("series probabilities are valid");
+        match self {
+            Panel::CrashSweep => (v, Probability::ZERO),
+            Panel::LossSweep => (Probability::ZERO, v),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Panel::CrashSweep => "P",
+            Panel::LossSweep => "L",
+        }
+    }
+}
+
+/// One measured point of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig4Point {
+    /// Neighbors per process.
+    pub connectivity: u32,
+    /// The swept failure probability.
+    pub probability: f64,
+    /// Calibrated reference step budget.
+    pub steps: u32,
+    /// Mean reference data messages per broadcast.
+    pub reference_messages: f64,
+    /// Mean reference acknowledgements per broadcast.
+    pub reference_acks: f64,
+    /// Deterministic optimal/adaptive messages per broadcast.
+    pub optimal_messages: u64,
+    /// The figure's y value: all reference messages (data + ACKs) over
+    /// the optimal cost. The paper's axis counts *messages exchanged*,
+    /// and the reference algorithm's ACKs are messages; the adaptive
+    /// algorithm sends none.
+    pub ratio: f64,
+    /// Reference data messages only, over the optimal cost (secondary
+    /// metric recorded in EXPERIMENTS.md).
+    pub data_ratio: f64,
+}
+
+/// Measures one point of Figure 4.
+pub fn measure_point(
+    connectivity: u32,
+    probability: f64,
+    panel: Panel,
+    effort: &Effort,
+) -> Fig4Point {
+    let topology = generators::circulant(SYSTEM_SIZE, connectivity)
+        .expect("connectivity sweep is realizable for n = 100");
+    let (crash, loss) = panel.split(probability);
+    let optimal_messages =
+        adaptive_broadcast_cost(&topology, loss, crash, TARGET_RELIABILITY)
+            .expect("uniform configurations are optimizable");
+    let seed = effort.seed ^ ((connectivity as u64) << 32) ^ (probability * 1e4) as u64;
+    let steps = calibrate_gossip_steps(
+        &topology,
+        loss,
+        crash,
+        effort.gossip_runs,
+        512,
+        seed,
+    )
+    .unwrap_or(512);
+    let (reference_messages, reference_acks) =
+        gossip_mean_messages(&topology, loss, crash, steps, effort.gossip_runs, seed ^ 0xA5A5);
+    Fig4Point {
+        connectivity,
+        probability,
+        steps,
+        reference_messages,
+        reference_acks,
+        optimal_messages,
+        ratio: (reference_messages + reference_acks) / optimal_messages as f64,
+        data_ratio: reference_messages / optimal_messages as f64,
+    }
+}
+
+/// Regenerates one panel of Figure 4 as a table of ratio-vs-connectivity
+/// series.
+pub fn run(panel: Panel, effort: &Effort) -> Table {
+    let points: Vec<(u32, f64)> = effort
+        .connectivities
+        .iter()
+        .flat_map(|&c| FIG4_SERIES.iter().map(move |&p| (c, p)))
+        .collect();
+    let measured = parallel_map(&points, effort.threads, |&(c, p)| {
+        measure_point(c, p, panel, effort)
+    });
+
+    let label = panel.label();
+    let suffix = match panel {
+        Panel::CrashSweep => "(a) reliable links",
+        Panel::LossSweep => "(b) reliable processes",
+    };
+    let columns: Vec<String> = std::iter::once("connectivity".to_string())
+        .chain(FIG4_SERIES.iter().map(|p| format!("{label}={p}")))
+        .collect();
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("Figure 4{suffix} — reference/optimal message ratio"),
+        &column_refs,
+    );
+    for &c in &effort.connectivities {
+        let mut row = vec![c.to_string()];
+        for &p in &FIG4_SERIES {
+            let point = measured
+                .iter()
+                .find(|m| m.connectivity == c && m.probability == p)
+                .expect("all points measured");
+            row.push(fmt(point.ratio));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_effort() -> Effort {
+        Effort {
+            gossip_runs: 12,
+            connectivities: vec![4, 12],
+            threads: 2,
+            ..Effort::quick()
+        }
+    }
+
+    #[test]
+    fn ratio_exceeds_one_and_grows_with_connectivity() {
+        let effort = tiny_effort();
+        let low = measure_point(4, 0.03, Panel::LossSweep, &effort);
+        let high = measure_point(12, 0.03, Panel::LossSweep, &effort);
+        assert!(
+            low.ratio > 1.0,
+            "reference must cost more than optimal: {low:?}"
+        );
+        assert!(
+            high.ratio > low.ratio,
+            "denser networks favor the adaptive algorithm: {low:?} vs {high:?}"
+        );
+        // The flood covers every link; the tree uses n-1 of them. With
+        // three times the links, even data-only traffic must be higher.
+        assert!(high.data_ratio > low.data_ratio);
+    }
+
+    #[test]
+    fn crash_panel_measures_sane_points() {
+        let effort = tiny_effort();
+        let point = measure_point(4, 0.03, Panel::CrashSweep, &effort);
+        assert!(point.steps >= 1);
+        assert!(point.reference_messages > 0.0);
+        assert!(point.optimal_messages >= 99); // one per MRT link at least
+    }
+
+    #[test]
+    fn run_produces_full_table() {
+        let effort = tiny_effort();
+        let t = run(Panel::LossSweep, &effort);
+        assert_eq!(t.row_count(), effort.connectivities.len());
+        assert!(t.to_aligned().contains("L=0.07"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Figure 5: convergence effort (heartbeat messages per link) as a
+//! function of network connectivity.
+//!
+//! Every process runs the adaptive protocol's approximation activity on a
+//! circulant topology of 100 processes; the run stops once *every*
+//! process has learned *every* crash and loss probability to within the
+//! configured tolerance (the paper's "all processes learn the reliability
+//! probabilities"). The reported metric is heartbeats per link, i.e.
+//! twice the heartbeats a process sends through each link (`2 · T/δ`).
+
+use diffuse_core::AdaptiveParams;
+use diffuse_graph::generators;
+
+use crate::fig4::{Panel, SYSTEM_SIZE};
+use crate::harness::{convergence_run, ConvergenceOutcome};
+use crate::parallel::parallel_map;
+use crate::table::{fmt, Table};
+use crate::Effort;
+
+/// The failure-probability series of each panel (Figure 5 includes the
+/// failure-free baseline).
+pub const FIG5_SERIES: [f64; 4] = [0.0, 0.01, 0.03, 0.05];
+
+/// Measures one convergence point.
+pub fn measure_point(
+    connectivity: u32,
+    probability: f64,
+    panel: Panel,
+    effort: &Effort,
+) -> ConvergenceOutcome {
+    let topology = generators::circulant(SYSTEM_SIZE, connectivity)
+        .expect("connectivity sweep is realizable for n = 100");
+    let (crash, loss) = match panel {
+        Panel::CrashSweep => (
+            diffuse_model::Probability::new(probability).expect("valid"),
+            diffuse_model::Probability::ZERO,
+        ),
+        Panel::LossSweep => (
+            diffuse_model::Probability::ZERO,
+            diffuse_model::Probability::new(probability).expect("valid"),
+        ),
+    };
+    let seed = effort.seed ^ ((connectivity as u64) << 24) ^ (probability * 1e4) as u64;
+    convergence_run(
+        &topology,
+        loss,
+        crash,
+        &AdaptiveParams::default(),
+        effort.tolerance,
+        effort.max_ticks,
+        effort.check_every,
+        seed,
+    )
+}
+
+/// Regenerates one panel of Figure 5.
+pub fn run(panel: Panel, effort: &Effort) -> Table {
+    let points: Vec<(u32, f64)> = effort
+        .connectivities
+        .iter()
+        .flat_map(|&c| FIG5_SERIES.iter().map(move |&p| (c, p)))
+        .collect();
+    let measured = parallel_map(&points, effort.threads, |&(c, p)| {
+        (c, p, measure_point(c, p, panel, effort))
+    });
+
+    let (label, suffix) = match panel {
+        Panel::CrashSweep => ("P", "(a) reliable links"),
+        Panel::LossSweep => ("L", "(b) reliable processes"),
+    };
+    let columns: Vec<String> = std::iter::once("connectivity".to_string())
+        .chain(FIG5_SERIES.iter().map(|p| format!("{label}={p}")))
+        .collect();
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("Figure 5{suffix} — convergence effort, heartbeat messages per link"),
+        &column_refs,
+    );
+    for &c in &effort.connectivities {
+        let mut row = vec![c.to_string()];
+        for &p in &FIG5_SERIES {
+            let outcome = measured
+                .iter()
+                .find(|(mc, mp, _)| *mc == c && *mp == p)
+                .map(|(_, _, o)| o)
+                .expect("all points measured");
+            let cell = if outcome.converged_at.is_some() {
+                fmt(outcome.messages_per_link)
+            } else {
+                format!(">{}", fmt(outcome.messages_per_link))
+            };
+            row.push(cell);
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_free_point_converges_quickly() {
+        let effort = Effort {
+            max_ticks: 1500,
+            tolerance: 0.02,
+            ..Effort::quick()
+        };
+        let out = measure_point(4, 0.0, Panel::LossSweep, &effort);
+        assert!(out.converged_at.is_some(), "{out:?}");
+        // δ = 1 → messages/link = 2 · ticks.
+        let t = out.converged_at.unwrap() as f64;
+        assert!((out.messages_per_link - 2.0 * t).abs() / (2.0 * t) < 0.2);
+    }
+
+    #[test]
+    fn lossy_links_take_longer_than_reliable_ones() {
+        let effort = Effort {
+            max_ticks: 3000,
+            tolerance: 0.02,
+            ..Effort::quick()
+        };
+        let clean = measure_point(4, 0.0, Panel::LossSweep, &effort);
+        let lossy = measure_point(4, 0.05, Panel::LossSweep, &effort);
+        let (c, l) = (
+            clean.converged_at.unwrap_or(effort.max_ticks),
+            lossy.converged_at.unwrap_or(effort.max_ticks),
+        );
+        assert!(l > c, "lossy {l} ticks vs clean {c} ticks");
+    }
+}

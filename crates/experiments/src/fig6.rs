@@ -1,0 +1,127 @@
+//! Figure 6: scalability of the approximation activity — convergence
+//! effort versus system size on rings and random trees.
+//!
+//! The paper fixes no failure probabilities for this experiment; we use
+//! `P = 0, L = 0.01` (documented in EXPERIMENTS.md) and average each
+//! point over several random graphs, as the paper did (~100 graphs; the
+//! default here is smaller and configurable via [`Effort::graphs`]).
+
+use diffuse_core::AdaptiveParams;
+use diffuse_graph::generators;
+use diffuse_model::{Probability, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::harness::convergence_run;
+use crate::parallel::parallel_map;
+use crate::table::{fmt, Table};
+use crate::Effort;
+
+/// The loss probability used for the scalability sweep.
+pub const FIG6_LOSS: f64 = 0.01;
+
+/// The two topology families of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// A ring — the worst case, information crosses O(n) hops.
+    Ring,
+    /// A uniformly random labeled tree — the practical case.
+    RandomTree,
+}
+
+impl Family {
+    fn build(self, n: u32, seed: u64) -> Topology {
+        match self {
+            Family::Ring => generators::ring(n).expect("n >= 3"),
+            Family::RandomTree => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                generators::random_tree(n, &mut rng).expect("n >= 2")
+            }
+        }
+    }
+}
+
+/// Mean messages/link to convergence for one (family, size) point,
+/// averaged over `effort.graphs` seeds.
+pub fn measure_point(family: Family, n: u32, effort: &Effort) -> f64 {
+    let loss = Probability::new(FIG6_LOSS).expect("valid");
+    let mut total = 0.0;
+    for g in 0..effort.graphs {
+        let seed = effort.seed ^ ((n as u64) << 16) ^ (g as u64);
+        let topology = family.build(n, seed);
+        let out = convergence_run(
+            &topology,
+            loss,
+            Probability::ZERO,
+            &AdaptiveParams::default(),
+            effort.tolerance,
+            effort.max_ticks,
+            effort.check_every,
+            seed ^ 0x5117,
+        );
+        total += out.messages_per_link;
+    }
+    total / effort.graphs.max(1) as f64
+}
+
+/// Regenerates Figure 6.
+pub fn run(effort: &Effort) -> Table {
+    let points: Vec<(Family, u32)> = effort
+        .sizes
+        .iter()
+        .flat_map(|&n| [(Family::Ring, n), (Family::RandomTree, n)])
+        .collect();
+    let measured = parallel_map(&points, effort.threads, |&(family, n)| {
+        (family, n, measure_point(family, n, effort))
+    });
+
+    let mut table = Table::new(
+        "Figure 6 — scalability: heartbeat messages per link to convergence",
+        &["processes", "ring", "tree"],
+    );
+    for &n in &effort.sizes {
+        let find = |family: Family| {
+            measured
+                .iter()
+                .find(|(f, m, _)| *f == family && *m == n)
+                .map(|(_, _, v)| *v)
+                .expect("all points measured")
+        };
+        table.push_row(vec![
+            n.to_string(),
+            fmt(find(Family::Ring)),
+            fmt(find(Family::RandomTree)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_costs_more_than_tree_at_scale() {
+        let effort = Effort {
+            graphs: 2,
+            sizes: vec![60],
+            max_ticks: 2500,
+            tolerance: 0.02,
+            ..Effort::quick()
+        };
+        let ring = measure_point(Family::Ring, 60, &effort);
+        let tree = measure_point(Family::RandomTree, 60, &effort);
+        assert!(
+            ring > tree,
+            "ring ({ring}) should need more effort than tree ({tree})"
+        );
+    }
+
+    #[test]
+    fn families_build_expected_shapes() {
+        let ring = Family::Ring.build(10, 1);
+        assert_eq!(ring.link_count(), 10);
+        let tree = Family::RandomTree.build(10, 1);
+        assert_eq!(tree.link_count(), 9);
+    }
+}

@@ -1,0 +1,48 @@
+//! Evaluation harness for `diffuse`: regenerates every table and figure
+//! of the paper (Section 5 plus Table 1 and Figure 1) and two extension
+//! experiments from its future-work list.
+//!
+//! | Experiment | Module | Paper artifact |
+//! |---|---|---|
+//! | `fig1` | [`fig1`] | Figure 1 — two-path closed form |
+//! | `table1` | [`table1`] | Table 1 — Bayesian belief update |
+//! | `fig4a`/`fig4b` | [`fig4`] | Figure 4 — reference/optimal ratio |
+//! | `fig5a`/`fig5b` | [`fig5`] | Figure 5 — convergence effort |
+//! | `fig6` | [`fig6`] | Figure 6 — scalability (ring vs tree) |
+//! | `hetero` | [`hetero`] | §7 future work — heterogeneous losses |
+//! | `refine` | [`refine`] | §7 future work — interval refinement |
+//!
+//! Run everything with the `repro` binary:
+//!
+//! ```text
+//! cargo run -p diffuse-experiments --release --bin repro -- all --quick
+//! cargo run -p diffuse-experiments --release --bin repro -- fig4b
+//! cargo run -p diffuse-experiments --release --bin repro -- fig5a --csv
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod effort;
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+mod harness;
+pub mod hetero;
+mod parallel;
+pub mod refine;
+mod stats;
+pub mod table1;
+mod table;
+
+pub use effort::Effort;
+pub use harness::{
+    adaptive_broadcast_cost, calibrate_gossip_steps, convergence_run, gossip_mean_messages,
+    gossip_message_stats, gossip_trial, neighbor_map, ConvergenceOutcome, GossipTrial,
+    GOSSIP_STEP_PERIOD,
+};
+pub use parallel::parallel_map;
+pub use stats::{rule_of_three_lower_bound, Summary};
+pub use table::{fmt, Table};

@@ -1,0 +1,78 @@
+//! Minimal scoped-thread work distribution for independent experiment
+//! points (no extra dependencies).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item, distributing work over `threads` OS
+/// threads, and returns results in input order.
+///
+/// Each item is processed exactly once; panics in `f` propagate.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let slots_ptr = std::sync::Mutex::new(&mut slots);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            let local = handle.join().expect("worker panicked");
+            let mut guard = slots_ptr.lock().expect("poisoned");
+            for (i, r) in local {
+                guard[i] = Some(r);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single_thread() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 8, |&x| x).is_empty());
+        let one = vec![7u32];
+        assert_eq!(parallel_map(&one, 1, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = vec![1u32, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |&x| x), items);
+    }
+}

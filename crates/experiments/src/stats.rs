@@ -1,0 +1,107 @@
+//! Small summary-statistics helpers for Monte-Carlo measurements.
+
+/// Summary of a sample: count, mean, standard deviation and a normal
+/// 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected).
+    pub std_dev: f64,
+    /// Half-width of the normal-approximation 95% confidence interval.
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// Empty samples yield all-zero summaries; single-element samples
+    /// have zero deviation.
+    pub fn of(values: &[f64]) -> Summary {
+        let count = values.len();
+        if count == 0 {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let std_dev = if count < 2 {
+            0.0
+        } else {
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+                / (count as f64 - 1.0);
+            var.sqrt()
+        };
+        let ci95 = if count < 2 {
+            0.0
+        } else {
+            1.96 * std_dev / (count as f64).sqrt()
+        };
+        Summary {
+            count,
+            mean,
+            std_dev,
+            ci95,
+        }
+    }
+
+    /// The confidence interval as `(low, high)`.
+    pub fn interval(&self) -> (f64, f64) {
+        (self.mean - self.ci95, self.mean + self.ci95)
+    }
+}
+
+/// Lower bound (95% confidence, rule-of-three style) on a success
+/// probability after observing `successes` out of `trials` with zero
+/// failures tolerated: `1 - 3/n` when all trials succeed.
+///
+/// Used to interpret gossip calibration: with `n` all-success runs the
+/// certified delivery probability is only about `1 - 3/n`, which bounds
+/// how sharply the paper's `K = 0.9999` can be checked by simulation.
+pub fn rule_of_three_lower_bound(trials: u32) -> f64 {
+    if trials == 0 {
+        return 0.0;
+    }
+    (1.0 - 3.0 / trials as f64).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Bessel-corrected stddev of this classic sample is ~2.138.
+        assert!((s.std_dev - 2.138).abs() < 0.01);
+        let (lo, hi) = s.interval();
+        assert!(lo < s.mean && s.mean < hi);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+        let single = Summary::of(&[3.5]);
+        assert_eq!(single.count, 1);
+        assert_eq!(single.mean, 3.5);
+        assert_eq!(single.std_dev, 0.0);
+        assert_eq!(single.ci95, 0.0);
+    }
+
+    #[test]
+    fn rule_of_three_bounds() {
+        assert_eq!(rule_of_three_lower_bound(0), 0.0);
+        assert_eq!(rule_of_three_lower_bound(1), 0.0);
+        assert!((rule_of_three_lower_bound(300) - 0.99).abs() < 1e-12);
+        assert!((rule_of_three_lower_bound(30_000) - 0.9999).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,117 @@
+//! Error type for graph algorithms and generators.
+
+use core::fmt;
+
+use diffuse_model::{ModelError, ProcessId};
+
+/// Errors produced by graph algorithms and topology generators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A generator was asked for fewer processes than it can build.
+    TooFewProcesses {
+        /// Minimum supported process count.
+        needed: u32,
+        /// Requested process count.
+        got: u32,
+    },
+    /// A regular generator was asked for a degree it cannot realize.
+    InvalidDegree {
+        /// Requested degree.
+        degree: u32,
+        /// Number of processes.
+        processes: u32,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The Erdős–Rényi generator failed to produce a connected graph
+    /// within its attempt budget.
+    ConnectivityUnreachable,
+    /// A spanning-tree algorithm was run on a disconnected topology.
+    Disconnected {
+        /// Number of processes reached from the root.
+        reached: usize,
+        /// Total number of processes.
+        total: usize,
+    },
+    /// The requested root process is not part of the topology.
+    UnknownRoot(ProcessId),
+    /// A parent map passed to [`SpanningTree::from_parents`] does not
+    /// describe a tree (cycle, forest, or wrong root).
+    ///
+    /// [`SpanningTree::from_parents`]: crate::SpanningTree::from_parents
+    MalformedTree(&'static str),
+    /// An underlying model operation failed.
+    Model(ModelError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::TooFewProcesses { needed, got } => {
+                write!(f, "generator needs at least {needed} processes, got {got}")
+            }
+            GraphError::InvalidDegree {
+                degree,
+                processes,
+                reason,
+            } => write!(
+                f,
+                "degree {degree} is not realizable with {processes} processes: {reason}"
+            ),
+            GraphError::ConnectivityUnreachable => {
+                write!(f, "failed to generate a connected graph within the attempt budget")
+            }
+            GraphError::Disconnected { reached, total } => write!(
+                f,
+                "topology is disconnected: reached {reached} of {total} processes"
+            ),
+            GraphError::UnknownRoot(p) => write!(f, "root {p} is not in the topology"),
+            GraphError::MalformedTree(reason) => write!(f, "malformed tree: {reason}"),
+            GraphError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for GraphError {
+    fn from(e: ModelError) -> Self {
+        GraphError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = GraphError::Disconnected {
+            reached: 3,
+            total: 10,
+        };
+        assert!(err.to_string().contains("3 of 10"));
+    }
+
+    #[test]
+    fn model_errors_convert_and_chain() {
+        let model = ModelError::EmptyTopology;
+        let err = GraphError::from(model.clone());
+        assert!(matches!(&err, GraphError::Model(m) if *m == model));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<GraphError>();
+    }
+}

@@ -1,0 +1,439 @@
+//! Topology generators for simulation workloads.
+//!
+//! The paper's evaluation (Section 5) sweeps network connectivity from a
+//! ring (two neighbors per process) up to twenty neighbors per process,
+//! and scales rings and random trees to 240 processes (Figure 6). These
+//! generators produce exactly those families, plus a few extras useful for
+//! testing and for the heterogeneous-reliability extension experiment.
+//!
+//! All generators label processes `p_0 … p_{n-1}` and return validated,
+//! connected topologies.
+
+use diffuse_model::{ProcessId, Topology};
+use rand::Rng;
+
+use crate::GraphError;
+
+/// A ring of `n` processes: `p_i ↔ p_{(i+1) mod n}`.
+///
+/// This is the paper's minimal-connectivity topology (each process has
+/// exactly two neighbors) and its worst case for information propagation.
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooFewProcesses`] for `n < 3`.
+pub fn ring(n: u32) -> Result<Topology, GraphError> {
+    if n < 3 {
+        return Err(GraphError::TooFewProcesses { needed: 3, got: n });
+    }
+    let mut t = Topology::new();
+    for i in 0..n {
+        t.add_link(ProcessId::new(i), ProcessId::new((i + 1) % n))
+            .expect("ring links are never self-loops for n >= 3");
+    }
+    Ok(t)
+}
+
+/// A line (path) of `n` processes: `p_0 ↔ p_1 ↔ … ↔ p_{n-1}`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooFewProcesses`] for `n < 2`.
+pub fn line(n: u32) -> Result<Topology, GraphError> {
+    if n < 2 {
+        return Err(GraphError::TooFewProcesses { needed: 2, got: n });
+    }
+    let mut t = Topology::new();
+    for i in 0..n - 1 {
+        t.add_link(ProcessId::new(i), ProcessId::new(i + 1))
+            .expect("line links are never self-loops");
+    }
+    Ok(t)
+}
+
+/// A star: `p_0` is the hub connected to all other processes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooFewProcesses`] for `n < 2`.
+pub fn star(n: u32) -> Result<Topology, GraphError> {
+    if n < 2 {
+        return Err(GraphError::TooFewProcesses { needed: 2, got: n });
+    }
+    let mut t = Topology::new();
+    for i in 1..n {
+        t.add_link(ProcessId::new(0), ProcessId::new(i))
+            .expect("star links are never self-loops");
+    }
+    Ok(t)
+}
+
+/// The complete graph over `n` processes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooFewProcesses`] for `n < 2`.
+pub fn complete(n: u32) -> Result<Topology, GraphError> {
+    if n < 2 {
+        return Err(GraphError::TooFewProcesses { needed: 2, got: n });
+    }
+    let mut t = Topology::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            t.add_link(ProcessId::new(i), ProcessId::new(j))
+                .expect("distinct indices");
+        }
+    }
+    Ok(t)
+}
+
+/// A `rows × cols` grid (4-neighborhood).
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooFewProcesses`] unless `rows * cols >= 2` with
+/// both dimensions at least 1.
+pub fn grid(rows: u32, cols: u32) -> Result<Topology, GraphError> {
+    let n = rows.checked_mul(cols).unwrap_or(0);
+    if rows == 0 || cols == 0 || n < 2 {
+        return Err(GraphError::TooFewProcesses { needed: 2, got: n });
+    }
+    let id = |r: u32, c: u32| ProcessId::new(r * cols + c);
+    let mut t = Topology::new();
+    t.add_process(id(0, 0));
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                t.add_link(id(r, c), id(r, c + 1)).expect("distinct cells");
+            }
+            if r + 1 < rows {
+                t.add_link(id(r, c), id(r + 1, c)).expect("distinct cells");
+            }
+        }
+    }
+    Ok(t)
+}
+
+/// A `k`-regular circulant graph: process `p_i` is connected to
+/// `p_{i±1}, …, p_{i±k/2}` (mod `n`), plus the diametric process for odd
+/// `k` on even `n`.
+///
+/// This is the family the paper uses to sweep "network connectivity
+/// (links/process)" from 2 (the ring) to 20: every process has exactly
+/// `k` neighbors.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidDegree`] when:
+/// * `k < 2` or `k >= n` (not realizable), or
+/// * `k` is odd and `n` is odd (no perfect matching for the diametric
+///   chord).
+///
+/// # Example
+///
+/// ```
+/// use diffuse_graph::generators::circulant;
+/// use diffuse_model::ProcessId;
+///
+/// let g = circulant(100, 16)?;
+/// assert_eq!(g.process_count(), 100);
+/// assert!(g.processes().all(|p| g.degree(p) == 16));
+/// # Ok::<(), diffuse_graph::GraphError>(())
+/// ```
+pub fn circulant(n: u32, k: u32) -> Result<Topology, GraphError> {
+    if n < 3 {
+        return Err(GraphError::TooFewProcesses { needed: 3, got: n });
+    }
+    if k < 2 || k >= n {
+        return Err(GraphError::InvalidDegree {
+            degree: k,
+            processes: n,
+            reason: "degree must satisfy 2 <= k < n",
+        });
+    }
+    if k % 2 == 1 && n % 2 == 1 {
+        return Err(GraphError::InvalidDegree {
+            degree: k,
+            processes: n,
+            reason: "odd degree requires an even number of processes",
+        });
+    }
+    let mut t = Topology::new();
+    let half = k / 2;
+    for i in 0..n {
+        for d in 1..=half {
+            t.add_link(ProcessId::new(i), ProcessId::new((i + d) % n))
+                .expect("offsets below n/2 are never self-loops");
+        }
+    }
+    if k % 2 == 1 {
+        for i in 0..n / 2 {
+            t.add_link(ProcessId::new(i), ProcessId::new(i + n / 2))
+                .expect("diametric chord is never a self-loop");
+        }
+    }
+    Ok(t)
+}
+
+/// A uniformly random labeled tree over `n` processes, generated by
+/// decoding a random Prüfer sequence.
+///
+/// Figure 6 of the paper averages convergence over about 100 such random
+/// trees per system size.
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooFewProcesses`] for `n < 2`.
+pub fn random_tree<R: Rng + ?Sized>(n: u32, rng: &mut R) -> Result<Topology, GraphError> {
+    if n < 2 {
+        return Err(GraphError::TooFewProcesses { needed: 2, got: n });
+    }
+    if n == 2 {
+        let mut t = Topology::new();
+        t.add_link(ProcessId::new(0), ProcessId::new(1))
+            .expect("distinct");
+        return Ok(t);
+    }
+    // Prüfer decode: degree[i] = occurrences in sequence + 1.
+    let sequence: Vec<u32> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1u32; n as usize];
+    for &s in &sequence {
+        degree[s as usize] += 1;
+    }
+    let mut t = Topology::new();
+    // Min-heap of current leaves.
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = (0..n)
+        .filter(|&i| degree[i as usize] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &s in &sequence {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("a tree always has a leaf");
+        t.add_link(ProcessId::new(leaf), ProcessId::new(s))
+            .expect("prüfer neighbors are distinct");
+        degree[s as usize] -= 1;
+        if degree[s as usize] == 1 {
+            leaves.push(std::cmp::Reverse(s));
+        }
+    }
+    let std::cmp::Reverse(a) = leaves.pop().expect("two leaves remain");
+    let std::cmp::Reverse(b) = leaves.pop().expect("two leaves remain");
+    t.add_link(ProcessId::new(a), ProcessId::new(b))
+        .expect("final leaves are distinct");
+    Ok(t)
+}
+
+/// A connected Erdős–Rényi random graph `G(n, p)`.
+///
+/// Samples until connected, up to `attempts` tries.
+///
+/// # Errors
+///
+/// * [`GraphError::TooFewProcesses`] for `n < 2`;
+/// * [`GraphError::ConnectivityUnreachable`] if no connected sample was
+///   found within the budget (choose a larger `edge_probability`).
+pub fn erdos_renyi_connected<R: Rng + ?Sized>(
+    n: u32,
+    edge_probability: f64,
+    attempts: u32,
+    rng: &mut R,
+) -> Result<Topology, GraphError> {
+    if n < 2 {
+        return Err(GraphError::TooFewProcesses { needed: 2, got: n });
+    }
+    for _ in 0..attempts.max(1) {
+        let mut t = Topology::with_processes(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(edge_probability.clamp(0.0, 1.0)) {
+                    t.add_link(ProcessId::new(i), ProcessId::new(j))
+                        .expect("distinct indices");
+                }
+            }
+        }
+        if t.is_connected() {
+            return Ok(t);
+        }
+    }
+    Err(GraphError::ConnectivityUnreachable)
+}
+
+/// A two-zone "LAN/WAN" topology for the heterogeneous-reliability
+/// extension experiment: two complete clusters of `cluster_size` processes
+/// bridged by `bridges` parallel inter-cluster links.
+///
+/// The returned topology has `2 * cluster_size` processes; bridge `b`
+/// connects `p_b` (zone one) with `p_{cluster_size + b}` (zone two).
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooFewProcesses`] when `cluster_size < 2`, and
+/// [`GraphError::InvalidDegree`] when `bridges` is zero or exceeds
+/// `cluster_size`.
+pub fn two_zone(cluster_size: u32, bridges: u32) -> Result<Topology, GraphError> {
+    if cluster_size < 2 {
+        return Err(GraphError::TooFewProcesses {
+            needed: 4,
+            got: cluster_size * 2,
+        });
+    }
+    if bridges == 0 || bridges > cluster_size {
+        return Err(GraphError::InvalidDegree {
+            degree: bridges,
+            processes: cluster_size * 2,
+            reason: "bridge count must be in 1..=cluster_size",
+        });
+    }
+    let mut t = Topology::new();
+    for zone in 0..2u32 {
+        let base = zone * cluster_size;
+        for i in 0..cluster_size {
+            for j in (i + 1)..cluster_size {
+                t.add_link(ProcessId::new(base + i), ProcessId::new(base + j))
+                    .expect("distinct indices");
+            }
+        }
+    }
+    for b in 0..bridges {
+        t.add_link(ProcessId::new(b), ProcessId::new(cluster_size + b))
+            .expect("zones are disjoint");
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ring_is_two_regular_and_connected() {
+        let g = ring(10).unwrap();
+        assert_eq!(g.process_count(), 10);
+        assert_eq!(g.link_count(), 10);
+        assert!(g.processes().all(|p| g.degree(p) == 2));
+        assert!(g.is_connected());
+        assert_eq!(g.diameter().unwrap(), 5);
+    }
+
+    #[test]
+    fn ring_rejects_tiny_sizes() {
+        assert!(ring(2).is_err());
+        assert!(ring(0).is_err());
+    }
+
+    #[test]
+    fn line_has_endpoints_of_degree_one() {
+        let g = line(5).unwrap();
+        assert_eq!(g.link_count(), 4);
+        assert_eq!(g.degree(ProcessId::new(0)), 1);
+        assert_eq!(g.degree(ProcessId::new(2)), 2);
+        assert_eq!(g.diameter().unwrap(), 4);
+    }
+
+    #[test]
+    fn star_hub_touches_everyone() {
+        let g = star(7).unwrap();
+        assert_eq!(g.degree(ProcessId::new(0)), 6);
+        assert!(g.processes().skip(1).all(|p| g.degree(p) == 1));
+        assert_eq!(g.diameter().unwrap(), 2);
+    }
+
+    #[test]
+    fn complete_has_all_links() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.link_count(), 15);
+        assert_eq!(g.diameter().unwrap(), 1);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.process_count(), 12);
+        // 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8.
+        assert_eq!(g.link_count(), 17);
+        assert!(g.is_connected());
+        assert!(grid(0, 5).is_err());
+    }
+
+    #[test]
+    fn circulant_even_degree_is_exact() {
+        for k in [2u32, 4, 6, 10, 20] {
+            let g = circulant(100, k).unwrap();
+            assert!(
+                g.processes().all(|p| g.degree(p) == k as usize),
+                "degree {k} not uniform"
+            );
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn circulant_odd_degree_uses_diametric_chord() {
+        let g = circulant(100, 5).unwrap();
+        assert!(g.processes().all(|p| g.degree(p) == 5));
+        assert!(g.contains_link(
+            diffuse_model::LinkId::new(ProcessId::new(0), ProcessId::new(50)).unwrap()
+        ));
+    }
+
+    #[test]
+    fn circulant_two_equals_ring() {
+        assert_eq!(circulant(12, 2).unwrap(), ring(12).unwrap());
+    }
+
+    #[test]
+    fn circulant_rejects_impossible_degrees() {
+        assert!(circulant(10, 1).is_err());
+        assert!(circulant(10, 10).is_err());
+        assert!(circulant(9, 5).is_err()); // odd degree, odd n
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [2u32, 3, 10, 50, 100] {
+            let g = random_tree(n, &mut rng).unwrap();
+            assert_eq!(g.process_count(), n as usize);
+            assert_eq!(g.link_count(), n as usize - 1);
+            assert!(g.is_connected(), "tree of size {n} must be connected");
+        }
+    }
+
+    #[test]
+    fn random_tree_is_deterministic_per_seed() {
+        let a = random_tree(20, &mut StdRng::seed_from_u64(1)).unwrap();
+        let b = random_tree(20, &mut StdRng::seed_from_u64(1)).unwrap();
+        let c = random_tree(20, &mut StdRng::seed_from_u64(2)).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should (almost surely) differ");
+    }
+
+    #[test]
+    fn erdos_renyi_connected_succeeds_with_high_p() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi_connected(30, 0.3, 50, &mut rng).unwrap();
+        assert_eq!(g.process_count(), 30);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn erdos_renyi_gives_up_when_p_is_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(matches!(
+            erdos_renyi_connected(10, 0.0, 3, &mut rng),
+            Err(GraphError::ConnectivityUnreachable)
+        ));
+    }
+
+    #[test]
+    fn two_zone_shape() {
+        let g = two_zone(5, 2).unwrap();
+        assert_eq!(g.process_count(), 10);
+        // 2 * C(5,2) + 2 bridges = 20 + 2.
+        assert_eq!(g.link_count(), 22);
+        assert!(g.is_connected());
+        assert!(two_zone(5, 0).is_err());
+        assert!(two_zone(1, 1).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Graph substrate for the `diffuse` workspace.
+//!
+//! This crate provides the graph machinery the paper's algorithms are
+//! built on:
+//!
+//! * [`SpanningTree`] — rooted spanning trees with the labelling of the
+//!   paper's Section 3.2 (parents `pred(i)`, direct subtrees, BFS order);
+//! * [`maximum_reliability_tree`] — the Maximum Reliability Tree of
+//!   Appendix B (modified Prim), plus an independent Kruskal
+//!   implementation ([`maximum_reliability_tree_kruskal`]) and random
+//!   spanning trees ([`random_spanning_tree`]) for cross-checking the
+//!   optimality result of Appendix C;
+//! * [`generators`] — the topology families of the evaluation section
+//!   (rings, `k`-regular circulants, random trees, …).
+//!
+//! # Example
+//!
+//! ```
+//! use diffuse_graph::{generators, maximum_reliability_tree};
+//! use diffuse_model::{Configuration, LinkId, Probability, ProcessId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Ring of 8 with one terrible link: the MRT must route around it.
+//! let g = generators::ring(8)?;
+//! let mut c = Configuration::uniform(&g, Probability::ZERO, Probability::new(0.01)?);
+//! let bad = LinkId::new(ProcessId::new(3), ProcessId::new(4))?;
+//! c.set_loss(bad, Probability::new(0.9)?);
+//!
+//! let mrt = maximum_reliability_tree(&g, &c, ProcessId::new(0))?;
+//! assert!(mrt.edges().all(|(u, v)| LinkId::new(u, v).unwrap() != bad));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod error;
+pub mod generators;
+mod mrt;
+mod spanning;
+
+pub use error::GraphError;
+pub use mrt::{
+    maximum_reliability_tree, maximum_reliability_tree_kruskal, random_spanning_tree,
+};
+pub use spanning::SpanningTree;
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use diffuse_model::{Configuration, Probability, ProcessId, Topology};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Strategy: a random connected topology over 3..=12 processes with a
+    /// random configuration.
+    fn arb_weighted_topology() -> impl Strategy<Value = (Topology, Configuration)> {
+        (3u32..12, any::<u64>(), 0.0f64..0.4, 0.0f64..0.4).prop_map(
+            |(n, seed, max_p, max_l)| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                // Random tree plus random extra chords keeps it connected.
+                let mut t = generators::random_tree(n, &mut rng).unwrap();
+                use rand::Rng;
+                for _ in 0..n {
+                    let a = rng.gen_range(0..n);
+                    let b = rng.gen_range(0..n);
+                    if a != b {
+                        t.add_link(ProcessId::new(a), ProcessId::new(b)).unwrap();
+                    }
+                }
+                let mut c = Configuration::new();
+                for p in t.processes() {
+                    c.set_crash(p, Probability::clamped(rng.gen_range(0.0..=max_p)));
+                }
+                for l in t.links() {
+                    c.set_loss(l, Probability::clamped(rng.gen_range(0.0..=max_l)));
+                }
+                (t, c)
+            },
+        )
+    }
+
+    proptest! {
+        /// Lemma 2: the MRT's total (log) reliability is at least that of
+        /// any other spanning tree.
+        #[test]
+        fn prop_mrt_beats_random_spanning_trees(
+            (t, c) in arb_weighted_topology(),
+            seed in any::<u64>(),
+        ) {
+            let root = t.processes().next().unwrap();
+            let mrt = maximum_reliability_tree(&t, &c, root).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..5 {
+                let other = random_spanning_tree(&t, root, &mut rng).unwrap();
+                prop_assert!(
+                    mrt.log_reliability(&c) >= other.log_reliability(&c) - 1e-9,
+                    "MRT {} < random tree {}",
+                    mrt.log_reliability(&c),
+                    other.log_reliability(&c)
+                );
+            }
+        }
+
+        /// Prim and Kruskal implementations agree on the (unique) maximum
+        /// total reliability.
+        #[test]
+        fn prop_prim_equals_kruskal_weight((t, c) in arb_weighted_topology()) {
+            let root = t.processes().next().unwrap();
+            let prim = maximum_reliability_tree(&t, &c, root).unwrap();
+            let kruskal = maximum_reliability_tree_kruskal(&t, &c, root).unwrap();
+            let (a, b) = (prim.log_reliability(&c), kruskal.log_reliability(&c));
+            prop_assert!((a - b).abs() < 1e-9, "prim={} kruskal={}", a, b);
+        }
+
+        /// Every MRT is a spanning tree: n-1 links, contains every process,
+        /// every edge is a topology link.
+        #[test]
+        fn prop_mrt_is_a_spanning_subgraph((t, c) in arb_weighted_topology()) {
+            let root = t.processes().next().unwrap();
+            let mrt = maximum_reliability_tree(&t, &c, root).unwrap();
+            prop_assert_eq!(mrt.process_count(), t.process_count());
+            prop_assert_eq!(mrt.link_count(), t.process_count() - 1);
+            for (u, v) in mrt.edges() {
+                prop_assert!(t.contains_link(diffuse_model::LinkId::new(u, v).unwrap()));
+            }
+        }
+
+        /// The MRT root choice never changes the total weight.
+        #[test]
+        fn prop_mrt_weight_is_root_independent((t, c) in arb_weighted_topology()) {
+            let mut roots = t.processes();
+            let first = roots.next().unwrap();
+            let base = maximum_reliability_tree(&t, &c, first).unwrap().log_reliability(&c);
+            for root in roots.take(3) {
+                let w = maximum_reliability_tree(&t, &c, root).unwrap().log_reliability(&c);
+                prop_assert!((w - base).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Rooted spanning trees.
+
+use std::collections::BTreeMap;
+
+use diffuse_model::{Configuration, LinkId, ProcessId, Topology};
+
+use crate::GraphError;
+
+/// A spanning tree of a topology, rooted at the broadcasting process.
+///
+/// This is the structure the paper calls `mrt_s(G, C)` once relabelled
+/// (Section 3.2, Figure 2): the sender `p_s` is the root, every other
+/// process `p_i` is reached through exactly one tree link `l_i`, and
+/// `pred(i)` is `p_i`'s parent. The tree stores:
+///
+/// * a parent pointer for every non-root process,
+/// * the (sorted) children of every process, and
+/// * a breadth-first ordering starting at the root, which gives every
+///   process a stable *tree index* used to address per-link message
+///   counts (`m⃗`).
+///
+/// A tree over `n` processes always has exactly `n - 1` links, as the
+/// paper observes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningTree {
+    root: ProcessId,
+    parent: BTreeMap<ProcessId, ProcessId>,
+    children: BTreeMap<ProcessId, Vec<ProcessId>>,
+    /// BFS order; `order[0]` is the root.
+    order: Vec<ProcessId>,
+}
+
+impl SpanningTree {
+    /// Builds a rooted tree from a parent map.
+    ///
+    /// `parents` must contain an entry for every process except `root`,
+    /// and following parent pointers from any process must terminate at
+    /// `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MalformedTree`] when the map contains the
+    /// root, references unknown parents, or contains a cycle.
+    pub fn from_parents(
+        root: ProcessId,
+        parents: BTreeMap<ProcessId, ProcessId>,
+    ) -> Result<Self, GraphError> {
+        if parents.contains_key(&root) {
+            return Err(GraphError::MalformedTree("root must not have a parent"));
+        }
+        let mut children: BTreeMap<ProcessId, Vec<ProcessId>> = BTreeMap::new();
+        children.entry(root).or_default();
+        for (&child, &parent) in &parents {
+            if child == parent {
+                return Err(GraphError::MalformedTree("process is its own parent"));
+            }
+            if parent != root && !parents.contains_key(&parent) {
+                return Err(GraphError::MalformedTree("parent is not in the tree"));
+            }
+            children.entry(parent).or_default();
+            children.entry(child).or_default();
+            children.get_mut(&parent).expect("just inserted").push(child);
+        }
+        for c in children.values_mut() {
+            c.sort_unstable();
+        }
+
+        // Breadth-first traversal also detects unreachable nodes (cycles).
+        let mut order = Vec::with_capacity(parents.len() + 1);
+        order.push(root);
+        let mut head = 0;
+        while head < order.len() {
+            let p = order[head];
+            head += 1;
+            if let Some(kids) = children.get(&p) {
+                order.extend(kids.iter().copied());
+            }
+        }
+        if order.len() != parents.len() + 1 {
+            return Err(GraphError::MalformedTree(
+                "parent map contains a cycle or disconnected component",
+            ));
+        }
+        Ok(SpanningTree {
+            root,
+            parent: parents,
+            children,
+            order,
+        })
+    }
+
+    /// The root process `p_s` (the broadcaster).
+    pub fn root(&self) -> ProcessId {
+        self.root
+    }
+
+    /// Number of processes in the tree.
+    pub fn process_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Number of links in the tree — always `process_count() - 1`.
+    pub fn link_count(&self) -> usize {
+        self.order.len() - 1
+    }
+
+    /// Returns `true` iff `p` belongs to the tree.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        p == self.root || self.parent.contains_key(&p)
+    }
+
+    /// The parent `pred(p)`; `None` for the root or unknown processes.
+    pub fn parent(&self, p: ProcessId) -> Option<ProcessId> {
+        self.parent.get(&p).copied()
+    }
+
+    /// The children of `p` in ascending id order.
+    pub fn children(&self, p: ProcessId) -> &[ProcessId] {
+        self.children.get(&p).map_or(&[], Vec::as_slice)
+    }
+
+    /// Returns `true` iff `p` is a leaf (`T_p = ⊥` in the paper).
+    pub fn is_leaf(&self, p: ProcessId) -> bool {
+        self.children(p).is_empty()
+    }
+
+    /// The tree link `l_p` leading to `p` from its parent.
+    ///
+    /// Returns `None` for the root.
+    pub fn link_to(&self, p: ProcessId) -> Option<LinkId> {
+        let parent = self.parent(p)?;
+        Some(LinkId::new(parent, p).expect("tree has no self-loops"))
+    }
+
+    /// Processes in breadth-first order; the root comes first.
+    pub fn processes(&self) -> impl ExactSizeIterator<Item = ProcessId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Tree edges as `(parent, child)` pairs in breadth-first order of the
+    /// child.
+    pub fn edges(&self) -> impl Iterator<Item = (ProcessId, ProcessId)> + '_ {
+        self.order
+            .iter()
+            .skip(1)
+            .map(move |&c| (self.parent[&c], c))
+    }
+
+    /// Depth of every process (root at 0), keyed by process.
+    pub fn depths(&self) -> BTreeMap<ProcessId, u32> {
+        let mut depths = BTreeMap::new();
+        depths.insert(self.root, 0u32);
+        for &p in self.order.iter().skip(1) {
+            let d = depths[&self.parent[&p]] + 1;
+            depths.insert(p, d);
+        }
+        depths
+    }
+
+    /// Number of processes in the subtree `T_p` rooted at `p`, including
+    /// `p` itself. Zero for processes outside the tree.
+    pub fn subtree_size(&self, p: ProcessId) -> usize {
+        if !self.contains(p) {
+            return 0;
+        }
+        let mut size = 0;
+        let mut stack = vec![p];
+        while let Some(q) = stack.pop() {
+            size += 1;
+            stack.extend_from_slice(self.children(q));
+        }
+        size
+    }
+
+    /// Converts the tree into a plain [`Topology`] containing exactly the
+    /// tree links.
+    pub fn to_topology(&self) -> Topology {
+        let mut t = Topology::new();
+        t.add_process(self.root);
+        for (parent, child) in self.edges() {
+            t.add_link(parent, child).expect("tree has no self-loops");
+        }
+        t
+    }
+
+    /// Sum of natural logs of the link reliabilities of all tree edges
+    /// under `config`.
+    ///
+    /// Maximizing this quantity is equivalent to maximizing the product of
+    /// reliabilities, which is what the Maximum Reliability Tree does
+    /// (Appendix C, Lemma 2). Returns negative infinity if any edge has
+    /// zero reliability.
+    pub fn log_reliability(&self, config: &Configuration) -> f64 {
+        self.edges()
+            .map(|(u, v)| config.link_reliability(u, v).value().ln())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// The tree of the paper's Figure 2:
+    /// `ps=0` with children `{2, 6, 7}`; `2 → {3, 5}`; `3 → {4}`; `5 → {1}`.
+    fn figure2_tree() -> SpanningTree {
+        let parents: BTreeMap<ProcessId, ProcessId> = [
+            (p(2), p(0)),
+            (p(6), p(0)),
+            (p(7), p(0)),
+            (p(3), p(2)),
+            (p(5), p(2)),
+            (p(4), p(3)),
+            (p(1), p(5)),
+        ]
+        .into_iter()
+        .collect();
+        SpanningTree::from_parents(p(0), parents).unwrap()
+    }
+
+    #[test]
+    fn figure2_tree_shape() {
+        let t = figure2_tree();
+        assert_eq!(t.root(), p(0));
+        assert_eq!(t.process_count(), 8);
+        assert_eq!(t.link_count(), 7);
+        assert_eq!(t.children(p(0)), &[p(2), p(6), p(7)]);
+        assert_eq!(t.children(p(2)), &[p(3), p(5)]);
+        assert!(t.is_leaf(p(4)));
+        assert!(t.is_leaf(p(6)));
+        assert!(!t.is_leaf(p(2)));
+        assert_eq!(t.parent(p(1)), Some(p(5)));
+        assert_eq!(t.parent(p(0)), None);
+    }
+
+    #[test]
+    fn bfs_order_starts_at_root_and_respects_levels() {
+        let t = figure2_tree();
+        let order: Vec<ProcessId> = t.processes().collect();
+        assert_eq!(order[0], p(0));
+        let depths = t.depths();
+        // BFS order must be non-decreasing in depth.
+        for w in order.windows(2) {
+            assert!(depths[&w[0]] <= depths[&w[1]]);
+        }
+        assert_eq!(depths[&p(0)], 0);
+        assert_eq!(depths[&p(2)], 1);
+        assert_eq!(depths[&p(3)], 2);
+        assert_eq!(depths[&p(4)], 3);
+    }
+
+    #[test]
+    fn subtree_sizes_match_figure3() {
+        let t = figure2_tree();
+        // S_2 = {T_3, T_5}; T_2 covers {2, 3, 4, 5, 1}.
+        assert_eq!(t.subtree_size(p(2)), 5);
+        assert_eq!(t.subtree_size(p(3)), 2);
+        assert_eq!(t.subtree_size(p(5)), 2);
+        assert_eq!(t.subtree_size(p(0)), 8);
+        assert_eq!(t.subtree_size(p(4)), 1);
+        assert_eq!(t.subtree_size(p(99)), 0);
+    }
+
+    #[test]
+    fn link_to_returns_tree_edge() {
+        let t = figure2_tree();
+        assert_eq!(t.link_to(p(4)), Some(LinkId::new(p(3), p(4)).unwrap()));
+        assert_eq!(t.link_to(p(0)), None);
+    }
+
+    #[test]
+    fn edges_yield_parent_child_pairs() {
+        let t = figure2_tree();
+        let edges: Vec<(ProcessId, ProcessId)> = t.edges().collect();
+        assert_eq!(edges.len(), 7);
+        assert!(edges.contains(&(p(2), p(5))));
+        assert!(edges.contains(&(p(0), p(7))));
+    }
+
+    #[test]
+    fn to_topology_round_trips_links() {
+        let t = figure2_tree();
+        let topo = t.to_topology();
+        assert_eq!(topo.process_count(), 8);
+        assert_eq!(topo.link_count(), 7);
+        assert!(topo.contains_link(LinkId::new(p(5), p(1)).unwrap()));
+    }
+
+    #[test]
+    fn from_parents_rejects_rooted_root() {
+        let parents: BTreeMap<ProcessId, ProcessId> = [(p(0), p(1)), (p(1), p(0))]
+            .into_iter()
+            .collect();
+        assert!(matches!(
+            SpanningTree::from_parents(p(0), parents),
+            Err(GraphError::MalformedTree(_))
+        ));
+    }
+
+    #[test]
+    fn from_parents_rejects_cycle() {
+        // 1 → 2 → 3 → 1 unreachable from root 0.
+        let parents: BTreeMap<ProcessId, ProcessId> =
+            [(p(1), p(2)), (p(2), p(3)), (p(3), p(1))].into_iter().collect();
+        assert!(matches!(
+            SpanningTree::from_parents(p(0), parents),
+            Err(GraphError::MalformedTree(_))
+        ));
+    }
+
+    #[test]
+    fn from_parents_rejects_self_parent() {
+        let parents: BTreeMap<ProcessId, ProcessId> = [(p(1), p(1))].into_iter().collect();
+        assert!(matches!(
+            SpanningTree::from_parents(p(0), parents),
+            Err(GraphError::MalformedTree(_))
+        ));
+    }
+
+    #[test]
+    fn from_parents_rejects_unknown_parent() {
+        let parents: BTreeMap<ProcessId, ProcessId> = [(p(1), p(9))].into_iter().collect();
+        assert!(matches!(
+            SpanningTree::from_parents(p(0), parents),
+            Err(GraphError::MalformedTree(_))
+        ));
+    }
+
+    #[test]
+    fn singleton_tree_is_valid() {
+        let t = SpanningTree::from_parents(p(0), BTreeMap::new()).unwrap();
+        assert_eq!(t.process_count(), 1);
+        assert_eq!(t.link_count(), 0);
+        assert!(t.is_leaf(p(0)));
+        assert_eq!(t.subtree_size(p(0)), 1);
+    }
+
+    #[test]
+    fn log_reliability_sums_edge_logs() {
+        use diffuse_model::Probability;
+        let t = figure2_tree();
+        let topo = t.to_topology();
+        let config = Configuration::uniform(
+            &topo,
+            Probability::ZERO,
+            Probability::new(0.5).unwrap(),
+        );
+        let expected = 7.0 * 0.5f64.ln();
+        assert!((t.log_reliability(&config) - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,205 @@
+//! Process and link identities.
+
+use core::fmt;
+
+use crate::ModelError;
+
+/// Identity of a process `p_i ∈ Π`.
+///
+/// Process identities are small, dense integers. They are `Copy` and
+/// totally ordered so they can key ordered maps and break ties
+/// deterministically.
+///
+/// # Example
+///
+/// ```
+/// use diffuse_model::ProcessId;
+///
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process identity from its index in `Π`.
+    pub const fn new(index: u32) -> Self {
+        ProcessId(index)
+    }
+
+    /// Returns the raw index of this process.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as a `usize`, convenient for vector indexing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(index: u32) -> Self {
+        ProcessId(index)
+    }
+}
+
+impl From<ProcessId> for u32 {
+    fn from(id: ProcessId) -> Self {
+        id.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identity of a bidirectional link `l_{i,j} ∈ Λ`.
+///
+/// Links are undirected: the pair is stored in normalized (sorted) order so
+/// `LinkId::new(a, b)` and `LinkId::new(b, a)` compare equal. Self-loops
+/// are rejected — the paper's model has no link from a process to itself.
+///
+/// # Example
+///
+/// ```
+/// use diffuse_model::{LinkId, ProcessId};
+///
+/// # fn main() -> Result<(), diffuse_model::ModelError> {
+/// let a = ProcessId::new(7);
+/// let b = ProcessId::new(2);
+/// let link = LinkId::new(a, b)?;
+/// assert_eq!(link, LinkId::new(b, a)?);
+/// assert_eq!(link.to_string(), "l2,7");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LinkId {
+    lo: ProcessId,
+    hi: ProcessId,
+}
+
+impl LinkId {
+    /// Creates the link connecting `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::SelfLoop`] if `a == b`.
+    pub fn new(a: ProcessId, b: ProcessId) -> Result<Self, ModelError> {
+        if a == b {
+            return Err(ModelError::SelfLoop(a));
+        }
+        Ok(if a < b {
+            LinkId { lo: a, hi: b }
+        } else {
+            LinkId { lo: b, hi: a }
+        })
+    }
+
+    /// Returns the lower-indexed endpoint.
+    pub const fn lo(self) -> ProcessId {
+        self.lo
+    }
+
+    /// Returns the higher-indexed endpoint.
+    pub const fn hi(self) -> ProcessId {
+        self.hi
+    }
+
+    /// Returns both endpoints in normalized order.
+    pub const fn endpoints(self) -> (ProcessId, ProcessId) {
+        (self.lo, self.hi)
+    }
+
+    /// Returns `true` iff `p` is one of this link's endpoints.
+    pub fn touches(self, p: ProcessId) -> bool {
+        self.lo == p || self.hi == p
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// Returns `None` when `p` is not an endpoint of this link.
+    pub fn other(self, p: ProcessId) -> Option<ProcessId> {
+        if p == self.lo {
+            Some(self.hi)
+        } else if p == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{},{}", self.lo.index(), self.hi.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_round_trips_through_u32() {
+        let p = ProcessId::new(42);
+        assert_eq!(u32::from(p), 42);
+        assert_eq!(ProcessId::from(42u32), p);
+        assert_eq!(p.as_usize(), 42usize);
+    }
+
+    #[test]
+    fn process_id_orders_by_index() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+        assert_eq!(ProcessId::default(), ProcessId::new(0));
+    }
+
+    #[test]
+    fn link_id_normalizes_endpoint_order() {
+        let a = ProcessId::new(5);
+        let b = ProcessId::new(3);
+        let l1 = LinkId::new(a, b).unwrap();
+        let l2 = LinkId::new(b, a).unwrap();
+        assert_eq!(l1, l2);
+        assert_eq!(l1.lo(), b);
+        assert_eq!(l1.hi(), a);
+        assert_eq!(l1.endpoints(), (b, a));
+    }
+
+    #[test]
+    fn link_id_rejects_self_loops() {
+        let p = ProcessId::new(9);
+        assert!(matches!(
+            LinkId::new(p, p),
+            Err(ModelError::SelfLoop(q)) if q == p
+        ));
+    }
+
+    #[test]
+    fn link_other_returns_opposite_endpoint() {
+        let a = ProcessId::new(1);
+        let b = ProcessId::new(2);
+        let c = ProcessId::new(3);
+        let link = LinkId::new(a, b).unwrap();
+        assert_eq!(link.other(a), Some(b));
+        assert_eq!(link.other(b), Some(a));
+        assert_eq!(link.other(c), None);
+        assert!(link.touches(a));
+        assert!(link.touches(b));
+        assert!(!link.touches(c));
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        let a = ProcessId::new(0);
+        let b = ProcessId::new(10);
+        assert_eq!(a.to_string(), "p0");
+        assert_eq!(LinkId::new(b, a).unwrap().to_string(), "l0,10");
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for the deployment substrate.
+
+use core::fmt;
+
+use diffuse_model::ProcessId;
+
+/// Errors produced by codecs, transports and the node runtime.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The frame ended before the announced content.
+    Truncated,
+    /// Unknown message tag on the wire.
+    BadTag(u8),
+    /// Unsupported wire-format version.
+    BadVersion(u8),
+    /// Structurally invalid content (with a reason).
+    Invalid(&'static str),
+    /// The destination process has no known address/channel.
+    UnknownPeer(ProcessId),
+    /// The encoded frame exceeds the transport's maximum (e.g. one UDP
+    /// datagram).
+    FrameTooLarge {
+        /// Encoded size in bytes.
+        size: usize,
+        /// Transport limit in bytes.
+        limit: usize,
+    },
+    /// The transport is closed.
+    Closed,
+    /// Underlying socket error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Truncated => write!(f, "frame ended before the announced content"),
+            NetError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            NetError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            NetError::Invalid(reason) => write!(f, "invalid frame content: {reason}"),
+            NetError::UnknownPeer(p) => write!(f, "no address known for {p}"),
+            NetError::FrameTooLarge { size, limit } => {
+                write!(f, "frame of {size} bytes exceeds the transport limit of {limit}")
+            }
+            NetError::Closed => write!(f, "transport is closed"),
+            NetError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(NetError::BadTag(9).to_string().contains('9'));
+        assert!(NetError::FrameTooLarge { size: 70000, limit: 65507 }
+            .to_string()
+            .contains("65507"));
+    }
+
+    #[test]
+    fn io_errors_chain() {
+        let err = NetError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<NetError>();
+    }
+}

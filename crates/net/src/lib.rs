@@ -1,0 +1,36 @@
+//! Deployment substrate for `diffuse`: run the paper's protocols on real
+//! threads and sockets.
+//!
+//! The protocols in `diffuse-core` are sans-io state machines; this crate
+//! supplies everything needed to deploy them outside the simulator:
+//!
+//! * [`codec`] — a versioned, length-prefixed binary wire format for
+//!   [`Message`](diffuse_core::Message) (hand-written over [`bytes`],
+//!   property-tested for round-trips and decoder totality);
+//! * [`Transport`] — the frame-transport abstraction, with two
+//!   implementations: the lossy in-memory [`Fabric`] (crossbeam channels
+//!   with per-link Bernoulli loss — the simulator's network model on real
+//!   threads) and [`UdpTransport`] (one datagram per frame);
+//! * [`spawn_node`] — a per-node runtime thread that decodes frames,
+//!   drives the protocol, schedules logical ticks from wall time, and
+//!   surfaces deliveries through a [`NodeHandle`].
+//!
+//! # Example
+//!
+//! See `examples/udp_cluster.rs` for a full UDP deployment, and the
+//! runtime tests for an in-memory three-node broadcast.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+mod error;
+mod runtime;
+mod transport;
+mod udp;
+
+pub use error::NetError;
+pub use runtime::{spawn_node, NodeHandle};
+pub use transport::{Fabric, FabricTransport, Transport};
+pub use udp::{UdpTransport, MAX_DATAGRAM};

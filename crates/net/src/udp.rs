@@ -1,0 +1,180 @@
+//! UDP transport: one datagram per frame.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+use diffuse_model::ProcessId;
+
+use crate::{NetError, Transport};
+
+/// Maximum encodable frame: one UDP datagram's worth of payload.
+///
+/// Heartbeats grow with `n · U`; for large systems either lower `U`, use
+/// a smaller membership, or front a fragmenting transport. The paper's
+/// 100-process, `U = 100` heartbeats (~50 KB) fit.
+pub const MAX_DATAGRAM: usize = 65_000;
+
+/// A [`Transport`] over a UDP socket with a static peer registry.
+///
+/// Peers are identified by [`ProcessId`]; frames from unregistered
+/// addresses are ignored. UDP is inherently lossy and unordered, which is
+/// exactly the paper's link model — no reliability layer is added.
+#[derive(Debug)]
+pub struct UdpTransport {
+    id: ProcessId,
+    socket: UdpSocket,
+    peers: BTreeMap<ProcessId, SocketAddr>,
+    by_addr: BTreeMap<SocketAddr, ProcessId>,
+}
+
+impl UdpTransport {
+    /// Binds `id` to `bind_addr` and registers the peer address book.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-level error.
+    pub fn bind(
+        id: ProcessId,
+        bind_addr: SocketAddr,
+        peers: BTreeMap<ProcessId, SocketAddr>,
+    ) -> Result<Self, NetError> {
+        let socket = UdpSocket::bind(bind_addr)?;
+        let by_addr = peers.iter().map(|(p, a)| (*a, *p)).collect();
+        Ok(UdpTransport {
+            id,
+            socket,
+            peers,
+            by_addr,
+        })
+    }
+
+    /// The bound local address (useful when binding to port 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-level error.
+    pub fn local_addr(&self) -> Result<SocketAddr, NetError> {
+        Ok(self.socket.local_addr()?)
+    }
+
+    /// Registers (or replaces) one peer address.
+    pub fn register_peer(&mut self, peer: ProcessId, addr: SocketAddr) {
+        if let Some(old) = self.peers.insert(peer, addr) {
+            self.by_addr.remove(&old);
+        }
+        self.by_addr.insert(addr, peer);
+    }
+}
+
+impl Transport for UdpTransport {
+    fn local_id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn send(&self, to: ProcessId, frame: &[u8]) -> Result<(), NetError> {
+        if frame.len() > MAX_DATAGRAM {
+            return Err(NetError::FrameTooLarge {
+                size: frame.len(),
+                limit: MAX_DATAGRAM,
+            });
+        }
+        let Some(addr) = self.peers.get(&to) else {
+            return Err(NetError::UnknownPeer(to));
+        };
+        self.socket.send_to(frame, addr)?;
+        Ok(())
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(ProcessId, Vec<u8>)>, NetError> {
+        self.socket
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        match self.socket.recv_from(&mut buf) {
+            Ok((n, addr)) => {
+                buf.truncate(n);
+                match self.by_addr.get(&addr) {
+                    Some(peer) => Ok(Some((*peer, buf))),
+                    None => Ok(None), // stranger datagrams are dropped
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn loopback_pair() -> (UdpTransport, UdpTransport) {
+        let any: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let a = UdpTransport::bind(p(0), any, BTreeMap::new()).unwrap();
+        let b = UdpTransport::bind(p(1), any, BTreeMap::new()).unwrap();
+        let (addr_a, addr_b) = (a.local_addr().unwrap(), b.local_addr().unwrap());
+        let mut a = a;
+        let mut b = b;
+        a.register_peer(p(1), addr_b);
+        b.register_peer(p(0), addr_a);
+        (a, b)
+    }
+
+    #[test]
+    fn loopback_round_trip() {
+        let (a, b) = loopback_pair();
+        a.send(p(1), b"hello").unwrap();
+        let (from, frame) = b
+            .recv_timeout(Duration::from_secs(2))
+            .unwrap()
+            .expect("datagram arrives on loopback");
+        assert_eq!(from, p(0));
+        assert_eq!(frame, b"hello");
+        assert_eq!(a.local_id(), p(0));
+    }
+
+    #[test]
+    fn unknown_peer_is_an_error() {
+        let (a, _b) = loopback_pair();
+        assert!(matches!(a.send(p(9), b"x"), Err(NetError::UnknownPeer(_))));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let (a, _b) = loopback_pair();
+        let huge = vec![0u8; MAX_DATAGRAM + 1];
+        assert!(matches!(
+            a.send(p(1), &huge),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let (_a, b) = loopback_pair();
+        assert!(b.recv_timeout(Duration::from_millis(20)).unwrap().is_none());
+    }
+
+    #[test]
+    fn stranger_datagrams_are_ignored() {
+        let (a, b) = loopback_pair();
+        // An unregistered socket sends to b.
+        let stranger = UdpSocket::bind("127.0.0.1:0").unwrap();
+        stranger
+            .send_to(b"spoof", b.local_addr().unwrap())
+            .unwrap();
+        // b sees nothing attributable.
+        let got = b.recv_timeout(Duration::from_millis(200)).unwrap();
+        assert!(got.is_none());
+        drop(a);
+    }
+}

@@ -1,0 +1,787 @@
+//! The discrete-event simulation kernel.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{CrashModel, Metrics, SimTime};
+use crate::crash::CrashState;
+
+/// A message that can travel through the simulated network.
+///
+/// The `kind` string labels metrics (e.g. `"data"`, `"ack"`,
+/// `"heartbeat"`) so experiments can count message categories separately,
+/// as the paper's figures require.
+pub trait SimMessage: Clone {
+    /// Metric label for this message.
+    fn kind(&self) -> &'static str {
+        "message"
+    }
+}
+
+impl SimMessage for String {}
+impl SimMessage for u64 {}
+
+/// A protocol instance living at one process of the simulated system.
+///
+/// Handlers run only while the process is up. Crashes are omission
+/// windows: a down process receives nothing and observes no ticks; on
+/// recovery [`Actor::on_recover`] reports how long the outage lasted
+/// (the input to the paper's Event 4).
+pub trait Actor {
+    /// The message type this actor exchanges.
+    type Message: SimMessage;
+
+    /// Called once at simulation start (time zero).
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message is delivered to this process.
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Self::Message>,
+        from: ProcessId,
+        message: Self::Message,
+    );
+
+    /// Called once per tick while the process is up.
+    fn on_tick(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        let _ = ctx;
+    }
+
+    /// Called when the process recovers from a crash lasting `down_ticks`
+    /// ticks, before any other handler on the recovery tick.
+    fn on_recover(&mut self, ctx: &mut Context<'_, Self::Message>, down_ticks: u64) {
+        let _ = (ctx, down_ticks);
+    }
+}
+
+/// Handler context: the executing process's identity, the current time,
+/// and an outbox for sending messages to neighbors.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    now: SimTime,
+    id: ProcessId,
+    outbox: &'a mut Vec<(ProcessId, M)>,
+}
+
+impl<M> Context<'_, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The identity of the executing process.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Sends `message` to neighbor `to`.
+    ///
+    /// The message is subject to link loss and the configured link delay.
+    /// Sending to a non-neighbor is counted in
+    /// [`Metrics::dropped_invalid`] and otherwise ignored.
+    pub fn send(&mut self, to: ProcessId, message: M) {
+        self.outbox.push((to, message));
+    }
+}
+
+/// Options controlling a [`Simulation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// RNG seed; equal seeds yield bit-identical runs.
+    pub seed: u64,
+    /// Message latency in ticks (must be at least 1).
+    pub link_delay: u64,
+    /// How processes crash and recover.
+    pub crash_model: CrashModel,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            seed: 0xD1FF,
+            link_delay: 1,
+            crash_model: CrashModel::AlwaysUp,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Replaces the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the link delay (clamped to at least 1 tick).
+    #[must_use]
+    pub fn with_link_delay(mut self, ticks: u64) -> Self {
+        self.link_delay = ticks.max(1);
+        self
+    }
+
+    /// Replaces the crash model.
+    #[must_use]
+    pub fn with_crash_model(mut self, model: CrashModel) -> Self {
+        self.crash_model = model;
+        self
+    }
+}
+
+/// A message in flight, ordered by `(arrival time, sequence number)`.
+#[derive(Debug, Clone)]
+struct Flight<M> {
+    at: SimTime,
+    seq: u64,
+    from: ProcessId,
+    to: ProcessId,
+    message: M,
+}
+
+impl<M> PartialEq for Flight<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Flight<M> {}
+
+impl<M> PartialOrd for Flight<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Flight<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Node<A> {
+    actor: A,
+    crash: CrashState,
+}
+
+/// A deterministic discrete-event simulation of a distributed system.
+///
+/// The simulation owns one [`Actor`] per process, a lossy network derived
+/// from a [`Topology`] plus per-link loss probabilities, and a crash
+/// model. A single seeded RNG drives all randomness, consumed in
+/// deterministic order, so equal seeds reproduce runs exactly.
+///
+/// Each tick proceeds in four phases:
+///
+/// 1. crash/recovery transitions (recoveries invoke
+///    [`Actor::on_recover`]);
+/// 2. delivery of messages due this tick, in send order;
+/// 3. [`Actor::on_tick`] for every up process, in id order;
+/// 4. newly sent messages are loss-sampled and scheduled
+///    `link_delay` ticks ahead.
+///
+/// # Example
+///
+/// ```
+/// use diffuse_model::{ProcessId, Topology};
+/// use diffuse_sim::{Actor, Context, SimOptions, Simulation};
+///
+/// struct Echo;
+/// impl Actor for Echo {
+///     type Message = u64;
+///     fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: ProcessId, n: u64) {
+///         if n > 0 {
+///             ctx.send(from, n - 1);
+///         }
+///     }
+/// }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut topology = Topology::new();
+/// topology.add_link(ProcessId::new(0), ProcessId::new(1))?;
+///
+/// let mut sim = Simulation::new(
+///     topology,
+///     Default::default(), // lossless
+///     |_| Echo,
+///     SimOptions::default(),
+/// );
+/// sim.command(ProcessId::new(0), |_, ctx| {
+///     let peer = ProcessId::new(1);
+///     ctx.send(peer, 10);
+/// });
+/// sim.run_ticks(30);
+/// assert_eq!(sim.metrics().sent_total(), 11); // 10, 9, …, 0
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulation<A: Actor> {
+    topology: Topology,
+    loss: Configuration,
+    options: SimOptions,
+    nodes: BTreeMap<ProcessId, Node<A>>,
+    ids: Vec<ProcessId>,
+    in_flight: BinaryHeap<Reverse<Flight<A::Message>>>,
+    next_seq: u64,
+    now: SimTime,
+    rng: StdRng,
+    metrics: Metrics,
+    outbox: Vec<(ProcessId, A::Message)>,
+    started: bool,
+}
+
+impl<A: Actor> std::fmt::Debug for Simulation<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("processes", &self.ids.len())
+            .field("in_flight", &self.in_flight.len())
+            .field("metrics", &self.metrics)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Creates a simulation over `topology` with per-link loss
+    /// probabilities taken from `loss` (its crash probabilities are
+    /// ignored — crashes come from [`SimOptions::crash_model`]).
+    ///
+    /// `make_actor` constructs the protocol instance for each process.
+    pub fn new(
+        topology: Topology,
+        loss: Configuration,
+        mut make_actor: impl FnMut(ProcessId) -> A,
+        options: SimOptions,
+    ) -> Self {
+        let ids: Vec<ProcessId> = topology.processes().collect();
+        let nodes: BTreeMap<ProcessId, Node<A>> = ids
+            .iter()
+            .map(|&id| {
+                (
+                    id,
+                    Node {
+                        actor: make_actor(id),
+                        crash: CrashState::new(),
+                    },
+                )
+            })
+            .collect();
+        Simulation {
+            topology,
+            loss,
+            rng: StdRng::seed_from_u64(options.seed),
+            options,
+            nodes,
+            ids,
+            in_flight: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            metrics: Metrics::new(),
+            outbox: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The simulated topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Resets collected metrics (e.g. after warm-up).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Immutable access to a process's actor.
+    pub fn node(&self, id: ProcessId) -> Option<&A> {
+        self.nodes.get(&id).map(|n| &n.actor)
+    }
+
+    /// Iterates over `(id, actor)` pairs in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (ProcessId, &A)> {
+        self.nodes.iter().map(|(id, n)| (*id, &n.actor))
+    }
+
+    /// Returns `true` iff the process is currently up.
+    ///
+    /// Unknown processes are reported as down.
+    pub fn is_up(&self, id: ProcessId) -> bool {
+        self.nodes.get(&id).is_some_and(|n| n.crash.up)
+    }
+
+    /// Forces `id` down for the next `ticks` ticks (failure injection).
+    pub fn force_down(&mut self, id: ProcessId, ticks: u64) {
+        if let Some(node) = self.nodes.get_mut(&id) {
+            node.crash.force_down(ticks);
+        }
+    }
+
+    /// Overrides the loss probability of one link (e.g. to heal or break
+    /// a path mid-run).
+    pub fn set_loss(&mut self, link: LinkId, p: Probability) {
+        self.loss.set_loss(link, p);
+    }
+
+    /// Runs a closure against one process's actor with a live context, as
+    /// an external command (e.g. "broadcast now"). Returns `false` (and
+    /// does nothing) if the process is unknown or down.
+    pub fn command(
+        &mut self,
+        id: ProcessId,
+        f: impl FnOnce(&mut A, &mut Context<'_, A::Message>),
+    ) -> bool {
+        self.ensure_started();
+        let now = self.now;
+        let Some(node) = self.nodes.get_mut(&id) else {
+            return false;
+        };
+        if !node.crash.up {
+            return false;
+        }
+        let mut outbox = std::mem::take(&mut self.outbox);
+        {
+            let mut ctx = Context {
+                now,
+                id,
+                outbox: &mut outbox,
+            };
+            f(&mut node.actor, &mut ctx);
+        }
+        self.outbox = outbox;
+        self.flush_outbox(id);
+        true
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let ids = self.ids.clone();
+        for id in ids {
+            self.with_actor(id, |actor, ctx| actor.on_start(ctx));
+        }
+    }
+
+    /// Runs `f` for the actor at `id` with a context, then flushes sends.
+    fn with_actor(
+        &mut self,
+        id: ProcessId,
+        f: impl FnOnce(&mut A, &mut Context<'_, A::Message>),
+    ) {
+        let now = self.now;
+        let Some(node) = self.nodes.get_mut(&id) else {
+            return;
+        };
+        let mut outbox = std::mem::take(&mut self.outbox);
+        {
+            let mut ctx = Context {
+                now,
+                id,
+                outbox: &mut outbox,
+            };
+            f(&mut node.actor, &mut ctx);
+        }
+        self.outbox = outbox;
+        self.flush_outbox(id);
+    }
+
+    /// Loss-samples and schedules everything the last handler sent.
+    ///
+    /// In the paper's model a process sends *one* message per step, so
+    /// when a handler emits several messages to the same destination
+    /// (e.g. the `m⃗[j]` copies of Algorithm 1), they are staggered one
+    /// tick apart. This keeps per-copy failures independent — delivering
+    /// a whole burst in one tick would make one receiver-crash sample
+    /// destroy every copy at once.
+    fn flush_outbox(&mut self, from: ProcessId) {
+        // Drain into a local buffer first: scheduling needs &mut self.
+        let pending: Vec<(ProcessId, A::Message)> = self.outbox.drain(..).collect();
+        let mut burst: BTreeMap<ProcessId, u64> = BTreeMap::new();
+        for (to, message) in pending {
+            let Ok(link) = LinkId::new(from, to) else {
+                self.metrics.record_invalid();
+                continue;
+            };
+            if !self.topology.contains_link(link) {
+                self.metrics.record_invalid();
+                continue;
+            }
+            self.metrics.record_sent(link, message.kind());
+            let loss = self.loss.loss(link);
+            if !loss.is_zero() && self.rng.gen_bool(loss.value()) {
+                self.metrics.record_lost();
+                continue;
+            }
+            let stagger = burst.entry(to).or_insert(0);
+            let flight = Flight {
+                at: self.now + self.options.link_delay + *stagger,
+                seq: self.next_seq,
+                from,
+                to,
+                message,
+            };
+            *stagger += 1;
+            self.next_seq += 1;
+            self.in_flight.push(Reverse(flight));
+        }
+    }
+
+    /// Advances the simulation by one tick.
+    pub fn step(&mut self) {
+        self.ensure_started();
+        self.now += 1;
+
+        // Phase 1: crash/recovery transitions, id order.
+        let model = self.options.crash_model;
+        let mut recovered: Vec<(ProcessId, u64)> = Vec::new();
+        for (&id, node) in self.nodes.iter_mut() {
+            if let Some(downtime) = node.crash.advance(&model, &mut self.rng) {
+                recovered.push((id, downtime));
+            }
+        }
+        for (id, downtime) in recovered {
+            self.with_actor(id, |actor, ctx| actor.on_recover(ctx, downtime));
+        }
+
+        // Phase 2: deliveries due this tick, in send order.
+        while let Some(Reverse(flight)) = self.in_flight.peek() {
+            if flight.at > self.now {
+                break;
+            }
+            let Reverse(flight) = self.in_flight.pop().expect("peeked");
+            let up = self
+                .nodes
+                .get(&flight.to)
+                .is_some_and(|n| n.crash.up);
+            if !up {
+                self.metrics.record_dropped_receiver_down();
+                continue;
+            }
+            self.metrics.record_delivered(flight.message.kind());
+            let (from, to, message) = (flight.from, flight.to, flight.message);
+            self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, message));
+        }
+
+        // Phase 3: tick handlers for up processes, id order.
+        let ids = self.ids.clone();
+        for id in ids {
+            if self.is_up(id) {
+                self.with_actor(id, |actor, ctx| actor.on_tick(ctx));
+            }
+        }
+    }
+
+    /// Runs `n` ticks.
+    pub fn run_ticks(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Steps until `predicate` returns `true` (checked before the first
+    /// step and after every step) or `max_ticks` have elapsed.
+    ///
+    /// Returns the time at which the predicate first held, or `None` on
+    /// timeout.
+    pub fn run_until(
+        &mut self,
+        mut predicate: impl FnMut(&Simulation<A>) -> bool,
+        max_ticks: u64,
+    ) -> Option<SimTime> {
+        self.ensure_started();
+        if predicate(self) {
+            return Some(self.now);
+        }
+        for _ in 0..max_ticks {
+            self.step();
+            if predicate(self) {
+                return Some(self.now);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Counts everything it receives; forwards `hops`-decremented copies
+    /// to all neighbors when asked.
+    struct Counter {
+        received: Vec<(ProcessId, u64)>,
+        recovered_after: Vec<u64>,
+        ticks: u64,
+    }
+
+    impl Counter {
+        fn new() -> Self {
+            Counter {
+                received: Vec::new(),
+                recovered_after: Vec::new(),
+                ticks: 0,
+            }
+        }
+    }
+
+    impl Actor for Counter {
+        type Message = u64;
+
+        fn on_message(&mut self, _ctx: &mut Context<'_, u64>, from: ProcessId, n: u64) {
+            self.received.push((from, n));
+        }
+
+        fn on_tick(&mut self, _ctx: &mut Context<'_, u64>) {
+            self.ticks += 1;
+        }
+
+        fn on_recover(&mut self, _ctx: &mut Context<'_, u64>, down_ticks: u64) {
+            self.recovered_after.push(down_ticks);
+        }
+    }
+
+    fn pair_topology() -> Topology {
+        let mut t = Topology::new();
+        t.add_link(p(0), p(1)).unwrap();
+        t
+    }
+
+    #[test]
+    fn message_arrives_after_link_delay() {
+        let mut sim = Simulation::new(
+            pair_topology(),
+            Configuration::new(),
+            |_| Counter::new(),
+            SimOptions::default().with_link_delay(3),
+        );
+        sim.command(p(0), |_, ctx| ctx.send(p(1), 42));
+        sim.run_ticks(2);
+        assert!(sim.node(p(1)).unwrap().received.is_empty());
+        sim.run_ticks(1);
+        assert_eq!(sim.node(p(1)).unwrap().received, vec![(p(0), 42)]);
+        assert_eq!(sim.metrics().sent_total(), 1);
+        assert_eq!(sim.metrics().delivered_total(), 1);
+    }
+
+    #[test]
+    fn total_loss_link_delivers_nothing() {
+        let topology = pair_topology();
+        let mut loss = Configuration::new();
+        loss.set_loss(LinkId::new(p(0), p(1)).unwrap(), Probability::ONE);
+        let mut sim = Simulation::new(
+            topology,
+            loss,
+            |_| Counter::new(),
+            SimOptions::default(),
+        );
+        for _ in 0..10 {
+            sim.command(p(0), |_, ctx| ctx.send(p(1), 1));
+        }
+        sim.run_ticks(5);
+        assert_eq!(sim.metrics().sent_total(), 10);
+        assert_eq!(sim.metrics().lost_in_link(), 10);
+        assert_eq!(sim.metrics().delivered_total(), 0);
+        assert!(sim.node(p(1)).unwrap().received.is_empty());
+    }
+
+    #[test]
+    fn partial_loss_matches_probability() {
+        let topology = pair_topology();
+        let mut loss = Configuration::new();
+        loss.set_loss(
+            LinkId::new(p(0), p(1)).unwrap(),
+            Probability::new(0.3).unwrap(),
+        );
+        let mut sim = Simulation::new(
+            topology,
+            loss,
+            |_| Counter::new(),
+            SimOptions::default().with_seed(99),
+        );
+        for _ in 0..10_000 {
+            sim.command(p(0), |_, ctx| ctx.send(p(1), 1));
+        }
+        sim.run_ticks(2);
+        let lost = sim.metrics().lost_in_link() as f64 / 10_000.0;
+        assert!((lost - 0.3).abs() < 0.02, "loss fraction {lost}");
+    }
+
+    #[test]
+    fn sends_to_non_neighbors_are_rejected() {
+        let mut topology = pair_topology();
+        topology.add_process(p(2));
+        let mut sim = Simulation::new(
+            topology,
+            Configuration::new(),
+            |_| Counter::new(),
+            SimOptions::default(),
+        );
+        sim.command(p(0), |_, ctx| {
+            ctx.send(p(2), 1); // not a neighbor
+            ctx.send(p(0), 2); // self-loop
+            ctx.send(p(9), 3); // unknown
+        });
+        sim.run_ticks(2);
+        assert_eq!(sim.metrics().dropped_invalid(), 3);
+        assert_eq!(sim.metrics().sent_total(), 0);
+    }
+
+    #[test]
+    fn crashed_receiver_drops_messages_and_recovers() {
+        let mut sim = Simulation::new(
+            pair_topology(),
+            Configuration::new(),
+            |_| Counter::new(),
+            SimOptions::default(),
+        );
+        sim.force_down(p(1), 5);
+        sim.command(p(0), |_, ctx| ctx.send(p(1), 7));
+        sim.run_ticks(3);
+        assert_eq!(sim.metrics().dropped_receiver_down(), 1);
+        assert!(!sim.is_up(p(1)));
+        sim.run_ticks(3);
+        assert!(sim.is_up(p(1)));
+        assert_eq!(sim.node(p(1)).unwrap().recovered_after, vec![5]);
+        // The outage covers ticks 1–4 entirely; recovery happens in tick
+        // 5's crash phase, so tick handlers run again from tick 5 on.
+        assert_eq!(sim.node(p(1)).unwrap().ticks, sim.now().ticks() - 4);
+    }
+
+    #[test]
+    fn command_on_down_process_is_refused() {
+        let mut sim = Simulation::new(
+            pair_topology(),
+            Configuration::new(),
+            |_| Counter::new(),
+            SimOptions::default(),
+        );
+        sim.force_down(p(0), 2);
+        // force_down takes effect immediately for commands.
+        assert!(!sim.command(p(0), |_, ctx| ctx.send(p(1), 1)));
+        assert!(sim.command(p(1), |_, ctx| ctx.send(p(0), 1)));
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_runs() {
+        let run = |seed: u64| {
+            let topology = pair_topology();
+            let mut loss = Configuration::new();
+            loss.set_loss(
+                LinkId::new(p(0), p(1)).unwrap(),
+                Probability::new(0.5).unwrap(),
+            );
+            let mut sim = Simulation::new(
+                topology,
+                loss,
+                |_| Counter::new(),
+                SimOptions::default()
+                    .with_seed(seed)
+                    .with_crash_model(CrashModel::Bernoulli {
+                        p: Probability::new(0.1).unwrap(),
+                    }),
+            );
+            for _ in 0..200 {
+                sim.command(p(0), |_, ctx| ctx.send(p(1), 1));
+                sim.step();
+            }
+            sim.metrics().clone()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn run_until_reports_first_hit_time() {
+        let mut sim = Simulation::new(
+            pair_topology(),
+            Configuration::new(),
+            |_| Counter::new(),
+            SimOptions::default(),
+        );
+        sim.command(p(0), |_, ctx| ctx.send(p(1), 1));
+        let hit = sim.run_until(
+            |s| s.node(p(1)).is_some_and(|n| !n.received.is_empty()),
+            100,
+        );
+        assert_eq!(hit, Some(SimTime::new(1)));
+        // Timeout case.
+        let miss = sim.run_until(|_| false, 5);
+        assert_eq!(miss, None);
+        assert_eq!(sim.now(), SimTime::new(6));
+    }
+
+    #[test]
+    fn set_loss_changes_future_transmissions() {
+        let mut sim = Simulation::new(
+            pair_topology(),
+            Configuration::new(),
+            |_| Counter::new(),
+            SimOptions::default(),
+        );
+        sim.command(p(0), |_, ctx| ctx.send(p(1), 1));
+        sim.set_loss(LinkId::new(p(0), p(1)).unwrap(), Probability::ONE);
+        sim.command(p(0), |_, ctx| ctx.send(p(1), 2));
+        sim.run_ticks(3);
+        let received = &sim.node(p(1)).unwrap().received;
+        assert_eq!(received, &vec![(p(0), 1)]);
+    }
+
+    #[test]
+    fn same_destination_bursts_are_staggered() {
+        let mut sim = Simulation::new(
+            pair_topology(),
+            Configuration::new(),
+            |_| Counter::new(),
+            SimOptions::default(),
+        );
+        // One handler invocation sends three copies to p1.
+        sim.command(p(0), |_, ctx| {
+            ctx.send(p(1), 1);
+            ctx.send(p(1), 2);
+            ctx.send(p(1), 3);
+        });
+        sim.run_ticks(1);
+        assert_eq!(sim.node(p(1)).unwrap().received.len(), 1);
+        sim.run_ticks(1);
+        assert_eq!(sim.node(p(1)).unwrap().received.len(), 2);
+        sim.run_ticks(1);
+        assert_eq!(sim.node(p(1)).unwrap().received.len(), 3);
+    }
+
+    #[test]
+    fn nodes_iterates_in_id_order() {
+        let mut topology = Topology::new();
+        topology.add_link(p(2), p(0)).unwrap();
+        topology.add_link(p(1), p(2)).unwrap();
+        let sim = Simulation::new(
+            topology,
+            Configuration::new(),
+            |_| Counter::new(),
+            SimOptions::default(),
+        );
+        let ids: Vec<ProcessId> = sim.nodes().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![p(0), p(1), p(2)]);
+        assert!(sim.node(p(9)).is_none());
+        assert!(!sim.is_up(p(9)));
+    }
+}

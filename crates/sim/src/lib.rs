@@ -1,0 +1,34 @@
+//! Deterministic discrete-event simulation kernel for `diffuse`.
+//!
+//! The paper evaluates its algorithms with a discrete-event simulation
+//! "associating a crash probability to each process and a loss probability
+//! to each link" (Section 5). This crate is that substrate, rebuilt as a
+//! reusable kernel:
+//!
+//! * [`Simulation`] — the event loop: integer-tick time ([`SimTime`]),
+//!   per-link Bernoulli message loss, configurable link delay, and a
+//!   single seeded RNG so identical seeds replay identical executions;
+//! * [`Actor`] — the protocol interface (message/tick/recovery handlers);
+//! * [`CrashModel`] — process crash/recovery processes realizing the
+//!   paper's stationary down-fraction `P_i` (i.i.d. per tick, or a
+//!   two-state Markov chain with crash *episodes*);
+//! * [`Metrics`] — wire-level counters, split by message kind and by
+//!   link, matching the quantities plotted in the paper's figures.
+//!
+//! Protocol state survives crashes (the paper grants stable storage);
+//! crashes are omission windows during which a process neither sends,
+//! receives, nor observes ticks.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod crash;
+mod kernel;
+mod metrics;
+mod time;
+
+pub use crash::CrashModel;
+pub use kernel::{Actor, Context, SimMessage, SimOptions, Simulation};
+pub use metrics::Metrics;
+pub use time::SimTime;

@@ -1,0 +1,178 @@
+//! Simulation metrics.
+
+use std::collections::BTreeMap;
+
+use diffuse_model::LinkId;
+
+/// Counters collected by the simulation kernel.
+///
+/// The kernel counts every wire-level event; message *kinds* come from
+/// [`SimMessage::kind`](crate::SimMessage::kind) so experiments can
+/// separate data messages from acknowledgements and heartbeats, exactly as
+/// the paper's figures do.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    sent_total: u64,
+    delivered_total: u64,
+    lost_in_link: u64,
+    dropped_receiver_down: u64,
+    dropped_invalid: u64,
+    sent_by_kind: BTreeMap<&'static str, u64>,
+    delivered_by_kind: BTreeMap<&'static str, u64>,
+    sent_per_link: BTreeMap<LinkId, u64>,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    pub(crate) fn record_sent(&mut self, link: LinkId, kind: &'static str) {
+        self.sent_total += 1;
+        *self.sent_by_kind.entry(kind).or_insert(0) += 1;
+        *self.sent_per_link.entry(link).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_delivered(&mut self, kind: &'static str) {
+        self.delivered_total += 1;
+        *self.delivered_by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_lost(&mut self) {
+        self.lost_in_link += 1;
+    }
+
+    pub(crate) fn record_dropped_receiver_down(&mut self) {
+        self.dropped_receiver_down += 1;
+    }
+
+    pub(crate) fn record_invalid(&mut self) {
+        self.dropped_invalid += 1;
+    }
+
+    /// Total messages handed to the network (before loss).
+    pub fn sent_total(&self) -> u64 {
+        self.sent_total
+    }
+
+    /// Total messages delivered to a running receiver.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_total
+    }
+
+    /// Messages destroyed by link loss.
+    pub fn lost_in_link(&self) -> u64 {
+        self.lost_in_link
+    }
+
+    /// Messages that arrived while the receiver was crashed.
+    pub fn dropped_receiver_down(&self) -> u64 {
+        self.dropped_receiver_down
+    }
+
+    /// Messages sent to a non-neighbor or unknown process.
+    pub fn dropped_invalid(&self) -> u64 {
+        self.dropped_invalid
+    }
+
+    /// Messages sent of a given kind.
+    pub fn sent_of_kind(&self, kind: &str) -> u64 {
+        self.sent_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Messages delivered of a given kind.
+    pub fn delivered_of_kind(&self, kind: &str) -> u64 {
+        self.delivered_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Messages sent over a specific link (both directions).
+    pub fn sent_over(&self, link: LinkId) -> u64 {
+        self.sent_per_link.get(&link).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(link, sent)` pairs for links that carried traffic.
+    pub fn per_link(&self) -> impl Iterator<Item = (LinkId, u64)> + '_ {
+        self.sent_per_link.iter().map(|(l, c)| (*l, *c))
+    }
+
+    /// Average messages per link over `link_count` links — the y-axis of
+    /// the paper's Figures 5 and 6.
+    ///
+    /// Uses the supplied topology-wide link count (not just links that saw
+    /// traffic) so idle links count toward the average.
+    pub fn messages_per_link(&self, link_count: usize) -> f64 {
+        if link_count == 0 {
+            return 0.0;
+        }
+        self.sent_total as f64 / link_count as f64
+    }
+
+    /// Average messages per link restricted to one message kind.
+    pub fn messages_per_link_of_kind(&self, kind: &str, link_count: usize) -> f64 {
+        if link_count == 0 {
+            return 0.0;
+        }
+        self.sent_of_kind(kind) as f64 / link_count as f64
+    }
+
+    /// Resets every counter to zero (e.g. after a warm-up phase).
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffuse_model::ProcessId;
+
+    fn link(a: u32, b: u32) -> LinkId {
+        LinkId::new(ProcessId::new(a), ProcessId::new(b)).unwrap()
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.record_sent(link(0, 1), "data");
+        m.record_sent(link(0, 1), "data");
+        m.record_sent(link(1, 2), "ack");
+        m.record_delivered("data");
+        m.record_lost();
+        m.record_dropped_receiver_down();
+        m.record_invalid();
+
+        assert_eq!(m.sent_total(), 3);
+        assert_eq!(m.sent_of_kind("data"), 2);
+        assert_eq!(m.sent_of_kind("ack"), 1);
+        assert_eq!(m.sent_of_kind("heartbeat"), 0);
+        assert_eq!(m.delivered_total(), 1);
+        assert_eq!(m.delivered_of_kind("data"), 1);
+        assert_eq!(m.lost_in_link(), 1);
+        assert_eq!(m.dropped_receiver_down(), 1);
+        assert_eq!(m.dropped_invalid(), 1);
+        assert_eq!(m.sent_over(link(0, 1)), 2);
+        assert_eq!(m.sent_over(link(5, 6)), 0);
+        assert_eq!(m.per_link().count(), 2);
+    }
+
+    #[test]
+    fn per_link_average_uses_total_link_count() {
+        let mut m = Metrics::new();
+        for _ in 0..10 {
+            m.record_sent(link(0, 1), "heartbeat");
+        }
+        assert_eq!(m.messages_per_link(5), 2.0);
+        assert_eq!(m.messages_per_link_of_kind("heartbeat", 5), 2.0);
+        assert_eq!(m.messages_per_link_of_kind("data", 5), 0.0);
+        assert_eq!(m.messages_per_link(0), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut m = Metrics::new();
+        m.record_sent(link(0, 1), "data");
+        m.reset();
+        assert_eq!(m, Metrics::new());
+    }
+}

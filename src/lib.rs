@@ -1,0 +1,67 @@
+//! # diffuse
+//!
+//! Adaptive probabilistic reliable broadcast for unreliable environments —
+//! a Rust implementation of *An Adaptive Algorithm for Efficient Message
+//! Diffusion in Unreliable Environments* (Garbinato, Pedone, Schmidt —
+//! DSN 2004, EPFL TR IC/2004/30).
+//!
+//! The paper's idea: instead of gossiping blindly, learn the topology and
+//! the failure probabilities of processes and links while running, build a
+//! **Maximum Reliability Tree** (MRT) over the best paths, and send the
+//! *minimum* number of message copies down each tree edge needed to reach
+//! every process with a target probability `K`. With exact knowledge the
+//! algorithm is provably optimal in message count; the adaptive variant
+//! converges to that optimum by Bayesian inference over observed heartbeats.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`model`] — processes, links, topologies, probabilistic configurations;
+//! * [`graph`] — maximum reliability trees and topology generators;
+//! * [`bayes`] — interval Bayesian estimators and distortion-ranked estimates;
+//! * [`sim`] — a deterministic discrete-event simulation kernel;
+//! * [`core`] — the broadcast protocols: optimal, adaptive and the gossip
+//!   reference baseline, plus the `reach`/`optimize` machinery;
+//! * [`net`] — wire codec, lossy in-memory fabric, UDP transport, runtime.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use diffuse::core::{optimize, ReliabilityTree};
+//! use diffuse::graph::{generators, maximum_reliability_tree};
+//! use diffuse::model::{Configuration, Probability, ProcessId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 32-process ring with 1% crash and 5% loss probabilities.
+//! let topology = generators::ring(32)?;
+//! let config = Configuration::uniform(
+//!     &topology,
+//!     Probability::new(0.01)?,
+//!     Probability::new(0.05)?,
+//! );
+//!
+//! // Build the maximum reliability tree rooted at the broadcaster …
+//! let root = ProcessId::new(0);
+//! let tree = maximum_reliability_tree(&topology, &config, root)?;
+//!
+//! // … and compute the cheapest per-link message counts reaching everyone
+//! // with probability at least 0.9999.
+//! let rel = ReliabilityTree::from_spanning_tree(&tree, &config)?;
+//! let plan = optimize(&rel, 0.9999)?;
+//! assert!(plan.reach() >= 0.9999);
+//! println!("{} messages needed", plan.total_messages());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios and the
+//! `diffuse-experiments` crate for the paper's full evaluation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use diffuse_bayes as bayes;
+pub use diffuse_core as core;
+pub use diffuse_graph as graph;
+pub use diffuse_model as model;
+pub use diffuse_net as net;
+pub use diffuse_sim as sim;

@@ -1,0 +1,80 @@
+//! Integration tests for the experiment harness: shape checks on the
+//! paper's headline claims, kept small enough for CI.
+
+use diffuse::core::analysis;
+use diffuse::model::Probability;
+use diffuse_experiments::{
+    adaptive_broadcast_cost, calibrate_gossip_steps, gossip_message_stats,
+    rule_of_three_lower_bound, Effort, Summary,
+};
+
+#[test]
+fn figure1_headline_claim() {
+    // "an adaptive algorithm only needs about 87% of the messages sent by
+    // a traditional gossip algorithm" (α = 10, L = 1e-4).
+    let ratio = analysis::message_ratio(10.0, 1e-4).unwrap();
+    assert!((ratio - 0.875).abs() < 0.005, "ratio {ratio}");
+    // And the claimed ~13% waste.
+    assert!((1.0 - ratio - 0.125).abs() < 0.005);
+}
+
+#[test]
+fn figure4_shape_on_one_small_point() {
+    // Reduced-size shape check: denser graphs widen the reference/optimal
+    // gap (the paper's core message for Figure 4).
+    let effort = Effort {
+        gossip_runs: 15,
+        ..Effort::quick()
+    };
+    let sparse = diffuse::graph::generators::circulant(40, 4).unwrap();
+    let dense = diffuse::graph::generators::circulant(40, 12).unwrap();
+    let loss = Probability::new(0.03).unwrap();
+
+    let measure = |topology: &diffuse::model::Topology| {
+        let optimal = adaptive_broadcast_cost(topology, loss, Probability::ZERO, 0.9999).unwrap();
+        let steps = calibrate_gossip_steps(
+            topology,
+            loss,
+            Probability::ZERO,
+            effort.gossip_runs,
+            256,
+            5,
+        )
+        .unwrap();
+        let (data, acks) =
+            gossip_message_stats(topology, loss, Probability::ZERO, steps, effort.gossip_runs, 9);
+        (data.mean + acks.mean) / optimal as f64
+    };
+    let ratio_sparse = measure(&sparse);
+    let ratio_dense = measure(&dense);
+    assert!(
+        ratio_dense > ratio_sparse,
+        "dense {ratio_dense} should beat sparse {ratio_sparse}"
+    );
+    assert!(ratio_dense > 1.0);
+}
+
+#[test]
+fn summary_statistics_power_the_tables() {
+    let s = Summary::of(&[10.0, 12.0, 11.0, 13.0, 9.0]);
+    assert_eq!(s.count, 5);
+    assert!((s.mean - 11.0).abs() < 1e-12);
+    let (lo, hi) = s.interval();
+    assert!(lo < 11.0 && 11.0 < hi);
+    // Monte-Carlo certification limit used throughout EXPERIMENTS.md.
+    assert!((rule_of_three_lower_bound(200) - 0.985).abs() < 1e-12);
+}
+
+#[test]
+fn optimal_cost_is_monotone_in_target_reliability() {
+    let topology = diffuse::graph::generators::circulant(50, 6).unwrap();
+    let loss = Probability::new(0.05).unwrap();
+    let mut last = 0u64;
+    for k in [0.9, 0.99, 0.999, 0.9999] {
+        let cost = adaptive_broadcast_cost(&topology, loss, Probability::ZERO, k).unwrap();
+        assert!(cost >= last, "cost must grow with K");
+        last = cost;
+    }
+    // And one message per link is the floor.
+    assert!(last >= 49);
+}
