@@ -265,8 +265,7 @@ impl BeliefEstimator {
     /// Panics if `mass` is not within `(0, 1]`.
     pub fn credible_bounds(&self, mass: f64) -> (f64, f64) {
         assert!(mass > 0.0 && mass <= 1.0, "mass must be in (0, 1]");
-        let mut indexed: Vec<(usize, f64)> =
-            self.beliefs.iter().copied().enumerate().collect();
+        let mut indexed: Vec<(usize, f64)> = self.beliefs.iter().copied().enumerate().collect();
         indexed.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let mut covered = 0.0;
         let mut lo = f64::INFINITY;
@@ -411,7 +410,9 @@ mod tests {
         let before = e.clone();
         e.decrease_reliability(1);
         e.increase_reliability(1);
-        let drift: f64 = (0..10).map(|u| (e.belief(u) - before.belief(u)).abs()).sum();
+        let drift: f64 = (0..10)
+            .map(|u| (e.belief(u) - before.belief(u)).abs())
+            .sum();
         assert!(drift > 1e-3, "expected visible drift, got {drift}");
     }
 

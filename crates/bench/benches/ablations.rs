@@ -17,7 +17,9 @@ use diffuse_model::Probability;
 
 fn bench_greedy_vs_exhaustive(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimize_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     // Small tree so the exponential oracle terminates.
     let tree = fixture_tree(7, 2, 0.2);
     group.bench_function("greedy", |b| b.iter(|| optimize(&tree, 0.95).unwrap()));
@@ -29,7 +31,9 @@ fn bench_greedy_vs_exhaustive(c: &mut Criterion) {
 
 fn bench_reach_forms(c: &mut Criterion) {
     let mut group = c.benchmark_group("reach_ablation");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     let tree = fixture_tree(100, 8, 0.05);
     let m = MessageVector::ones(tree.link_count());
     group.bench_function("iterative_eq2", |b| b.iter(|| reach(&tree, &m)));
@@ -44,7 +48,9 @@ fn bench_reconcile_modes(c: &mut Criterion) {
     // default and the paper-literal estimator semantics (accuracy is
     // compared in tests; this tracks the runtime cost).
     let mut group = c.benchmark_group("reconcile_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     let topology = generators::ring(16).unwrap();
     let loss = Probability::new(0.05).unwrap();
     for (name, params) in [
@@ -74,7 +80,9 @@ fn bench_estimate_adoption(c: &mut Criterion) {
     // COW adoption (the implementation) vs a forced deep copy of the
     // belief vector — the epidemic exchange's hot path.
     let mut group = c.benchmark_group("adoption_ablation");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     let mut theirs = Estimate::first_hand(100);
     theirs.beliefs.decrease_reliability(5);
     group.bench_function("cow_adopt", |b| {
@@ -101,7 +109,9 @@ fn bench_estimate_adoption(c: &mut Criterion) {
 fn bench_interval_resolution(c: &mut Criterion) {
     // U sweep: update cost scales with the number of intervals.
     let mut group = c.benchmark_group("intervals_ablation");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     for u in [10usize, 100, 400] {
         group.bench_function(format!("observe_u{u}"), |b| {
             let mut e = BeliefEstimator::new(u);

@@ -27,7 +27,9 @@ fn bench_effort() -> Effort {
 
 fn bench_fig1(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("closed_form_table", |b| b.iter(fig1::run));
     group.bench_function("two_path_monte_carlo", |b| {
         b.iter(|| fig1::monte_carlo_check(6, 0.05, 4.0, 2_000, 3))
@@ -40,14 +42,18 @@ fn bench_fig1(c: &mut Criterion) {
 
 fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("belief_table", |b| b.iter(table1::run));
     group.finish();
 }
 
 fn bench_fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     let effort = bench_effort();
     group.bench_function("point_c6_L003", |b| {
         b.iter(|| fig4::measure_point(6, 0.03, Panel::LossSweep, &effort))
@@ -57,7 +63,9 @@ fn bench_fig4(c: &mut Criterion) {
 
 fn bench_fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     let effort = bench_effort();
     group.bench_function("convergence_point_c6_L001", |b| {
         b.iter(|| fig5::measure_point(6, 0.01, Panel::LossSweep, &effort))
@@ -67,7 +75,9 @@ fn bench_fig5(c: &mut Criterion) {
 
 fn bench_fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     let effort = bench_effort();
     group.bench_function("ring_point_n40", |b| {
         b.iter(|| fig6::measure_point(fig6::Family::Ring, 40, &effort))
@@ -80,7 +90,9 @@ fn bench_fig6(c: &mut Criterion) {
 
 fn bench_extensions(c: &mut Criterion) {
     let mut group = c.benchmark_group("extensions");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     let effort = bench_effort();
     group.bench_function("hetero_point", |b| {
         b.iter(|| hetero::measure_point(0.3, &effort))

@@ -18,15 +18,15 @@ use diffuse_sim::SimTime;
 
 fn bench_mrt(c: &mut Criterion) {
     let mut group = c.benchmark_group("mrt");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for &(n, k) in &[(100u32, 8u32), (100, 20), (240, 8)] {
         let (topology, config) = fixture(n, k, 0.05);
         group.bench_with_input(
             BenchmarkId::new("prim", format!("n{n}_k{k}")),
             &(topology, config),
-            |b, (t, cfg)| {
-                b.iter(|| maximum_reliability_tree(t, cfg, ProcessId::new(0)).unwrap())
-            },
+            |b, (t, cfg)| b.iter(|| maximum_reliability_tree(t, cfg, ProcessId::new(0)).unwrap()),
         );
     }
     group.finish();
@@ -34,7 +34,9 @@ fn bench_mrt(c: &mut Criterion) {
 
 fn bench_reach_and_optimize(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimize");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for &loss in &[0.01f64, 0.07] {
         let tree = fixture_tree(100, 8, loss);
         let m = MessageVector::ones(tree.link_count());
@@ -54,7 +56,9 @@ fn bench_reach_and_optimize(c: &mut Criterion) {
 
 fn bench_bayes(c: &mut Criterion) {
     let mut group = c.benchmark_group("bayes");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("observe_u100", |b| {
         let mut e = BeliefEstimator::new(100);
         let mut i = 0u32;
@@ -76,7 +80,9 @@ fn bench_bayes(c: &mut Criterion) {
 fn bench_heartbeat_processing(c: &mut Criterion) {
     // End-to-end cost of one heartbeat round on a 30-node system.
     let mut group = c.benchmark_group("heartbeat");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     let (topology, _) = fixture(30, 4, 0.0);
     let all: Vec<ProcessId> = topology.processes().collect();
     group.bench_function("round_30_nodes", |b| {
@@ -116,7 +122,9 @@ fn bench_heartbeat_processing(c: &mut Criterion) {
 
 fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     // A realistic heartbeat from a live 20-node adaptive instance.
     let (topology, _) = fixture(20, 4, 0.0);
     let all: Vec<ProcessId> = topology.processes().collect();
@@ -130,7 +138,9 @@ fn bench_codec(c: &mut Criterion) {
     node.handle_tick(SimTime::new(1), &mut actions);
     let (_, heartbeat) = actions.take_sends().remove(0);
     let frame = encode_message(&heartbeat);
-    group.bench_function("encode_heartbeat", |b| b.iter(|| encode_message(&heartbeat)));
+    group.bench_function("encode_heartbeat", |b| {
+        b.iter(|| encode_message(&heartbeat))
+    });
     group.bench_function("decode_heartbeat", |b| {
         b.iter(|| decode_message(&frame).unwrap())
     });

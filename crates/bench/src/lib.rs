@@ -18,8 +18,8 @@ pub fn fixture(n: u32, connectivity: u32, loss: f64) -> (Topology, Configuration
 /// The labelled MRT of a fixture, rooted at `p0`.
 pub fn fixture_tree(n: u32, connectivity: u32, loss: f64) -> ReliabilityTree {
     let (topology, config) = fixture(n, connectivity, loss);
-    let mrt = maximum_reliability_tree(&topology, &config, ProcessId::new(0))
-        .expect("connected fixture");
+    let mrt =
+        maximum_reliability_tree(&topology, &config, ProcessId::new(0)).expect("connected fixture");
     ReliabilityTree::from_spanning_tree(&mrt, &config).expect("labelled")
 }
 

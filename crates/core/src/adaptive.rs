@@ -25,9 +25,7 @@ use diffuse_sim::SimTime;
 use crate::knowledge::View;
 use crate::optimal::propagate;
 use crate::params::{AdaptiveParams, CorrectionMode, LinkBlame, ReconcileMode};
-use crate::protocol::{
-    Actions, BroadcastId, HeartbeatMessage, Message, Payload, Protocol,
-};
+use crate::protocol::{Actions, BroadcastId, HeartbeatMessage, Message, Payload, Protocol};
 use crate::{CoreError, NetworkKnowledge};
 
 /// Per-process bookkeeping (`C_k[p_i]` plus its protocol fields).
@@ -126,10 +124,7 @@ impl AdaptiveBroadcast {
         neighbors: Vec<ProcessId>,
         params: AdaptiveParams,
     ) -> Self {
-        assert!(
-            !neighbors.contains(&id),
-            "a process cannot neighbor itself"
-        );
+        assert!(!neighbors.contains(&id), "a process cannot neighbor itself");
         assert!(
             neighbors.iter().all(|n| all_processes.contains(n)),
             "neighbors must be part of the system membership"
@@ -237,8 +232,7 @@ impl AdaptiveBroadcast {
     /// Returns `true` once `Λ_k` spans the whole membership `Π` — the
     /// precondition for building spanning trees.
     pub fn topology_complete(&self) -> bool {
-        self.topology.process_count() == self.all_processes.len()
-            && self.topology.is_connected()
+        self.topology.process_count() == self.all_processes.len() && self.topology.is_connected()
     }
 
     /// Snapshot of the approximated knowledge `(Λ_k, C_k)` as scalar
@@ -287,10 +281,9 @@ impl AdaptiveBroadcast {
         let (adjust_pos, adjust_neg): (u32, u32) = match self.params.reconcile {
             ReconcileMode::SeqGap => {
                 // Misses during my own downtime are nobody's fault.
-                let excused =
-                    u32::try_from(record.downtime_since_receipt / delta.max(1))
-                        .unwrap_or(u32::MAX)
-                        .min(missed);
+                let excused = u32::try_from(record.downtime_since_receipt / delta.max(1))
+                    .unwrap_or(u32::MAX)
+                    .min(missed);
                 let blamable = missed - excused;
                 if suspected >= blamable {
                     (suspected - blamable, 0)
@@ -332,9 +325,7 @@ impl AdaptiveBroadcast {
                     // difference.
                     if adjust_pos > 0 {
                         match self.params.correction {
-                            CorrectionMode::Exact => {
-                                estimate.beliefs.undo_decrease(adjust_pos)
-                            }
+                            CorrectionMode::Exact => estimate.beliefs.undo_decrease(adjust_pos),
                             CorrectionMode::Bayes => {
                                 estimate.beliefs.increase_reliability(adjust_pos)
                             }
@@ -366,10 +357,7 @@ impl AdaptiveBroadcast {
         // Topology: merge only when the sender's version moved.
         let last = self.merged_versions.get(&from).copied().unwrap_or(0);
         if view.topology_version > last {
-            let before = (
-                self.topology.process_count(),
-                self.topology.link_count(),
-            );
+            let before = (self.topology.process_count(), self.topology.link_count());
             let merged = Arc::make_mut(&mut self.topology);
             merged.merge(&view.topology);
             if (merged.process_count(), merged.link_count()) != before {
@@ -532,8 +520,8 @@ impl Protocol for AdaptiveBroadcast {
 
     fn handle_recovery(&mut self, now: SimTime, down_ticks: u64, _actions: &mut Actions) {
         // Event 4: a crash lasting n × ∆tick is n failure observations.
-        let n = u32::try_from((down_ticks / self.params.self_tick_period).max(1))
-            .unwrap_or(u32::MAX);
+        let n =
+            u32::try_from((down_ticks / self.params.self_tick_period).max(1)).unwrap_or(u32::MAX);
         if let Some(me) = self.peers.get_mut(&self.id) {
             me.estimate.beliefs.decrease_reliability(n);
         }
@@ -632,12 +620,7 @@ mod tests {
 
     #[test]
     fn initial_state_matches_algorithm4_initialization() {
-        let node = AdaptiveBroadcast::new(
-            p(0),
-            vec![p(0), p(1), p(2)],
-            vec![p(1)],
-            params(),
-        );
+        let node = AdaptiveBroadcast::new(p(0), vec![p(0), p(1), p(2)], vec![p(1)], params());
         // Own estimate: distortion 0. Remote: ∞.
         assert_eq!(
             node.process_estimate(p(0)).unwrap().distortion,
@@ -650,8 +633,13 @@ mod tests {
             .is_infinite());
         // Direct links at distortion 0; only those exist.
         let l01 = LinkId::new(p(0), p(1)).unwrap();
-        assert_eq!(node.link_estimate(l01).unwrap().distortion, Distortion::ZERO);
-        assert!(node.link_estimate(LinkId::new(p(1), p(2)).unwrap()).is_none());
+        assert_eq!(
+            node.link_estimate(l01).unwrap().distortion,
+            Distortion::ZERO
+        );
+        assert!(node
+            .link_estimate(LinkId::new(p(1), p(2)).unwrap())
+            .is_none());
         assert!(!node.topology_complete());
     }
 
@@ -668,7 +656,11 @@ mod tests {
         for t in 1..=4u64 {
             exchange(&mut [&mut a, &mut b, &mut c], SimTime::new(t));
         }
-        assert!(a.topology_complete(), "a's topology: {:?}", a.known_topology());
+        assert!(
+            a.topology_complete(),
+            "a's topology: {:?}",
+            a.known_topology()
+        );
         assert!(c.topology_complete());
         assert!(a
             .known_topology()

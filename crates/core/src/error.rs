@@ -61,7 +61,10 @@ impl fmt::Display for CoreError {
                 "message budget {budget} is below the {links} tree links (one message each)"
             ),
             CoreError::KnowledgeIncomplete => {
-                write!(f, "local topology knowledge does not yet span all known processes")
+                write!(
+                    f,
+                    "local topology knowledge does not yet span all known processes"
+                )
             }
             CoreError::MalformedWireTree(reason) => {
                 write!(f, "malformed wire tree: {reason}")
@@ -102,9 +105,12 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(CoreError::InvalidTarget(1.5).to_string().contains("1.5"));
-        assert!(CoreError::BudgetTooSmall { budget: 3, links: 9 }
-            .to_string()
-            .contains("9 tree links"));
+        assert!(CoreError::BudgetTooSmall {
+            budget: 3,
+            links: 9
+        }
+        .to_string()
+        .contains("9 tree links"));
         assert!(CoreError::TargetUnreachable { best_reach: 0.5 }
             .to_string()
             .contains("0.5"));

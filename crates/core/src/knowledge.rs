@@ -205,7 +205,9 @@ mod tests {
         );
         assert!(view.process_estimate(p(9)).is_none());
         assert!(view.link_estimate(link).is_some());
-        assert!(view.link_estimate(LinkId::new(p(1), p(2)).unwrap()).is_none());
+        assert!(view
+            .link_estimate(LinkId::new(p(1), p(2)).unwrap())
+            .is_none());
         assert!(view.wire_size() > 3 * 80);
     }
 }

@@ -75,8 +75,8 @@ pub use optimal::OptimalBroadcast;
 pub use optimize::{gain, optimize, optimize_budget, optimize_exhaustive, MessagePlan};
 pub use params::{AdaptiveParams, CorrectionMode, LinkBlame, ReconcileMode};
 pub use protocol::{
-    Actions, BroadcastId, DataMessage, GossipMessage, HeartbeatMessage, Message, Payload,
-    Protocol, ProtocolActor,
+    Actions, BroadcastId, DataMessage, GossipMessage, HeartbeatMessage, Message, Payload, Protocol,
+    ProtocolActor,
 };
 pub use reach::{link_success, reach, reach_recursive, MessageVector};
 pub use tree::{ReliabilityTree, SharedWireTree, WireTree};
@@ -107,8 +107,7 @@ pub(crate) mod tests_support {
         let n = lambdas.len();
         let nodes: Vec<ProcessId> = (0..=n as u32).map(p).collect();
         let parent: Vec<u32> = vec![0; n];
-        let wire =
-            WireTree::from_parts(p(0), nodes, parent, lambdas.to_vec()).expect("valid star");
+        let wire = WireTree::from_parts(p(0), nodes, parent, lambdas.to_vec()).expect("valid star");
         ReliabilityTree::from_wire(&wire).expect("valid star")
     }
 
@@ -123,8 +122,7 @@ pub(crate) mod tests_support {
 
     /// A single-process tree (no links).
     pub fn singleton_tree() -> ReliabilityTree {
-        let wire =
-            WireTree::from_parts(p(0), vec![p(0)], vec![], vec![]).expect("valid singleton");
+        let wire = WireTree::from_parts(p(0), vec![p(0)], vec![], vec![]).expect("valid singleton");
         ReliabilityTree::from_wire(&wire).expect("valid singleton")
     }
 }

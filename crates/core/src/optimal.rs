@@ -232,7 +232,12 @@ mod tests {
         // First copy: deliver + forward 4 copies to p2 (same plan as the
         // sender derived — see broadcast_sends_planned_copies).
         let mut relay_actions = Actions::new();
-        relay.handle_message(SimTime::new(1), p(0), first_copy.clone(), &mut relay_actions);
+        relay.handle_message(
+            SimTime::new(1),
+            p(0),
+            first_copy.clone(),
+            &mut relay_actions,
+        );
         assert_eq!(relay.delivered().len(), 1);
         assert_eq!(relay_actions.sends().len(), 4);
         assert!(relay_actions.sends().iter().all(|(to, _)| *to == p(2)));

@@ -139,7 +139,10 @@ pub fn optimize(tree: &ReliabilityTree, k: f64) -> Result<MessagePlan, CoreError
     let mut m = MessageVector::ones(links);
     let mut r = reach(tree, &m);
     if r + REACH_EPS >= k {
-        return Ok(MessagePlan { vector: m, reach: r });
+        return Ok(MessagePlan {
+            vector: m,
+            reach: r,
+        });
     }
     if tree.lambdas().iter().any(|&l| l >= 1.0) {
         return Err(CoreError::TargetUnreachable { best_reach: r });
@@ -219,7 +222,10 @@ pub fn optimize_budget(tree: &ReliabilityTree, budget: u64) -> Result<MessagePla
         });
     }
     let r = reach(tree, &m);
-    Ok(MessagePlan { vector: m, reach: r })
+    Ok(MessagePlan {
+        vector: m,
+        reach: r,
+    })
 }
 
 /// Exhaustive oracle for tests: tries every `m⃗` with entries in
@@ -247,7 +253,10 @@ pub fn optimize_exhaustive(
         if r + REACH_EPS >= k {
             let total = m.total();
             if best.as_ref().is_none_or(|b| total < b.total_messages()) {
-                best = Some(MessagePlan { vector: m, reach: r });
+                best = Some(MessagePlan {
+                    vector: m,
+                    reach: r,
+                });
             }
         }
         // Odometer increment.
@@ -397,7 +406,10 @@ mod tests {
         let tree = star_tree(&[0.3, 0.3, 0.3]);
         assert!(matches!(
             optimize_budget(&tree, 2),
-            Err(CoreError::BudgetTooSmall { budget: 2, links: 3 })
+            Err(CoreError::BudgetTooSmall {
+                budget: 2,
+                links: 3
+            })
         ));
     }
 

@@ -309,12 +309,7 @@ impl<P: Protocol> ProtocolActor<P> {
 impl<P: Protocol> Actor for ProtocolActor<P> {
     type Message = Message;
 
-    fn on_message(
-        &mut self,
-        ctx: &mut Context<'_, Message>,
-        from: ProcessId,
-        message: Message,
-    ) {
+    fn on_message(&mut self, ctx: &mut Context<'_, Message>, from: ProcessId, message: Message) {
         self.protocol
             .handle_message(ctx.now(), from, message, &mut self.actions);
         self.flush(ctx);
@@ -380,10 +375,7 @@ mod tests {
             origin: ProcessId::new(0),
             seq: 1,
         };
-        a.send(
-            ProcessId::new(1),
-            Message::Ack { id },
-        );
+        a.send(ProcessId::new(1), Message::Ack { id });
         a.deliver(id, Payload::from("x"));
         assert_eq!(a.sends().len(), 1);
         assert_eq!(a.deliveries().len(), 1);

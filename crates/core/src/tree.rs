@@ -287,8 +287,9 @@ mod tests {
 
     fn sample_tree() -> (SpanningTree, Configuration) {
         // 0 → {1, 2}; 1 → {3}.
-        let parents: BTreeMap<ProcessId, ProcessId> =
-            [(p(1), p(0)), (p(2), p(0)), (p(3), p(1))].into_iter().collect();
+        let parents: BTreeMap<ProcessId, ProcessId> = [(p(1), p(0)), (p(2), p(0)), (p(3), p(1))]
+            .into_iter()
+            .collect();
         let tree = SpanningTree::from_parents(p(0), parents).unwrap();
         let mut topo = Topology::new();
         for (a, b) in tree.edges() {
@@ -363,13 +364,11 @@ mod tests {
         assert!(WireTree::from_parts(p(0), vec![p(0), p(1)], vec![0], vec![]).is_err());
         // Forward parent reference.
         assert!(
-            WireTree::from_parts(p(0), vec![p(0), p(1), p(2)], vec![2, 0], vec![0.1, 0.1])
-                .is_err()
+            WireTree::from_parts(p(0), vec![p(0), p(1), p(2)], vec![2, 0], vec![0.1, 0.1]).is_err()
         );
         // Duplicate node.
         assert!(
-            WireTree::from_parts(p(0), vec![p(0), p(1), p(1)], vec![0, 0], vec![0.1, 0.1])
-                .is_err()
+            WireTree::from_parts(p(0), vec![p(0), p(1), p(1)], vec![0, 0], vec![0.1, 0.1]).is_err()
         );
         // Lambda out of range.
         assert!(WireTree::from_parts(p(0), vec![p(0), p(1)], vec![0], vec![1.5]).is_err());

@@ -22,16 +22,21 @@ fn print_table(table: &Table, csv: bool) {
     }
 }
 
+const USAGE: &str = "usage: repro <fig1|table1|fig4a|fig4b|fig5a|fig5b|fig6|hetero|refine|all> \
+     [--quick] [--csv] [--runs N] [--graphs N] [--seed N]";
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: repro <fig1|table1|fig4a|fig4b|fig5a|fig5b|fig6|hetero|refine|all> \
-         [--quick] [--csv] [--runs N] [--graphs N] [--seed N]"
-    );
+    eprintln!("{USAGE}");
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        // Explicitly requested help goes to stdout and succeeds.
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let Some(experiment) = args.first().cloned() else {
         return usage();
     };
@@ -42,26 +47,39 @@ fn main() -> ExitCode {
         Effort::standard()
     };
     let csv = args.iter().any(|a| a == "--csv");
-    let mut it = args.iter();
+    let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
-        let parse = |v: Option<&String>| v.and_then(|s| s.parse::<u64>().ok());
+        let mut parse = |flag: &str| -> Result<u64, ExitCode> {
+            match it.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(v)) => Ok(v),
+                Some(Err(_)) => {
+                    eprintln!("repro: {flag} expects a number");
+                    Err(usage())
+                }
+                None => {
+                    eprintln!("repro: {flag} requires a value");
+                    Err(usage())
+                }
+            }
+        };
         match a.as_str() {
-            "--runs" => {
-                if let Some(v) = parse(it.next()) {
-                    effort.gossip_runs = v as u32;
-                }
+            "--quick" | "--csv" => {}
+            "--runs" => match parse("--runs") {
+                Ok(v) => effort.gossip_runs = v as u32,
+                Err(code) => return code,
+            },
+            "--graphs" => match parse("--graphs") {
+                Ok(v) => effort.graphs = v as u32,
+                Err(code) => return code,
+            },
+            "--seed" => match parse("--seed") {
+                Ok(v) => effort.seed = v,
+                Err(code) => return code,
+            },
+            other => {
+                eprintln!("repro: unrecognized option `{other}`");
+                return usage();
             }
-            "--graphs" => {
-                if let Some(v) = parse(it.next()) {
-                    effort.graphs = v as u32;
-                }
-            }
-            "--seed" => {
-                if let Some(v) = parse(it.next()) {
-                    effort.seed = v;
-                }
-            }
-            _ => {}
         }
     }
 

@@ -24,7 +24,7 @@ pub fn run() -> Table {
         let mut row = vec![fmt(alpha)];
         for l in FIG1_LOSSES {
             row.push(fmt(
-                analysis::message_ratio(alpha, l).expect("valid parameters"),
+                analysis::message_ratio(alpha, l).expect("valid parameters")
             ));
         }
         table.push_row(row);

@@ -12,9 +12,7 @@
 use diffuse_graph::generators;
 use diffuse_model::Probability;
 
-use crate::harness::{
-    adaptive_broadcast_cost, calibrate_gossip_steps, gossip_mean_messages,
-};
+use crate::harness::{adaptive_broadcast_cost, calibrate_gossip_steps, gossip_mean_messages};
 use crate::parallel::parallel_map;
 use crate::table::{fmt, Table};
 use crate::Effort;
@@ -89,21 +87,19 @@ pub fn measure_point(
     let topology = generators::circulant(SYSTEM_SIZE, connectivity)
         .expect("connectivity sweep is realizable for n = 100");
     let (crash, loss) = panel.split(probability);
-    let optimal_messages =
-        adaptive_broadcast_cost(&topology, loss, crash, TARGET_RELIABILITY)
-            .expect("uniform configurations are optimizable");
+    let optimal_messages = adaptive_broadcast_cost(&topology, loss, crash, TARGET_RELIABILITY)
+        .expect("uniform configurations are optimizable");
     let seed = effort.seed ^ ((connectivity as u64) << 32) ^ (probability * 1e4) as u64;
-    let steps = calibrate_gossip_steps(
+    let steps = calibrate_gossip_steps(&topology, loss, crash, effort.gossip_runs, 512, seed)
+        .unwrap_or(512);
+    let (reference_messages, reference_acks) = gossip_mean_messages(
         &topology,
         loss,
         crash,
+        steps,
         effort.gossip_runs,
-        512,
-        seed,
-    )
-    .unwrap_or(512);
-    let (reference_messages, reference_acks) =
-        gossip_mean_messages(&topology, loss, crash, steps, effort.gossip_runs, seed ^ 0xA5A5);
+        seed ^ 0xA5A5,
+    );
     Fig4Point {
         connectivity,
         probability,

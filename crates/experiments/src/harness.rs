@@ -51,6 +51,20 @@ pub fn gossip_trial(
     seed: u64,
 ) -> GossipTrial {
     let loss_cfg = Configuration::uniform(topology, Probability::ZERO, loss);
+    gossip_trial_config(topology, loss_cfg, crash, steps, seed)
+}
+
+/// Runs one reference-gossip broadcast with an arbitrary (possibly
+/// heterogeneous) per-link loss configuration. Takes the configuration
+/// by value: the simulation consumes it, so borrowing would force an
+/// extra clone on every Monte-Carlo trial.
+pub fn gossip_trial_config(
+    topology: &Topology,
+    loss_cfg: Configuration,
+    crash: Probability,
+    steps: u32,
+    seed: u64,
+) -> GossipTrial {
     let neighbors = neighbor_map(topology);
     let mut sim = Simulation::new(
         topology.clone(),
@@ -102,9 +116,30 @@ pub fn calibrate_gossip_steps(
     max_steps: u32,
     seed: u64,
 ) -> Option<u32> {
+    let loss_cfg = Configuration::uniform(topology, Probability::ZERO, loss);
+    calibrate_gossip_steps_config(topology, &loss_cfg, crash, runs, max_steps, seed)
+}
+
+/// [`calibrate_gossip_steps`] over an arbitrary per-link loss
+/// configuration.
+pub fn calibrate_gossip_steps_config(
+    topology: &Topology,
+    config: &Configuration,
+    crash: Probability,
+    runs: u32,
+    max_steps: u32,
+    seed: u64,
+) -> Option<u32> {
     let all_ok = |steps: u32| -> bool {
         (0..runs).all(|r| {
-            gossip_trial(topology, loss, crash, steps, seed ^ (0x9E37 + r as u64)).all_reached
+            gossip_trial_config(
+                topology,
+                config.clone(),
+                crash,
+                steps,
+                seed ^ (0x9E37 + r as u64),
+            )
+            .all_reached
         })
     };
     // Exponential probe, then binary search on the failing/succeeding
@@ -152,10 +187,29 @@ pub fn gossip_message_stats(
     runs: u32,
     seed: u64,
 ) -> (crate::Summary, crate::Summary) {
+    let loss_cfg = Configuration::uniform(topology, Probability::ZERO, loss);
+    gossip_message_stats_config(topology, &loss_cfg, crash, steps, runs, seed)
+}
+
+/// [`gossip_message_stats`] over an arbitrary per-link loss configuration.
+pub fn gossip_message_stats_config(
+    topology: &Topology,
+    config: &Configuration,
+    crash: Probability,
+    steps: u32,
+    runs: u32,
+    seed: u64,
+) -> (crate::Summary, crate::Summary) {
     let mut data = Vec::with_capacity(runs as usize);
     let mut acks = Vec::with_capacity(runs as usize);
     for r in 0..runs {
-        let t = gossip_trial(topology, loss, crash, steps, seed ^ (0xBEEF + r as u64));
+        let t = gossip_trial_config(
+            topology,
+            config.clone(),
+            crash,
+            steps,
+            seed ^ (0xBEEF + r as u64),
+        );
         data.push(t.data_messages as f64);
         acks.push(t.ack_messages as f64);
     }
@@ -287,8 +341,7 @@ mod tests {
     fn calibration_finds_a_minimal_budget() {
         let ring = generators::ring(8).unwrap();
         let steps =
-            calibrate_gossip_steps(&ring, Probability::ZERO, Probability::ZERO, 5, 64, 42)
-                .unwrap();
+            calibrate_gossip_steps(&ring, Probability::ZERO, Probability::ZERO, 5, 64, 42).unwrap();
         // Reliable ring of 8: flood reaches everyone in ~4 steps.
         assert!((3..=6).contains(&steps), "steps = {steps}");
         // One step fewer must fail.
@@ -341,10 +394,8 @@ mod tests {
     #[test]
     fn adaptive_cost_grows_with_loss() {
         let ring = generators::ring(10).unwrap();
-        let cheap =
-            adaptive_broadcast_cost(&ring, p(0.01), Probability::ZERO, 0.9999).unwrap();
-        let pricey =
-            adaptive_broadcast_cost(&ring, p(0.07), Probability::ZERO, 0.9999).unwrap();
+        let cheap = adaptive_broadcast_cost(&ring, p(0.01), Probability::ZERO, 0.9999).unwrap();
+        let pricey = adaptive_broadcast_cost(&ring, p(0.07), Probability::ZERO, 0.9999).unwrap();
         assert!(pricey > cheap);
         assert!(cheap >= 9); // at least one message per link
     }

@@ -8,11 +8,11 @@
 //! bridged by a few wide-area links of varying quality.
 
 use diffuse_core::NetworkKnowledge;
-use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
 use diffuse_graph::generators;
+use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
 
 use crate::fig4::TARGET_RELIABILITY;
-use crate::harness::{calibrate_gossip_steps, gossip_mean_messages};
+use crate::harness::gossip_message_stats_config;
 use crate::table::{fmt, Table};
 use crate::Effort;
 
@@ -37,11 +37,8 @@ pub fn two_zone_config(
         Probability::new(lan_loss).expect("valid"),
     );
     for b in 0..BRIDGES {
-        let link = LinkId::new(
-            ProcessId::new(b),
-            ProcessId::new(CLUSTER_SIZE + b),
-        )
-        .expect("bridge endpoints differ");
+        let link = LinkId::new(ProcessId::new(b), ProcessId::new(CLUSTER_SIZE + b))
+            .expect("bridge endpoints differ");
         let loss = if b == 0 { good_wan_loss } else { bad_wan_loss };
         config.set_loss(link, Probability::new(loss).expect("valid"));
     }
@@ -61,6 +58,16 @@ pub struct HeteroPoint {
     pub ratio: f64,
 }
 
+/// The fixed gossip step budget used across the whole sweep.
+///
+/// Held constant so that the sweep varies *only* the environment: per-point
+/// Monte-Carlo calibration is a coin flip between adjacent budgets near
+/// the threshold, and the resulting ±1-step jumps in flood volume dwarf
+/// the heterogeneity signal. Four steps reach every process on the
+/// two-zone topology with large margin at every sweep point (the origin
+/// sits on the always-good bridge).
+pub const GOSSIP_STEP_BUDGET: u32 = 4;
+
 /// Measures the reference/optimal ratio for one bad-bridge loss value.
 pub fn measure_point(bad_wan_loss: f64, effort: &Effort) -> HeteroPoint {
     let (topology, config) = two_zone_config(0.001, 0.02, bad_wan_loss);
@@ -71,36 +78,22 @@ pub fn measure_point(bad_wan_loss: f64, effort: &Effort) -> HeteroPoint {
         .expect("optimizable");
     let optimal_messages = plan.total_messages();
 
-    // The reference gossip ignores reliability differences; simulate it on
-    // the *heterogeneous* network. The harness trial applies a uniform
-    // loss, so take the conservative route: the reference sees the mean
-    // loss of the links it may use. (The adaptive side uses the exact
-    // heterogeneous configuration.)
-    let links = topology.link_count() as f64;
-    let mean_loss = config
-        .loss_entries()
-        .map(|(_, p)| p.value())
-        .sum::<f64>()
-        / links;
-    let mean_loss = Probability::new(mean_loss.clamp(0.0, 1.0)).expect("valid");
+    // The reference gossip ignores reliability differences in its
+    // *decisions* (it floods uniformly), but it runs on the real,
+    // heterogeneous network: bad bridges eat data copies and ACKs alike,
+    // so bridge endpoints keep retrying their unacknowledged partners
+    // round after round and the message bill grows as the bridges
+    // degrade. (The adaptive side routes around them instead.)
     let seed = effort.seed ^ (bad_wan_loss * 1e4) as u64;
-    let steps = calibrate_gossip_steps(
+    let (reference_stats, _) = gossip_message_stats_config(
         &topology,
-        mean_loss,
+        &config,
         Probability::ZERO,
-        effort.gossip_runs,
-        256,
-        seed,
-    )
-    .unwrap_or(256);
-    let (reference_messages, _) = gossip_mean_messages(
-        &topology,
-        mean_loss,
-        Probability::ZERO,
-        steps,
+        GOSSIP_STEP_BUDGET,
         effort.gossip_runs,
         seed ^ 0x77,
     );
+    let reference_messages = reference_stats.mean;
     HeteroPoint {
         bad_wan_loss,
         optimal_messages,

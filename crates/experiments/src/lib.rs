@@ -34,13 +34,14 @@ pub mod hetero;
 mod parallel;
 pub mod refine;
 mod stats;
-pub mod table1;
 mod table;
+pub mod table1;
 
 pub use effort::Effort;
 pub use harness::{
-    adaptive_broadcast_cost, calibrate_gossip_steps, convergence_run, gossip_mean_messages,
-    gossip_message_stats, gossip_trial, neighbor_map, ConvergenceOutcome, GossipTrial,
+    adaptive_broadcast_cost, calibrate_gossip_steps, calibrate_gossip_steps_config,
+    convergence_run, gossip_mean_messages, gossip_message_stats, gossip_message_stats_config,
+    gossip_trial, gossip_trial_config, neighbor_map, ConvergenceOutcome, GossipTrial,
     GOSSIP_STEP_PERIOD,
 };
 pub use parallel::parallel_map;

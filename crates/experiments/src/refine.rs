@@ -35,8 +35,7 @@ pub fn errors_after(n: u32, rate: f64, trials: u32, seed: u64) -> (f64, f64, f64
             fine.observe(failed);
             refining.observe(failed);
             let map = refining.map_interval();
-            if refining.belief(map) >= REFINE_THRESHOLD && refining.intervals() < REFINE_CAP
-            {
+            if refining.belief(map) >= REFINE_THRESHOLD && refining.intervals() < REFINE_CAP {
                 refining.refine();
             }
         }
@@ -57,12 +56,7 @@ pub fn run() -> Table {
     );
     for n in [50u32, 100, 200, 400, 800] {
         let (coarse, fine, refining) = errors_after(n, rate, 20, 0xF00D);
-        table.push_row(vec![
-            n.to_string(),
-            fmt(coarse),
-            fmt(fine),
-            fmt(refining),
-        ]);
+        table.push_row(vec![n.to_string(), fmt(coarse), fmt(fine), fmt(refining)]);
     }
     table
 }

@@ -33,8 +33,7 @@ impl Summary {
         let std_dev = if count < 2 {
             0.0
         } else {
-            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-                / (count as f64 - 1.0);
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0);
             var.sqrt()
         };
         let ci95 = if count < 2 {

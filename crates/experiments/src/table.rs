@@ -133,7 +133,7 @@ mod tests {
     fn fmt_scales_precision() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(0.12345), "0.1235");
-        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(3.16227), "3.16");
         assert_eq!(fmt(1234.5), "1234");
     }
 }

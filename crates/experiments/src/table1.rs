@@ -41,7 +41,7 @@ mod tests {
             assert!(csv.contains(expected), "missing {expected} in:\n{csv}");
         }
         // Case (a): uniform 0.2.
-        assert_eq!(csv.matches("0.20").count() >= 5, true);
+        assert!(csv.matches("0.20").count() >= 5);
         assert!(csv.contains("[0.8, 1.0]"));
     }
 }

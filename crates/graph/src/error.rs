@@ -60,7 +60,10 @@ impl fmt::Display for GraphError {
                 "degree {degree} is not realizable with {processes} processes: {reason}"
             ),
             GraphError::ConnectivityUnreachable => {
-                write!(f, "failed to generate a connected graph within the attempt budget")
+                write!(
+                    f,
+                    "failed to generate a connected graph within the attempt budget"
+                )
             }
             GraphError::Disconnected { reached, total } => write!(
                 f,

@@ -42,9 +42,7 @@ mod mrt;
 mod spanning;
 
 pub use error::GraphError;
-pub use mrt::{
-    maximum_reliability_tree, maximum_reliability_tree_kruskal, random_spanning_tree,
-};
+pub use mrt::{maximum_reliability_tree, maximum_reliability_tree_kruskal, random_spanning_tree};
 pub use spanning::SpanningTree;
 
 #[cfg(test)]
@@ -58,29 +56,27 @@ mod property_tests {
     /// Strategy: a random connected topology over 3..=12 processes with a
     /// random configuration.
     fn arb_weighted_topology() -> impl Strategy<Value = (Topology, Configuration)> {
-        (3u32..12, any::<u64>(), 0.0f64..0.4, 0.0f64..0.4).prop_map(
-            |(n, seed, max_p, max_l)| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                // Random tree plus random extra chords keeps it connected.
-                let mut t = generators::random_tree(n, &mut rng).unwrap();
-                use rand::Rng;
-                for _ in 0..n {
-                    let a = rng.gen_range(0..n);
-                    let b = rng.gen_range(0..n);
-                    if a != b {
-                        t.add_link(ProcessId::new(a), ProcessId::new(b)).unwrap();
-                    }
+        (3u32..12, any::<u64>(), 0.0f64..0.4, 0.0f64..0.4).prop_map(|(n, seed, max_p, max_l)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Random tree plus random extra chords keeps it connected.
+            let mut t = generators::random_tree(n, &mut rng).unwrap();
+            use rand::Rng;
+            for _ in 0..n {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a != b {
+                    t.add_link(ProcessId::new(a), ProcessId::new(b)).unwrap();
                 }
-                let mut c = Configuration::new();
-                for p in t.processes() {
-                    c.set_crash(p, Probability::clamped(rng.gen_range(0.0..=max_p)));
-                }
-                for l in t.links() {
-                    c.set_loss(l, Probability::clamped(rng.gen_range(0.0..=max_l)));
-                }
-                (t, c)
-            },
-        )
+            }
+            let mut c = Configuration::new();
+            for p in t.processes() {
+                c.set_crash(p, Probability::clamped(rng.gen_range(0.0..=max_p)));
+            }
+            for l in t.links() {
+                c.set_loss(l, Probability::clamped(rng.gen_range(0.0..=max_l)));
+            }
+            (t, c)
+        })
     }
 
     proptest! {

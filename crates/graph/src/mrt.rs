@@ -1,7 +1,7 @@
 //! Maximum Reliability Trees (Appendix B of the paper).
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use diffuse_model::{Configuration, LinkId, ProcessId, Topology};
 use rand::seq::SliceRandom;
@@ -76,14 +76,15 @@ pub fn maximum_reliability_tree(
     // smallest link id among equals.
     let mut frontier: BinaryHeap<(Weight, Reverse<LinkId>, ProcessId, ProcessId)> =
         BinaryHeap::new();
-    let push_edges = |from: ProcessId,
-                          frontier: &mut BinaryHeap<(Weight, Reverse<LinkId>, ProcessId, ProcessId)>| {
-        for to in topology.neighbors(from) {
-            let w = Weight(config.link_reliability(from, to).value());
-            let link = LinkId::new(from, to).expect("no self-loops in topology");
-            frontier.push((w, Reverse(link), from, to));
-        }
-    };
+    let push_edges =
+        |from: ProcessId,
+         frontier: &mut BinaryHeap<(Weight, Reverse<LinkId>, ProcessId, ProcessId)>| {
+            for to in topology.neighbors(from) {
+                let w = Weight(config.link_reliability(from, to).value());
+                let link = LinkId::new(from, to).expect("no self-loops in topology");
+                frontier.push((w, Reverse(link), from, to));
+            }
+        };
     push_edges(root, &mut frontier);
 
     while let Some((_, _, from, to)) = frontier.pop() {
@@ -161,13 +162,11 @@ fn tree_from_edges(
         tree_topology.insert_link(*link);
     }
     let mut parent = BTreeMap::new();
-    let mut visited = BTreeMap::new();
-    visited.insert(root, ());
+    let mut visited = BTreeSet::from([root]);
     let mut queue = std::collections::VecDeque::from([root]);
     while let Some(p) = queue.pop_front() {
         for n in tree_topology.neighbors(p) {
-            if !visited.contains_key(&n) {
-                visited.insert(n, ());
+            if visited.insert(n) {
                 parent.insert(n, p);
                 queue.push_back(n);
             }
@@ -211,12 +210,7 @@ pub fn maximum_reliability_tree_kruskal(
 
     let mut edges: Vec<(Weight, LinkId)> = topology
         .links()
-        .map(|l| {
-            (
-                Weight(config.link_reliability(l.lo(), l.hi()).value()),
-                l,
-            )
-        })
+        .map(|l| (Weight(config.link_reliability(l.lo(), l.hi()).value()), l))
         .collect();
     // Highest reliability first; smaller link id among equals.
     edges.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -341,7 +335,10 @@ mod tests {
         let c = Configuration::new();
         assert!(matches!(
             maximum_reliability_tree(&g, &c, p(0)),
-            Err(GraphError::Disconnected { reached: 2, total: 3 })
+            Err(GraphError::Disconnected {
+                reached: 2,
+                total: 3
+            })
         ));
     }
 

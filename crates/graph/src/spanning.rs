@@ -59,7 +59,10 @@ impl SpanningTree {
             }
             children.entry(parent).or_default();
             children.entry(child).or_default();
-            children.get_mut(&parent).expect("just inserted").push(child);
+            children
+                .get_mut(&parent)
+                .expect("just inserted")
+                .push(child);
         }
         for c in children.values_mut() {
             c.sort_unstable();
@@ -292,9 +295,8 @@ mod tests {
 
     #[test]
     fn from_parents_rejects_rooted_root() {
-        let parents: BTreeMap<ProcessId, ProcessId> = [(p(0), p(1)), (p(1), p(0))]
-            .into_iter()
-            .collect();
+        let parents: BTreeMap<ProcessId, ProcessId> =
+            [(p(0), p(1)), (p(1), p(0))].into_iter().collect();
         assert!(matches!(
             SpanningTree::from_parents(p(0), parents),
             Err(GraphError::MalformedTree(_))
@@ -304,8 +306,9 @@ mod tests {
     #[test]
     fn from_parents_rejects_cycle() {
         // 1 → 2 → 3 → 1 unreachable from root 0.
-        let parents: BTreeMap<ProcessId, ProcessId> =
-            [(p(1), p(2)), (p(2), p(3)), (p(3), p(1))].into_iter().collect();
+        let parents: BTreeMap<ProcessId, ProcessId> = [(p(1), p(2)), (p(2), p(3)), (p(3), p(1))]
+            .into_iter()
+            .collect();
         assert!(matches!(
             SpanningTree::from_parents(p(0), parents),
             Err(GraphError::MalformedTree(_))
@@ -344,11 +347,8 @@ mod tests {
         use diffuse_model::Probability;
         let t = figure2_tree();
         let topo = t.to_topology();
-        let config = Configuration::uniform(
-            &topo,
-            Probability::ZERO,
-            Probability::new(0.5).unwrap(),
-        );
+        let config =
+            Configuration::uniform(&topo, Probability::ZERO, Probability::new(0.5).unwrap());
         let expected = 7.0 * 0.5f64.ln();
         assert!((t.log_reliability(&config) - expected).abs() < 1e-9);
     }

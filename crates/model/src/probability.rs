@@ -190,7 +190,10 @@ mod tests {
     fn new_rejects_out_of_range_values() {
         for bad in [-0.1, 1.1, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
             assert!(
-                matches!(Probability::new(bad), Err(ModelError::InvalidProbability(_))),
+                matches!(
+                    Probability::new(bad),
+                    Err(ModelError::InvalidProbability(_))
+                ),
                 "expected rejection of {bad}"
             );
         }

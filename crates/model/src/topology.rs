@@ -1,5 +1,6 @@
 //! Network topology `G = (Π, Λ)`.
 
+use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::{LinkId, ModelError, ProcessId};
@@ -196,8 +197,8 @@ impl Topology {
             depth += 1;
             for p in frontier.drain(..) {
                 for n in self.neighbors(p) {
-                    if !dist.contains_key(&n) {
-                        dist.insert(n, depth);
+                    if let Entry::Vacant(slot) = dist.entry(n) {
+                        slot.insert(depth);
                         next.push(n);
                     }
                 }

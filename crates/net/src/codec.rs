@@ -12,8 +12,7 @@ use std::sync::Arc;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use diffuse_bayes::{BeliefEstimator, Distortion, Estimate};
 use diffuse_core::{
-    BroadcastId, DataMessage, GossipMessage, HeartbeatMessage, Message, Payload, View,
-    WireTree,
+    BroadcastId, DataMessage, GossipMessage, HeartbeatMessage, Message, Payload, View, WireTree,
 };
 use diffuse_model::{LinkId, ProcessId, Topology};
 
@@ -334,13 +333,7 @@ mod tests {
     }
 
     fn sample_tree() -> WireTree {
-        WireTree::from_parts(
-            p(0),
-            vec![p(0), p(1), p(2)],
-            vec![0, 1],
-            vec![0.25, 0.01],
-        )
-        .unwrap()
+        WireTree::from_parts(p(0), vec![p(0), p(1), p(2)], vec![0, 1], vec![0.25, 0.01]).unwrap()
     }
 
     fn sample_view() -> View {
@@ -406,17 +399,17 @@ mod tests {
         ));
         let mut wrong_tag = frame.to_vec();
         wrong_tag[1] = 200;
-        assert!(matches!(decode_message(&wrong_tag), Err(NetError::BadTag(200))));
+        assert!(matches!(
+            decode_message(&wrong_tag),
+            Err(NetError::BadTag(200))
+        ));
     }
 
     #[test]
     fn trailing_garbage_is_rejected() {
         let mut frame = encode_message(&Message::Ack { id: sample_id() }).to_vec();
         frame.push(0);
-        assert!(matches!(
-            decode_message(&frame),
-            Err(NetError::Invalid(_))
-        ));
+        assert!(matches!(decode_message(&frame), Err(NetError::Invalid(_))));
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl fmt::Display for NetError {
             NetError::Invalid(reason) => write!(f, "invalid frame content: {reason}"),
             NetError::UnknownPeer(p) => write!(f, "no address known for {p}"),
             NetError::FrameTooLarge { size, limit } => {
-                write!(f, "frame of {size} bytes exceeds the transport limit of {limit}")
+                write!(
+                    f,
+                    "frame of {size} bytes exceeds the transport limit of {limit}"
+                )
             }
             NetError::Closed => write!(f, "transport is closed"),
             NetError::Io(e) => write!(f, "io error: {e}"),
@@ -71,14 +74,17 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(NetError::BadTag(9).to_string().contains('9'));
-        assert!(NetError::FrameTooLarge { size: 70000, limit: 65507 }
-            .to_string()
-            .contains("65507"));
+        assert!(NetError::FrameTooLarge {
+            size: 70000,
+            limit: 65507
+        }
+        .to_string()
+        .contains("65507"));
     }
 
     #[test]
     fn io_errors_chain() {
-        let err = NetError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let err = NetError::from(std::io::Error::other("boom"));
         assert!(std::error::Error::source(&err).is_some());
     }
 

@@ -111,13 +111,13 @@ where
             }
 
             // 2. Pending broadcasts (retried until knowledge suffices).
-            pending_broadcasts.retain(
-                |payload| match protocol.broadcast(now, payload.clone(), &mut actions) {
+            pending_broadcasts.retain(|payload| {
+                match protocol.broadcast(now, payload.clone(), &mut actions) {
                     Ok(_) => false,
                     Err(CoreError::KnowledgeIncomplete) => true,
                     Err(_) => false, // non-retryable; drop
-                },
-            );
+                }
+            });
             flush(&mut actions, &transport, &delivery_tx);
 
             // 3. Receive until the next tick boundary.
@@ -198,10 +198,15 @@ mod tests {
         for id in [p(0), p(1), p(2)] {
             let transport = transports.remove(&id).unwrap();
             let protocol = OptimalBroadcast::new(id, knowledge.clone(), 0.99);
-            handles.insert(id, spawn_node(protocol, transport, Duration::from_millis(5)));
+            handles.insert(
+                id,
+                spawn_node(protocol, transport, Duration::from_millis(5)),
+            );
         }
 
-        handles[&p(0)].broadcast(Payload::from("over the wire")).unwrap();
+        handles[&p(0)]
+            .broadcast(Payload::from("over the wire"))
+            .unwrap();
 
         for id in [p(0), p(1), p(2)] {
             let delivery = handles[&id]

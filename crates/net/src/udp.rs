@@ -169,9 +169,7 @@ mod tests {
         let (a, b) = loopback_pair();
         // An unregistered socket sends to b.
         let stranger = UdpSocket::bind("127.0.0.1:0").unwrap();
-        stranger
-            .send_to(b"spoof", b.local_addr().unwrap())
-            .unwrap();
+        stranger.send_to(b"spoof", b.local_addr().unwrap()).unwrap();
         // b sees nothing attributable.
         let got = b.recv_timeout(Duration::from_millis(200)).unwrap();
         assert!(got.is_none());

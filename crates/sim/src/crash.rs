@@ -83,11 +83,7 @@ impl CrashState {
 
     /// Advances one tick. Returns `Some(downtime)` when the process
     /// recovers on this tick (it is up again afterwards).
-    pub fn advance<R: Rng + ?Sized>(
-        &mut self,
-        model: &CrashModel,
-        rng: &mut R,
-    ) -> Option<u64> {
+    pub fn advance<R: Rng + ?Sized>(&mut self, model: &CrashModel, rng: &mut R) -> Option<u64> {
         // Forced outages take precedence over the stochastic model.
         if self.forced_down_remaining > 0 {
             self.forced_down_remaining -= 1;
@@ -239,8 +235,7 @@ mod tests {
 
     #[test]
     fn markov_rates_are_sane() {
-        let (crash, recover) =
-            CrashModel::markov_rates(Probability::new(0.05).unwrap(), 10.0);
+        let (crash, recover) = CrashModel::markov_rates(Probability::new(0.05).unwrap(), 10.0);
         assert!((recover - 0.1).abs() < 1e-12);
         assert!((crash - 0.1 * 0.05 / 0.95).abs() < 1e-12);
         // Certain-failure edge case.

@@ -7,8 +7,8 @@ use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{CrashModel, Metrics, SimTime};
 use crate::crash::CrashState;
+use crate::{CrashModel, Metrics, SimTime};
 
 /// A message that can travel through the simulated network.
 ///
@@ -379,11 +379,7 @@ impl<A: Actor> Simulation<A> {
     }
 
     /// Runs `f` for the actor at `id` with a context, then flushes sends.
-    fn with_actor(
-        &mut self,
-        id: ProcessId,
-        f: impl FnOnce(&mut A, &mut Context<'_, A::Message>),
-    ) {
+    fn with_actor(&mut self, id: ProcessId, f: impl FnOnce(&mut A, &mut Context<'_, A::Message>)) {
         let now = self.now;
         let Some(node) = self.nodes.get_mut(&id) else {
             return;
@@ -465,10 +461,7 @@ impl<A: Actor> Simulation<A> {
                 break;
             }
             let Reverse(flight) = self.in_flight.pop().expect("peeked");
-            let up = self
-                .nodes
-                .get(&flight.to)
-                .is_some_and(|n| n.crash.up);
+            let up = self.nodes.get(&flight.to).is_some_and(|n| n.crash.up);
             if !up {
                 self.metrics.record_dropped_receiver_down();
                 continue;
@@ -588,12 +581,7 @@ mod tests {
         let topology = pair_topology();
         let mut loss = Configuration::new();
         loss.set_loss(LinkId::new(p(0), p(1)).unwrap(), Probability::ONE);
-        let mut sim = Simulation::new(
-            topology,
-            loss,
-            |_| Counter::new(),
-            SimOptions::default(),
-        );
+        let mut sim = Simulation::new(topology, loss, |_| Counter::new(), SimOptions::default());
         for _ in 0..10 {
             sim.command(p(0), |_, ctx| ctx.send(p(1), 1));
         }

@@ -41,10 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("tick  estimate@p0  topology-complete@p0");
     let links: Vec<LinkId> = topology.links().collect();
     let mut converged_at = None;
-    for round in 1..=600u64 {
+    for round in 1..=1500u64 {
         sim.run_ticks(1);
         let node = sim.node(ProcessId::new(0)).unwrap().protocol();
-        if round % 60 == 0 {
+        if round % 150 == 0 {
             println!(
                 "{round:>4}  {:>10.4}  {}",
                 node.estimated_loss(watched).unwrap().value(),
@@ -53,9 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let all_good = sim.nodes().all(|(_, a)| {
             let n = a.protocol();
-            links
-                .iter()
-                .all(|&l| n.estimated_loss(l).is_some_and(|e| (e.value() - LOSS).abs() < 0.02))
+            links.iter().all(|&l| {
+                n.estimated_loss(l)
+                    .is_some_and(|e| (e.value() - LOSS).abs() < 0.02)
+            })
         });
         if all_good && converged_at.is_none() {
             converged_at = Some(round);

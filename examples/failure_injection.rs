@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Phase 1: healthy network.
     sim.run_ticks(250);
-    println!("after 250 healthy periods, p0 estimates {victim} at {:.3}", estimate_at_p0(&sim));
+    println!(
+        "after 250 healthy periods, p0 estimates {victim} at {:.3}",
+        estimate_at_p0(&sim)
+    );
 
     // Phase 2: the link starts losing 40% of messages.
     sim.set_loss(victim, Probability::new(0.4)?);

@@ -6,9 +6,7 @@
 //! ```
 
 use diffuse::model::Probability;
-use diffuse_experiments::{
-    adaptive_broadcast_cost, calibrate_gossip_steps, gossip_mean_messages,
-};
+use diffuse_experiments::{adaptive_broadcast_cost, calibrate_gossip_steps, gossip_mean_messages};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let connectivity = 12;
@@ -22,8 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("adaptive/optimal: {optimal} messages per broadcast (tree + optimize)");
 
     // The reference algorithm needs its step budget calibrated first.
-    let steps = calibrate_gossip_steps(&topology, loss, Probability::ZERO, 60, 256, 99)
-        .expect("reachable");
+    let steps =
+        calibrate_gossip_steps(&topology, loss, Probability::ZERO, 60, 256, 99).expect("reachable");
     let (data, acks) = gossip_mean_messages(&topology, loss, Probability::ZERO, steps, 60, 7);
     println!(
         "reference gossip: {data:.0} data + {acks:.0} ack messages per broadcast \

@@ -18,11 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // one terrible link.
     let mut topology = generators::ring(16)?;
     topology.add_link(ProcessId::new(0), ProcessId::new(8))?;
-    let mut config = Configuration::uniform(
-        &topology,
-        Probability::new(0.01)?,
-        Probability::new(0.02)?,
-    );
+    let mut config =
+        Configuration::uniform(&topology, Probability::new(0.01)?, Probability::new(0.02)?);
     let bad = LinkId::new(ProcessId::new(3), ProcessId::new(4))?;
     config.set_loss(bad, Probability::new(0.65)?);
 

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("{id} listening on {}", addresses[&id]);
         let protocol = OptimalBroadcast::new(id, knowledge.clone(), 0.9999);
-        handles.insert(id, spawn_node(protocol, transport, Duration::from_millis(10)));
+        handles.insert(
+            id,
+            spawn_node(protocol, transport, Duration::from_millis(10)),
+        );
     }
 
     handles[&ids[0]].broadcast(Payload::from("datagrams, assemble"))?;

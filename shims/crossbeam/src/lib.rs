@@ -1,0 +1,46 @@
+//! Offline shim for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate.
+//!
+//! `diffuse-net` only uses `crossbeam::channel::unbounded` senders and
+//! receivers (`send`, `try_recv`, `recv_timeout`), which map one-to-one
+//! onto [`std::sync::mpsc`] — so this shim simply re-exports the standard
+//! library types under crossbeam's module layout. The one observable
+//! difference (std receivers are `!Sync`) does not matter here: every
+//! receiver is owned by a single thread.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel {
+    //! Multi-producer single-consumer channels (std-backed).
+
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn roundtrip_and_timeout() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 7);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+    }
+}

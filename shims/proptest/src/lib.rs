@@ -1,0 +1,430 @@
+//! Offline shim for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io registry, so this workspace
+//! vendors the subset of the proptest API its tests use: the
+//! [`prelude::proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
+//! numeric range strategies, tuple strategies, [`collection::vec`],
+//! [`arbitrary::any`], `prop_assert!`/`prop_assert_eq!` and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its case index and the
+//!   derived RNG seed instead of a minimized input.
+//! * **Deterministic.** Cases are generated from a fixed per-test seed
+//!   (FNV-1a of the test name), so CI failures always reproduce locally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test-runner configuration and state.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Configuration for a `proptest!` block (used subset: `cases`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; the shim has no shrinking, so a
+            // smaller default keeps `cargo test` snappy while still
+            // exploring a meaningful slice of the space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Drives the cases of one property test.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        cases: u32,
+        base_seed: u64,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for the named test.
+        pub fn new(config: &ProptestConfig, test_name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs and
+            // platforms, distinct per property.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRunner {
+                cases: config.cases,
+                base_seed: h,
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The RNG for case `case`, derived from the per-test seed.
+        pub fn rng_for_case(&self, case: u32) -> StdRng {
+            StdRng::seed_from_u64(self.base_seed.wrapping_add(case as u64))
+        }
+
+        /// The seed for case `case` (reported on failure).
+        pub fn seed_for_case(&self, case: u32) -> u64 {
+            self.base_seed.wrapping_add(case as u64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream there is no value tree and no shrinking: a
+    /// strategy is simply a deterministic function of an RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+}
+
+pub mod arbitrary {
+    //! Default strategies per type.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Generates one arbitrary value.
+        fn arbitrary_with(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_with(rng: &mut StdRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary_with(rng: &mut StdRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary_with(rng: &mut StdRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary_with(rng: &mut StdRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary_with(rng)
+        }
+    }
+
+    /// The full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Size specifiers accepted by [`vec`].
+    pub trait SizeRange {
+        /// Samples a concrete length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and
+    /// whose length comes from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property body.
+///
+/// The shim maps this to [`assert!`]: a failure panics immediately and the
+/// harness reports the case index and seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests.
+///
+/// Supports the used subset of upstream's grammar: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions
+/// whose parameters are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let runner =
+                $crate::test_runner::TestRunner::new(&config, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for_case(case);
+                let outcome = {
+                    // One strategy value per parameter, sampled in
+                    // declaration order from the case RNG.
+                    $(let $pat = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut rng,
+                    );)+
+                    ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    )
+                };
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest shim: property `{}` failed at case {} \
+                         (derived seed {:#x}); no shrinking is performed",
+                        stringify!($name),
+                        case,
+                        runner.seed_for_case(case),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, f in 0.0f64..=1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            pairs in crate::collection::vec((0u32..5, any::<bool>()), 0..10),
+        ) {
+            prop_assert!(pairs.len() < 10);
+            for (v, _b) in pairs {
+                prop_assert!(v < 5);
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (1u32..50).prop_map(|v| v * 2)) {
+            prop_assert!(doubled % 2 == 0);
+            prop_assert!((2..100).contains(&doubled));
+        }
+    }
+
+    // No #[test] on the inner property: it is driven manually below (an
+    // inner #[test] item would be unnameable to the harness anyway).
+    proptest! {
+        fn always_fails(x in 0u32..10) {
+            prop_assert!(x > 100);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics() {
+        let result = std::panic::catch_unwind(always_fails);
+        assert!(result.is_err());
+    }
+}

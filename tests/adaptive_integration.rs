@@ -126,8 +126,11 @@ fn heterogeneous_links_are_distinguished() {
     let bad = LinkId::new(p(3), p(4)).unwrap();
 
     let all: Vec<ProcessId> = topology.processes().collect();
-    let mut config =
-        Configuration::uniform(&topology, Probability::ZERO, Probability::new(0.01).unwrap());
+    let mut config = Configuration::uniform(
+        &topology,
+        Probability::ZERO,
+        Probability::new(0.01).unwrap(),
+    );
     config.set_loss(bad, Probability::new(0.5).unwrap());
     let topo = topology.clone();
     let mut sim = Simulation::new(

@@ -25,7 +25,9 @@ fn optimal_sim(
         topology.clone(),
         config.clone(),
         move |id| ProtocolActor::new(OptimalBroadcast::new(id, knowledge.clone(), k)),
-        SimOptions::default().with_seed(seed).with_crash_model(crash),
+        SimOptions::default()
+            .with_seed(seed)
+            .with_crash_model(crash),
     )
 }
 
@@ -134,8 +136,11 @@ fn broken_link_is_routed_around_with_exact_knowledge() {
     // A chord gives the MRT an alternative to the dead link.
     topology.add_link(p(2), p(7)).unwrap();
     let dead = LinkId::new(p(4), p(5)).unwrap();
-    let mut config =
-        Configuration::uniform(&topology, Probability::ZERO, Probability::new(0.01).unwrap());
+    let mut config = Configuration::uniform(
+        &topology,
+        Probability::ZERO,
+        Probability::new(0.01).unwrap(),
+    );
     config.set_loss(dead, Probability::ONE);
 
     let mut sim = optimal_sim(&topology, &config, 0.9999, 3, CrashModel::AlwaysUp);
@@ -151,21 +156,15 @@ fn broken_link_is_routed_around_with_exact_knowledge() {
 #[test]
 fn simulator_runs_are_deterministic_per_seed() {
     let topology = generators::circulant(16, 4).unwrap();
-    let config = Configuration::uniform(
-        &topology,
-        Probability::ZERO,
-        Probability::new(0.2).unwrap(),
-    );
+    let config =
+        Configuration::uniform(&topology, Probability::ZERO, Probability::new(0.2).unwrap());
     let run = |seed: u64| {
         let mut sim = optimal_sim(&topology, &config, 0.999, seed, CrashModel::AlwaysUp);
         sim.command(p(0), |a, ctx| {
             a.broadcast_now(ctx, Payload::from("x")).unwrap();
         });
         sim.run_ticks(25);
-        (
-            sim.metrics().clone(),
-            delivered_count(&sim),
-        )
+        (sim.metrics().clone(), delivered_count(&sim))
     };
     assert_eq!(run(42), run(42));
 }
@@ -209,11 +208,8 @@ fn duplicate_suppression_holds_under_heavy_redundancy() {
     // Star topology: the hub receives the broadcast once per planned copy
     // but delivers exactly once.
     let topology = generators::star(6).unwrap();
-    let config = Configuration::uniform(
-        &topology,
-        Probability::ZERO,
-        Probability::new(0.3).unwrap(),
-    );
+    let config =
+        Configuration::uniform(&topology, Probability::ZERO, Probability::new(0.3).unwrap());
     let mut sim = optimal_sim(&topology, &config, 0.9999, 21, CrashModel::AlwaysUp);
     sim.command(p(1), |a, ctx| {
         a.broadcast_now(ctx, Payload::from("dup")).unwrap();

@@ -41,8 +41,14 @@ fn figure4_shape_on_one_small_point() {
             5,
         )
         .unwrap();
-        let (data, acks) =
-            gossip_message_stats(topology, loss, Probability::ZERO, steps, effort.gossip_runs, 9);
+        let (data, acks) = gossip_message_stats(
+            topology,
+            loss,
+            Probability::ZERO,
+            steps,
+            effort.gossip_runs,
+            9,
+        );
         (data.mean + acks.mean) / optimal as f64
     };
     let ratio_sparse = measure(&sparse);

@@ -41,7 +41,9 @@ fn live_protocol_messages_round_trip_the_codec() {
 
     let sends = actions.take_sends();
     assert!(sends.iter().any(|(_, m)| matches!(m, Message::Data(_))));
-    assert!(sends.iter().any(|(_, m)| matches!(m, Message::Heartbeat(_))));
+    assert!(sends
+        .iter()
+        .any(|(_, m)| matches!(m, Message::Heartbeat(_))));
     for (_, message) in sends {
         let frame = codec::encode_message(&message);
         let back = codec::decode_message(&frame).expect("round trip");
@@ -79,7 +81,9 @@ fn adaptive_protocol_learns_over_fabric_threads() {
     // Give the heartbeats time to spread topology + estimates, then ask
     // the edge node to broadcast; success implies complete knowledge.
     std::thread::sleep(Duration::from_millis(600));
-    handles[0].broadcast(Payload::from("learned over threads")).unwrap();
+    handles[0]
+        .broadcast(Payload::from("learned over threads"))
+        .unwrap();
 
     for handle in &handles {
         let got = handle

@@ -1,9 +1,7 @@
 //! Cross-crate property tests: conservation laws and protocol invariants
 //! over randomized topologies, configurations and seeds.
 
-use diffuse::core::{
-    NetworkKnowledge, OptimalBroadcast, Payload, Protocol, ProtocolActor,
-};
+use diffuse::core::{NetworkKnowledge, OptimalBroadcast, Payload, Protocol, ProtocolActor};
 use diffuse::graph::generators;
 use diffuse::model::{Configuration, Probability, ProcessId, Topology};
 use diffuse::sim::{SimOptions, Simulation};
