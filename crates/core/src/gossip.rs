@@ -17,14 +17,34 @@ use diffuse_sim::SimTime;
 use crate::protocol::{Actions, BroadcastId, GossipMessage, Message, Payload, Protocol};
 use crate::CoreError;
 
+/// A set of neighbors, one bit per position in the node's neighbor list.
+///
+/// The per-tick forwarding loop is the Monte-Carlo hot path: every active
+/// broadcast scans every neighbor on every step. Word-level bit tests
+/// replace the `BTreeSet` lookups of the naive transcription, and the
+/// combined exclusion mask (`received | acked`) lets the scan skip whole
+/// words of suppressed neighbors at once.
+#[derive(Debug, Clone, Default)]
+struct NeighborBits(Vec<u64>);
+
+impl NeighborBits {
+    fn for_neighbors(count: usize) -> Self {
+        NeighborBits(vec![0; count.div_ceil(64)])
+    }
+
+    fn insert(&mut self, position: usize) {
+        self.0[position / 64] |= 1 << (position % 64);
+    }
+}
+
 /// Per-broadcast forwarding state.
 #[derive(Debug, Clone)]
 struct GossipState {
     payload: Payload,
     /// Neighbors this message was received from (exclusion rule a).
-    received_from: BTreeSet<ProcessId>,
+    received_from: NeighborBits,
     /// Neighbors that acknowledged this message (exclusion rule b).
-    acked_by: BTreeSet<ProcessId>,
+    acked_by: NeighborBits,
     /// Forwarding steps left before this entry goes quiet.
     remaining_steps: u32,
 }
@@ -41,12 +61,17 @@ struct GossipState {
 pub struct ReferenceGossip {
     id: ProcessId,
     neighbors: Vec<ProcessId>,
+    /// `(neighbor, position)` sorted by neighbor id, for O(log n)
+    /// sender-to-bit-position lookups on receipt.
+    neighbor_positions: Vec<(ProcessId, u32)>,
     steps: u32,
     /// Ticks per forwarding step (see [`ReferenceGossip::with_step_period`]).
     step_period: u64,
     next_seq: u64,
     active: BTreeMap<BroadcastId, GossipState>,
     delivered: Vec<(BroadcastId, Payload)>,
+    /// Ids in `delivered`, for O(log n) duplicate checks.
+    delivered_ids: BTreeSet<BroadcastId>,
     /// Data copies this process has pushed to the network.
     data_sent: u64,
     /// ACKs this process has pushed to the network.
@@ -57,17 +82,34 @@ impl ReferenceGossip {
     /// Creates a gossip node with the given direct neighbors and
     /// forwarding step budget.
     pub fn new(id: ProcessId, neighbors: Vec<ProcessId>, steps: u32) -> Self {
+        let mut neighbor_positions: Vec<(ProcessId, u32)> = neighbors
+            .iter()
+            .enumerate()
+            .map(|(position, &q)| (q, position as u32))
+            .collect();
+        neighbor_positions.sort_unstable();
         ReferenceGossip {
             id,
             neighbors,
+            neighbor_positions,
             steps,
             step_period: 1,
             next_seq: 0,
             active: BTreeMap::new(),
             delivered: Vec::new(),
+            delivered_ids: BTreeSet::new(),
             data_sent: 0,
             acks_sent: 0,
         }
+    }
+
+    /// Bit position of a neighbor, or `None` for a non-neighbor sender
+    /// (nothing is ever forwarded to those, so no bit is needed).
+    fn neighbor_position(&self, q: ProcessId) -> Option<usize> {
+        self.neighbor_positions
+            .binary_search_by_key(&q, |&(id, _)| id)
+            .ok()
+            .map(|i| self.neighbor_positions[i].1 as usize)
     }
 
     /// The forwarding step budget per message.
@@ -100,19 +142,27 @@ impl ReferenceGossip {
 
     /// Returns `true` iff this process delivered the given broadcast.
     pub fn has_delivered(&self, id: BroadcastId) -> bool {
-        self.delivered.iter().any(|(d, _)| *d == id)
+        self.delivered_ids.contains(&id)
     }
 
-    fn start_state(&mut self, id: BroadcastId, payload: Payload, remaining_steps: u32) {
-        self.active.insert(
-            id,
-            GossipState {
-                payload,
-                received_from: BTreeSet::new(),
-                acked_by: BTreeSet::new(),
-                remaining_steps,
-            },
-        );
+    fn start_state(
+        &mut self,
+        id: BroadcastId,
+        payload: Payload,
+        remaining_steps: u32,
+    ) -> &mut GossipState {
+        let state = GossipState {
+            payload,
+            received_from: NeighborBits::for_neighbors(self.neighbors.len()),
+            acked_by: NeighborBits::for_neighbors(self.neighbors.len()),
+            remaining_steps,
+        };
+        self.active.entry(id).or_insert(state)
+    }
+
+    fn record_delivery(&mut self, id: BroadcastId, payload: Payload) {
+        self.delivered.push((id, payload));
+        self.delivered_ids.insert(id);
     }
 }
 
@@ -134,29 +184,31 @@ impl Protocol for ReferenceGossip {
                 // single ACK could vanish and stall suppression forever.
                 actions.send(from, Message::Ack { id: data.id });
                 self.acks_sent += 1;
+                let position = self.neighbor_position(from);
                 match self.active.get_mut(&data.id) {
                     Some(state) => {
-                        state.received_from.insert(from);
+                        if let Some(position) = position {
+                            state.received_from.insert(position);
+                        }
                     }
                     None => {
                         if self.has_delivered(data.id) {
                             return; // already completed its step budget
                         }
-                        self.delivered.push((data.id, data.payload.clone()));
+                        self.record_delivery(data.id, data.payload.clone());
                         actions.deliver(data.id, data.payload.clone());
                         // The copy's TTL says how many global steps remain.
-                        self.start_state(data.id, data.payload, data.ttl);
-                        self.active
-                            .get_mut(&data.id)
-                            .expect("just inserted")
-                            .received_from
-                            .insert(from);
+                        let state = self.start_state(data.id, data.payload, data.ttl);
+                        if let Some(position) = position {
+                            state.received_from.insert(position);
+                        }
                     }
                 }
             }
             Message::Ack { id } => {
-                if let Some(state) = self.active.get_mut(&id) {
-                    state.acked_by.insert(from);
+                let position = self.neighbor_position(from);
+                if let (Some(state), Some(position)) = (self.active.get_mut(&id), position) {
+                    state.acked_by.insert(position);
                 }
             }
             _ => {}
@@ -174,19 +226,34 @@ impl Protocol for ReferenceGossip {
                 continue;
             }
             state.remaining_steps -= 1;
-            for &q in &self.neighbors {
-                if state.received_from.contains(&q) || state.acked_by.contains(&q) {
-                    continue;
+            // Walk the un-suppressed frontier word by word; ascending bit
+            // positions preserve the neighbor-list send order (and with
+            // it the deterministic simulation streams).
+            for (word_index, (&received, &acked)) in state
+                .received_from
+                .0
+                .iter()
+                .zip(state.acked_by.0.iter())
+                .enumerate()
+            {
+                let mut free = !(received | acked);
+                if word_index == self.neighbors.len() / 64 {
+                    // Mask the padding bits past the last neighbor.
+                    free &= (1u64 << (self.neighbors.len() % 64)) - 1;
                 }
-                actions.send(
-                    q,
-                    Message::Gossip(GossipMessage {
-                        id,
-                        payload: state.payload.clone(),
-                        ttl: state.remaining_steps,
-                    }),
-                );
-                self.data_sent += 1;
+                while free != 0 {
+                    let position = word_index * 64 + free.trailing_zeros() as usize;
+                    free &= free - 1;
+                    actions.send(
+                        self.neighbors[position],
+                        Message::Gossip(GossipMessage {
+                            id,
+                            payload: state.payload.clone(),
+                            ttl: state.remaining_steps,
+                        }),
+                    );
+                    self.data_sent += 1;
+                }
             }
         }
         for id in finished {
@@ -205,7 +272,7 @@ impl Protocol for ReferenceGossip {
             seq: self.next_seq,
         };
         self.next_seq += 1;
-        self.delivered.push((id, payload.clone()));
+        self.record_delivery(id, payload.clone());
         actions.deliver(id, payload.clone());
         let steps = self.steps;
         self.start_state(id, payload, steps);

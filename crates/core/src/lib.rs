@@ -7,10 +7,14 @@
 //!
 //! * [`reach`] / [`reach_recursive`] — the probability that every process
 //!   in a tree receives at least one message copy (Eq. 1 / Eq. 2);
-//! * [`optimize`] — the greedy, provably optimal assignment of per-link
-//!   message counts meeting a target reliability `K` (Algorithm 2), plus
-//!   the budget-constrained dual [`optimize_budget`] (Eq. 5) and an
-//!   exhaustive test oracle [`optimize_exhaustive`];
+//! * [`optimize`] — the provably optimal assignment of per-link message
+//!   counts meeting a target reliability `K` (Algorithm 2), computed by
+//!   an `O(L log L)` closed-form waterfilling solver
+//!   ([`optimize_waterfill`]) that is bit-identical to the paper's
+//!   increment-at-a-time greedy (kept as [`optimize_greedy`]); plus the
+//!   budget-constrained dual [`optimize_budget`] /
+//!   [`optimize_budget_waterfill`] (Eq. 5) and an exhaustive test oracle
+//!   [`optimize_exhaustive`];
 //! * [`OptimalBroadcast`] — Algorithm 1, broadcast along the Maximum
 //!   Reliability Tree with exact knowledge;
 //! * [`AdaptiveBroadcast`] — Algorithms 3–5, the same broadcast activity
@@ -66,20 +70,25 @@ mod params;
 mod protocol;
 mod reach;
 mod tree;
+mod waterfill;
 
 pub use adaptive::AdaptiveBroadcast;
 pub use error::CoreError;
 pub use gossip::ReferenceGossip;
 pub use knowledge::{NetworkKnowledge, View};
 pub use optimal::OptimalBroadcast;
-pub use optimize::{gain, optimize, optimize_budget, optimize_exhaustive, MessagePlan};
+pub use optimize::{
+    gain, optimize, optimize_budget, optimize_budget_greedy, optimize_exhaustive, optimize_greedy,
+    MessagePlan,
+};
 pub use params::{AdaptiveParams, CorrectionMode, LinkBlame, ReconcileMode};
 pub use protocol::{
     Actions, BroadcastId, DataMessage, GossipMessage, HeartbeatMessage, Message, Payload, Protocol,
     ProtocolActor,
 };
-pub use reach::{link_success, reach, reach_recursive, MessageVector};
+pub use reach::{link_success, pow_det, reach, reach_recursive, MessageVector};
 pub use tree::{ReliabilityTree, SharedWireTree, WireTree};
+pub use waterfill::{optimize_budget_waterfill, optimize_waterfill};
 
 /// Shared fixtures for the crate's unit tests.
 #[cfg(test)]
@@ -217,5 +226,75 @@ mod property_tests {
             let dual = optimize_budget(&tree, primal.total_messages()).unwrap();
             prop_assert!(dual.reach() >= k - 1e-12);
         }
+
+        /// The waterfilling solver is bit-identical to the reference
+        /// greedy — counts *and* reach — on random tree shapes across
+        /// the full λ range and the paper's reliability targets.
+        /// Determinism of the plan bytes is a protocol requirement:
+        /// every receiver of a wire tree re-derives the sender's plan.
+        #[test]
+        fn prop_waterfill_is_bit_identical_to_greedy(
+            lambdas in proptest::collection::vec(0.0f64..0.99, 1..10),
+            shape_seed in any::<u64>(),
+            k_pick in 0usize..3,
+        ) {
+            let k = [0.9, 0.999, 0.999999][k_pick];
+            let tree = random_shape_tree(&lambdas, shape_seed);
+            let fast = optimize_waterfill(&tree, k).unwrap();
+            let slow = optimize_greedy(&tree, k).unwrap();
+            prop_assert_eq!(fast.vector().counts(), slow.vector().counts());
+            prop_assert_eq!(fast.reach().to_bits(), slow.reach().to_bits());
+            // The public entry point rides the fast path.
+            prop_assert_eq!(&optimize(&tree, k).unwrap(), &slow);
+        }
+
+        /// Budget-dual bit-identity on random shapes and budgets.
+        #[test]
+        fn prop_budget_waterfill_is_bit_identical_to_greedy(
+            lambdas in proptest::collection::vec(0.0f64..0.99, 1..10),
+            shape_seed in any::<u64>(),
+            extra in 0u64..3000,
+        ) {
+            let tree = random_shape_tree(&lambdas, shape_seed);
+            let budget = tree.link_count() as u64 + extra;
+            let fast = optimize_budget_waterfill(&tree, budget).unwrap();
+            let slow = optimize_budget_greedy(&tree, budget).unwrap();
+            prop_assert_eq!(fast.vector().counts(), slow.vector().counts());
+            prop_assert_eq!(fast.reach().to_bits(), slow.reach().to_bits());
+            prop_assert_eq!(&optimize_budget(&tree, budget).unwrap(), &slow);
+        }
+
+        /// The cached MessageVector total always equals the fresh sum,
+        /// through arbitrary construction + increment sequences.
+        #[test]
+        fn prop_message_vector_total_stays_cached(
+            counts in proptest::collection::vec(1u32..50, 1..12),
+            increment_seed in any::<u64>(),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut m = MessageVector::from_counts(counts);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(increment_seed);
+            for _ in 0..64 {
+                let j = rng.gen_range(0..m.len());
+                m.increment(j);
+                let fresh: u64 = m.counts().iter().map(|&c| c as u64).sum();
+                prop_assert_eq!(m.total(), fresh);
+            }
+        }
+    }
+
+    /// A random tree over `lambdas.len() + 1` processes: node `i + 1`
+    /// hangs off a uniformly chosen earlier node, covering chains, stars
+    /// and everything between.
+    fn random_shape_tree(lambdas: &[f64], seed: u64) -> ReliabilityTree {
+        use diffuse_model::ProcessId;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = lambdas.len();
+        let nodes: Vec<ProcessId> = (0..=n as u32).map(ProcessId::new).collect();
+        let parent: Vec<u32> = (0..n as u32).map(|i| rng.gen_range(0..=i)).collect();
+        let wire = WireTree::from_parts(ProcessId::new(0), nodes, parent, lambdas.to_vec())
+            .expect("valid random tree");
+        ReliabilityTree::from_wire(&wire).expect("valid random tree")
     }
 }

@@ -1,5 +1,17 @@
 //! The `optimize()` function (Algorithm 2) and its budget-constrained dual
 //! (Eq. 5).
+//!
+//! Two interchangeable solvers compute the same plans:
+//!
+//! * [`optimize_greedy`] / [`optimize_budget_greedy`] — the paper's
+//!   increment-at-a-time greedy, kept as the executable specification;
+//! * [`crate::optimize_waterfill`] / [`crate::optimize_budget_waterfill`]
+//!   — an `O(L log L)` closed-form threshold ("waterfilling") solver that
+//!   produces **bit-identical** plans (see `waterfill.rs`).
+//!
+//! [`optimize`] and [`optimize_budget`] are the public entry points and
+//! delegate to the waterfilling solver; the greedy remains exported so
+//! tests and benchmarks can cross-check the two against each other.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -9,17 +21,17 @@ use crate::{CoreError, MessageVector, ReliabilityTree};
 
 /// Safety cap on greedy increments; reaching it means the target is
 /// practically unreachable (e.g. λ extremely close to 1).
-const MAX_INCREMENTS: u64 = 10_000_000;
+pub(crate) const MAX_INCREMENTS: u64 = 10_000_000;
 
 /// Recompute the reach product from scratch this often to cancel
 /// floating-point drift from incremental updates.
-const RECOMPUTE_EVERY: u64 = 1024;
+pub(crate) const RECOMPUTE_EVERY: u64 = 1024;
 
 /// Tolerance when comparing the running reach against the target: exact
 /// boundaries like `1 - 0.1³ = 0.999` are not representable in `f64`, and
 /// without slack the greedy would buy a whole extra message to cross a
 /// 1e-16 gap.
-const REACH_EPS: f64 = 1e-12;
+pub(crate) const REACH_EPS: f64 = 1e-12;
 
 /// The solution of the optimization problem: per-link message counts plus
 /// the reach they achieve.
@@ -30,6 +42,10 @@ pub struct MessagePlan {
 }
 
 impl MessagePlan {
+    pub(crate) fn new(vector: MessageVector, reach: f64) -> Self {
+        MessagePlan { vector, reach }
+    }
+
     /// The per-link counts `m⃗`.
     pub fn vector(&self) -> &MessageVector {
         &self.vector
@@ -59,10 +75,63 @@ impl MessagePlan {
 /// first and the smallest link index among equals, making the greedy
 /// deterministic — a requirement, since every receiver of a wire tree must
 /// reproduce the same plan (Algorithm 1, line 9).
-#[derive(Debug, PartialEq)]
-struct Candidate {
+///
+/// `succ_next` caches `1 - λ^{m+1}` — the numerator of this candidate's
+/// gain. When the candidate is consumed it becomes the *denominator* of
+/// the link's next gain, so each greedy step costs a single power
+/// evaluation instead of two. The cached value is the exact `f64` the
+/// fresh computation would produce, so reuse never changes a plan.
+#[derive(Debug)]
+pub(crate) struct Candidate {
     gain: f64,
     index: usize,
+    succ_next: f64,
+}
+
+impl Candidate {
+    /// Candidate for the increment `m → m+1` of link `index`.
+    pub(crate) fn fresh(lambda: f64, m: u32, index: usize) -> Self {
+        let succ = link_success(lambda, m);
+        let succ_next = link_success(lambda, m + 1);
+        let gain = if succ <= 0.0 { 1.0 } else { succ_next / succ };
+        Candidate {
+            gain,
+            index,
+            succ_next,
+        }
+    }
+
+    /// The gain this candidate offers.
+    pub(crate) fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// The link index this candidate increments.
+    pub(crate) fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The follow-up candidate after this one was consumed (the link's
+    /// count is now `m + 1`), reusing the cached numerator.
+    pub(crate) fn successor(&self, lambda: f64, new_count: u32) -> Self {
+        let succ_next = link_success(lambda, new_count + 1);
+        let gain = if self.succ_next <= 0.0 {
+            1.0
+        } else {
+            succ_next / self.succ_next
+        };
+        Candidate {
+            gain,
+            index: self.index,
+            succ_next,
+        }
+    }
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.gain.total_cmp(&other.gain).is_eq() && self.index == other.index
+    }
 }
 
 impl Eq for Candidate {}
@@ -95,14 +164,106 @@ pub fn gain(lambda: f64, m: u32) -> f64 {
     link_success(lambda, m + 1) / current
 }
 
-/// Algorithm 2: greedily computes the cheapest `m⃗` with
-/// `reach(T, m⃗) ≥ k`.
+/// Shared entry validation: target checks, the trivial all-ones solution,
+/// and the dead-link error.
+pub(crate) enum Preflight {
+    /// The all-ones vector already meets the target.
+    Done(MessagePlan),
+    /// Keep optimizing from the all-ones vector.
+    Continue(MessageVector),
+}
+
+pub(crate) fn preflight(tree: &ReliabilityTree, k: f64) -> Result<Preflight, CoreError> {
+    if !k.is_finite() || !(0.0..1.0).contains(&k) {
+        return Err(CoreError::InvalidTarget(k));
+    }
+    let m = MessageVector::ones(tree.link_count());
+    let r = reach(tree, &m);
+    if r + REACH_EPS >= k {
+        return Ok(Preflight::Done(MessagePlan::new(m, r)));
+    }
+    if tree.lambdas().iter().any(|&l| l >= 1.0) {
+        return Err(CoreError::TargetUnreachable { best_reach: r });
+    }
+    Ok(Preflight::Continue(m))
+}
+
+/// One candidate per link, each at the link's current count in `m`.
+fn seed_heap(tree: &ReliabilityTree, m: &MessageVector) -> BinaryHeap<Candidate> {
+    (0..m.len())
+        .map(|j| Candidate::fresh(tree.lambda(j), m.get(j), j))
+        .collect()
+}
+
+/// Runs the greedy from `m` (with `increments_so_far` increments already
+/// spent) until the exact reach meets `k`.
 ///
-/// Starts from `(1, 1, …, 1)` and repeatedly increments the link with the
-/// maximum gain until the target is met. Appendix D proves this greedy is
-/// exactly optimal (the gain function is isotone, giving the greedy-choice
-/// and optimal-substructure properties); the test-suite cross-checks it
-/// against an exhaustive oracle.
+/// The stopping rule is *drift-free*: the incrementally-updated running
+/// reach only arms a trigger, and crossing the target is always confirmed
+/// against the exact product — so the plan a run produces is a pure
+/// function of the gain ordering and the exact-reach predicate, which is
+/// what lets the closed-form waterfilling solver reproduce it
+/// bit-for-bit. Each failed confirmation pulls the trigger halfway into
+/// the remaining gap, so confirmations cost `O(L log(1/gap))` total.
+pub(crate) fn greedy_until_target(
+    tree: &ReliabilityTree,
+    mut m: MessageVector,
+    increments_so_far: u64,
+    k: f64,
+) -> Result<MessagePlan, CoreError> {
+    let mut r = reach(tree, &m);
+    if r + REACH_EPS >= k {
+        return Ok(MessagePlan::new(m, r));
+    }
+    let mut heap = seed_heap(tree, &m);
+    let mut increments = increments_so_far;
+    let mut trigger = k - REACH_EPS;
+    loop {
+        let Some(best) = heap.pop() else {
+            return Err(CoreError::TargetUnreachable {
+                best_reach: reach(tree, &m),
+            });
+        };
+        if best.gain <= 1.0 {
+            // No link can improve the reach any further.
+            return Err(CoreError::TargetUnreachable {
+                best_reach: reach(tree, &m),
+            });
+        }
+        m.increment(best.index);
+        r *= best.gain;
+        let lambda = tree.lambda(best.index);
+        let next = best.successor(lambda, m.get(best.index));
+        heap.push(next);
+        increments += 1;
+        if increments % RECOMPUTE_EVERY == 0 {
+            r = reach(tree, &m);
+        }
+        if increments > MAX_INCREMENTS {
+            return Err(CoreError::TargetUnreachable {
+                best_reach: reach(tree, &m),
+            });
+        }
+        if r >= trigger {
+            let exact = reach(tree, &m);
+            if exact + REACH_EPS >= k {
+                return Ok(MessagePlan::new(m, exact));
+            }
+            r = exact;
+            trigger = exact + (k - REACH_EPS - exact) * 0.5;
+        }
+    }
+}
+
+/// Algorithm 2: computes the cheapest `m⃗` with `reach(T, m⃗) ≥ k`.
+///
+/// Delegates to the `O(L log L)` waterfilling solver
+/// ([`crate::optimize_waterfill`]), which produces plans bit-identical to
+/// the reference greedy [`optimize_greedy`]. Appendix D proves the greedy
+/// is exactly optimal (the gain function is isotone, giving the
+/// greedy-choice and optimal-substructure properties); the test-suite
+/// cross-checks both solvers against each other and against an exhaustive
+/// oracle.
 ///
 /// # Errors
 ///
@@ -132,100 +293,69 @@ pub fn gain(lambda: f64, m: u32) -> f64 {
 /// # }
 /// ```
 pub fn optimize(tree: &ReliabilityTree, k: f64) -> Result<MessagePlan, CoreError> {
-    if !k.is_finite() || !(0.0..1.0).contains(&k) {
-        return Err(CoreError::InvalidTarget(k));
-    }
-    let links = tree.link_count();
-    let mut m = MessageVector::ones(links);
-    let mut r = reach(tree, &m);
-    if r + REACH_EPS >= k {
-        return Ok(MessagePlan {
-            vector: m,
-            reach: r,
-        });
-    }
-    if tree.lambdas().iter().any(|&l| l >= 1.0) {
-        return Err(CoreError::TargetUnreachable { best_reach: r });
-    }
+    crate::waterfill::optimize_waterfill(tree, k)
+}
 
-    let mut heap: BinaryHeap<Candidate> = (0..links)
-        .map(|j| Candidate {
-            gain: gain(tree.lambda(j), 1),
-            index: j,
-        })
-        .collect();
-
-    let mut increments = 0u64;
-    while r + REACH_EPS < k {
-        let Some(best) = heap.pop() else {
-            return Err(CoreError::TargetUnreachable { best_reach: r });
-        };
-        if best.gain <= 1.0 {
-            // No link can improve the reach any further.
-            return Err(CoreError::TargetUnreachable { best_reach: r });
-        }
-        m.increment(best.index);
-        r *= best.gain;
-        heap.push(Candidate {
-            gain: gain(tree.lambda(best.index), m.get(best.index)),
-            index: best.index,
-        });
-        increments += 1;
-        if increments % RECOMPUTE_EVERY == 0 {
-            r = reach(tree, &m);
-        }
-        if increments > MAX_INCREMENTS {
-            return Err(CoreError::TargetUnreachable {
-                best_reach: reach(tree, &m),
-            });
-        }
+/// The reference greedy for Algorithm 2: starts from `(1, 1, …, 1)` and
+/// repeatedly increments the link with the maximum gain until the target
+/// is met.
+///
+/// Kept as the executable specification of [`optimize`]; the waterfilling
+/// solver must (and does — property-tested) produce bit-identical plans.
+///
+/// # Errors
+///
+/// Same contract as [`optimize`].
+pub fn optimize_greedy(tree: &ReliabilityTree, k: f64) -> Result<MessagePlan, CoreError> {
+    match preflight(tree, k)? {
+        Preflight::Done(plan) => Ok(plan),
+        Preflight::Continue(m) => greedy_until_target(tree, m, 0, k),
     }
-    // Report the exact reach, not the incrementally-updated estimate.
-    let exact = reach(tree, &m);
-    Ok(MessagePlan {
-        vector: m,
-        reach: exact,
-    })
 }
 
 /// The budget-constrained dual (Eq. 5): maximizes `reach(T, m⃗)` subject
 /// to `c(m⃗) ≤ budget`.
 ///
-/// Runs the same greedy with the stop condition `c(m⃗) = budget`
-/// (footnote 3 of the paper).
+/// Delegates to the waterfilling solver
+/// ([`crate::optimize_budget_waterfill`]); plans are bit-identical to the
+/// reference greedy [`optimize_budget_greedy`] (footnote 3 of the paper).
 ///
 /// # Errors
 ///
 /// Returns [`CoreError::BudgetTooSmall`] if `budget` is below the number
 /// of tree links (every link needs at least one message).
 pub fn optimize_budget(tree: &ReliabilityTree, budget: u64) -> Result<MessagePlan, CoreError> {
+    crate::waterfill::optimize_budget_waterfill(tree, budget)
+}
+
+/// The reference greedy for the budget dual: runs the same greedy with
+/// the stop condition `c(m⃗) = budget`.
+///
+/// # Errors
+///
+/// Same contract as [`optimize_budget`].
+pub fn optimize_budget_greedy(
+    tree: &ReliabilityTree,
+    budget: u64,
+) -> Result<MessagePlan, CoreError> {
     let links = tree.link_count();
     if budget < links as u64 {
         return Err(CoreError::BudgetTooSmall { budget, links });
     }
     let mut m = MessageVector::ones(links);
-    let mut heap: BinaryHeap<Candidate> = (0..links)
-        .map(|j| Candidate {
-            gain: gain(tree.lambda(j), 1),
-            index: j,
-        })
-        .collect();
+    let mut heap = seed_heap(tree, &m);
     for _ in 0..budget - links as u64 {
         let Some(best) = heap.pop() else { break };
         if best.gain <= 1.0 {
             break; // nothing can improve further; stay under budget
         }
         m.increment(best.index);
-        heap.push(Candidate {
-            gain: gain(tree.lambda(best.index), m.get(best.index)),
-            index: best.index,
-        });
+        let lambda = tree.lambda(best.index);
+        let next = best.successor(lambda, m.get(best.index));
+        heap.push(next);
     }
     let r = reach(tree, &m);
-    Ok(MessagePlan {
-        vector: m,
-        reach: r,
-    })
+    Ok(MessagePlan::new(m, r))
 }
 
 /// Exhaustive oracle for tests: tries every `m⃗` with entries in
@@ -240,10 +370,7 @@ pub fn optimize_exhaustive(
 ) -> Option<MessagePlan> {
     let links = tree.link_count();
     if links == 0 {
-        return Some(MessagePlan {
-            vector: MessageVector::ones(0),
-            reach: 1.0,
-        });
+        return Some(MessagePlan::new(MessageVector::ones(0), 1.0));
     }
     let mut best: Option<MessagePlan> = None;
     let mut counts = vec![1u32; links];
@@ -253,10 +380,7 @@ pub fn optimize_exhaustive(
         if r + REACH_EPS >= k {
             let total = m.total();
             if best.as_ref().is_none_or(|b| total < b.total_messages()) {
-                best = Some(MessagePlan {
-                    vector: m,
-                    reach: r,
-                });
+                best = Some(MessagePlan::new(m, r));
             }
         }
         // Odometer increment.
@@ -301,6 +425,19 @@ mod tests {
     }
 
     #[test]
+    fn candidate_numerator_reuse_is_exact() {
+        // The cached-numerator fast path must reproduce gain() bit for
+        // bit, or the two solvers could order increments differently.
+        for lambda in [0.05, 0.3, 0.7, 0.95, 0.99] {
+            let mut candidate = Candidate::fresh(lambda, 1, 0);
+            for m in 1..200u32 {
+                assert_eq!(candidate.gain, gain(lambda, m), "λ={lambda}, m={m}");
+                candidate = candidate.successor(lambda, m + 1);
+            }
+        }
+    }
+
+    #[test]
     fn single_link_plan_matches_closed_form() {
         // Need 1 - 0.1^m >= 0.999 → m = 3.
         let tree = chain_tree(&[0.1]);
@@ -336,6 +473,10 @@ mod tests {
                 matches!(optimize(&tree, k), Err(CoreError::InvalidTarget(_))),
                 "target {k} must be rejected"
             );
+            assert!(
+                matches!(optimize_greedy(&tree, k), Err(CoreError::InvalidTarget(_))),
+                "target {k} must be rejected by the greedy"
+            );
         }
     }
 
@@ -344,6 +485,10 @@ mod tests {
         let tree = chain_tree(&[0.1, 1.0]);
         assert!(matches!(
             optimize(&tree, 0.9),
+            Err(CoreError::TargetUnreachable { .. })
+        ));
+        assert!(matches!(
+            optimize_greedy(&tree, 0.9),
             Err(CoreError::TargetUnreachable { .. })
         ));
         // k = 0 is trivially satisfiable even with a dead link.
@@ -370,7 +515,7 @@ mod tests {
             (star_tree(&[0.1, 0.4, 0.25]), 0.95),
             (tree_with_lambdas(), 0.9),
         ] {
-            let greedy = optimize(&tree, k).unwrap();
+            let greedy = optimize_greedy(&tree, k).unwrap();
             let oracle = optimize_exhaustive(&tree, k, 6).unwrap();
             assert_eq!(
                 greedy.total_messages(),
@@ -378,6 +523,8 @@ mod tests {
                 "greedy must be optimal (k={k})"
             );
             assert!(greedy.reach() >= k);
+            // And the default (waterfilling) path must agree bit for bit.
+            assert_eq!(optimize(&tree, k).unwrap(), greedy);
         }
     }
 
@@ -387,6 +534,8 @@ mod tests {
         let a = optimize(&tree, 0.9999).unwrap();
         let b = optimize(&tree, 0.9999).unwrap();
         assert_eq!(a, b);
+        let c = optimize_greedy(&tree, 0.9999).unwrap();
+        assert_eq!(a, c);
     }
 
     #[test]
@@ -411,6 +560,13 @@ mod tests {
                 links: 3
             })
         ));
+        assert!(matches!(
+            optimize_budget_greedy(&tree, 2),
+            Err(CoreError::BudgetTooSmall {
+                budget: 2,
+                links: 3
+            })
+        ));
     }
 
     #[test]
@@ -420,6 +576,7 @@ mod tests {
         // No point sending more than one message over perfect links.
         assert_eq!(plan.total_messages(), 2);
         assert_eq!(plan.reach(), 1.0);
+        assert_eq!(optimize_budget_greedy(&tree, 100).unwrap(), plan);
     }
 
     #[test]

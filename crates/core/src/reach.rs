@@ -10,6 +10,10 @@ use crate::ReliabilityTree;
 /// tree link leading to process `p_j`. The paper's optimization starts
 /// from the all-ones vector and increments entries greedily.
 ///
+/// The total `c(m⃗)` is cached and maintained incrementally, so
+/// [`MessageVector::total`] is `O(1)` — the optimizer and the adaptive
+/// protocol query it on every planning step.
+///
 /// # Example
 ///
 /// ```
@@ -21,27 +25,35 @@ use crate::ReliabilityTree;
 /// assert_eq!(m.total(), 4);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MessageVector(Vec<u32>);
+pub struct MessageVector {
+    counts: Vec<u32>,
+    /// Cached `Σ_j counts[j]`; kept in sync by every mutation.
+    total: u64,
+}
 
 impl MessageVector {
     /// The paper's initial minimal solution `(1, 1, …, 1)`.
     pub fn ones(links: usize) -> Self {
-        MessageVector(vec![1; links])
+        MessageVector {
+            counts: vec![1; links],
+            total: links as u64,
+        }
     }
 
     /// Builds a vector from explicit counts.
     pub fn from_counts(counts: Vec<u32>) -> Self {
-        MessageVector(counts)
+        let total = counts.iter().map(|&m| m as u64).sum();
+        MessageVector { counts, total }
     }
 
     /// Number of links.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.counts.len()
     }
 
     /// Returns `true` for the empty vector (singleton tree).
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.counts.is_empty()
     }
 
     /// Count for link index `j`.
@@ -50,12 +62,12 @@ impl MessageVector {
     ///
     /// Panics if `j` is out of range.
     pub fn get(&self, j: usize) -> u32 {
-        self.0[j]
+        self.counts[j]
     }
 
     /// All counts, by link index.
     pub fn counts(&self) -> &[u32] {
-        &self.0
+        &self.counts
     }
 
     /// Adds one message to link index `j` (the greedy step `m⃗ + u⃗_j`).
@@ -64,19 +76,47 @@ impl MessageVector {
     ///
     /// Panics if `j` is out of range.
     pub fn increment(&mut self, j: usize) {
-        self.0[j] += 1;
+        self.counts[j] += 1;
+        self.total += 1;
     }
 
     /// Total messages `c(m⃗) = Σ_j m⃗[j]` — the paper's cost function.
+    ///
+    /// `O(1)`: reads the cached running sum.
     pub fn total(&self) -> u64 {
-        self.0.iter().map(|&m| m as u64).sum()
+        self.total
     }
+}
+
+/// Deterministic `base^exp` by binary exponentiation.
+///
+/// `f64::powi` documents *non-deterministic precision* (it may differ
+/// across platforms and toolchains), which is unacceptable here: every
+/// receiver of a wire tree must re-derive bit-identical message plans
+/// (Algorithm 1, line 9), and the closed-form waterfilling solver must
+/// agree bit-for-bit with the greedy. This fixed square-and-multiply
+/// sequence uses only IEEE-754 multiplications, so it is reproducible
+/// everywhere — and `O(log exp)`, which the threshold solver relies on to
+/// evaluate gains at arbitrary message counts.
+pub fn pow_det(base: f64, mut exp: u32) -> f64 {
+    let mut acc = 1.0f64;
+    let mut square = base;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc *= square;
+        }
+        exp >>= 1;
+        if exp > 0 {
+            square *= square;
+        }
+    }
+    acc
 }
 
 /// Probability that at least one of `m` transmissions with per-copy
 /// failure probability `lambda` gets through: `1 - λ^m`.
 pub fn link_success(lambda: f64, m: u32) -> f64 {
-    1.0 - lambda.powi(m as i32)
+    1.0 - pow_det(lambda, m)
 }
 
 /// The `reach` function in its iterative form (Eq. 2):
@@ -108,6 +148,11 @@ pub fn reach(tree: &ReliabilityTree, m: &MessageVector) -> f64 {
 /// Exists alongside [`reach`] to mirror the paper faithfully and to
 /// cross-check the two forms in tests; both always agree.
 ///
+/// Implemented with an explicit worklist rather than call recursion: the
+/// recursion depth of the naive transcription equals the tree height, and
+/// a degenerate chain (one process per level) overflows the stack long
+/// before realistic system sizes are reached.
+///
 /// # Panics
 ///
 /// Panics if `m.len() != tree.link_count()` or `root` is not in the tree.
@@ -121,13 +166,21 @@ pub fn reach_recursive(tree: &ReliabilityTree, m: &MessageVector, root: ProcessI
         tree.tree().contains(root),
         "reach_recursive root must be in the tree"
     );
+    // Eq. 1 unfolds to Π over every link of the subtree below `root`:
+    // each child contributes `(1 - λ_j^{m_j}) · reach(T_j)`, so walking
+    // the subtree once and multiplying the per-link success of every
+    // visited child is exactly the recursive product, evaluated
+    // iteratively (pre-order) instead of on the call stack.
     let mut product = 1.0;
-    // Π over direct subtrees T_j ∈ S_root.
-    for &child in tree.children(root) {
-        let j = tree
-            .index_of(child)
-            .expect("children always have a link index");
-        product *= link_success(tree.lambda(j), m.get(j)) * reach_recursive(tree, m, child);
+    let mut stack: Vec<ProcessId> = vec![root];
+    while let Some(p) = stack.pop() {
+        for &child in tree.children(p) {
+            let j = tree
+                .index_of(child)
+                .expect("children always have a link index");
+            product *= link_success(tree.lambda(j), m.get(j));
+            stack.push(child);
+        }
     }
     product
 }
@@ -149,6 +202,37 @@ mod tests {
         m.increment(0);
         assert_eq!(m.counts(), &[3, 1, 3]);
         assert_eq!(m.total(), 7);
+    }
+
+    #[test]
+    fn cached_total_tracks_every_mutation() {
+        // The O(1) total must stay equal to the freshly-summed counts
+        // through construction and increments.
+        let mut m = MessageVector::from_counts(vec![4, 1, 9, 2]);
+        for j in [0, 2, 2, 3, 1, 0, 2] {
+            m.increment(j);
+            let fresh: u64 = m.counts().iter().map(|&c| c as u64).sum();
+            assert_eq!(m.total(), fresh);
+        }
+        assert_eq!(MessageVector::ones(5).total(), 5);
+        assert_eq!(MessageVector::from_counts(vec![]).total(), 0);
+    }
+
+    #[test]
+    fn pow_det_matches_naive_products() {
+        for base in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let mut naive = 1.0f64;
+            for exp in 0..64u32 {
+                let fast = pow_det(base, exp);
+                assert!(
+                    (fast - naive).abs() <= 1e-13 * naive.abs().max(1e-300),
+                    "pow_det({base}, {exp}) = {fast}, naive = {naive}"
+                );
+                naive *= base;
+            }
+        }
+        assert_eq!(pow_det(0.3, 0), 1.0);
+        assert_eq!(pow_det(0.3, 1), 0.3);
     }
 
     #[test]
@@ -210,6 +294,21 @@ mod tests {
             assert!(next >= last, "adding a message must not reduce reach");
             last = next;
         }
+    }
+
+    #[test]
+    fn recursive_survives_a_10k_deep_chain() {
+        // Regression: the naive transcription of Eq. 1 recursed once per
+        // tree level and overflowed the stack on deep chains. The
+        // explicit-worklist form must handle a 10 000-link chain and
+        // still agree with the iterative product.
+        let lambdas = vec![0.001f64; 10_000];
+        let tree = chain_tree(&lambdas);
+        let m = MessageVector::ones(tree.link_count());
+        let a = reach(&tree, &m);
+        let b = reach_recursive(&tree, &m, tree.root());
+        assert!((a - b).abs() < 1e-9, "iterative {a} recursive {b}");
+        assert!(a > 0.0);
     }
 
     #[test]

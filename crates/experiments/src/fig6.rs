@@ -101,6 +101,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "multi-second ring-convergence Monte-Carlo; CI runs it in release via --ignored"]
     fn convergence_effort_grows_with_system_size() {
         // Figure 6's claim is scalability: the approximation effort per
         // link grows with the system size, with the ring as the worst

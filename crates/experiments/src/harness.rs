@@ -98,6 +98,53 @@ pub fn gossip_trial_config(
     }
 }
 
+/// Settings for the sequential, confidence-bounded step calibration.
+///
+/// The calibration runs a *curtailed sequential test* per candidate
+/// budget: trials run one at a time, the budget is rejected on the first
+/// failed trial (no point finishing the batch — the paper's criterion is
+/// "all processes reached"), and accepted after
+/// [`CalibrationSettings::required_successes`] consecutive successes.
+/// If the true delivery probability of a budget were below `target`, the
+/// chance of it surviving `n` successes is at most `target^n ≤ alpha` —
+/// a one-sided confidence bound, replacing the earlier fixed-run count
+/// that certified an unstated (and budget-dependent) level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationSettings {
+    /// Delivery probability the accepted budget must certify.
+    pub target: f64,
+    /// Acceptable probability of accepting a budget whose true delivery
+    /// probability is below `target` (the test's one-sided α).
+    pub alpha: f64,
+    /// Give up beyond this step budget.
+    pub max_steps: u32,
+}
+
+impl CalibrationSettings {
+    /// Certify `target` at one-sided confidence `1 - alpha`.
+    pub fn certifying(target: f64, alpha: f64, max_steps: u32) -> Self {
+        CalibrationSettings {
+            target: target.clamp(0.5, 1.0 - 1e-9),
+            alpha: alpha.clamp(1e-9, 0.5),
+            max_steps,
+        }
+    }
+
+    /// Calibration effort comparable to `runs` all-success trials: the
+    /// rule-of-three level those runs certify at 95% confidence
+    /// (`1 - 3/runs`), so sweeps keep their cost when switching from the
+    /// fixed-run calibration to the confidence-bounded one.
+    pub fn comparable_to_runs(runs: u32, max_steps: u32) -> Self {
+        CalibrationSettings::certifying(1.0 - 3.0 / runs.max(4) as f64, 0.05, max_steps)
+    }
+
+    /// Consecutive successful trials needed to accept a budget:
+    /// `⌈ln alpha / ln target⌉`.
+    pub fn required_successes(&self) -> u32 {
+        (self.alpha.ln() / self.target.ln()).ceil().max(1.0) as u32
+    }
+}
+
 /// Finds the smallest global step budget for which `runs` consecutive
 /// Monte-Carlo trials all reach every process — the experiment harness's
 /// replacement for the step counts the paper "determined interactively".
@@ -105,7 +152,9 @@ pub fn gossip_trial_config(
 /// With `runs` successful trials and zero failures, the delivery
 /// probability is at least roughly `1 - 3/runs` at 95% confidence; the
 /// run count therefore bounds how sharply the paper's `K = 0.9999` can be
-/// certified (documented in EXPERIMENTS.md).
+/// certified (documented in EXPERIMENTS.md). Prefer
+/// [`calibrate_gossip_steps_confident`], which makes that bound an
+/// explicit input.
 ///
 /// Returns `None` if even `max_steps` fails.
 pub fn calibrate_gossip_steps(
@@ -123,6 +172,42 @@ pub fn calibrate_gossip_steps(
 /// [`calibrate_gossip_steps`] over an arbitrary per-link loss
 /// configuration.
 pub fn calibrate_gossip_steps_config(
+    topology: &Topology,
+    config: &Configuration,
+    crash: Probability,
+    runs: u32,
+    max_steps: u32,
+    seed: u64,
+) -> Option<u32> {
+    calibrate_runs(topology, config, crash, runs, max_steps, seed)
+}
+
+/// Sequential confidence-bounded calibration (see
+/// [`CalibrationSettings`]): finds the smallest step budget certified to
+/// deliver with probability ≥ `settings.target` at one-sided confidence
+/// `1 - settings.alpha`, or `None` if even `settings.max_steps` fails the
+/// test. Used by the Figure 4 harness for both panels.
+pub fn calibrate_gossip_steps_confident(
+    topology: &Topology,
+    config: &Configuration,
+    crash: Probability,
+    settings: CalibrationSettings,
+    seed: u64,
+) -> Option<u32> {
+    calibrate_runs(
+        topology,
+        config,
+        crash,
+        settings.required_successes(),
+        settings.max_steps,
+        seed,
+    )
+}
+
+/// Shared search: smallest budget surviving `runs` consecutive trials
+/// (each candidate's test is curtailed on its first failure by `.all()`'s
+/// short-circuit), found by exponential probe + binary search.
+fn calibrate_runs(
     topology: &Topology,
     config: &Configuration,
     crash: Probability,
@@ -335,6 +420,40 @@ mod tests {
         // A ring needs ~n/2 steps; one step cannot reach everyone.
         let t = gossip_trial(&ring, Probability::ZERO, Probability::ZERO, 1, 1);
         assert!(!t.all_reached);
+    }
+
+    #[test]
+    fn required_successes_implements_the_confidence_bound() {
+        // ln(0.05)/ln(0.9) ≈ 28.4 → 29 consecutive successes.
+        let s = CalibrationSettings::certifying(0.9, 0.05, 64);
+        assert_eq!(s.required_successes(), 29);
+        // The bound holds: target^n ≤ alpha.
+        assert!(s.target.powi(s.required_successes() as i32) <= s.alpha);
+        // Comparable-to-runs reproduces the rule-of-three effort scale:
+        // n ≈ runs (ln(0.05)/ln(1 - 3/runs) ≈ runs for large runs).
+        let c = CalibrationSettings::comparable_to_runs(40, 64);
+        let n = c.required_successes();
+        assert!((30..=50).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    fn confident_calibration_finds_a_minimal_certified_budget() {
+        let ring = generators::ring(8).unwrap();
+        let cfg = Configuration::uniform(&ring, Probability::ZERO, Probability::ZERO);
+        let settings = CalibrationSettings::certifying(0.9, 0.05, 64);
+        let steps =
+            calibrate_gossip_steps_confident(&ring, &cfg, Probability::ZERO, settings, 42).unwrap();
+        // Reliable ring of 8: flood reaches everyone in ~4 steps.
+        assert!((3..=6).contains(&steps), "steps = {steps}");
+        // One step fewer must fail at least one trial.
+        let t = gossip_trial(&ring, Probability::ZERO, Probability::ZERO, steps - 1, 77);
+        assert!(!t.all_reached);
+        // A hopeless configuration is rejected.
+        let dead = Configuration::uniform(&ring, Probability::ZERO, Probability::ONE);
+        assert_eq!(
+            calibrate_gossip_steps_confident(&ring, &dead, Probability::ZERO, settings, 1),
+            None
+        );
     }
 
     #[test]

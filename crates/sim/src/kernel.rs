@@ -169,6 +169,18 @@ struct Node<A> {
     crash: CrashState,
 }
 
+/// Per-destination cache for one outbox flush: link validity, loss
+/// probability, stagger offset, and per-kind sent counts are resolved
+/// once per destination instead of once per message.
+struct BurstSlot {
+    to: ProcessId,
+    /// `None`: invalid destination (non-neighbor, self-loop, unknown).
+    link: Option<LinkId>,
+    loss: f64,
+    stagger: u64,
+    sent: Vec<(&'static str, u64)>,
+}
+
 /// A deterministic discrete-event simulation of a distributed system.
 ///
 /// The simulation owns one [`Actor`] per process, a lossy network derived
@@ -232,6 +244,9 @@ pub struct Simulation<A: Actor> {
     rng: StdRng,
     metrics: Metrics,
     outbox: Vec<(ProcessId, A::Message)>,
+    /// Reused buffers for [`Simulation::flush_outbox`].
+    flush_scratch: Vec<(ProcessId, A::Message)>,
+    burst_scratch: Vec<BurstSlot>,
     started: bool,
 }
 
@@ -283,6 +298,8 @@ impl<A: Actor> Simulation<A> {
             now: SimTime::ZERO,
             metrics: Metrics::new(),
             outbox: Vec::new(),
+            flush_scratch: Vec::new(),
+            burst_scratch: Vec::new(),
             started: false,
         }
     }
@@ -405,37 +422,91 @@ impl<A: Actor> Simulation<A> {
     /// tick apart. This keeps per-copy failures independent — delivering
     /// a whole burst in one tick would make one receiver-crash sample
     /// destroy every copy at once.
+    ///
+    /// This is the Monte-Carlo inner loop: link validation and loss
+    /// probabilities are resolved once per distinct destination of the
+    /// burst (a small linear cache instead of per-message map walks), and
+    /// sent-message metrics are recorded in per-destination batches. The
+    /// loss RNG is still consulted once per message *in send order*, so
+    /// seeded simulation streams are byte-identical to the naive loop.
     fn flush_outbox(&mut self, from: ProcessId) {
-        // Drain into a local buffer first: scheduling needs &mut self.
-        let pending: Vec<(ProcessId, A::Message)> = self.outbox.drain(..).collect();
-        let mut burst: BTreeMap<ProcessId, u64> = BTreeMap::new();
-        for (to, message) in pending {
-            let Ok(link) = LinkId::new(from, to) else {
-                self.metrics.record_invalid();
-                continue;
+        // Drain into a persistent scratch buffer: scheduling needs
+        // `&mut self`, and reusing the buffer keeps the flush
+        // allocation-free in steady state.
+        let mut pending = std::mem::take(&mut self.flush_scratch);
+        std::mem::swap(&mut pending, &mut self.outbox);
+        // Slots from previous flushes are recycled in place (their
+        // per-kind Vecs keep their allocations); `live` marks how many
+        // belong to *this* flush.
+        let mut slots = std::mem::take(&mut self.burst_scratch);
+        let mut live = 0usize;
+        let mut invalid = 0u64;
+        for (to, message) in pending.drain(..) {
+            let slot_index = match slots[..live].iter().position(|s| s.to == to) {
+                Some(i) => i,
+                None => {
+                    let link = LinkId::new(from, to)
+                        .ok()
+                        .filter(|&l| self.topology.contains_link(l));
+                    let loss = link.map(|l| self.loss.loss(l).value()).unwrap_or(0.0);
+                    if live == slots.len() {
+                        slots.push(BurstSlot {
+                            to,
+                            link,
+                            loss,
+                            stagger: 0,
+                            sent: Vec::new(),
+                        });
+                    } else {
+                        let slot = &mut slots[live];
+                        slot.to = to;
+                        slot.link = link;
+                        slot.loss = loss;
+                        slot.stagger = 0;
+                        slot.sent.clear();
+                    }
+                    live += 1;
+                    live - 1
+                }
             };
-            if !self.topology.contains_link(link) {
-                self.metrics.record_invalid();
+            let slot = &mut slots[slot_index];
+            if slot.link.is_none() {
+                invalid += 1;
                 continue;
             }
-            self.metrics.record_sent(link, message.kind());
-            let loss = self.loss.loss(link);
-            if !loss.is_zero() && self.rng.gen_bool(loss.value()) {
+            // Sent metrics count pre-loss copies, batched per kind.
+            let kind = message.kind();
+            match slot.sent.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, n)) => *n += 1,
+                None => slot.sent.push((kind, 1)),
+            }
+            if slot.loss > 0.0 && self.rng.gen_bool(slot.loss) {
                 self.metrics.record_lost();
                 continue;
             }
-            let stagger = burst.entry(to).or_insert(0);
             let flight = Flight {
-                at: self.now + self.options.link_delay + *stagger,
+                at: self.now + self.options.link_delay + slot.stagger,
                 seq: self.next_seq,
                 from,
                 to,
                 message,
             };
-            *stagger += 1;
+            slot.stagger += 1;
             self.next_seq += 1;
             self.in_flight.push(Reverse(flight));
         }
+        if invalid > 0 {
+            self.metrics.record_invalid_batch(invalid);
+        }
+        for slot in slots[..live].iter() {
+            if let Some(link) = slot.link {
+                for &(kind, n) in &slot.sent {
+                    self.metrics.record_sent_batch(link, kind, n);
+                }
+            }
+        }
+        self.flush_scratch = pending;
+        self.burst_scratch = slots;
     }
 
     /// Advances the simulation by one tick.

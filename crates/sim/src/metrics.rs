@@ -28,10 +28,13 @@ impl Metrics {
         Metrics::default()
     }
 
-    pub(crate) fn record_sent(&mut self, link: LinkId, kind: &'static str) {
-        self.sent_total += 1;
-        *self.sent_by_kind.entry(kind).or_insert(0) += 1;
-        *self.sent_per_link.entry(link).or_insert(0) += 1;
+    /// Records `n` sent copies in one pair of map updates — the kernel's
+    /// outbox flush batches per destination and kind, since it is the
+    /// Monte-Carlo hot path.
+    pub(crate) fn record_sent_batch(&mut self, link: LinkId, kind: &'static str, n: u64) {
+        self.sent_total += n;
+        *self.sent_by_kind.entry(kind).or_insert(0) += n;
+        *self.sent_per_link.entry(link).or_insert(0) += n;
     }
 
     pub(crate) fn record_delivered(&mut self, kind: &'static str) {
@@ -43,12 +46,22 @@ impl Metrics {
         self.lost_in_link += 1;
     }
 
+    pub(crate) fn record_invalid_batch(&mut self, n: u64) {
+        self.dropped_invalid += n;
+    }
+
     pub(crate) fn record_dropped_receiver_down(&mut self) {
         self.dropped_receiver_down += 1;
     }
 
+    #[cfg(test)]
     pub(crate) fn record_invalid(&mut self) {
-        self.dropped_invalid += 1;
+        self.record_invalid_batch(1);
+    }
+
+    #[cfg(test)]
+    pub(crate) fn record_sent(&mut self, link: LinkId, kind: &'static str) {
+        self.record_sent_batch(link, kind, 1);
     }
 
     /// Total messages handed to the network (before loss).

@@ -12,16 +12,93 @@
 //! with a simple warmup + fixed-iteration wall-clock loop and the mean
 //! time per iteration is printed. Good enough to spot order-of-magnitude
 //! regressions offline; swap the real crate back in for serious numbers.
+//!
+//! Unlike upstream criterion, every measurement is also recorded in a
+//! process-wide registry and [`criterion_main!`] writes them as a
+//! machine-readable `BENCH_<crate>.json` at the workspace root — the
+//! perf-trajectory baseline that CI's bench smoke job diffs against.
+//! Set `DIFFUSE_BENCH_QUICK=1` to shrink sampling to smoke-test size
+//! (the JSON records which mode produced it, so quick numbers are never
+//! mistaken for a baseline).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`] under criterion's name.
 pub fn black_box<T>(value: T) -> T {
     std::hint::black_box(value)
+}
+
+/// One finished measurement, as recorded by the harness.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark group (empty for ungrouped `bench_function`s).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Total timed iterations behind the mean.
+    pub iters: u64,
+}
+
+/// Process-wide registry of finished measurements; drained by
+/// [`write_json_report`].
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Returns `true` when quick (smoke) sampling is requested via
+/// `DIFFUSE_BENCH_QUICK=1`.
+pub fn quick_mode() -> bool {
+    std::env::var("DIFFUSE_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Writes every recorded measurement as `BENCH_<crate_name>.json` two
+/// directories above `manifest_dir` (the workspace root for workspace
+/// crates), draining the registry.
+///
+/// Invoked by [`criterion_main!`]; callable directly by custom harnesses.
+pub fn write_json_report(crate_name: &str, manifest_dir: &str) {
+    let records: Vec<BenchRecord> = std::mem::take(&mut *RESULTS.lock().expect("poisoned"));
+    let root = std::path::Path::new(manifest_dir)
+        .ancestors()
+        .nth(2)
+        .expect("workspace crates sit two levels below the root")
+        .to_path_buf();
+    let path = root.join(format!("BENCH_{crate_name}.json"));
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"crate\": \"{crate_name}\",\n"));
+    json.push_str(&format!("  \"quick\": {},\n", quick_mode()));
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{comma}\n",
+            escape(&r.group),
+            escape(&r.name),
+            r.mean_ns,
+            r.iters,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect()
 }
 
 /// Entry point handed to every benchmark function.
@@ -33,9 +110,11 @@ pub struct Criterion {
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        println!("group {}", name.into());
+        let name = name.into();
+        println!("group {name}");
         BenchmarkGroup {
             _criterion: self,
+            name,
             sample_size: 10,
             measurement_time: Duration::from_secs(1),
         }
@@ -46,7 +125,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&name.to_string(), 10, Duration::from_secs(1), f);
+        run_one("", &name.to_string(), 10, Duration::from_secs(1), f);
         self
     }
 }
@@ -55,6 +134,7 @@ impl Criterion {
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
+    name: String,
     sample_size: usize,
     measurement_time: Duration,
 }
@@ -78,6 +158,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         run_one(
+            &self.name,
             &name.to_string(),
             self.sample_size,
             self.measurement_time,
@@ -97,6 +178,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         run_one(
+            &self.name,
             &id.to_string(),
             self.sample_size,
             self.measurement_time,
@@ -154,6 +236,7 @@ impl Bencher {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
     name: &str,
     sample_size: usize,
     _measurement_time: Duration,
@@ -168,19 +251,35 @@ fn run_one<F: FnMut(&mut Bencher)>(
     };
     f(&mut pilot);
     let per_iter = pilot.total.max(Duration::from_nanos(1));
-    let budget = Duration::from_millis(50);
+    let quick = quick_mode();
+    let budget = if quick {
+        Duration::from_millis(5)
+    } else {
+        Duration::from_millis(50)
+    };
     let iterations = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+    let sample_size = if quick {
+        sample_size.clamp(1, 3)
+    } else {
+        sample_size.max(1)
+    };
 
     let mut bench = Bencher {
         total: Duration::ZERO,
         iterations,
     };
-    for _ in 0..sample_size.max(1) {
+    for _ in 0..sample_size {
         f(&mut bench);
     }
-    let total_iters = iterations * sample_size.max(1) as u64;
+    let total_iters = iterations * sample_size as u64;
     let mean = bench.total.as_nanos() as f64 / total_iters as f64;
     println!("  {name:40} {:>12.1} ns/iter ({total_iters} iters)", mean);
+    RESULTS.lock().expect("poisoned").push(BenchRecord {
+        group: group.to_string(),
+        name: name.to_string(),
+        mean_ns: mean,
+        iters: total_iters,
+    });
 }
 
 /// Declares a group of benchmark functions (`fn(&mut Criterion)`).
@@ -194,12 +293,18 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the benchmark `main` running the listed groups.
+/// Declares the benchmark `main` running the listed groups, then writes
+/// the machine-readable `BENCH_<crate>.json` report at the workspace
+/// root.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report(
+                env!("CARGO_CRATE_NAME"),
+                env!("CARGO_MANIFEST_DIR"),
+            );
         }
     };
 }
@@ -225,5 +330,21 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn json_report_is_written_and_parseable_shaped() {
+        let mut c = Criterion::default();
+        c.bench_function("json_probe", |b| b.iter(|| black_box(1u64) + 1));
+        let root = std::env::temp_dir().join(format!("criterion-shim-{}", std::process::id()));
+        let nested = root.join("crates").join("bench");
+        std::fs::create_dir_all(&nested).unwrap();
+        write_json_report("probe", nested.to_str().unwrap());
+        let written = std::fs::read_to_string(root.join("BENCH_probe.json")).unwrap();
+        assert!(written.contains("\"crate\": \"probe\""));
+        assert!(written.contains("\"json_probe\""));
+        assert!(written.contains("\"mean_ns\""));
+        assert!(written.trim_end().ends_with('}'));
+        std::fs::remove_dir_all(&root).ok();
     }
 }
