@@ -22,6 +22,7 @@ fn bench_effort() -> Effort {
         sizes: vec![40],
         threads: 1,
         seed: 0xBE9C,
+        quick: true,
     }
 }
 

@@ -9,13 +9,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use diffuse_bayes::BeliefEstimator;
 use diffuse_bench::{fixture, fixture_tree};
 use diffuse_core::{
-    optimize, optimize_greedy, reach, Actions, AdaptiveBroadcast, AdaptiveParams, MessageVector,
-    Protocol,
+    optimize, optimize_greedy, reach, Actions, AdaptiveBroadcast, AdaptiveParams, LegacyTickShim,
+    MessageVector, Protocol, ProtocolActor,
 };
 use diffuse_graph::maximum_reliability_tree;
 use diffuse_model::ProcessId;
 use diffuse_net::codec::{decode_message, encode_message};
-use diffuse_sim::SimTime;
+use diffuse_sim::{SimOptions, SimTime, Simulation};
 
 fn bench_mrt(c: &mut Criterion) {
     let mut group = c.benchmark_group("mrt");
@@ -89,7 +89,13 @@ fn bench_bayes(c: &mut Criterion) {
 }
 
 fn bench_heartbeat_processing(c: &mut Criterion) {
-    // End-to-end cost of one heartbeat round on a 30-node system.
+    use diffuse_core::Event;
+
+    // End-to-end cost of one heartbeat round on a 30-node system,
+    // driving the production `on_event` path directly (one heartbeat
+    // timer + one suspicion-scan timer per node per round — the work a
+    // round costs regardless of driver; no shim or kernel overhead, so
+    // the number stays comparable across PRs).
     let mut group = c.benchmark_group("heartbeat");
     group
         .sample_size(10)
@@ -115,12 +121,27 @@ fn bench_heartbeat_processing(c: &mut Criterion) {
             let now = SimTime::new(tick);
             let mut inboxes: Vec<(usize, ProcessId, diffuse_core::Message)> = Vec::new();
             for node in nodes.iter_mut() {
-                node.handle_tick(now, &mut actions);
+                node.on_event(
+                    now,
+                    Event::Timer(AdaptiveBroadcast::HEARTBEAT),
+                    &mut actions,
+                );
+                node.on_event(
+                    now,
+                    Event::Timer(AdaptiveBroadcast::SUSPICION),
+                    &mut actions,
+                );
+                node.on_event(
+                    now,
+                    Event::Timer(AdaptiveBroadcast::SELF_TICK),
+                    &mut actions,
+                );
                 let from = node.id();
                 for (to, m) in actions.take_sends() {
                     let target = all.iter().position(|&p| p == to).unwrap();
                     inboxes.push((target, from, m));
                 }
+                actions.clear();
             }
             for (target, from, m) in inboxes {
                 nodes[target].handle_message(now, from, m, &mut actions);
@@ -139,12 +160,12 @@ fn bench_codec(c: &mut Criterion) {
     // A realistic heartbeat from a live 20-node adaptive instance.
     let (topology, _) = fixture(20, 4, 0.0);
     let all: Vec<ProcessId> = topology.processes().collect();
-    let mut node = AdaptiveBroadcast::new(
+    let mut node = LegacyTickShim::new(AdaptiveBroadcast::new(
         ProcessId::new(0),
         all,
         topology.neighbors(ProcessId::new(0)).collect(),
         AdaptiveParams::default(),
-    );
+    ));
     let mut actions = Actions::new();
     node.handle_tick(SimTime::new(1), &mut actions);
     let (_, heartbeat) = actions.take_sends().remove(0);
@@ -158,12 +179,130 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
+/// The event-driven fast-forward win on a fig5-style convergence run in
+/// the heartbeat-dominated idle regime (δ = 600: almost every tick is
+/// idle). The baseline reconstructs the pre-redesign driver — poll every
+/// deadline check (heartbeat guard, full suspicion scan, self-tick
+/// guard) on every tick — which is behaviorally identical (guarded
+/// no-ops) but pays the old per-tick cost. Both variants produce
+/// bit-identical metrics; the ratio of the two benches is the speedup
+/// captured in BENCH_micro.json.
+fn bench_fast_forward(c: &mut Criterion) {
+    use diffuse_core::{Event, Message};
+    use diffuse_sim::{Actor, Context};
+
+    /// The pre-redesign per-tick polling driver (see module docs).
+    struct PollingAdaptive {
+        protocol: AdaptiveBroadcast,
+        actions: Actions,
+    }
+
+    impl PollingAdaptive {
+        fn flush(&mut self, ctx: &mut Context<'_, Message>) {
+            for (to, m) in self.actions.take_sends() {
+                ctx.send(to, m);
+            }
+            self.actions.clear(); // polling driver: timer ops ignored
+        }
+    }
+
+    impl Actor for PollingAdaptive {
+        type Message = Message;
+
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_, Message>,
+            from: ProcessId,
+            message: Message,
+        ) {
+            let now = ctx.now();
+            self.protocol
+                .on_event(now, Event::Message { from, message }, &mut self.actions);
+            self.flush(ctx);
+        }
+
+        fn on_tick(&mut self, ctx: &mut Context<'_, Message>) {
+            let now = ctx.now();
+            for timer in [
+                AdaptiveBroadcast::HEARTBEAT,
+                AdaptiveBroadcast::SUSPICION,
+                AdaptiveBroadcast::SELF_TICK,
+            ] {
+                self.protocol
+                    .on_event(now, Event::Timer(timer), &mut self.actions);
+            }
+            self.flush(ctx);
+        }
+
+        fn on_recover(&mut self, ctx: &mut Context<'_, Message>, down_ticks: u64) {
+            let now = ctx.now();
+            self.protocol
+                .on_event(now, Event::Recovery { down_ticks }, &mut self.actions);
+            self.flush(ctx);
+        }
+    }
+
+    let mut group = c.benchmark_group("fastforward");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    let (topology, config) = fixture(100, 4, 0.0);
+    let all: Vec<ProcessId> = topology.processes().collect();
+    let delta = 600;
+    let ticks = delta * 40;
+    let params = AdaptiveParams::default()
+        .with_heartbeat_period(delta)
+        .with_self_tick_period(delta);
+
+    group.bench_function("fig5_event_driven_d600", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(
+                topology.clone(),
+                config.clone(),
+                |id| {
+                    ProtocolActor::new(AdaptiveBroadcast::new(
+                        id,
+                        all.clone(),
+                        topology.neighbors(id).collect(),
+                        params.clone(),
+                    ))
+                },
+                SimOptions::default().with_seed(1),
+            );
+            sim.run_ticks(ticks);
+            sim.metrics().sent_total()
+        })
+    });
+    group.bench_function("fig5_tick_polling_d600", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(
+                topology.clone(),
+                config.clone(),
+                |id| PollingAdaptive {
+                    protocol: AdaptiveBroadcast::new(
+                        id,
+                        all.clone(),
+                        topology.neighbors(id).collect(),
+                        params.clone(),
+                    ),
+                    actions: Actions::new(),
+                },
+                SimOptions::default().with_seed(1),
+            );
+            sim.run_ticks(ticks);
+            sim.metrics().sent_total()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_mrt,
     bench_reach_and_optimize,
     bench_bayes,
     bench_heartbeat_processing,
-    bench_codec
+    bench_codec,
+    bench_fast_forward
 );
 criterion_main!(benches);

@@ -20,12 +20,12 @@ use std::sync::Arc;
 
 use diffuse_bayes::{Distortion, Estimate};
 use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
-use diffuse_sim::SimTime;
+use diffuse_sim::{SimTime, TimerId};
 
 use crate::knowledge::View;
 use crate::optimal::propagate;
 use crate::params::{AdaptiveParams, CorrectionMode, LinkBlame, ReconcileMode};
-use crate::protocol::{Actions, BroadcastId, HeartbeatMessage, Message, Payload, Protocol};
+use crate::protocol::{Actions, BroadcastId, Event, HeartbeatMessage, Message, Payload, Protocol};
 use crate::{CoreError, NetworkKnowledge};
 
 /// Per-process bookkeeping (`C_k[p_i]` plus its protocol fields).
@@ -48,18 +48,31 @@ struct PeerRecord {
 
 /// The adaptive reliable broadcast protocol.
 ///
+/// The protocol is event-driven: it schedules three named timers —
+/// [`AdaptiveBroadcast::HEARTBEAT`] (emission, Algorithm 4 lines 14–17),
+/// [`AdaptiveBroadcast::SUSPICION`] (Event 2 staleness checks, armed at
+/// the earliest peer deadline) and [`AdaptiveBroadcast::SELF_TICK`]
+/// (Event 3 self-monitoring) — instead of re-checking its deadlines on
+/// every clock tick. Their ids are numbered in the legacy intra-tick
+/// execution order, so firing due timers in id order reproduces the old
+/// per-tick handler bit for bit.
+///
 /// # Example
 ///
-/// Two neighbors exchanging heartbeats learn that their link is reliable:
+/// Two neighbors exchanging heartbeats learn that their link is
+/// reliable. [`LegacyTickShim`](crate::LegacyTickShim) drives the timers
+/// from a plain tick loop:
 ///
 /// ```
-/// use diffuse_core::{AdaptiveBroadcast, AdaptiveParams, Actions, Protocol};
+/// use diffuse_core::{AdaptiveBroadcast, AdaptiveParams, Actions, LegacyTickShim};
 /// use diffuse_model::{LinkId, ProcessId};
 /// use diffuse_sim::SimTime;
 ///
 /// let ids = vec![ProcessId::new(0), ProcessId::new(1)];
-/// let mut a = AdaptiveBroadcast::new(ids[0], ids.clone(), vec![ids[1]], AdaptiveParams::default());
-/// let mut b = AdaptiveBroadcast::new(ids[1], ids.clone(), vec![ids[0]], AdaptiveParams::default());
+/// let mut a = LegacyTickShim::new(AdaptiveBroadcast::new(
+///     ids[0], ids.clone(), vec![ids[1]], AdaptiveParams::default()));
+/// let mut b = LegacyTickShim::new(AdaptiveBroadcast::new(
+///     ids[1], ids.clone(), vec![ids[0]], AdaptiveParams::default()));
 ///
 /// let mut actions = Actions::new();
 /// for t in 1..50u64 {
@@ -75,7 +88,7 @@ struct PeerRecord {
 ///     }
 /// }
 /// let link = LinkId::new(ids[0], ids[1]).unwrap();
-/// let loss = a.estimated_loss(link).unwrap().value();
+/// let loss = a.protocol().estimated_loss(link).unwrap().value();
 /// assert!(loss < 0.05, "estimated loss {loss} should approach 0");
 /// ```
 #[derive(Debug)]
@@ -93,6 +106,9 @@ pub struct AdaptiveBroadcast {
 
     peers: BTreeMap<ProcessId, PeerRecord>,
     links: BTreeMap<LinkId, Estimate>,
+    /// Peer deadlines mirrored in deadline order, so the earliest
+    /// Event-2 check is O(1) to find when (re)arming [`Self::SUSPICION`].
+    deadline_queue: BTreeSet<(SimTime, ProcessId)>,
 
     my_seq: u64,
     next_heartbeat: SimTime,
@@ -107,6 +123,13 @@ pub struct AdaptiveBroadcast {
 }
 
 impl AdaptiveBroadcast {
+    /// Heartbeat emission (Algorithm 4, lines 14–17).
+    pub const HEARTBEAT: TimerId = TimerId::new(0);
+    /// Event-2 staleness checks, armed at the earliest peer deadline.
+    pub const SUSPICION: TimerId = TimerId::new(1);
+    /// Event-3 self-monitoring (`∆tick`).
+    pub const SELF_TICK: TimerId = TimerId::new(2);
+
     /// Creates an adaptive node.
     ///
     /// `all_processes` is the system membership `Π` (the paper assumes it
@@ -166,6 +189,12 @@ impl AdaptiveBroadcast {
             links.insert(link, Estimate::first_hand(u));
         }
 
+        let deadline_queue = peers
+            .iter()
+            .filter(|&(&p, _)| p != id)
+            .map(|(&p, r)| (r.deadline, p))
+            .collect();
+
         AdaptiveBroadcast {
             id,
             neighbors,
@@ -175,6 +204,7 @@ impl AdaptiveBroadcast {
             merged_versions: BTreeMap::new(),
             peers,
             links,
+            deadline_queue,
             my_seq: 0,
             next_heartbeat: SimTime::ZERO,
             next_self_tick: SimTime::new(params.self_tick_period),
@@ -349,7 +379,11 @@ impl AdaptiveBroadcast {
         record.suspected = 0;
         record.last_seq = seq;
         record.downtime_since_receipt = 0;
+        let old = record.deadline;
         record.deadline = now + record.timeout;
+        let new = record.deadline;
+        self.deadline_queue.remove(&(old, from));
+        self.deadline_queue.insert((new, from));
     }
 
     /// Merges the sender's view (topology + estimates) into local state.
@@ -377,7 +411,11 @@ impl AdaptiveBroadcast {
                 if record.estimate.adopt_if_better(theirs) {
                     // Adoption counts as an update of C_k[p_i] (Event 2's
                     // "not updated … in the last ∆" clock restarts).
+                    let old = record.deadline;
                     record.deadline = now + record.timeout;
+                    let new = record.deadline;
+                    self.deadline_queue.remove(&(old, *p));
+                    self.deadline_queue.insert((new, *p));
                 }
             }
         }
@@ -405,73 +443,46 @@ impl AdaptiveBroadcast {
     }
 }
 
-impl Protocol for AdaptiveBroadcast {
-    fn id(&self) -> ProcessId {
-        self.id
-    }
-
-    fn handle_message(
-        &mut self,
-        now: SimTime,
-        from: ProcessId,
-        message: Message,
-        actions: &mut Actions,
-    ) {
-        match message {
-            Message::Heartbeat(HeartbeatMessage { seq, view }) => {
-                if !self.neighbors.contains(&from) {
-                    self.errors += 1;
-                    return;
-                }
-                // Event 1: reconcile the direct link, then merge the view.
-                self.reconcile_link(from, seq, now);
-                self.merge_view(from, &view, now);
-            }
-            Message::Data(data) => {
-                if !self.seen.insert(data.id) {
-                    return;
-                }
-                self.delivered.push((data.id, data.payload.clone()));
-                actions.deliver(data.id, data.payload.clone());
-                if propagate(
-                    self.id,
-                    data.id,
-                    &data.payload,
-                    &data.tree,
-                    self.params.target_reliability,
-                    actions,
-                )
-                .is_err()
-                {
-                    self.errors += 1;
-                }
-            }
-            _ => {}
+impl AdaptiveBroadcast {
+    /// (Re)arms [`Self::SUSPICION`] at the earliest peer deadline.
+    fn arm_suspicion(&self, actions: &mut Actions) {
+        if let Some(&(at, _)) = self.deadline_queue.first() {
+            actions.set_timer(Self::SUSPICION, at);
         }
     }
 
-    fn handle_tick(&mut self, now: SimTime, actions: &mut Actions) {
-        // Heartbeat emission (lines 14–17): one view snapshot, one
-        // sequenced heartbeat per neighbor.
-        if now >= self.next_heartbeat {
-            self.my_seq += 1;
-            // My own seq rides in the message; receivers track it in
-            // their PeerRecord.
-            let view = self.build_view();
-            for &n in &self.neighbors {
-                actions.send(
-                    n,
-                    Message::Heartbeat(HeartbeatMessage {
-                        seq: self.my_seq,
-                        view: Arc::clone(&view),
-                    }),
-                );
-                self.heartbeats_sent += 1;
-            }
-            self.next_heartbeat = now + self.params.heartbeat_period;
+    /// Heartbeat emission (lines 14–17): one view snapshot, one sequenced
+    /// heartbeat per neighbor.
+    fn emit_heartbeats(&mut self, now: SimTime, actions: &mut Actions) {
+        if now < self.next_heartbeat {
+            // Fired early (e.g. a stale deadline): keep the chain alive.
+            actions.set_timer(Self::HEARTBEAT, self.next_heartbeat);
+            return;
         }
+        self.my_seq += 1;
+        // My own seq rides in the message; receivers track it in their
+        // PeerRecord.
+        let view = self.build_view();
+        for &n in &self.neighbors {
+            actions.send(
+                n,
+                Message::Heartbeat(HeartbeatMessage {
+                    seq: self.my_seq,
+                    view: Arc::clone(&view),
+                }),
+            );
+            self.heartbeats_sent += 1;
+        }
+        // `max(1)`: the params fields are pub, and a period of 0 must
+        // degrade to once per tick (the legacy behavior), not a
+        // same-tick timer livelock.
+        self.next_heartbeat = now + self.params.heartbeat_period.max(1);
+        actions.set_timer(Self::HEARTBEAT, self.next_heartbeat);
+    }
 
-        // Event 2: per-peer staleness checks.
+    /// Event 2: per-peer staleness checks, over every peer whose
+    /// deadline has passed.
+    fn run_suspicion_scan(&mut self, now: SimTime, actions: &mut Actions) {
         let is_neighbor: BTreeSet<ProcessId> = self.neighbors.iter().copied().collect();
         let blame_link_now = self.params.link_blame == LinkBlame::OnTimeout
             || self.params.reconcile == ReconcileMode::PaperLiteral;
@@ -496,7 +507,10 @@ impl Protocol for AdaptiveBroadcast {
                 // Line 35: remote knowledge gets distorted with time.
                 record.estimate.distortion = record.estimate.distortion.incremented();
             }
+            let old = record.deadline;
             record.deadline = now + record.timeout;
+            self.deadline_queue.remove(&(old, p));
+            self.deadline_queue.insert((record.deadline, p));
         }
         // Line 39 (paper mode): the link to a suspected neighbor is
         // decreased as well.
@@ -508,17 +522,66 @@ impl Protocol for AdaptiveBroadcast {
                 }
             }
         }
+        self.arm_suspicion(actions);
+    }
 
-        // Event 3: my own uptime is evidence of my reliability.
-        if now >= self.next_self_tick {
-            if let Some(me) = self.peers.get_mut(&self.id) {
-                me.estimate.beliefs.increase_reliability(1);
+    /// Event 3: my own uptime is evidence of my reliability.
+    fn self_tick(&mut self, now: SimTime, actions: &mut Actions) {
+        if now < self.next_self_tick {
+            actions.set_timer(Self::SELF_TICK, self.next_self_tick);
+            return;
+        }
+        if let Some(me) = self.peers.get_mut(&self.id) {
+            me.estimate.beliefs.increase_reliability(1);
+        }
+        self.next_self_tick = now + self.params.self_tick_period.max(1);
+        actions.set_timer(Self::SELF_TICK, self.next_self_tick);
+    }
+
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        from: ProcessId,
+        message: Message,
+        actions: &mut Actions,
+    ) {
+        match message {
+            Message::Heartbeat(HeartbeatMessage { seq, view }) => {
+                if !self.neighbors.contains(&from) {
+                    self.errors += 1;
+                    return;
+                }
+                // Event 1: reconcile the direct link, then merge the view.
+                self.reconcile_link(from, seq, now);
+                self.merge_view(from, &view, now);
+                // Receipt and adoption push peer deadlines around; keep
+                // the suspicion timer at the new earliest one.
+                self.arm_suspicion(actions);
             }
-            self.next_self_tick = now + self.params.self_tick_period;
+            Message::Data(data) => {
+                if !self.seen.insert(data.id) {
+                    return;
+                }
+                self.delivered.push((data.id, data.payload.clone()));
+                actions.deliver(data.id, data.payload.clone());
+                if propagate(
+                    self.id,
+                    data.id,
+                    &data.payload,
+                    &data.tree,
+                    self.params.target_reliability,
+                    actions,
+                )
+                .is_err()
+                {
+                    self.errors += 1;
+                }
+            }
+            _ => {}
         }
     }
 
-    fn handle_recovery(&mut self, now: SimTime, down_ticks: u64, _actions: &mut Actions) {
+    fn on_recovery(&mut self, now: SimTime, down_ticks: u64, actions: &mut Actions) {
         // Event 4: a crash lasting n × ∆tick is n failure observations.
         let n =
             u32::try_from((down_ticks / self.params.self_tick_period).max(1)).unwrap_or(u32::MAX);
@@ -532,10 +595,44 @@ impl Protocol for AdaptiveBroadcast {
                 continue;
             }
             record.downtime_since_receipt += down_ticks;
+            let old = record.deadline;
             record.deadline = now + record.timeout;
+            self.deadline_queue.remove(&(old, p));
+            self.deadline_queue.insert((record.deadline, p));
         }
-        self.next_self_tick = now + self.params.self_tick_period;
+        self.next_self_tick = now + self.params.self_tick_period.max(1);
         self.next_heartbeat = now; // announce recovery promptly
+        actions.set_timer(Self::HEARTBEAT, self.next_heartbeat);
+        actions.set_timer(Self::SELF_TICK, self.next_self_tick);
+        self.arm_suspicion(actions);
+    }
+}
+
+impl Protocol for AdaptiveBroadcast {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_start(&mut self, _now: SimTime, actions: &mut Actions) {
+        actions.set_timer(Self::HEARTBEAT, self.next_heartbeat);
+        actions.set_timer(Self::SELF_TICK, self.next_self_tick);
+        self.arm_suspicion(actions);
+    }
+
+    fn on_event(&mut self, now: SimTime, event: Event, actions: &mut Actions) {
+        match event {
+            Event::Message { from, message } => self.on_message(now, from, message, actions),
+            Event::Timer(Self::HEARTBEAT) => self.emit_heartbeats(now, actions),
+            Event::Timer(Self::SUSPICION) => self.run_suspicion_scan(now, actions),
+            Event::Timer(Self::SELF_TICK) => self.self_tick(now, actions),
+            Event::Timer(_) => {}
+            Event::Recovery { down_ticks } => self.on_recovery(now, down_ticks, actions),
+            Event::Broadcast(payload) => {
+                if self.broadcast(now, payload, actions).is_err() {
+                    self.errors += 1;
+                }
+            }
+        }
     }
 
     fn broadcast(
@@ -579,6 +676,14 @@ mod tests {
     use super::*;
     use diffuse_bayes::Distortion;
 
+    use crate::protocol::LegacyTickShim;
+
+    type Shim = LegacyTickShim<AdaptiveBroadcast>;
+
+    fn shim(node: AdaptiveBroadcast) -> Shim {
+        LegacyTickShim::new(node)
+    }
+
     fn p(i: u32) -> ProcessId {
         ProcessId::new(i)
     }
@@ -587,30 +692,40 @@ mod tests {
         AdaptiveParams::default()
     }
 
-    fn line3() -> (AdaptiveBroadcast, AdaptiveBroadcast, AdaptiveBroadcast) {
+    fn line3() -> (Shim, Shim, Shim) {
         // 0 — 1 — 2.
         let all = vec![p(0), p(1), p(2)];
         (
-            AdaptiveBroadcast::new(p(0), all.clone(), vec![p(1)], params()),
-            AdaptiveBroadcast::new(p(1), all.clone(), vec![p(0), p(2)], params()),
-            AdaptiveBroadcast::new(p(2), all, vec![p(1)], params()),
+            shim(AdaptiveBroadcast::new(
+                p(0),
+                all.clone(),
+                vec![p(1)],
+                params(),
+            )),
+            shim(AdaptiveBroadcast::new(
+                p(1),
+                all.clone(),
+                vec![p(0), p(2)],
+                params(),
+            )),
+            shim(AdaptiveBroadcast::new(p(2), all, vec![p(1)], params())),
         )
     }
 
     /// Runs one tick for every node, routing messages instantly.
-    fn exchange(nodes: &mut [&mut AdaptiveBroadcast], now: SimTime) {
+    fn exchange(nodes: &mut [&mut Shim], now: SimTime) {
         let mut actions = Actions::new();
         let mut pending: Vec<(ProcessId, ProcessId, Message)> = Vec::new();
         for node in nodes.iter_mut() {
             node.handle_tick(now, &mut actions);
-            let from = node.id();
+            let from = node.protocol().id();
             for (to, m) in actions.take_sends() {
                 pending.push((from, to, m));
             }
         }
         for (from, to, m) in pending {
             for node in nodes.iter_mut() {
-                if node.id() == to {
+                if node.protocol().id() == to {
                     node.handle_message(now, from, m.clone(), &mut actions);
                     actions.clear();
                 }
@@ -644,6 +759,24 @@ mod tests {
     }
 
     #[test]
+    fn start_arms_all_three_timers() {
+        let mut node = AdaptiveBroadcast::new(p(0), vec![p(0), p(1)], vec![p(1)], params());
+        let mut actions = Actions::new();
+        node.on_start(SimTime::ZERO, &mut actions);
+        let armed: Vec<TimerId> = actions.timer_ops().iter().map(|&(t, _)| t).collect();
+        assert!(armed.contains(&AdaptiveBroadcast::HEARTBEAT));
+        assert!(armed.contains(&AdaptiveBroadcast::SUSPICION));
+        assert!(armed.contains(&AdaptiveBroadcast::SELF_TICK));
+        // The suspicion timer sits at the initial grace deadline 2δ + 1.
+        let delta = params().heartbeat_period;
+        assert!(actions
+            .timer_ops()
+            .iter()
+            .any(|&(t, at)| t == AdaptiveBroadcast::SUSPICION
+                && at == Some(SimTime::new(2 * delta + 1))));
+    }
+
+    #[test]
     #[should_panic(expected = "neighbor")]
     fn self_neighbor_is_rejected() {
         let _ = AdaptiveBroadcast::new(p(0), vec![p(0)], vec![p(0)], params());
@@ -657,12 +790,13 @@ mod tests {
             exchange(&mut [&mut a, &mut b, &mut c], SimTime::new(t));
         }
         assert!(
-            a.topology_complete(),
+            a.protocol().topology_complete(),
             "a's topology: {:?}",
-            a.known_topology()
+            a.protocol().known_topology()
         );
-        assert!(c.topology_complete());
+        assert!(c.protocol().topology_complete());
         assert!(a
+            .protocol()
             .known_topology()
             .contains_link(LinkId::new(p(1), p(2)).unwrap()));
     }
@@ -671,16 +805,16 @@ mod tests {
     fn reliable_heartbeats_drive_link_estimates_down() {
         let (mut a, mut b, mut c) = line3();
         let l01 = LinkId::new(p(0), p(1)).unwrap();
-        let before = a.estimated_loss(l01).unwrap().value();
+        let before = a.protocol().estimated_loss(l01).unwrap().value();
         for t in 1..=60u64 {
             exchange(&mut [&mut a, &mut b, &mut c], SimTime::new(t));
         }
-        let after = a.estimated_loss(l01).unwrap().value();
+        let after = a.protocol().estimated_loss(l01).unwrap().value();
         assert!(before > 0.4, "uniform prior mean should start near 0.5");
         assert!(after < 0.05, "estimated loss {after} should approach 0");
         // And remote link estimates were learned through b.
         let l12 = LinkId::new(p(1), p(2)).unwrap();
-        assert!(a.estimated_loss(l12).unwrap().value() < 0.2);
+        assert!(a.protocol().estimated_loss(l12).unwrap().value() < 0.2);
     }
 
     #[test]
@@ -691,12 +825,12 @@ mod tests {
         }
         // a's estimate of b is second-hand: distortion exactly 1.
         assert_eq!(
-            a.process_estimate(p(1)).unwrap().distortion,
+            a.protocol().process_estimate(p(1)).unwrap().distortion,
             Distortion::finite(1)
         );
         // a's estimate of c traveled two hops: distortion 2.
         assert_eq!(
-            a.process_estimate(p(2)).unwrap().distortion,
+            a.protocol().process_estimate(p(2)).unwrap().distortion,
             Distortion::finite(2)
         );
     }
@@ -704,14 +838,19 @@ mod tests {
     #[test]
     fn silence_triggers_suspicions_and_decreases_beliefs() {
         let all = vec![p(0), p(1)];
-        let mut a = AdaptiveBroadcast::new(p(0), all.clone(), vec![p(1)], params());
-        let mut b = AdaptiveBroadcast::new(p(1), all, vec![p(0)], params());
+        let mut a = shim(AdaptiveBroadcast::new(
+            p(0),
+            all.clone(),
+            vec![p(1)],
+            params(),
+        ));
+        let mut b = shim(AdaptiveBroadcast::new(p(1), all, vec![p(0)], params()));
 
         // Warm up with healthy exchanges.
         for t in 1..=20u64 {
             exchange(&mut [&mut a, &mut b], SimTime::new(t));
         }
-        let healthy = a.estimated_crash(p(1)).unwrap().value();
+        let healthy = a.protocol().estimated_crash(p(1)).unwrap().value();
 
         // Now b goes silent; a ticks alone.
         let mut actions = Actions::new();
@@ -719,7 +858,7 @@ mod tests {
             a.handle_tick(SimTime::new(t), &mut actions);
             actions.clear();
         }
-        let suspected = a.estimated_crash(p(1)).unwrap().value();
+        let suspected = a.protocol().estimated_crash(p(1)).unwrap().value();
         assert!(
             suspected > healthy,
             "silence must increase the crash estimate ({healthy} → {suspected})"
@@ -728,7 +867,7 @@ mod tests {
         // link estimate — a dead link and a dead peer are indistinguishable
         // until a sequence number proves otherwise.
         let l01 = LinkId::new(p(0), p(1)).unwrap();
-        assert!(a.estimated_loss(l01).unwrap().value() > 0.1);
+        assert!(a.protocol().estimated_loss(l01).unwrap().value() > 0.1);
     }
 
     #[test]
@@ -737,8 +876,13 @@ mod tests {
         // then resumes: the link's timeout-time decreases are exactly
         // undone because no sequence gap appears.
         let all = vec![p(0), p(1)];
-        let mut a = AdaptiveBroadcast::new(p(0), all.clone(), vec![p(1)], params());
-        let mut b = AdaptiveBroadcast::new(p(1), all, vec![p(0)], params());
+        let mut a = shim(AdaptiveBroadcast::new(
+            p(0),
+            all.clone(),
+            vec![p(1)],
+            params(),
+        ));
+        let mut b = shim(AdaptiveBroadcast::new(p(1), all, vec![p(0)], params()));
         let l01 = LinkId::new(p(0), p(1)).unwrap();
         let mut actions = Actions::new();
 
@@ -756,14 +900,14 @@ mod tests {
             }
             actions.clear();
         }
-        let healthy = a.estimated_loss(l01).unwrap().value();
+        let healthy = a.protocol().estimated_loss(l01).unwrap().value();
 
         // b silent (crashed) for 15 periods: a suspects, link degrades.
         for t in 31..=45u64 {
             a.handle_tick(SimTime::new(t), &mut actions);
             actions.clear();
         }
-        let during = a.estimated_loss(l01).unwrap().value();
+        let during = a.protocol().estimated_loss(l01).unwrap().value();
         assert!(during > healthy, "{healthy} → {during}");
 
         // b resumes; its seq advanced by 0 while down (it sent nothing).
@@ -772,7 +916,7 @@ mod tests {
         for (_, m) in actions.take_sends() {
             a.handle_message(now, p(1), m, &mut actions);
         }
-        let after = a.estimated_loss(l01).unwrap().value();
+        let after = a.protocol().estimated_loss(l01).unwrap().value();
         assert!(
             after < healthy + 0.02,
             "exact undo must clear crash-only suspicions ({healthy} → {during} → {after})"
@@ -782,8 +926,13 @@ mod tests {
     #[test]
     fn seq_gaps_blame_the_link() {
         let all = vec![p(0), p(1)];
-        let mut a = AdaptiveBroadcast::new(p(0), all.clone(), vec![p(1)], params());
-        let mut b = AdaptiveBroadcast::new(p(1), all, vec![p(0)], params());
+        let mut a = shim(AdaptiveBroadcast::new(
+            p(0),
+            all.clone(),
+            vec![p(1)],
+            params(),
+        ));
+        let mut b = shim(AdaptiveBroadcast::new(p(1), all, vec![p(0)], params()));
         let l01 = LinkId::new(p(0), p(1)).unwrap();
 
         let mut actions = Actions::new();
@@ -809,7 +958,7 @@ mod tests {
             }
         }
         assert!(dropped > 20);
-        let estimated = a.estimated_loss(l01).unwrap().value();
+        let estimated = a.protocol().estimated_loss(l01).unwrap().value();
         assert!(
             (estimated - 1.0 / 3.0).abs() < 0.12,
             "loss estimate {estimated} should approach 1/3"
@@ -819,18 +968,18 @@ mod tests {
     #[test]
     fn events_3_and_4_shape_self_estimate() {
         let all = vec![p(0), p(1)];
-        let mut node = AdaptiveBroadcast::new(p(0), all, vec![p(1)], params());
+        let mut node = shim(AdaptiveBroadcast::new(p(0), all, vec![p(1)], params()));
         let mut actions = Actions::new();
         for t in 1..=50u64 {
             node.handle_tick(SimTime::new(t), &mut actions);
             actions.clear();
         }
-        let up_only = node.estimated_crash(p(0)).unwrap().value();
+        let up_only = node.protocol().estimated_crash(p(0)).unwrap().value();
         assert!(up_only < 0.05, "all-up self estimate {up_only}");
 
         // A 50-tick outage halves the observed uptime.
         node.handle_recovery(SimTime::new(101), 50, &mut actions);
-        let after_crash = node.estimated_crash(p(0)).unwrap().value();
+        let after_crash = node.protocol().estimated_crash(p(0)).unwrap().value();
         assert!(
             after_crash > up_only,
             "downtime must raise the crash estimate"
@@ -862,8 +1011,24 @@ mod tests {
         let (_, m) = actions.take_sends()[0].clone();
         let mut b_actions = Actions::new();
         b.handle_message(SimTime::new(32), p(0), m, &mut b_actions);
-        assert_eq!(b.delivered().len(), 1);
+        assert_eq!(b.protocol().delivered().len(), 1);
         assert!(b_actions.sends().iter().all(|(to, _)| *to == p(2)));
+    }
+
+    #[test]
+    fn broadcast_event_failures_are_counted_not_propagated() {
+        // Event::Broadcast is fire-and-forget: with incomplete topology
+        // knowledge the request fails into the error counter instead of
+        // returning an error the (absent) caller could handle.
+        let mut node = AdaptiveBroadcast::new(p(0), vec![p(0), p(1), p(2)], vec![p(1)], params());
+        let mut actions = Actions::new();
+        node.on_event(
+            SimTime::new(1),
+            Event::Broadcast(Payload::from("too early")),
+            &mut actions,
+        );
+        assert_eq!(node.error_count(), 1);
+        assert!(actions.deliveries().is_empty());
     }
 
     #[test]
@@ -899,8 +1064,13 @@ mod tests {
     #[test]
     fn recovery_excuses_missed_heartbeats() {
         let all = vec![p(0), p(1)];
-        let mut a = AdaptiveBroadcast::new(p(0), all.clone(), vec![p(1)], params());
-        let mut b = AdaptiveBroadcast::new(p(1), all, vec![p(0)], params());
+        let mut a = shim(AdaptiveBroadcast::new(
+            p(0),
+            all.clone(),
+            vec![p(1)],
+            params(),
+        ));
+        let mut b = shim(AdaptiveBroadcast::new(p(1), all, vec![p(0)], params()));
         let l01 = LinkId::new(p(0), p(1)).unwrap();
 
         let mut actions = Actions::new();
@@ -918,7 +1088,7 @@ mod tests {
             }
             actions.clear();
         }
-        let healthy = a.estimated_loss(l01).unwrap().value();
+        let healthy = a.protocol().estimated_loss(l01).unwrap().value();
 
         // a is down for ticks 31–50: b keeps sending (messages vanish),
         // b's seq advances by 20.
@@ -935,7 +1105,7 @@ mod tests {
         for (_, m) in sends {
             a.handle_message(now, p(1), m, &mut actions);
         }
-        let after = a.estimated_loss(l01).unwrap().value();
+        let after = a.protocol().estimated_loss(l01).unwrap().value();
         assert!(
             after <= healthy + 0.02,
             "own downtime must not poison the link estimate ({healthy} → {after})"

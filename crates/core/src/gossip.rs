@@ -12,9 +12,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use diffuse_model::ProcessId;
-use diffuse_sim::SimTime;
+use diffuse_sim::{SimTime, TimerId};
 
-use crate::protocol::{Actions, BroadcastId, GossipMessage, Message, Payload, Protocol};
+use crate::protocol::{Actions, BroadcastId, Event, GossipMessage, Message, Payload, Protocol};
 use crate::CoreError;
 
 /// A set of neighbors, one bit per position in the node's neighbor list.
@@ -76,9 +76,17 @@ pub struct ReferenceGossip {
     data_sent: u64,
     /// ACKs this process has pushed to the network.
     acks_sent: u64,
+    /// Deadline of the pending [`ReferenceGossip::STEP`] timer, if any —
+    /// armed only while `active` is non-empty, so an idle gossip node
+    /// costs its driver nothing.
+    step_timer_at: Option<SimTime>,
 }
 
 impl ReferenceGossip {
+    /// The forwarding-round timer: armed at the next step-aligned tick
+    /// whenever broadcasts are active, silent otherwise.
+    pub const STEP: TimerId = TimerId::new(0);
+
     /// Creates a gossip node with the given direct neighbors and
     /// forwarding step budget.
     pub fn new(id: ProcessId, neighbors: Vec<ProcessId>, steps: u32) -> Self {
@@ -100,6 +108,7 @@ impl ReferenceGossip {
             delivered_ids: BTreeSet::new(),
             data_sent: 0,
             acks_sent: 0,
+            step_timer_at: None,
         }
     }
 
@@ -164,61 +173,25 @@ impl ReferenceGossip {
         self.delivered.push((id, payload));
         self.delivered_ids.insert(id);
     }
-}
 
-impl Protocol for ReferenceGossip {
-    fn id(&self) -> ProcessId {
-        self.id
-    }
-
-    fn handle_message(
-        &mut self,
-        _now: SimTime,
-        from: ProcessId,
-        message: Message,
-        actions: &mut Actions,
-    ) {
-        match message {
-            Message::Gossip(data) => {
-                // Acknowledge every received copy; with lossy links a
-                // single ACK could vanish and stall suppression forever.
-                actions.send(from, Message::Ack { id: data.id });
-                self.acks_sent += 1;
-                let position = self.neighbor_position(from);
-                match self.active.get_mut(&data.id) {
-                    Some(state) => {
-                        if let Some(position) = position {
-                            state.received_from.insert(position);
-                        }
-                    }
-                    None => {
-                        if self.has_delivered(data.id) {
-                            return; // already completed its step budget
-                        }
-                        self.record_delivery(data.id, data.payload.clone());
-                        actions.deliver(data.id, data.payload.clone());
-                        // The copy's TTL says how many global steps remain.
-                        let state = self.start_state(data.id, data.payload, data.ttl);
-                        if let Some(position) = position {
-                            state.received_from.insert(position);
-                        }
-                    }
-                }
-            }
-            Message::Ack { id } => {
-                let position = self.neighbor_position(from);
-                if let (Some(state), Some(position)) = (self.active.get_mut(&id), position) {
-                    state.acked_by.insert(position);
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn handle_tick(&mut self, now: SimTime, actions: &mut Actions) {
-        if now.ticks() % self.step_period != 0 {
+    /// Arms [`Self::STEP`] at the next step-aligned tick (at or after
+    /// `now`) if broadcasts are active and no earlier wake is pending.
+    fn arm_step(&mut self, now: SimTime, actions: &mut Actions) {
+        if self.active.is_empty() {
             return;
         }
+        let at = SimTime::new(now.ticks().div_ceil(self.step_period) * self.step_period);
+        if self.step_timer_at.is_some_and(|pending| pending <= at) {
+            return;
+        }
+        self.step_timer_at = Some(at);
+        actions.set_timer(Self::STEP, at);
+    }
+
+    /// One forwarding round (the body of the legacy per-tick handler):
+    /// every active broadcast pushes a copy to each un-suppressed
+    /// neighbor and burns one step; exhausted entries are retired.
+    fn forward_round(&mut self, actions: &mut Actions) {
         let mut finished = Vec::new();
         for (&id, state) in self.active.iter_mut() {
             if state.remaining_steps == 0 {
@@ -261,9 +234,89 @@ impl Protocol for ReferenceGossip {
         }
     }
 
+    /// [`Self::STEP`] handler: forward on step-aligned ticks, otherwise
+    /// (woken off-phase, e.g. deferred across an outage) re-align.
+    fn on_step_timer(&mut self, now: SimTime, actions: &mut Actions) {
+        self.step_timer_at = None;
+        if now.ticks() % self.step_period == 0 {
+            self.forward_round(actions);
+            if !self.active.is_empty() {
+                let next = now + self.step_period;
+                self.step_timer_at = Some(next);
+                actions.set_timer(Self::STEP, next);
+            }
+        } else {
+            self.arm_step(now, actions);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        from: ProcessId,
+        message: Message,
+        actions: &mut Actions,
+    ) {
+        match message {
+            Message::Gossip(data) => {
+                // Acknowledge every received copy; with lossy links a
+                // single ACK could vanish and stall suppression forever.
+                actions.send(from, Message::Ack { id: data.id });
+                self.acks_sent += 1;
+                let position = self.neighbor_position(from);
+                match self.active.get_mut(&data.id) {
+                    Some(state) => {
+                        if let Some(position) = position {
+                            state.received_from.insert(position);
+                        }
+                    }
+                    None => {
+                        if self.has_delivered(data.id) {
+                            return; // already completed its step budget
+                        }
+                        self.record_delivery(data.id, data.payload.clone());
+                        actions.deliver(data.id, data.payload.clone());
+                        // The copy's TTL says how many global steps remain.
+                        let state = self.start_state(data.id, data.payload, data.ttl);
+                        if let Some(position) = position {
+                            state.received_from.insert(position);
+                        }
+                    }
+                }
+            }
+            Message::Ack { id } => {
+                let position = self.neighbor_position(from);
+                if let (Some(state), Some(position)) = (self.active.get_mut(&id), position) {
+                    state.acked_by.insert(position);
+                }
+            }
+            _ => {}
+        }
+        // A first receipt may have activated a broadcast: make sure a
+        // forwarding round is scheduled.
+        self.arm_step(now, actions);
+    }
+}
+
+impl Protocol for ReferenceGossip {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_event(&mut self, now: SimTime, event: Event, actions: &mut Actions) {
+        match event {
+            Event::Message { from, message } => self.on_message(now, from, message, actions),
+            Event::Timer(Self::STEP) => self.on_step_timer(now, actions),
+            Event::Timer(_) | Event::Recovery { .. } => {}
+            Event::Broadcast(payload) => {
+                let _ = self.broadcast(now, payload, actions);
+            }
+        }
+    }
+
     fn broadcast(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         payload: Payload,
         actions: &mut Actions,
     ) -> Result<BroadcastId, CoreError> {
@@ -276,6 +329,7 @@ impl Protocol for ReferenceGossip {
         actions.deliver(id, payload.clone());
         let steps = self.steps;
         self.start_state(id, payload, steps);
+        self.arm_step(now, actions);
         Ok(id)
     }
 
@@ -287,6 +341,12 @@ impl Protocol for ReferenceGossip {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use crate::protocol::LegacyTickShim;
+
+    fn shim(node: ReferenceGossip) -> LegacyTickShim<ReferenceGossip> {
+        LegacyTickShim::new(node)
+    }
 
     fn p(i: u32) -> ProcessId {
         ProcessId::new(i)
@@ -306,7 +366,7 @@ mod tests {
 
     #[test]
     fn broadcast_floods_on_following_ticks() {
-        let mut node = ReferenceGossip::new(p(0), vec![p(1), p(2)], 2);
+        let mut node = shim(ReferenceGossip::new(p(0), vec![p(1), p(2)], 2));
         let mut actions = Actions::new();
         let id = node
             .broadcast(SimTime::ZERO, Payload::from("x"), &mut actions)
@@ -327,13 +387,13 @@ mod tests {
         let mut tick3 = Actions::new();
         node.handle_tick(SimTime::new(3), &mut tick3);
         assert!(tick3.sends().is_empty());
-        assert_eq!(node.data_sent(), 4);
-        assert!(node.has_delivered(id));
+        assert_eq!(node.protocol().data_sent(), 4);
+        assert!(node.protocol().has_delivered(id));
     }
 
     #[test]
     fn receipt_triggers_ack_delivery_and_forwarding() {
-        let mut node = ReferenceGossip::new(p(1), vec![p(0), p(2)], 3);
+        let mut node = shim(ReferenceGossip::new(p(1), vec![p(0), p(2)], 3));
         let id = BroadcastId {
             origin: p(0),
             seq: 0,
@@ -343,8 +403,8 @@ mod tests {
         // ACK back to the sender, delivery, no immediate forward.
         assert_eq!(actions.sends().len(), 1);
         assert!(matches!(actions.sends()[0], (to, Message::Ack { .. }) if to == p(0)));
-        assert_eq!(node.delivered().len(), 1);
-        assert_eq!(node.acks_sent(), 1);
+        assert_eq!(node.protocol().delivered().len(), 1);
+        assert_eq!(node.protocol().acks_sent(), 1);
 
         // Next tick: forwards only to p2 (rule a excludes p0).
         let mut tick = Actions::new();
@@ -355,7 +415,7 @@ mod tests {
 
     #[test]
     fn duplicate_receipt_is_acked_but_not_redelivered() {
-        let mut node = ReferenceGossip::new(p(1), vec![p(0), p(2)], 3);
+        let mut node = shim(ReferenceGossip::new(p(1), vec![p(0), p(2)], 3));
         let id = BroadcastId {
             origin: p(0),
             seq: 0,
@@ -364,7 +424,7 @@ mod tests {
         node.handle_message(SimTime::new(1), p(0), data(id), &mut a1);
         let mut a2 = Actions::new();
         node.handle_message(SimTime::new(1), p(2), data(id), &mut a2);
-        assert_eq!(node.delivered().len(), 1);
+        assert_eq!(node.protocol().delivered().len(), 1);
         assert_eq!(a2.sends().len(), 1); // the ack
         assert!(a2.deliveries().is_empty());
 
@@ -376,7 +436,7 @@ mod tests {
 
     #[test]
     fn acks_suppress_forwarding() {
-        let mut node = ReferenceGossip::new(p(0), vec![p(1), p(2)], 5);
+        let mut node = shim(ReferenceGossip::new(p(0), vec![p(1), p(2)], 5));
         let mut actions = Actions::new();
         let id = node
             .broadcast(SimTime::ZERO, Payload::from("x"), &mut actions)
@@ -393,14 +453,14 @@ mod tests {
     fn received_ttl_bounds_forwarding() {
         // A copy arriving with ttl = 0 is delivered but never forwarded:
         // the global step budget is exhausted.
-        let mut node = ReferenceGossip::new(p(1), vec![p(0), p(2)], 9);
+        let mut node = shim(ReferenceGossip::new(p(1), vec![p(0), p(2)], 9));
         let id = BroadcastId {
             origin: p(0),
             seq: 0,
         };
         let mut a = Actions::new();
         node.handle_message(SimTime::new(1), p(0), data_with_ttl(id, 0), &mut a);
-        assert_eq!(node.delivered().len(), 1);
+        assert_eq!(node.protocol().delivered().len(), 1);
         let mut tick = Actions::new();
         node.handle_tick(SimTime::new(2), &mut tick);
         assert!(tick.sends().is_empty());
@@ -408,7 +468,7 @@ mod tests {
 
     #[test]
     fn late_duplicates_after_completion_do_not_restart() {
-        let mut node = ReferenceGossip::new(p(1), vec![p(0)], 1);
+        let mut node = shim(ReferenceGossip::new(p(1), vec![p(0)], 1));
         let id = BroadcastId {
             origin: p(0),
             seq: 0,
@@ -426,6 +486,26 @@ mod tests {
         let mut tick = Actions::new();
         node.handle_tick(SimTime::new(5), &mut tick);
         assert!(tick.sends().is_empty());
+    }
+
+    #[test]
+    fn broadcast_event_behaves_like_broadcast_call() {
+        // Event::Broadcast is the fire-and-forget entry point drivers
+        // without a return channel use; it must match broadcast().
+        let mut node = shim(ReferenceGossip::new(p(0), vec![p(1)], 2));
+        let mut actions = Actions::new();
+        node.protocol_mut().on_event(
+            SimTime::ZERO,
+            Event::Broadcast(Payload::from("fire-and-forget")),
+            &mut actions,
+        );
+        assert_eq!(actions.deliveries().len(), 1);
+        assert_eq!(node.protocol().delivered().len(), 1);
+        // The step timer was armed through the same path.
+        assert!(actions
+            .timer_ops()
+            .iter()
+            .any(|&(t, at)| t == ReferenceGossip::STEP && at.is_some()));
     }
 
     #[test]

@@ -69,10 +69,12 @@ mod optimize;
 mod params;
 mod protocol;
 mod reach;
+pub mod scenario;
 mod tree;
 mod waterfill;
 
 pub use adaptive::AdaptiveBroadcast;
+pub use diffuse_sim::TimerId;
 pub use error::CoreError;
 pub use gossip::ReferenceGossip;
 pub use knowledge::{NetworkKnowledge, View};
@@ -83,10 +85,14 @@ pub use optimize::{
 };
 pub use params::{AdaptiveParams, CorrectionMode, LinkBlame, ReconcileMode};
 pub use protocol::{
-    Actions, BroadcastId, DataMessage, GossipMessage, HeartbeatMessage, Message, Payload, Protocol,
-    ProtocolActor,
+    Actions, BroadcastId, DataMessage, Event, GossipMessage, HeartbeatMessage, LegacyTickShim,
+    Message, Payload, Protocol, ProtocolActor, TimerOp,
 };
 pub use reach::{link_success, pow_det, reach, reach_recursive, MessageVector};
+pub use scenario::{
+    FaultAction, FaultScript, Scenario, ScenarioBuilder, ScenarioReport, ScenarioSim, Workload,
+    WorkloadEvent,
+};
 pub use tree::{ReliabilityTree, SharedWireTree, WireTree};
 pub use waterfill::{optimize_budget_waterfill, optimize_waterfill};
 

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use diffuse_model::ProcessId;
 use diffuse_sim::SimTime;
 
-use crate::protocol::{Actions, BroadcastId, DataMessage, Message, Payload, Protocol};
+use crate::protocol::{Actions, BroadcastId, DataMessage, Event, Message, Payload, Protocol};
 use crate::tree::SharedWireTree;
 use crate::{optimize, CoreError, NetworkKnowledge, ReliabilityTree};
 
@@ -127,32 +127,38 @@ impl Protocol for OptimalBroadcast {
         self.id
     }
 
-    fn handle_message(
-        &mut self,
-        _now: SimTime,
-        _from: ProcessId,
-        message: Message,
-        actions: &mut Actions,
-    ) {
-        let Message::Data(data) = message else {
-            return; // optimal nodes exchange only data messages
-        };
-        // "when receive (m, mrt_j) for the first time" — duplicates are
-        // counted on the wire but ignored here.
-        if !self.seen.insert(data.id) {
-            return;
-        }
-        self.delivered.push((data.id, data.payload.clone()));
-        actions.deliver(data.id, data.payload.clone());
-        if let Err(_e) = propagate(
-            self.id,
-            data.id,
-            &data.payload,
-            &data.tree,
-            self.target,
-            actions,
-        ) {
-            self.errors += 1;
+    fn on_event(&mut self, now: SimTime, event: Event, actions: &mut Actions) {
+        match event {
+            Event::Message { message, .. } => {
+                let Message::Data(data) = message else {
+                    return; // optimal nodes exchange only data messages
+                };
+                // "when receive (m, mrt_j) for the first time" —
+                // duplicates are counted on the wire but ignored here.
+                if !self.seen.insert(data.id) {
+                    return;
+                }
+                self.delivered.push((data.id, data.payload.clone()));
+                actions.deliver(data.id, data.payload.clone());
+                if let Err(_e) = propagate(
+                    self.id,
+                    data.id,
+                    &data.payload,
+                    &data.tree,
+                    self.target,
+                    actions,
+                ) {
+                    self.errors += 1;
+                }
+            }
+            // Perfect knowledge needs no timers and survives crashes
+            // statelessly (stable storage holds `seen`).
+            Event::Timer(_) | Event::Recovery { .. } => {}
+            Event::Broadcast(payload) => {
+                if self.broadcast(now, payload, actions).is_err() {
+                    self.errors += 1;
+                }
+            }
         }
     }
 
@@ -262,6 +268,21 @@ mod tests {
         leaf.handle_message(SimTime::new(1), p(1), copy, &mut leaf_actions);
         assert!(leaf_actions.sends().is_empty());
         assert_eq!(leaf.delivered().len(), 1);
+    }
+
+    #[test]
+    fn broadcast_event_sends_the_planned_copies() {
+        let mut node = OptimalBroadcast::new(p(0), line_knowledge(), 0.999);
+        let mut actions = Actions::new();
+        node.on_event(
+            SimTime::ZERO,
+            Event::Broadcast(Payload::from("m")),
+            &mut actions,
+        );
+        // Same plan as the direct broadcast() call: 4 copies to p1.
+        assert_eq!(actions.sends().len(), 4);
+        assert_eq!(node.delivered().len(), 1);
+        assert_eq!(node.error_count(), 0);
     }
 
     #[test]

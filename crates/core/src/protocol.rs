@@ -1,16 +1,27 @@
 //! The sans-io protocol interface shared by all broadcast algorithms.
 //!
-//! Protocols are pure state machines: they consume events (messages,
-//! ticks, recoveries, broadcast requests) and emit [`Actions`] — sends and
-//! local deliveries — without touching any transport. The same protocol
-//! instance therefore runs unchanged on the deterministic simulator (via
-//! [`ProtocolActor`]) and on real sockets (via `diffuse-net`'s runtime).
+//! Protocols are pure state machines: they consume [`Event`]s — messages,
+//! named timers, recoveries, broadcast requests — through a single
+//! [`Protocol::on_event`] entry point and emit [`Actions`] — sends, local
+//! deliveries, and timer (re)schedules — without touching any transport.
+//! The same protocol instance therefore runs unchanged on the
+//! deterministic simulator (via [`ProtocolActor`]), on real sockets (via
+//! `diffuse-net`'s runtime), and under the legacy per-tick polling driver
+//! (via [`LegacyTickShim`]).
+//!
+//! Timers replace the old `handle_tick` polling contract: instead of
+//! being woken every tick to re-check its deadlines, a protocol schedules
+//! a named [`TimerId`] at an absolute [`SimTime`] with
+//! [`Actions::set_timer`] and is woken exactly there. Drivers that know
+//! every deadline can sleep or fast-forward through the idle time in
+//! between.
 
 use core::fmt;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use diffuse_model::ProcessId;
-use diffuse_sim::{Actor, Context, SimMessage, SimTime};
+use diffuse_sim::{Actor, Context, SimMessage, SimTime, TimerId};
 
 use crate::knowledge::View;
 use crate::tree::SharedWireTree;
@@ -148,11 +159,48 @@ impl SimMessage for Message {
     }
 }
 
+/// An input to a protocol state machine (see [`Protocol::on_event`]).
+///
+/// Every stimulus a protocol can react to travels through this one type:
+/// network messages, the protocol's own named timers, crash recoveries,
+/// and fire-and-forget broadcast requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A message arrived from a neighbor.
+    Message {
+        /// The sending process.
+        from: ProcessId,
+        /// The message itself.
+        message: Message,
+    },
+    /// A timer previously scheduled with [`Actions::set_timer`] reached
+    /// its deadline.
+    Timer(TimerId),
+    /// The process recovered from a crash that lasted `down_ticks` ticks
+    /// (the input to the paper's Event 4).
+    Recovery {
+        /// Length of the outage, in ticks.
+        down_ticks: u64,
+    },
+    /// A fire-and-forget broadcast request. Failures (e.g. incomplete
+    /// knowledge) are recorded in the protocol's error counter; drivers
+    /// that need the [`BroadcastId`] or retryable errors call
+    /// [`Protocol::broadcast`] directly.
+    Broadcast(Payload),
+}
+
+/// A buffered timer operation (see [`Actions::set_timer`]).
+///
+/// `Some(at)` schedules (or moves) the timer to the absolute deadline
+/// `at`; `None` cancels it.
+pub type TimerOp = (TimerId, Option<SimTime>);
+
 /// The outputs of one protocol step.
 #[derive(Debug, Clone, Default)]
 pub struct Actions {
     sends: Vec<(ProcessId, Message)>,
     deliveries: Vec<(BroadcastId, Payload)>,
+    timer_ops: Vec<TimerOp>,
 }
 
 impl Actions {
@@ -181,9 +229,26 @@ impl Actions {
         &self.deliveries
     }
 
+    /// Schedules (or re-schedules) the named timer to fire at the
+    /// absolute time `at`. Each [`TimerId`] names at most one pending
+    /// deadline per protocol instance.
+    pub fn set_timer(&mut self, timer: TimerId, at: SimTime) {
+        self.timer_ops.push((timer, Some(at)));
+    }
+
+    /// Cancels the named timer if it is pending.
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.timer_ops.push((timer, None));
+    }
+
+    /// Buffered timer operations, in emission order.
+    pub fn timer_ops(&self) -> &[TimerOp] {
+        &self.timer_ops
+    }
+
     /// Returns `true` when nothing was produced.
     pub fn is_empty(&self) -> bool {
-        self.sends.is_empty() && self.deliveries.is_empty()
+        self.sends.is_empty() && self.deliveries.is_empty() && self.timer_ops.is_empty()
     }
 
     /// Removes and returns all queued sends.
@@ -196,39 +261,57 @@ impl Actions {
         std::mem::take(&mut self.deliveries)
     }
 
+    /// Removes and returns all buffered timer operations.
+    pub fn take_timer_ops(&mut self) -> Vec<TimerOp> {
+        std::mem::take(&mut self.timer_ops)
+    }
+
     /// Clears everything.
     pub fn clear(&mut self) {
         self.sends.clear();
         self.deliveries.clear();
+        self.timer_ops.clear();
     }
 }
 
-/// A broadcast protocol as a pure state machine.
+/// A broadcast protocol as a pure, event-driven state machine.
 ///
 /// Time is carried as [`SimTime`] ticks; on a real deployment the runtime
-/// supplies a monotonic tick counter. All outputs go through [`Actions`].
+/// supplies a monotonic tick counter. All outputs — sends, deliveries,
+/// timer schedules — go through [`Actions`].
+///
+/// Drivers must:
+///
+/// 1. call [`Protocol::on_start`] once before any other event, so the
+///    protocol can arm its initial timers;
+/// 2. honor the timer operations left in [`Actions`] after every call,
+///    delivering [`Event::Timer`] when a scheduled deadline is reached
+///    (timers that come due during a crash fire right after the
+///    [`Event::Recovery`]).
+///
+/// # Migration from the tick API
+///
+/// Until PR 3 this trait exposed a `handle_message`/`handle_tick`/
+/// `handle_recovery` trio and drivers polled `handle_tick` every tick.
+/// `handle_message` and `handle_recovery` survive as provided
+/// convenience wrappers around [`Protocol::on_event`]; per-tick polling
+/// is available through [`LegacyTickShim`], which owns the timer table
+/// and fires due timers from its `handle_tick`. New drivers should
+/// deliver events and timers directly — that is what lets the simulator
+/// fast-forward and the net runtime sleep between deadlines.
 pub trait Protocol {
     /// This process's identity.
     fn id(&self) -> ProcessId;
 
-    /// Handles a message from a neighbor.
-    fn handle_message(
-        &mut self,
-        now: SimTime,
-        from: ProcessId,
-        message: Message,
-        actions: &mut Actions,
-    );
-
-    /// Handles one clock tick.
-    fn handle_tick(&mut self, now: SimTime, actions: &mut Actions) {
+    /// Called once before any other event; protocols arm their initial
+    /// timers here.
+    fn on_start(&mut self, now: SimTime, actions: &mut Actions) {
         let _ = (now, actions);
     }
 
-    /// Handles recovery from a crash that lasted `down_ticks` ticks.
-    fn handle_recovery(&mut self, now: SimTime, down_ticks: u64, actions: &mut Actions) {
-        let _ = (now, down_ticks, actions);
-    }
+    /// Handles one event — a message, a due timer, a recovery, or a
+    /// broadcast request.
+    fn on_event(&mut self, now: SimTime, event: Event, actions: &mut Actions);
 
     /// Initiates a broadcast of `payload`.
     ///
@@ -246,6 +329,24 @@ pub trait Protocol {
 
     /// Broadcast payloads delivered so far, in delivery order.
     fn delivered(&self) -> &[(BroadcastId, Payload)];
+
+    /// Convenience wrapper: feeds an [`Event::Message`] to
+    /// [`Protocol::on_event`].
+    fn handle_message(
+        &mut self,
+        now: SimTime,
+        from: ProcessId,
+        message: Message,
+        actions: &mut Actions,
+    ) {
+        self.on_event(now, Event::Message { from, message }, actions);
+    }
+
+    /// Convenience wrapper: feeds an [`Event::Recovery`] to
+    /// [`Protocol::on_event`].
+    fn handle_recovery(&mut self, now: SimTime, down_ticks: u64, actions: &mut Actions) {
+        self.on_event(now, Event::Recovery { down_ticks }, actions);
+    }
 }
 
 /// Adapter running any [`Protocol`] inside the deterministic simulator.
@@ -301,6 +402,12 @@ impl<P: Protocol> ProtocolActor<P> {
         for (to, message) in self.actions.take_sends() {
             ctx.send(to, message);
         }
+        for (timer, op) in self.actions.take_timer_ops() {
+            match op {
+                Some(at) => ctx.set_timer(timer, at),
+                None => ctx.cancel_timer(timer),
+            }
+        }
         // Deliveries stay recorded inside the protocol; nothing to do.
         self.actions.take_deliveries();
     }
@@ -309,21 +416,220 @@ impl<P: Protocol> ProtocolActor<P> {
 impl<P: Protocol> Actor for ProtocolActor<P> {
     type Message = Message;
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Message>, from: ProcessId, message: Message) {
-        self.protocol
-            .handle_message(ctx.now(), from, message, &mut self.actions);
+    fn on_start(&mut self, ctx: &mut Context<'_, Message>) {
+        self.protocol.on_start(ctx.now(), &mut self.actions);
         self.flush(ctx);
     }
 
-    fn on_tick(&mut self, ctx: &mut Context<'_, Message>) {
-        self.protocol.handle_tick(ctx.now(), &mut self.actions);
+    fn on_message(&mut self, ctx: &mut Context<'_, Message>, from: ProcessId, message: Message) {
+        self.protocol.on_event(
+            ctx.now(),
+            Event::Message { from, message },
+            &mut self.actions,
+        );
+        self.flush(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Message>, timer: TimerId) {
+        self.protocol
+            .on_event(ctx.now(), Event::Timer(timer), &mut self.actions);
         self.flush(ctx);
     }
 
     fn on_recover(&mut self, ctx: &mut Context<'_, Message>, down_ticks: u64) {
         self.protocol
-            .handle_recovery(ctx.now(), down_ticks, &mut self.actions);
+            .on_event(ctx.now(), Event::Recovery { down_ticks }, &mut self.actions);
         self.flush(ctx);
+    }
+
+    /// Event-driven: the kernel may fast-forward over eventless ticks.
+    fn wants_ticks(&self) -> bool {
+        false
+    }
+}
+
+/// Per-tick polling driver for an event-driven [`Protocol`] — the
+/// migration shim for code written against the pre-timer API.
+///
+/// The shim owns the protocol's timer table: timer operations emitted
+/// into [`Actions`] are absorbed after every call, and `handle_tick`
+/// fires whatever is due at the given time (in [`TimerId`] order, the
+/// legacy intra-tick order). Driving a protocol through the shim once
+/// per tick is behaviorally identical to delivering its timers at their
+/// deadlines — a property the workspace's simulation tests assert
+/// bit-exactly — it merely wastes the idle ticks the timer API exists to
+/// skip.
+///
+/// The shim also implements the simulator's [`Actor`] interface with
+/// `wants_ticks() == true`, so a `Simulation<LegacyTickShim<P>>` is the
+/// reference tick-polling execution to compare an event-driven
+/// `Simulation<ProtocolActor<P>>` against.
+#[derive(Debug)]
+pub struct LegacyTickShim<P> {
+    protocol: P,
+    timers: BTreeMap<TimerId, SimTime>,
+    scratch: Actions,
+    started: bool,
+}
+
+impl<P: Protocol> LegacyTickShim<P> {
+    /// Wraps a protocol for per-tick driving.
+    pub fn new(protocol: P) -> Self {
+        LegacyTickShim {
+            protocol,
+            timers: BTreeMap::new(),
+            scratch: Actions::new(),
+            started: false,
+        }
+    }
+
+    /// The wrapped protocol.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Mutable access to the wrapped protocol.
+    pub fn protocol_mut(&mut self) -> &mut P {
+        &mut self.protocol
+    }
+
+    /// Unwraps the protocol.
+    pub fn into_inner(self) -> P {
+        self.protocol
+    }
+
+    /// Moves the timer operations buffered in `actions` into the shim's
+    /// timer table (callers never see them).
+    fn absorb_timers(&mut self, actions: &mut Actions) {
+        for (timer, op) in actions.take_timer_ops() {
+            match op {
+                Some(at) => {
+                    self.timers.insert(timer, at);
+                }
+                None => {
+                    self.timers.remove(&timer);
+                }
+            }
+        }
+    }
+
+    fn ensure_started(&mut self, now: SimTime, actions: &mut Actions) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.protocol.on_start(now, actions);
+        self.absorb_timers(actions);
+    }
+
+    /// Delivers a message (legacy signature).
+    pub fn handle_message(
+        &mut self,
+        now: SimTime,
+        from: ProcessId,
+        message: Message,
+        actions: &mut Actions,
+    ) {
+        self.ensure_started(now, actions);
+        self.protocol
+            .on_event(now, Event::Message { from, message }, actions);
+        self.absorb_timers(actions);
+    }
+
+    /// Polls the clock: fires every timer due at or before `now`, in
+    /// [`TimerId`] order (legacy signature).
+    pub fn handle_tick(&mut self, now: SimTime, actions: &mut Actions) {
+        self.ensure_started(now, actions);
+        loop {
+            let Some((&timer, _)) = self.timers.iter().find(|&(_, &at)| at <= now) else {
+                return;
+            };
+            self.timers.remove(&timer);
+            self.protocol.on_event(now, Event::Timer(timer), actions);
+            self.absorb_timers(actions);
+        }
+    }
+
+    /// Reports a crash recovery (legacy signature).
+    pub fn handle_recovery(&mut self, now: SimTime, down_ticks: u64, actions: &mut Actions) {
+        self.ensure_started(now, actions);
+        self.protocol
+            .on_event(now, Event::Recovery { down_ticks }, actions);
+        self.absorb_timers(actions);
+    }
+
+    /// Initiates a broadcast (legacy signature).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the protocol's broadcast error.
+    pub fn broadcast(
+        &mut self,
+        now: SimTime,
+        payload: Payload,
+        actions: &mut Actions,
+    ) -> Result<BroadcastId, crate::CoreError> {
+        self.ensure_started(now, actions);
+        let result = self.protocol.broadcast(now, payload, actions);
+        self.absorb_timers(actions);
+        result
+    }
+
+    /// Runs a broadcast and flushes the resulting sends into a
+    /// simulation context (mirror of [`ProtocolActor::broadcast_now`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the protocol's broadcast error.
+    pub fn broadcast_now(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        payload: Payload,
+    ) -> Result<BroadcastId, crate::CoreError> {
+        self.drive(ctx, |shim, now, actions| {
+            shim.broadcast(now, payload, actions)
+        })
+    }
+
+    /// Runs `f` against a scratch [`Actions`] and flushes the resulting
+    /// sends into the simulation context.
+    fn drive<R>(
+        &mut self,
+        ctx: &mut Context<'_, Message>,
+        f: impl FnOnce(&mut Self, SimTime, &mut Actions) -> R,
+    ) -> R {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = f(self, ctx.now(), &mut scratch);
+        for (to, message) in scratch.take_sends() {
+            ctx.send(to, message);
+        }
+        scratch.clear();
+        self.scratch = scratch;
+        result
+    }
+}
+
+impl<P: Protocol> Actor for LegacyTickShim<P> {
+    type Message = Message;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Message>) {
+        self.drive(ctx, |shim, now, actions| shim.ensure_started(now, actions));
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Message>, from: ProcessId, message: Message) {
+        self.drive(ctx, |shim, now, actions| {
+            shim.handle_message(now, from, message, actions);
+        });
+    }
+
+    fn on_tick(&mut self, ctx: &mut Context<'_, Message>) {
+        self.drive(ctx, |shim, now, actions| shim.handle_tick(now, actions));
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, Message>, down_ticks: u64) {
+        self.drive(ctx, |shim, now, actions| {
+            shim.handle_recovery(now, down_ticks, actions);
+        });
     }
 }
 

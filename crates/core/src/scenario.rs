@@ -1,0 +1,737 @@
+//! One scenario description, many substrates.
+//!
+//! A [`Scenario`] composes everything that defines an experiment run —
+//! a [`Topology`], a per-link loss [`Configuration`], a [`CrashModel`],
+//! a scripted [`Workload`] of broadcasts (bursts, multi-origin streams)
+//! and a [`FaultScript`] of timed environment changes (link degradation,
+//! loss spikes, partitions, healing, forced crashes) — into a single
+//! value that runs *identically* on the deterministic simulation kernel
+//! (via [`ScenarioSim`]) and on `diffuse-net`'s in-memory fabric of real
+//! threads (via `diffuse_net::run_scenario_on_fabric`).
+//!
+//! The paper's fixed benchmark scripts (Figures 4–6) are instances of
+//! this shape: pick a topology family, a uniform configuration, a
+//! single-origin workload, no faults. The builder exists so that every
+//! *other* combination is just as easy to write.
+//!
+//! # Example
+//!
+//! ```
+//! use diffuse_core::scenario::{FaultAction, FaultScript, Scenario, Workload};
+//! use diffuse_core::{Payload, ReferenceGossip};
+//! use diffuse_graph::generators;
+//! use diffuse_model::{Probability, ProcessId};
+//! use diffuse_sim::SimTime;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let topology = generators::ring(8)?;
+//! let neighbors = |id: ProcessId| topology.neighbors(id).collect::<Vec<_>>();
+//! let scenario = Scenario::builder(topology.clone())
+//!     .uniform_loss(Probability::new(0.05)?)
+//!     .seed(7)
+//!     .workload(Workload::new().broadcast(SimTime::ZERO, ProcessId::new(0), Payload::from("hi")))
+//!     .faults(FaultScript::new().at(
+//!         SimTime::new(10),
+//!         FaultAction::DegradeAll { loss: Probability::new(0.2)? },
+//!     ))
+//!     .build();
+//!
+//! let report = scenario.run_sim(40, |id| ReferenceGossip::new(id, neighbors(id), 8));
+//! assert!(report.all_delivered_at_least(1));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+
+use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
+use diffuse_sim::{CrashModel, Metrics, SimOptions, SimTime, Simulation};
+
+use crate::protocol::{Payload, Protocol, ProtocolActor};
+
+/// One scripted broadcast: at `at`, `origin` broadcasts `payload`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadEvent {
+    /// When the broadcast is issued.
+    pub at: SimTime,
+    /// The broadcasting process.
+    pub origin: ProcessId,
+    /// The payload to diffuse.
+    pub payload: Payload,
+}
+
+/// A scripted broadcast schedule: single shots, bursts, and periodic
+/// multi-origin streams, all reducible to timed [`WorkloadEvent`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Workload {
+    events: Vec<WorkloadEvent>,
+}
+
+impl Workload {
+    /// An empty workload (approximation-activity-only scenarios).
+    pub fn new() -> Self {
+        Workload::default()
+    }
+
+    /// Adds one broadcast at `at` from `origin`.
+    #[must_use]
+    pub fn broadcast(mut self, at: SimTime, origin: ProcessId, payload: Payload) -> Self {
+        self.events.push(WorkloadEvent {
+            at,
+            origin,
+            payload,
+        });
+        self
+    }
+
+    /// Adds a burst: `count` broadcasts from `origin`, all issued at
+    /// `at` (payloads `"burst-0"`, `"burst-1"`, …).
+    #[must_use]
+    pub fn burst(mut self, at: SimTime, origin: ProcessId, count: u32) -> Self {
+        for i in 0..count {
+            self.events.push(WorkloadEvent {
+                at,
+                origin,
+                payload: Payload::from(format!("burst-{i}").into_bytes()),
+            });
+        }
+        self
+    }
+
+    /// Adds a periodic stream: `count` broadcasts from `origin`, one
+    /// every `period` ticks starting at `start`.
+    #[must_use]
+    pub fn stream(mut self, origin: ProcessId, start: SimTime, period: u64, count: u32) -> Self {
+        let period = period.max(1);
+        for i in 0..count {
+            self.events.push(WorkloadEvent {
+                at: start + period * i as u64,
+                origin,
+                payload: Payload::from(format!("stream-{origin}-{i}").into_bytes()),
+            });
+        }
+        self
+    }
+
+    /// The scripted events, in insertion order.
+    pub fn events(&self) -> &[WorkloadEvent] {
+        &self.events
+    }
+
+    /// Events sorted by time (stable: same-time events keep insertion
+    /// order).
+    fn sorted(&self) -> Vec<WorkloadEvent> {
+        let mut events = self.events.clone();
+        events.sort_by_key(|e| e.at);
+        events
+    }
+}
+
+/// A timed environment change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Set one link's loss probability (degradation or point repair).
+    SetLoss {
+        /// The affected link.
+        link: LinkId,
+        /// Its new loss probability.
+        loss: Probability,
+    },
+    /// A loss spike: every link jumps to the given loss probability.
+    DegradeAll {
+        /// The spike's loss probability.
+        loss: Probability,
+    },
+    /// Cut every link between `island` and the rest of the system
+    /// (loss 1.0 in both directions).
+    Partition {
+        /// The processes on one side of the cut.
+        island: Vec<ProcessId>,
+    },
+    /// Restore every link to the scenario's base configuration.
+    Heal,
+    /// Force a process down for `down_ticks` ticks. Only the simulation
+    /// kernel can execute this (threads cannot be crashed from outside);
+    /// the fabric runner counts it in
+    /// [`ScenarioReport::skipped_faults`].
+    Crash {
+        /// The crashing process.
+        process: ProcessId,
+        /// Outage length in ticks.
+        down_ticks: u64,
+    },
+}
+
+/// One [`FaultAction`] at one time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault is injected.
+    pub at: SimTime,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A timed script of environment changes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultScript {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultScript {
+    /// An empty script (a stable environment).
+    pub fn new() -> Self {
+        FaultScript::default()
+    }
+
+    /// Adds `action` at time `at`.
+    #[must_use]
+    pub fn at(mut self, at: SimTime, action: FaultAction) -> Self {
+        self.events.push(FaultEvent { at, action });
+        self
+    }
+
+    /// The scripted events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    fn sorted(&self) -> Vec<FaultEvent> {
+        let mut events = self.events.clone();
+        events.sort_by_key(|e| e.at);
+        events
+    }
+}
+
+/// A complete scenario: topology × configuration × crash model ×
+/// workload × fault script (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The network graph.
+    pub topology: Topology,
+    /// Base per-link loss probabilities.
+    pub config: Configuration,
+    /// How processes crash and recover (simulation only; the fabric
+    /// models crashes through its fault script, not stochastically).
+    pub crash_model: CrashModel,
+    /// RNG seed for loss sampling and crash draws.
+    pub seed: u64,
+    /// Message latency in ticks.
+    pub link_delay: u64,
+    /// Scripted broadcasts.
+    pub workload: Workload,
+    /// Scripted environment changes.
+    pub faults: FaultScript,
+}
+
+impl Scenario {
+    /// Starts building a scenario over `topology`.
+    pub fn builder(topology: Topology) -> ScenarioBuilder {
+        ScenarioBuilder {
+            scenario: Scenario {
+                config: Configuration::new(),
+                topology,
+                crash_model: CrashModel::AlwaysUp,
+                seed: 0xD1FF,
+                link_delay: 1,
+                workload: Workload::new(),
+                faults: FaultScript::new(),
+            },
+        }
+    }
+
+    /// The simulator options this scenario implies.
+    pub fn sim_options(&self) -> SimOptions {
+        SimOptions::default()
+            .with_seed(self.seed)
+            .with_link_delay(self.link_delay)
+            .with_crash_model(self.crash_model)
+    }
+
+    /// Instantiates the scenario on the simulation kernel, one protocol
+    /// per process built by `make`.
+    pub fn sim<P: Protocol>(&self, make: impl FnMut(ProcessId) -> P) -> ScenarioSim<P> {
+        ScenarioSim::new(self, make)
+    }
+
+    /// Convenience: instantiate on the kernel, run `ticks`, report.
+    pub fn run_sim<P: Protocol>(
+        &self,
+        ticks: u64,
+        make: impl FnMut(ProcessId) -> P,
+    ) -> ScenarioReport {
+        let mut run = self.sim(make);
+        run.run_ticks(ticks);
+        run.report()
+    }
+}
+
+/// Builder for [`Scenario`] (see [`Scenario::builder`]).
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Sets the per-link loss configuration.
+    #[must_use]
+    pub fn config(mut self, config: Configuration) -> Self {
+        self.scenario.config = config;
+        self
+    }
+
+    /// Sets a uniform loss probability on every link.
+    #[must_use]
+    pub fn uniform_loss(mut self, loss: Probability) -> Self {
+        self.scenario.config =
+            Configuration::uniform(&self.scenario.topology, Probability::ZERO, loss);
+        self
+    }
+
+    /// Sets the crash model.
+    #[must_use]
+    pub fn crash_model(mut self, model: CrashModel) -> Self {
+        self.scenario.crash_model = model;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scenario.seed = seed;
+        self
+    }
+
+    /// Sets the link delay in ticks (clamped to at least 1).
+    #[must_use]
+    pub fn link_delay(mut self, ticks: u64) -> Self {
+        self.scenario.link_delay = ticks.max(1);
+        self
+    }
+
+    /// Sets the broadcast workload.
+    #[must_use]
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.scenario.workload = workload;
+        self
+    }
+
+    /// Sets the fault script.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultScript) -> Self {
+        self.scenario.faults = faults;
+        self
+    }
+
+    /// Finishes the scenario.
+    pub fn build(self) -> Scenario {
+        self.scenario
+    }
+}
+
+/// What a scenario run produced, substrate-independent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Broadcast deliveries per process.
+    pub delivered: BTreeMap<ProcessId, u64>,
+    /// Scripted broadcasts that failed non-retryably at issue time —
+    /// zero on a healthy run. Broadcasts deferred by retryable
+    /// conditions (incomplete knowledge, down origin) that never manage
+    /// to issue before the run ends are counted here too.
+    pub failed_broadcasts: u64,
+    /// Fault events the substrate could not execute (e.g. forced crashes
+    /// on the fabric).
+    pub skipped_faults: u64,
+    /// Wire-level metrics (simulation kernel only).
+    pub metrics: Option<Metrics>,
+}
+
+impl ScenarioReport {
+    /// `true` iff every process delivered at least `n` broadcasts.
+    pub fn all_delivered_at_least(&self, n: u64) -> bool {
+        !self.delivered.is_empty() && self.delivered.values().all(|&d| d >= n)
+    }
+
+    /// The minimum delivery count over all processes.
+    pub fn min_delivered(&self) -> u64 {
+        self.delivered.values().copied().min().unwrap_or(0)
+    }
+}
+
+/// A scenario instantiated on the simulation kernel: owns the
+/// [`Simulation`] plus cursors into the workload and fault scripts, and
+/// applies script events at exactly their scheduled times while the
+/// clock advances (fast-forwarding through idle stretches whenever the
+/// kernel allows it).
+pub struct ScenarioSim<P: Protocol> {
+    sim: Simulation<ProtocolActor<P>>,
+    base_config: Configuration,
+    workload: Vec<WorkloadEvent>,
+    workload_cursor: usize,
+    faults: Vec<FaultEvent>,
+    fault_cursor: usize,
+    /// Broadcasts whose issue was deferred (incomplete knowledge, origin
+    /// down): retried once per tick, like the net runtime's pending
+    /// queue, so both substrates share the retry semantics.
+    deferred: Vec<(SimTime, WorkloadEvent)>,
+    failed_broadcasts: u64,
+}
+
+impl<P: Protocol> std::fmt::Debug for ScenarioSim<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioSim")
+            .field("now", &self.sim.now())
+            .field("workload_cursor", &self.workload_cursor)
+            .field("fault_cursor", &self.fault_cursor)
+            .field("failed_broadcasts", &self.failed_broadcasts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Protocol> ScenarioSim<P> {
+    /// Instantiates `scenario` on the kernel, one protocol per process.
+    pub fn new(scenario: &Scenario, mut make: impl FnMut(ProcessId) -> P) -> Self {
+        let sim = Simulation::new(
+            scenario.topology.clone(),
+            scenario.config.clone(),
+            |id| ProtocolActor::new(make(id)),
+            scenario.sim_options(),
+        );
+        ScenarioSim {
+            sim,
+            base_config: scenario.config.clone(),
+            workload: scenario.workload.sorted(),
+            workload_cursor: 0,
+            faults: scenario.faults.sorted(),
+            fault_cursor: 0,
+            deferred: Vec::new(),
+            failed_broadcasts: 0,
+        }
+    }
+
+    /// The underlying simulation (metrics, node access, time).
+    pub fn sim(&self) -> &Simulation<ProtocolActor<P>> {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying simulation (extra fault
+    /// injection, manual commands).
+    pub fn sim_mut(&mut self) -> &mut Simulation<ProtocolActor<P>> {
+        &mut self.sim
+    }
+
+    /// Scripted broadcasts that failed non-retryably at issue time.
+    pub fn failed_broadcasts(&self) -> u64 {
+        self.failed_broadcasts
+    }
+
+    /// Scripted broadcasts currently deferred (incomplete knowledge or a
+    /// down origin), awaiting their next per-tick retry.
+    pub fn pending_broadcasts(&self) -> u64 {
+        self.deferred.len() as u64
+    }
+
+    /// The earliest unapplied script event or deferred retry strictly
+    /// after `now`.
+    fn next_script_time(&self) -> Option<SimTime> {
+        let workload = self.workload.get(self.workload_cursor).map(|e| e.at);
+        let fault = self.faults.get(self.fault_cursor).map(|e| e.at);
+        let retry = self.deferred.iter().map(|&(at, _)| at).min();
+        [workload, fault, retry].into_iter().flatten().min()
+    }
+
+    /// Applies every script event due at or before the current time —
+    /// faults before broadcasts at equal times, each script in time
+    /// order — and retries deferred broadcasts.
+    fn apply_due_events(&mut self) {
+        let now = self.sim.now();
+        while self
+            .faults
+            .get(self.fault_cursor)
+            .is_some_and(|e| e.at <= now)
+        {
+            let event = self.faults[self.fault_cursor].clone();
+            self.fault_cursor += 1;
+            self.apply_fault(&event.action);
+        }
+        // Deferred retries fire before newly-due workload events so a
+        // broadcast never overtakes an earlier one from the same origin.
+        let due_retries: Vec<WorkloadEvent> = {
+            let mut due = Vec::new();
+            self.deferred.retain(|(at, event)| {
+                if *at <= now {
+                    due.push(event.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for event in due_retries {
+            self.issue_broadcast(event);
+        }
+        while self
+            .workload
+            .get(self.workload_cursor)
+            .is_some_and(|e| e.at <= now)
+        {
+            let event = self.workload[self.workload_cursor].clone();
+            self.workload_cursor += 1;
+            self.issue_broadcast(event);
+        }
+    }
+
+    /// Issues one scripted broadcast. Retryable outcomes — incomplete
+    /// knowledge, a currently-down origin — are deferred to the next
+    /// tick (mirroring the net runtime, which retries its pending
+    /// broadcasts until they succeed); anything else counts as failed.
+    fn issue_broadcast(&mut self, event: WorkloadEvent) {
+        let now = self.sim.now();
+        let mut outcome = Ok(());
+        let issued = self.sim.command(event.origin, |actor, ctx| {
+            outcome = actor.broadcast_now(ctx, event.payload.clone()).map(|_| ());
+        });
+        let retry = !issued || matches!(outcome, Err(crate::CoreError::KnowledgeIncomplete));
+        if retry {
+            self.deferred.push((now + 1, event));
+        } else if outcome.is_err() {
+            self.failed_broadcasts += 1;
+        }
+    }
+
+    fn apply_fault(&mut self, action: &FaultAction) {
+        match action {
+            FaultAction::SetLoss { link, loss } => self.sim.set_loss(*link, *loss),
+            FaultAction::DegradeAll { loss } => {
+                let links: Vec<LinkId> = self.sim.topology().links().collect();
+                for link in links {
+                    self.sim.set_loss(link, *loss);
+                }
+            }
+            FaultAction::Partition { island } => {
+                for link in partition_cut(self.sim.topology(), island) {
+                    self.sim.set_loss(link, Probability::ONE);
+                }
+            }
+            FaultAction::Heal => {
+                let links: Vec<LinkId> = self.sim.topology().links().collect();
+                for link in links {
+                    let base = self.base_config.loss(link);
+                    self.sim.set_loss(link, base);
+                }
+            }
+            FaultAction::Crash {
+                process,
+                down_ticks,
+            } => self.sim.force_down(*process, *down_ticks),
+        }
+    }
+
+    /// Advances `n` ticks, applying script events at their scheduled
+    /// times. Idle stretches between events fast-forward when the kernel
+    /// allows it.
+    ///
+    /// An event scheduled exactly at the run's final tick is *not*
+    /// applied by this run — its sends could never be delivered inside
+    /// the horizon — but fires at the start of a subsequent run. The
+    /// fabric runner draws the same boundary.
+    pub fn run_ticks(&mut self, n: u64) {
+        let end = self.sim.now() + n;
+        loop {
+            let now = self.sim.now();
+            if now >= end {
+                break;
+            }
+            self.apply_due_events();
+            let target = self.next_script_time().filter(|&t| t <= end).unwrap_or(end);
+            self.sim.run_ticks(target - self.sim.now());
+        }
+    }
+
+    /// Runs until `predicate` holds (checked at multiples of
+    /// `check_every` ticks), applying script events on the way; gives up
+    /// after `max_ticks`.
+    pub fn run_until_every(
+        &mut self,
+        mut predicate: impl FnMut(&Simulation<ProtocolActor<P>>) -> bool,
+        check_every: u64,
+        max_ticks: u64,
+    ) -> Option<SimTime> {
+        let end = self.sim.now() + max_ticks;
+        loop {
+            let now = self.sim.now();
+            if now >= end {
+                return None;
+            }
+            self.apply_due_events();
+            let target = self.next_script_time().filter(|&t| t <= end).unwrap_or(end);
+            if let Some(hit) =
+                self.sim
+                    .run_until_every(&mut predicate, check_every, target - self.sim.now())
+            {
+                return Some(hit);
+            }
+        }
+    }
+
+    /// The run's outcome so far. Broadcasts still deferred when the
+    /// report is taken count as failed — they never issued.
+    pub fn report(&self) -> ScenarioReport {
+        ScenarioReport {
+            delivered: self
+                .sim
+                .nodes()
+                .map(|(id, actor)| (id, actor.protocol().delivered().len() as u64))
+                .collect(),
+            failed_broadcasts: self.failed_broadcasts + self.pending_broadcasts(),
+            skipped_faults: 0,
+            metrics: Some(self.sim.metrics().clone()),
+        }
+    }
+}
+
+/// The links crossing the boundary between `island` and the rest.
+pub fn partition_cut(topology: &Topology, island: &[ProcessId]) -> Vec<LinkId> {
+    topology
+        .links()
+        .filter(|link| {
+            let (a, b) = link.endpoints();
+            island.contains(&a) != island.contains(&b)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetworkKnowledge, OptimalBroadcast, ReferenceGossip};
+    use diffuse_graph::generators;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn workload_builders_expand_to_events() {
+        let w = Workload::new()
+            .broadcast(SimTime::new(5), p(0), Payload::from("x"))
+            .burst(SimTime::new(7), p(1), 3)
+            .stream(p(2), SimTime::new(10), 4, 2);
+        assert_eq!(w.events().len(), 6);
+        let sorted = w.sorted();
+        assert_eq!(sorted[0].at, SimTime::new(5));
+        assert_eq!(sorted.last().unwrap().at, SimTime::new(14));
+    }
+
+    #[test]
+    fn partition_cut_finds_crossing_links() {
+        let ring = generators::ring(6).unwrap();
+        let cut = partition_cut(&ring, &[p(0), p(1), p(2)]);
+        // Exactly two links cross a contiguous arc cut of a ring.
+        assert_eq!(cut.len(), 2);
+    }
+
+    #[test]
+    fn scenario_runs_a_scripted_broadcast_on_the_kernel() {
+        let topology = generators::ring(6).unwrap();
+        let config = Configuration::new();
+        let knowledge = NetworkKnowledge::exact(topology.clone(), config.clone());
+        let scenario = Scenario::builder(topology)
+            .config(config)
+            .seed(3)
+            .workload(Workload::new().broadcast(SimTime::ZERO, p(0), Payload::from("go")))
+            .build();
+        let report = scenario.run_sim(20, |id| OptimalBroadcast::new(id, knowledge.clone(), 0.999));
+        assert!(report.all_delivered_at_least(1), "{report:?}");
+        assert_eq!(report.failed_broadcasts, 0);
+        assert!(report.metrics.as_ref().unwrap().sent_total() >= 5);
+    }
+
+    #[test]
+    fn fault_script_cuts_and_heals_mid_run() {
+        // Gossip on a line 0-1-2; the only path is cut when the first
+        // broadcast is issued and healed before the second.
+        let mut topology = Topology::new();
+        topology.add_link(p(0), p(1)).unwrap();
+        topology.add_link(p(1), p(2)).unwrap();
+        let neighbors = |id: ProcessId| topology.neighbors(id).collect::<Vec<_>>();
+        let scenario = Scenario::builder(topology.clone())
+            .seed(5)
+            .workload(
+                Workload::new()
+                    .broadcast(SimTime::ZERO, p(0), Payload::from("cut"))
+                    .broadcast(SimTime::new(40), p(0), Payload::from("healed")),
+            )
+            .faults(
+                FaultScript::new()
+                    .at(SimTime::ZERO, FaultAction::Partition { island: vec![p(0)] })
+                    .at(SimTime::new(30), FaultAction::Heal),
+            )
+            .build();
+        let report = scenario.run_sim(80, |id| ReferenceGossip::new(id, neighbors(id), 6));
+        // p0 delivered both of its own broadcasts; the others only saw
+        // the post-heal one.
+        assert_eq!(report.delivered[&p(0)], 2);
+        assert_eq!(report.delivered[&p(1)], 1);
+        assert_eq!(report.delivered[&p(2)], 1);
+    }
+
+    #[test]
+    fn scripted_crash_is_executed_by_the_kernel() {
+        let topology = generators::ring(4).unwrap();
+        let config = Configuration::new();
+        let knowledge = NetworkKnowledge::exact(topology.clone(), config.clone());
+        let scenario = Scenario::builder(topology)
+            .config(config)
+            .workload(Workload::new().broadcast(SimTime::new(5), p(0), Payload::from("x")))
+            .faults(FaultScript::new().at(
+                SimTime::new(1),
+                FaultAction::Crash {
+                    process: p(2),
+                    down_ticks: 3,
+                },
+            ))
+            .build();
+        let mut run = scenario.sim(|id| OptimalBroadcast::new(id, knowledge.clone(), 0.999));
+        run.run_ticks(3);
+        assert!(!run.sim().is_up(p(2)));
+        run.run_ticks(30);
+        assert!(run.sim().is_up(p(2)));
+        assert!(run.report().all_delivered_at_least(1));
+    }
+
+    #[test]
+    fn premature_broadcasts_are_deferred_then_issued() {
+        // An adaptive node cannot broadcast at tick 0 (incomplete
+        // knowledge). Like the net runtime, the kernel driver defers and
+        // retries each tick, so the broadcast issues once the topology
+        // completes — and a run too short for that reports the pending
+        // broadcast as failed.
+        let topology = generators::ring(4).unwrap();
+        let all: Vec<ProcessId> = topology.processes().collect();
+        let neighbors = |id: ProcessId| topology.neighbors(id).collect::<Vec<_>>();
+        let scenario = Scenario::builder(topology.clone())
+            .workload(Workload::new().broadcast(SimTime::ZERO, p(0), Payload::from("too early")))
+            .build();
+        let mut run = scenario.sim(|id| {
+            crate::AdaptiveBroadcast::new(
+                id,
+                all.clone(),
+                neighbors(id),
+                crate::AdaptiveParams::default(),
+            )
+        });
+        run.run_ticks(1);
+        assert_eq!(run.pending_broadcasts(), 1, "still deferred");
+        assert_eq!(
+            run.report().failed_broadcasts,
+            1,
+            "pending counts as failed"
+        );
+        run.run_ticks(40);
+        let report = run.report();
+        assert_eq!(run.pending_broadcasts(), 0);
+        assert_eq!(report.failed_broadcasts, 0);
+        assert!(report.all_delivered_at_least(1), "{report:?}");
+    }
+}

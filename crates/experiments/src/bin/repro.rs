@@ -5,13 +5,15 @@
 //! ```text
 //! repro <experiment> [--quick] [--csv] [--runs N] [--graphs N] [--seed N]
 //!
-//! experiments: fig1 table1 fig4a fig4b fig5a fig5b fig6 hetero refine all
+//! experiments: fig1 table1 fig4a fig4b fig5a fig5b fig6 hetero refine scenario all
 //! ```
 
 use std::process::ExitCode;
 
 use diffuse_experiments::fig4::Panel;
-use diffuse_experiments::{fig1, fig4, fig5, fig6, hetero, refine, table1, Effort, Table};
+use diffuse_experiments::{
+    fig1, fig4, fig5, fig6, hetero, refine, scenarios, table1, Effort, Table,
+};
 
 fn print_table(table: &Table, csv: bool) {
     if csv {
@@ -22,7 +24,8 @@ fn print_table(table: &Table, csv: bool) {
     }
 }
 
-const USAGE: &str = "usage: repro <fig1|table1|fig4a|fig4b|fig5a|fig5b|fig6|hetero|refine|all> \
+const USAGE: &str =
+    "usage: repro <fig1|table1|fig4a|fig4b|fig5a|fig5b|fig6|hetero|refine|scenario|all> \
      [--quick] [--csv] [--runs N] [--graphs N] [--seed N]";
 
 fn usage() -> ExitCode {
@@ -94,6 +97,7 @@ fn main() -> ExitCode {
         "fig6" => vec![fig6::run(&effort)],
         "hetero" => vec![hetero::run(&effort)],
         "refine" => vec![refine::run()],
+        "scenario" => scenarios::run(&effort),
         "all" => vec![
             fig1::run(),
             table1::run(),

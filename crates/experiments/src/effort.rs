@@ -26,6 +26,9 @@ pub struct Effort {
     pub threads: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// `true` for the subsampled smoke preset (experiments may shrink
+    /// their scripts accordingly).
+    pub quick: bool,
 }
 
 impl Effort {
@@ -43,6 +46,7 @@ impl Effort {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(2),
             seed: 0xD1FF_0001,
+            quick: false,
         }
     }
 
@@ -56,6 +60,7 @@ impl Effort {
             check_every: 10,
             connectivities: vec![2, 8, 14, 20],
             sizes: vec![100, 160, 220],
+            quick: true,
             ..Effort::standard()
         }
     }

@@ -1,13 +1,19 @@
 //! Shared simulation harness: gossip trials, step calibration, and
 //! adaptive-convergence runs.
+//!
+//! Since PR 3 every run goes through the [`Scenario`] layer: a trial is
+//! a scenario (topology × configuration × crash model × scripted
+//! workload) instantiated on the simulation kernel, which fast-forwards
+//! over idle stretches whenever the crash model allows it. The same
+//! scenario values run unchanged on `diffuse-net`'s fabric
+//! (`run_scenario_on_fabric`).
 
 use std::collections::BTreeMap;
 
-use diffuse_core::{
-    AdaptiveBroadcast, AdaptiveParams, Payload, Protocol, ProtocolActor, ReferenceGossip,
-};
+use diffuse_core::scenario::{Scenario, Workload};
+use diffuse_core::{AdaptiveBroadcast, AdaptiveParams, Payload, ReferenceGossip};
 use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
-use diffuse_sim::{CrashModel, SimOptions, Simulation};
+use diffuse_sim::{CrashModel, SimTime};
 
 /// Neighbor lists for every process, in id order.
 pub fn neighbor_map(topology: &Topology) -> BTreeMap<ProcessId, Vec<ProcessId>> {
@@ -66,35 +72,26 @@ pub fn gossip_trial_config(
     seed: u64,
 ) -> GossipTrial {
     let neighbors = neighbor_map(topology);
-    let mut sim = Simulation::new(
-        topology.clone(),
-        loss_cfg,
-        |id| {
-            ProtocolActor::new(
-                ReferenceGossip::new(id, neighbors[&id].clone(), steps)
-                    .with_step_period(GOSSIP_STEP_PERIOD),
-            )
-        },
-        SimOptions::default()
-            .with_seed(seed)
-            .with_crash_model(crash_model(crash)),
-    );
     let origin = topology.processes().next().expect("non-empty topology");
-    let sent = sim.command(origin, |actor, ctx| {
-        actor
-            .broadcast_now(ctx, Payload::from("trial"))
-            .expect("gossip broadcast is infallible");
+    let scenario = Scenario::builder(topology.clone())
+        .config(loss_cfg)
+        .crash_model(crash_model(crash))
+        .seed(seed)
+        .workload(Workload::new().broadcast(SimTime::ZERO, origin, Payload::from("trial")))
+        .build();
+    let mut run = scenario.sim(|id| {
+        ReferenceGossip::new(id, neighbors[&id].clone(), steps).with_step_period(GOSSIP_STEP_PERIOD)
     });
-    assert!(sent, "origin starts up");
-    sim.run_ticks(GOSSIP_STEP_PERIOD * (steps as u64 + 2) + 3);
+    run.run_ticks(GOSSIP_STEP_PERIOD * (steps as u64 + 2) + 3);
+    assert_eq!(run.failed_broadcasts(), 0, "origin starts up");
 
-    let all_reached = sim
-        .nodes()
-        .all(|(_, actor)| !actor.protocol().delivered().is_empty());
+    let report = run.report();
+    let all_reached = report.all_delivered_at_least(1);
+    let metrics = report.metrics.expect("kernel runs carry metrics");
     GossipTrial {
         all_reached,
-        data_messages: sim.metrics().sent_of_kind("data"),
-        ack_messages: sim.metrics().sent_of_kind("ack"),
+        data_messages: metrics.sent_of_kind("data"),
+        ack_messages: metrics.sent_of_kind("ack"),
     }
 }
 
@@ -328,35 +325,25 @@ pub fn convergence_run(
     check_every: u64,
     seed: u64,
 ) -> ConvergenceOutcome {
-    let loss_cfg = Configuration::uniform(topology, Probability::ZERO, loss);
     let neighbors = neighbor_map(topology);
     let all: Vec<ProcessId> = topology.processes().collect();
     let links: Vec<LinkId> = topology.links().collect();
 
-    let mut sim = Simulation::new(
-        topology.clone(),
-        loss_cfg,
-        |id| {
-            ProtocolActor::new(AdaptiveBroadcast::new(
-                id,
-                all.clone(),
-                neighbors[&id].clone(),
-                params.clone(),
-            ))
-        },
-        SimOptions::default()
-            .with_seed(seed)
-            .with_crash_model(crash_model(crash)),
-    );
+    let scenario = Scenario::builder(topology.clone())
+        .uniform_loss(loss)
+        .crash_model(crash_model(crash))
+        .seed(seed)
+        .build();
+    let mut run = scenario
+        .sim(|id| AdaptiveBroadcast::new(id, all.clone(), neighbors[&id].clone(), params.clone()));
 
-    let check_every = check_every.max(1);
+    // Convergence is only *checked* every `check_every` ticks; with a
+    // failure-free crash model the kernel additionally fast-forwards
+    // through ticks on which no heartbeat or suspicion deadline is due.
     let target_crash = crash.value();
     let target_loss = loss.value();
-    let converged_at = sim.run_until(
+    let converged_at = run.run_until_every(
         |sim| {
-            if sim.now().ticks() % check_every != 0 {
-                return false;
-            }
             sim.nodes().all(|(_, actor)| {
                 let node = actor.protocol();
                 all.iter().all(|&p| {
@@ -368,15 +355,15 @@ pub fn convergence_run(
                 })
             })
         },
+        check_every.max(1),
         max_ticks,
     );
 
+    let metrics = run.sim().metrics();
     ConvergenceOutcome {
         converged_at: converged_at.map(|t| t.ticks()),
-        heartbeat_messages: sim.metrics().sent_of_kind("heartbeat"),
-        messages_per_link: sim
-            .metrics()
-            .messages_per_link_of_kind("heartbeat", topology.link_count()),
+        heartbeat_messages: metrics.sent_of_kind("heartbeat"),
+        messages_per_link: metrics.messages_per_link_of_kind("heartbeat", topology.link_count()),
     }
 }
 

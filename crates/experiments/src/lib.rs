@@ -11,6 +11,7 @@
 //! | `fig6` | [`fig6`] | Figure 6 — scalability (ring vs tree) |
 //! | `hetero` | [`hetero`] | §7 future work — heterogeneous losses |
 //! | `refine` | [`refine`] | §7 future work — interval refinement |
+//! | `scenario` | [`scenarios`] | partition-then-heal script on both substrates |
 //!
 //! Run everything with the `repro` binary:
 //!
@@ -33,16 +34,17 @@ mod harness;
 pub mod hetero;
 mod parallel;
 pub mod refine;
+pub mod scenarios;
 mod stats;
 mod table;
 pub mod table1;
 
 pub use effort::Effort;
 pub use harness::{
-    adaptive_broadcast_cost, calibrate_gossip_steps, calibrate_gossip_steps_config,
-    convergence_run, gossip_mean_messages, gossip_message_stats, gossip_message_stats_config,
-    gossip_trial, gossip_trial_config, neighbor_map, ConvergenceOutcome, GossipTrial,
-    GOSSIP_STEP_PERIOD,
+    adaptive_broadcast_cost, calibrate_gossip_steps, calibrate_gossip_steps_confident,
+    calibrate_gossip_steps_config, convergence_run, gossip_mean_messages, gossip_message_stats,
+    gossip_message_stats_config, gossip_trial, gossip_trial_config, neighbor_map,
+    CalibrationSettings, ConvergenceOutcome, GossipTrial, GOSSIP_STEP_PERIOD,
 };
 pub use parallel::parallel_map;
 pub use stats::{rule_of_three_lower_bound, Summary};

@@ -27,10 +27,12 @@
 pub mod codec;
 mod error;
 mod runtime;
+mod scenario;
 mod transport;
 mod udp;
 
 pub use error::NetError;
 pub use runtime::{spawn_node, NodeHandle};
-pub use transport::{Fabric, FabricTransport, Transport};
+pub use scenario::{run_scenario_on_fabric, FabricScenarioOptions};
+pub use transport::{Fabric, FabricControl, FabricTransport, Transport};
 pub use udp::{UdpTransport, MAX_DATAGRAM};

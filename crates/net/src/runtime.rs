@@ -1,11 +1,22 @@
 //! A thread-based runtime driving a sans-io [`Protocol`] over a real
 //! [`Transport`].
+//!
+//! The loop is event-driven: it sleeps on the transport until either a
+//! frame arrives or the protocol's next timer deadline is reached —
+//! there is no fixed per-tick wakeup. `tick_interval` only defines the
+//! wall-clock length of one logical [`SimTime`] tick (the unit in which
+//! protocols express their deadlines), so a protocol whose next
+//! heartbeat is 100 ticks away leaves the thread asleep for 100 tick
+//! intervals instead of being polled 100 times.
 
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use diffuse_core::{Actions, BroadcastId, CoreError, Payload, Protocol};
-use diffuse_sim::SimTime;
+use diffuse_sim::{SimTime, TimerId};
 
 use crate::codec::{decode_message, encode_message};
 use crate::{NetError, Transport};
@@ -17,24 +28,36 @@ enum Command {
     Shutdown,
 }
 
+/// How long the loop will sleep at most before re-checking its command
+/// queue, when no timer deadline comes sooner. Bounds the latency of
+/// [`NodeHandle::broadcast`] and [`NodeHandle::shutdown`] without
+/// per-tick polling.
+const COMMAND_POLL: Duration = Duration::from_millis(25);
+
 /// Handle to a node running on its own thread.
 ///
-/// Dropping the handle shuts the node down and joins its thread.
+/// Dropping the handle without calling [`NodeHandle::shutdown`] performs
+/// the same orderly shutdown: the node thread is asked to stop, given
+/// the chance to issue any still-queued broadcasts and transmit their
+/// sends, and then joined — an in-progress send is never aborted
+/// mid-frame. The only difference is that pending *deliveries* can no
+/// longer be read, because the receiving end goes away with the handle.
 #[derive(Debug)]
 pub struct NodeHandle {
     commands: Sender<Command>,
     deliveries: Receiver<(BroadcastId, Payload)>,
+    wakeups: Arc<AtomicU64>,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl NodeHandle {
-    /// Asks the node to broadcast `payload` on its next loop iteration.
+    /// Asks the node to broadcast `payload` on its next wakeup.
     ///
     /// # Errors
     ///
     /// Returns [`NetError::Closed`] if the node has shut down. Broadcast
     /// errors inside the node (e.g. incomplete knowledge) are retried on
-    /// subsequent tick boundaries until they succeed.
+    /// subsequent wakeups until they succeed.
     pub fn broadcast(&self, payload: Payload) -> Result<(), NetError> {
         self.commands
             .send(Command::Broadcast(payload))
@@ -59,8 +82,23 @@ impl NodeHandle {
         }
     }
 
-    /// Requests shutdown and joins the node thread.
+    /// How many times the node's event loop has woken up so far
+    /// (received a frame, fired a timer, or polled for commands).
+    ///
+    /// Diagnostic: an idle node with no pending timers wakes only at the
+    /// command-poll cadence (tens of milliseconds), not once per tick —
+    /// the runtime tests assert this stays far below `wall time / tick`.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Requests shutdown and joins the node thread (see the type-level
+    /// docs for the drop equivalent).
     pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
         let _ = self.commands.send(Command::Shutdown);
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
@@ -70,20 +108,20 @@ impl NodeHandle {
 
 impl Drop for NodeHandle {
     fn drop(&mut self) {
-        let _ = self.commands.send(Command::Shutdown);
-        if let Some(thread) = self.thread.take() {
-            let _ = thread.join();
-        }
+        self.shutdown_in_place();
     }
 }
 
-/// Spawns `protocol` on a dedicated thread, driven by `transport`, with a
-/// logical clock tick every `tick_interval` of wall time.
+/// Spawns `protocol` on a dedicated thread, driven by `transport`; one
+/// logical [`SimTime`] tick corresponds to `tick_interval` of wall time.
 ///
 /// The runtime decodes incoming frames, routes them to the protocol,
-/// encodes and transmits outgoing messages, surfaces deliveries through
-/// the returned handle, and retries pending broadcasts whose knowledge
-/// was still incomplete.
+/// fires the protocol's timers at their deadlines, encodes and transmits
+/// outgoing messages, surfaces deliveries through the returned handle,
+/// and retries pending broadcasts whose knowledge was still incomplete.
+/// Between events the thread sleeps until
+/// `min(next timer deadline, command poll)` — it does not busy-wake once
+/// per tick.
 pub fn spawn_node<P, T>(mut protocol: P, transport: T, tick_interval: Duration) -> NodeHandle
 where
     P: Protocol + Send + 'static,
@@ -91,21 +129,36 @@ where
 {
     let (command_tx, command_rx) = unbounded::<Command>();
     let (delivery_tx, delivery_rx) = unbounded::<(BroadcastId, Payload)>();
+    let wakeups = Arc::new(AtomicU64::new(0));
+    let wakeup_counter = Arc::clone(&wakeups);
 
     let thread = std::thread::spawn(move || {
-        let start = Instant::now();
         let tick = tick_interval.max(Duration::from_millis(1));
-        let mut next_tick = start + tick;
-        let mut now = SimTime::ZERO;
+        let start = Instant::now();
+        let wall_now =
+            |at: Instant| SimTime::new((at - start).as_nanos() as u64 / tick.as_nanos() as u64);
+        let mut timers: BTreeMap<TimerId, SimTime> = BTreeMap::new();
         let mut actions = Actions::new();
         let mut pending_broadcasts: Vec<Payload> = Vec::new();
 
+        let mut now = SimTime::ZERO;
+        protocol.on_start(now, &mut actions);
+        absorb_timers(&mut timers, &mut actions);
+        flush(&mut actions, &transport, &delivery_tx);
+
+        let mut shutting_down = false;
         'run: loop {
+            wakeup_counter.fetch_add(1, Ordering::Relaxed);
+            now = wall_now(Instant::now());
+
             // 1. External commands.
             loop {
                 match command_rx.try_recv() {
                     Ok(Command::Broadcast(payload)) => pending_broadcasts.push(payload),
-                    Ok(Command::Shutdown) | Err(TryRecvError::Disconnected) => break 'run,
+                    Ok(Command::Shutdown) | Err(TryRecvError::Disconnected) => {
+                        shutting_down = true;
+                        break;
+                    }
                     Err(TryRecvError::Empty) => break,
                 }
             }
@@ -114,18 +167,48 @@ where
             pending_broadcasts.retain(|payload| {
                 match protocol.broadcast(now, payload.clone(), &mut actions) {
                     Ok(_) => false,
-                    Err(CoreError::KnowledgeIncomplete) => true,
+                    Err(CoreError::KnowledgeIncomplete) => !shutting_down,
                     Err(_) => false, // non-retryable; drop
                 }
             });
+            absorb_timers(&mut timers, &mut actions);
             flush(&mut actions, &transport, &delivery_tx);
 
-            // 3. Receive until the next tick boundary.
-            let budget = next_tick.saturating_duration_since(Instant::now());
+            // On shutdown, the queued work above was drained and its
+            // sends transmitted before the thread exits.
+            if shutting_down {
+                break 'run;
+            }
+
+            // 3. Fire timers that are due at the current logical tick.
+            while let Some((&timer, _)) = timers.iter().find(|&(_, &at)| at <= now) {
+                timers.remove(&timer);
+                protocol.on_event(now, diffuse_core::Event::Timer(timer), &mut actions);
+                absorb_timers(&mut timers, &mut actions);
+                flush(&mut actions, &transport, &delivery_tx);
+            }
+
+            // 4. Sleep until the next deadline (or the command-poll cap),
+            //    waking early for incoming frames.
+            let budget = timers
+                .values()
+                .min()
+                .map(|&at| {
+                    let deadline = start + tick * u32::try_from(at.ticks()).unwrap_or(u32::MAX);
+                    deadline.saturating_duration_since(Instant::now())
+                })
+                .unwrap_or(COMMAND_POLL)
+                .min(COMMAND_POLL);
             match transport.recv_timeout(budget) {
                 Ok(Some((from, frame))) => {
+                    now = wall_now(Instant::now());
                     if let Ok(message) = decode_message(&frame) {
-                        protocol.handle_message(now, from, message, &mut actions);
+                        protocol.on_event(
+                            now,
+                            diffuse_core::Event::Message { from, message },
+                            &mut actions,
+                        );
+                        absorb_timers(&mut timers, &mut actions);
                         flush(&mut actions, &transport, &delivery_tx);
                     }
                     // Malformed frames from the network are dropped.
@@ -133,21 +216,29 @@ where
                 Ok(None) => {}
                 Err(_) => break 'run,
             }
-
-            // 4. Tick boundary.
-            if Instant::now() >= next_tick {
-                now += 1;
-                next_tick += tick;
-                protocol.handle_tick(now, &mut actions);
-                flush(&mut actions, &transport, &delivery_tx);
-            }
         }
     });
 
     NodeHandle {
         commands: command_tx,
         deliveries: delivery_rx,
+        wakeups,
         thread: Some(thread),
+    }
+}
+
+/// Moves the timer operations a handler emitted into the runtime's
+/// timer table.
+fn absorb_timers(timers: &mut BTreeMap<TimerId, SimTime>, actions: &mut Actions) {
+    for (timer, op) in actions.take_timer_ops() {
+        match op {
+            Some(at) => {
+                timers.insert(timer, at);
+            }
+            None => {
+                timers.remove(&timer);
+            }
+        }
     }
 }
 
@@ -245,5 +336,38 @@ mod tests {
             Duration::from_millis(5),
         );
         drop(handle2);
+    }
+
+    /// Dropping a handle right after `broadcast` must not abort the
+    /// node mid-send: the queued broadcast is issued and transmitted
+    /// before the thread is joined, so the peer still delivers it.
+    #[test]
+    fn drop_without_shutdown_drains_pending_broadcasts() {
+        let mut topology = Topology::new();
+        topology.add_link(p(0), p(1)).unwrap();
+        let knowledge = NetworkKnowledge::exact(topology.clone(), Configuration::new());
+        let mut transports = Fabric::build(&topology, Configuration::new(), 11);
+        let t1 = transports.remove(&p(1)).unwrap();
+        let t0 = transports.remove(&p(0)).unwrap();
+
+        let h1 = spawn_node(
+            OptimalBroadcast::new(p(1), knowledge.clone(), 0.99),
+            t1,
+            Duration::from_millis(2),
+        );
+        let h0 = spawn_node(
+            OptimalBroadcast::new(p(0), knowledge, 0.99),
+            t0,
+            Duration::from_millis(2),
+        );
+        h0.broadcast(Payload::from("dropped, not aborted")).unwrap();
+        drop(h0); // no shutdown() — Drop must still drain and join
+
+        let got = h1
+            .next_delivery(Duration::from_secs(5))
+            .unwrap()
+            .expect("the broadcast queued before the drop must cross");
+        assert_eq!(got.1.as_bytes(), b"dropped, not aborted");
+        h1.shutdown();
     }
 }

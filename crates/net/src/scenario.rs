@@ -1,0 +1,276 @@
+//! Running a [`Scenario`] on the in-memory fabric of real threads.
+//!
+//! The same scenario value that drives the deterministic simulation
+//! kernel (`Scenario::run_sim`) runs here on `diffuse-net`'s lossy
+//! [`Fabric`](crate::Fabric): one node thread per process, workload
+//! broadcasts issued and fault actions injected at their scripted times
+//! translated to wall clock (`tick × tick_interval`). Loss sampling on
+//! the fabric rides a different RNG stream and real scheduling, so
+//! outcomes are statistically — not bitwise — equivalent to the kernel;
+//! scripts and protocols are identical.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use diffuse_core::scenario::{partition_cut, FaultAction, Scenario, ScenarioReport};
+use diffuse_core::Protocol;
+use diffuse_model::{Probability, ProcessId};
+use diffuse_sim::SimTime;
+
+use crate::{spawn_node, Fabric, FabricControl, NodeHandle};
+
+/// Options for a fabric scenario run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricScenarioOptions {
+    /// Wall-clock length of one logical tick.
+    pub tick_interval: Duration,
+    /// How many logical ticks to run before collecting the report.
+    pub run_ticks: u64,
+    /// Extra wall-clock settle time after the last tick, letting
+    /// in-flight frames and deliveries drain.
+    pub settle: Duration,
+}
+
+impl Default for FabricScenarioOptions {
+    fn default() -> Self {
+        FabricScenarioOptions {
+            tick_interval: Duration::from_millis(2),
+            run_ticks: 200,
+            settle: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Runs `scenario` on the in-memory fabric and reports deliveries.
+///
+/// Fault actions are applied through a [`FabricControl`];
+/// [`FaultAction::Crash`] cannot be executed on real threads and is
+/// counted in [`ScenarioReport::skipped_faults`]. Workload broadcasts
+/// that the node rejects at issue time (node already gone) are counted
+/// in [`ScenarioReport::failed_broadcasts`]; broadcasts a node *defers*
+/// (e.g. incomplete knowledge) are retried by its runtime until they
+/// issue, matching the kernel `ScenarioSim`'s per-tick retry of
+/// deferred broadcasts.
+pub fn run_scenario_on_fabric<P, F>(
+    scenario: &Scenario,
+    options: FabricScenarioOptions,
+    mut make: F,
+) -> ScenarioReport
+where
+    P: Protocol + Send + 'static,
+    F: FnMut(ProcessId) -> P,
+{
+    let (mut transports, control) =
+        Fabric::build_with_control(&scenario.topology, scenario.config.clone(), scenario.seed);
+    let ids: Vec<ProcessId> = scenario.topology.processes().collect();
+    let mut handles: BTreeMap<ProcessId, NodeHandle> = BTreeMap::new();
+    for &id in &ids {
+        let transport = transports.remove(&id).expect("one transport per process");
+        handles.insert(id, spawn_node(make(id), transport, options.tick_interval));
+    }
+
+    // Merge the two scripts into wall-clock order; faults win ties so a
+    // broadcast scheduled at the moment of a heal sees the healed links,
+    // matching the kernel's ordering.
+    let mut script: Vec<(SimTime, bool, usize)> = Vec::new(); // (at, is_workload, index)
+    let mut faults = scenario.faults.events().to_vec();
+    faults.sort_by_key(|e| e.at);
+    let mut workload = scenario.workload.events().to_vec();
+    workload.sort_by_key(|e| e.at);
+    // Events at or past the horizon never fire — the kernel's
+    // ScenarioSim applies script events strictly before its run horizon
+    // (a broadcast at the final tick could never be delivered inside
+    // it), and the two substrates must agree on which events a run
+    // executes.
+    let horizon_tick = SimTime::new(options.run_ticks);
+    for (i, e) in faults
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.at < horizon_tick)
+    {
+        script.push((e.at, false, i));
+    }
+    for (i, e) in workload
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.at < horizon_tick)
+    {
+        script.push((e.at, true, i));
+    }
+    script.sort_by_key(|&(at, is_workload, _)| (at, is_workload));
+
+    let start = Instant::now();
+    let mut failed_broadcasts = 0u64;
+    let mut skipped_faults = 0u64;
+    for (at, is_workload, index) in script {
+        let due = options.tick_interval * u32::try_from(at.ticks()).unwrap_or(u32::MAX);
+        if let Some(wait) = due.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        if is_workload {
+            let event = &workload[index];
+            let ok = handles
+                .get(&event.origin)
+                .is_some_and(|h| h.broadcast(event.payload.clone()).is_ok());
+            if !ok {
+                failed_broadcasts += 1;
+            }
+        } else {
+            skipped_faults += apply_fault(scenario, &control, &faults[index].action);
+        }
+    }
+
+    // Let the scenario play out to its horizon, plus settle time.
+    let horizon = options.tick_interval * u32::try_from(options.run_ticks).unwrap_or(u32::MAX);
+    if let Some(wait) = horizon.checked_sub(start.elapsed()) {
+        std::thread::sleep(wait);
+    }
+    std::thread::sleep(options.settle);
+
+    // Drain deliveries, then shut everything down.
+    let mut delivered = BTreeMap::new();
+    for (&id, handle) in &handles {
+        let mut count = 0u64;
+        while let Ok(Some(_)) = handle.next_delivery(Duration::from_millis(1)) {
+            count += 1;
+        }
+        delivered.insert(id, count);
+    }
+    for (_, handle) in handles {
+        handle.shutdown();
+    }
+
+    ScenarioReport {
+        delivered,
+        failed_broadcasts,
+        skipped_faults,
+        metrics: None,
+    }
+}
+
+/// Applies one fault action through the control handle. Returns how many
+/// actions had to be skipped (1 for kernel-only actions, 0 otherwise).
+fn apply_fault(scenario: &Scenario, control: &FabricControl, action: &FaultAction) -> u64 {
+    match action {
+        FaultAction::SetLoss { link, loss } => {
+            control.set_loss(*link, *loss);
+            0
+        }
+        FaultAction::DegradeAll { loss } => {
+            for link in scenario.topology.links() {
+                control.set_loss(link, *loss);
+            }
+            0
+        }
+        FaultAction::Partition { island } => {
+            for link in partition_cut(&scenario.topology, island) {
+                control.set_loss(link, Probability::ONE);
+            }
+            0
+        }
+        FaultAction::Heal => {
+            for link in scenario.topology.links() {
+                control.set_loss(link, scenario.config.loss(link));
+            }
+            0
+        }
+        FaultAction::Crash { .. } => 1, // threads cannot be crashed from outside
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffuse_core::scenario::{FaultScript, Workload};
+    use diffuse_core::{NetworkKnowledge, OptimalBroadcast, Payload};
+    use diffuse_graph::generators;
+    use diffuse_model::Configuration;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn scripted_broadcast_crosses_the_fabric() {
+        let topology = generators::ring(4).unwrap();
+        let config = Configuration::new();
+        let knowledge = NetworkKnowledge::exact(topology.clone(), config.clone());
+        let scenario = Scenario::builder(topology)
+            .config(config)
+            .seed(9)
+            .workload(Workload::new().broadcast(SimTime::new(2), p(0), Payload::from("wire")))
+            .build();
+        let report = run_scenario_on_fabric(
+            &scenario,
+            FabricScenarioOptions {
+                run_ticks: 50,
+                ..FabricScenarioOptions::default()
+            },
+            |id| OptimalBroadcast::new(id, knowledge.clone(), 0.999),
+        );
+        assert!(report.all_delivered_at_least(1), "{report:?}");
+        assert_eq!(report.failed_broadcasts, 0);
+        assert_eq!(report.skipped_faults, 0);
+    }
+
+    #[test]
+    fn events_past_the_horizon_never_fire() {
+        // The kernel's ScenarioSim stops applying script events at its
+        // run horizon; the fabric must agree — and must not sleep until
+        // the out-of-range event's wall-clock time either.
+        let topology = generators::ring(3).unwrap();
+        let config = Configuration::new();
+        let knowledge = NetworkKnowledge::exact(topology.clone(), config.clone());
+        let scenario = Scenario::builder(topology)
+            .config(config)
+            .workload(Workload::new().broadcast(
+                SimTime::new(500),
+                p(0),
+                Payload::from("beyond the horizon"),
+            ))
+            .build();
+        let started = std::time::Instant::now();
+        let report = run_scenario_on_fabric(
+            &scenario,
+            FabricScenarioOptions {
+                run_ticks: 10,
+                tick_interval: Duration::from_millis(2),
+                settle: Duration::from_millis(5),
+            },
+            |id| OptimalBroadcast::new(id, knowledge.clone(), 0.99),
+        );
+        assert_eq!(report.min_delivered(), 0, "{report:?}");
+        assert_eq!(report.failed_broadcasts, 0);
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "the run must end at its 20 ms horizon, not at tick 500"
+        );
+    }
+
+    #[test]
+    fn kernel_only_faults_are_reported_as_skipped() {
+        let topology = generators::ring(3).unwrap();
+        let config = Configuration::new();
+        let knowledge = NetworkKnowledge::exact(topology.clone(), config.clone());
+        let scenario = Scenario::builder(topology)
+            .config(config)
+            .faults(FaultScript::new().at(
+                SimTime::new(1),
+                FaultAction::Crash {
+                    process: p(1),
+                    down_ticks: 5,
+                },
+            ))
+            .build();
+        let report = run_scenario_on_fabric(
+            &scenario,
+            FabricScenarioOptions {
+                run_ticks: 10,
+                settle: Duration::from_millis(5),
+                ..FabricScenarioOptions::default()
+            },
+            |id| OptimalBroadcast::new(id, knowledge.clone(), 0.99),
+        );
+        assert_eq!(report.skipped_faults, 1);
+    }
+}

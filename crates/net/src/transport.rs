@@ -90,6 +90,18 @@ impl Fabric {
         loss: Configuration,
         seed: u64,
     ) -> BTreeMap<ProcessId, FabricTransport> {
+        Fabric::build_with_control(topology, loss, seed).0
+    }
+
+    /// Like [`Fabric::build`], additionally returning a [`FabricControl`]
+    /// that can change link loss at runtime from *outside* the nodes —
+    /// the handle fault scripts use after every transport has been moved
+    /// into its node thread.
+    pub fn build_with_control(
+        topology: &Topology,
+        loss: Configuration,
+        seed: u64,
+    ) -> (BTreeMap<ProcessId, FabricTransport>, FabricControl) {
         let mut inboxes = BTreeMap::new();
         let mut receivers = BTreeMap::new();
         for p in topology.processes() {
@@ -103,7 +115,7 @@ impl Fabric {
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             inboxes,
         });
-        receivers
+        let transports = receivers
             .into_iter()
             .map(|(id, receiver)| {
                 (
@@ -115,7 +127,27 @@ impl Fabric {
                     },
                 )
             })
-            .collect()
+            .collect();
+        (transports, FabricControl { shared })
+    }
+}
+
+/// An out-of-band control handle over a [`Fabric`]'s link configuration
+/// (fault injection for scenario scripts).
+#[derive(Debug, Clone)]
+pub struct FabricControl {
+    shared: Arc<FabricShared>,
+}
+
+impl FabricControl {
+    /// Changes a link's loss probability for all future transmissions.
+    pub fn set_loss(&self, link: LinkId, p: Probability) {
+        self.shared.loss.lock().set_loss(link, p);
+    }
+
+    /// The fabric's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.shared.topology
     }
 }
 

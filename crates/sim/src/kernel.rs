@@ -1,14 +1,14 @@
 //! The discrete-event simulation kernel.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::crash::CrashState;
-use crate::{CrashModel, Metrics, SimTime};
+use crate::{CrashModel, Metrics, SimTime, TimerId};
 
 /// A message that can travel through the simulated network.
 ///
@@ -49,8 +49,20 @@ pub trait Actor {
     );
 
     /// Called once per tick while the process is up.
+    ///
+    /// Actors that report [`Actor::wants_ticks`]` == false` never receive
+    /// this call; they are driven purely by messages and timers, which
+    /// lets the kernel fast-forward over eventless stretches of time.
     fn on_tick(&mut self, ctx: &mut Context<'_, Self::Message>) {
         let _ = ctx;
+    }
+
+    /// Called when a timer scheduled through [`Context::set_timer`]
+    /// reaches its deadline (while the process is up). Timers that come
+    /// due during a crash fire on the recovery tick, after
+    /// [`Actor::on_recover`].
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Message>, timer: TimerId) {
+        let _ = (ctx, timer);
     }
 
     /// Called when the process recovers from a crash lasting `down_ticks`
@@ -58,15 +70,27 @@ pub trait Actor {
     fn on_recover(&mut self, ctx: &mut Context<'_, Self::Message>, down_ticks: u64) {
         let _ = (ctx, down_ticks);
     }
+
+    /// Whether this actor needs [`Actor::on_tick`] every tick.
+    ///
+    /// Defaults to `true` (the legacy polling contract). Event-driven
+    /// actors — everything built on `diffuse-core`'s timer-scheduled
+    /// `Protocol` — return `false`; when *every* actor does, the kernel
+    /// may jump over ticks on which no message, timer, or crash event is
+    /// due.
+    fn wants_ticks(&self) -> bool {
+        true
+    }
 }
 
 /// Handler context: the executing process's identity, the current time,
-/// and an outbox for sending messages to neighbors.
+/// an outbox for sending messages to neighbors, and timer controls.
 #[derive(Debug)]
 pub struct Context<'a, M> {
     now: SimTime,
     id: ProcessId,
     outbox: &'a mut Vec<(ProcessId, M)>,
+    timer_ops: &'a mut Vec<(TimerId, Option<SimTime>)>,
 }
 
 impl<M> Context<'_, M> {
@@ -87,6 +111,23 @@ impl<M> Context<'_, M> {
     /// [`Metrics::dropped_invalid`] and otherwise ignored.
     pub fn send(&mut self, to: ProcessId, message: M) {
         self.outbox.push((to, message));
+    }
+
+    /// Schedules (or re-schedules) this actor's named timer to fire at
+    /// the absolute time `at`.
+    ///
+    /// A deadline at or before the current tick fires during the current
+    /// tick's timer phase if that phase has not yet passed, otherwise on
+    /// the next tick. Re-arming a timer from inside its own
+    /// [`Actor::on_timer`] with a deadline `<= now` is a protocol bug
+    /// (it would fire again within the same tick, livelocking the phase).
+    pub fn set_timer(&mut self, timer: TimerId, at: SimTime) {
+        self.timer_ops.push((timer, Some(at)));
+    }
+
+    /// Cancels this actor's named timer if it is pending.
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.timer_ops.push((timer, None));
     }
 }
 
@@ -188,14 +229,24 @@ struct BurstSlot {
 /// model. A single seeded RNG drives all randomness, consumed in
 /// deterministic order, so equal seeds reproduce runs exactly.
 ///
-/// Each tick proceeds in four phases:
+/// Each tick proceeds in five phases:
 ///
 /// 1. crash/recovery transitions (recoveries invoke
 ///    [`Actor::on_recover`]);
 /// 2. delivery of messages due this tick, in send order;
-/// 3. [`Actor::on_tick`] for every up process, in id order;
-/// 4. newly sent messages are loss-sampled and scheduled
+/// 3. [`Actor::on_timer`] for every due timer, in `(process, timer)`
+///    order;
+/// 4. [`Actor::on_tick`] for every up process, in id order (skipped when
+///    every actor is event-driven — see [`Actor::wants_ticks`]);
+/// 5. newly sent messages are loss-sampled and scheduled
 ///    `link_delay` ticks ahead.
+///
+/// When every actor is event-driven and the crash model is
+/// [`CrashModel::AlwaysUp`], [`Simulation::run_ticks`] and
+/// [`Simulation::run_until_every`] *fast-forward*: ticks on which no
+/// delivery, timer, or forced recovery is due are skipped wholesale,
+/// which costs nothing and changes nothing (no handler would have run
+/// and no randomness would have been drawn).
 ///
 /// # Example
 ///
@@ -244,9 +295,27 @@ pub struct Simulation<A: Actor> {
     rng: StdRng,
     metrics: Metrics,
     outbox: Vec<(ProcessId, A::Message)>,
+    timer_ops: Vec<(TimerId, Option<SimTime>)>,
+    /// Pending timer deadlines, one per `(process, timer)` pair …
+    timers: BTreeMap<(ProcessId, TimerId), SimTime>,
+    /// … mirrored as a deadline-ordered queue for due-scans and wakes.
+    timer_queue: BTreeSet<(SimTime, ProcessId, TimerId)>,
+    /// Scratch for the timer-firing phase.
+    due_scratch: Vec<(ProcessId, TimerId)>,
     /// Reused buffers for [`Simulation::flush_outbox`].
     flush_scratch: Vec<(ProcessId, A::Message)>,
     burst_scratch: Vec<BurstSlot>,
+    /// `true` while every actor is event-driven (`wants_ticks == false`):
+    /// the per-tick `on_tick` phase is skipped and — with a
+    /// deterministic-by-jump crash model — eventless ticks can be
+    /// fast-forwarded.
+    event_driven: bool,
+    /// Ticks actually executed by [`Simulation::step`] (fast-forwarded
+    /// ticks are not counted).
+    busy_ticks: u64,
+    /// Processes currently in a forced outage (fast-forward would skip
+    /// their per-tick countdown, so it is disabled while any is active).
+    forced_outages: usize,
     started: bool,
 }
 
@@ -286,6 +355,7 @@ impl<A: Actor> Simulation<A> {
                 )
             })
             .collect();
+        let event_driven = nodes.values().all(|n| !n.actor.wants_ticks());
         Simulation {
             topology,
             loss,
@@ -298,10 +368,24 @@ impl<A: Actor> Simulation<A> {
             now: SimTime::ZERO,
             metrics: Metrics::new(),
             outbox: Vec::new(),
+            timer_ops: Vec::new(),
+            timers: BTreeMap::new(),
+            timer_queue: BTreeSet::new(),
+            due_scratch: Vec::new(),
             flush_scratch: Vec::new(),
             burst_scratch: Vec::new(),
+            event_driven,
+            forced_outages: 0,
+            busy_ticks: 0,
             started: false,
         }
+    }
+
+    /// How many ticks were actually *executed* (crash/delivery/timer
+    /// phases run) rather than fast-forwarded. On an event-driven run
+    /// the gap to `now()` is the number of skipped idle ticks.
+    pub fn busy_ticks(&self) -> u64 {
+        self.busy_ticks
     }
 
     /// Current simulated time.
@@ -343,7 +427,13 @@ impl<A: Actor> Simulation<A> {
 
     /// Forces `id` down for the next `ticks` ticks (failure injection).
     pub fn force_down(&mut self, id: ProcessId, ticks: u64) {
+        if ticks == 0 {
+            return;
+        }
         if let Some(node) = self.nodes.get_mut(&id) {
+            if node.crash.forced_down_remaining == 0 {
+                self.forced_outages += 1;
+            }
             node.crash.force_down(ticks);
         }
     }
@@ -371,15 +461,19 @@ impl<A: Actor> Simulation<A> {
             return false;
         }
         let mut outbox = std::mem::take(&mut self.outbox);
+        let mut timer_ops = std::mem::take(&mut self.timer_ops);
         {
             let mut ctx = Context {
                 now,
                 id,
                 outbox: &mut outbox,
+                timer_ops: &mut timer_ops,
             };
             f(&mut node.actor, &mut ctx);
         }
         self.outbox = outbox;
+        self.timer_ops = timer_ops;
+        self.apply_timer_ops(id);
         self.flush_outbox(id);
         true
     }
@@ -395,23 +489,107 @@ impl<A: Actor> Simulation<A> {
         }
     }
 
-    /// Runs `f` for the actor at `id` with a context, then flushes sends.
+    /// Runs `f` for the actor at `id` with a context, then applies timer
+    /// operations and flushes sends.
     fn with_actor(&mut self, id: ProcessId, f: impl FnOnce(&mut A, &mut Context<'_, A::Message>)) {
         let now = self.now;
         let Some(node) = self.nodes.get_mut(&id) else {
             return;
         };
         let mut outbox = std::mem::take(&mut self.outbox);
+        let mut timer_ops = std::mem::take(&mut self.timer_ops);
         {
             let mut ctx = Context {
                 now,
                 id,
                 outbox: &mut outbox,
+                timer_ops: &mut timer_ops,
             };
             f(&mut node.actor, &mut ctx);
         }
         self.outbox = outbox;
+        self.timer_ops = timer_ops;
+        self.apply_timer_ops(id);
         self.flush_outbox(id);
+    }
+
+    /// Applies buffered set/cancel timer operations for `id`.
+    fn apply_timer_ops(&mut self, id: ProcessId) {
+        if self.timer_ops.is_empty() {
+            return;
+        }
+        let mut ops = std::mem::take(&mut self.timer_ops);
+        for (timer, op) in ops.drain(..) {
+            let key = (id, timer);
+            if let Some(old) = self.timers.remove(&key) {
+                self.timer_queue.remove(&(old, id, timer));
+            }
+            if let Some(at) = op {
+                self.timers.insert(key, at);
+                self.timer_queue.insert((at, id, timer));
+            }
+        }
+        self.timer_ops = ops;
+    }
+
+    /// Fires every pending timer with a deadline at or before `now` whose
+    /// process is up, ordered by `(process, timer)` — the same order the
+    /// legacy per-tick phase visited processes. Loops so that timers
+    /// armed by recoveries or deliveries for the current tick still fire
+    /// on it; timers of down processes stay pending until recovery.
+    fn fire_due_timers(&mut self) {
+        loop {
+            let mut due = std::mem::take(&mut self.due_scratch);
+            due.clear();
+            for &(at, id, timer) in self.timer_queue.iter() {
+                if at > self.now {
+                    break;
+                }
+                if self.nodes.get(&id).is_some_and(|n| n.crash.up) {
+                    due.push((id, timer));
+                }
+            }
+            if due.is_empty() {
+                self.due_scratch = due;
+                return;
+            }
+            due.sort_unstable();
+            for &(id, timer) in due.iter() {
+                // An earlier handler in this pass may have cancelled or
+                // re-armed this timer; fire only if it is still due.
+                let Some(&at) = self.timers.get(&(id, timer)) else {
+                    continue;
+                };
+                if at > self.now {
+                    continue;
+                }
+                self.timers.remove(&(id, timer));
+                self.timer_queue.remove(&(at, id, timer));
+                self.with_actor(id, |actor, ctx| actor.on_timer(ctx, timer));
+            }
+            self.due_scratch = due;
+        }
+    }
+
+    /// The earliest future time at which anything is scheduled to happen:
+    /// a message delivery or a timer deadline. `None` when the system is
+    /// fully quiescent.
+    fn next_wake(&self) -> Option<SimTime> {
+        let flight = self.in_flight.peek().map(|Reverse(f)| f.at);
+        let timer = self.timer_queue.first().map(|&(at, _, _)| at);
+        match (flight, timer) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// `true` when jumping over eventless ticks cannot change behavior:
+    /// every actor is event-driven, the crash model draws no per-tick
+    /// randomness, and no forced outage is counting down.
+    fn can_fast_forward(&self) -> bool {
+        self.event_driven
+            && self.forced_outages == 0
+            && self.options.crash_model == CrashModel::AlwaysUp
     }
 
     /// Loss-samples and schedules everything the last handler sent.
@@ -513,13 +691,18 @@ impl<A: Actor> Simulation<A> {
     pub fn step(&mut self) {
         self.ensure_started();
         self.now += 1;
+        self.busy_ticks += 1;
 
         // Phase 1: crash/recovery transitions, id order.
         let model = self.options.crash_model;
         let mut recovered: Vec<(ProcessId, u64)> = Vec::new();
         for (&id, node) in self.nodes.iter_mut() {
+            let was_forced = node.crash.forced_down_remaining > 0;
             if let Some(downtime) = node.crash.advance(&model, &mut self.rng) {
                 recovered.push((id, downtime));
+            }
+            if was_forced && node.crash.forced_down_remaining == 0 {
+                self.forced_outages -= 1;
             }
         }
         for (id, downtime) in recovered {
@@ -542,18 +725,50 @@ impl<A: Actor> Simulation<A> {
             self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, message));
         }
 
-        // Phase 3: tick handlers for up processes, id order.
-        let ids = self.ids.clone();
-        for id in ids {
-            if self.is_up(id) {
-                self.with_actor(id, |actor, ctx| actor.on_tick(ctx));
+        // Phase 3: timers due this tick, in (process, timer) order.
+        self.fire_due_timers();
+
+        // Phase 4: tick handlers for up processes, id order (skipped
+        // entirely when every actor is event-driven).
+        if !self.event_driven {
+            let ids = self.ids.clone();
+            for id in ids {
+                if self.is_up(id) {
+                    self.with_actor(id, |actor, ctx| actor.on_tick(ctx));
+                }
             }
         }
     }
 
     /// Runs `n` ticks.
+    ///
+    /// When every actor is event-driven and the crash model draws no
+    /// per-tick randomness, eventless stretches are fast-forwarded: the
+    /// clock jumps straight to the next message delivery or timer
+    /// deadline. The jump is unobservable — no handler runs and no
+    /// randomness is drawn on the skipped ticks — so runs are
+    /// bit-identical to tick-by-tick execution.
     pub fn run_ticks(&mut self, n: u64) {
-        for _ in 0..n {
+        self.ensure_started();
+        let end = self.now + n;
+        while self.now < end {
+            if self.can_fast_forward() {
+                match self.next_wake() {
+                    Some(at) if at <= end => {
+                        // Jump to just before the next event, then step
+                        // onto it (the event may re-enable crashes via
+                        // force_down, so re-check each round).
+                        if at > self.now + 1 {
+                            self.now = SimTime::new(at.ticks() - 1);
+                        }
+                    }
+                    _ => {
+                        // Nothing due before the horizon.
+                        self.now = end;
+                        return;
+                    }
+                }
+            }
             self.step();
         }
     }
@@ -562,7 +777,10 @@ impl<A: Actor> Simulation<A> {
     /// step and after every step) or `max_ticks` have elapsed.
     ///
     /// Returns the time at which the predicate first held, or `None` on
-    /// timeout.
+    /// timeout. The simulation is advanced tick by tick so the predicate
+    /// observes every intermediate state; use
+    /// [`Simulation::run_until_every`] for fast-forwarded periodic
+    /// checks.
     pub fn run_until(
         &mut self,
         mut predicate: impl FnMut(&Simulation<A>) -> bool,
@@ -575,6 +793,39 @@ impl<A: Actor> Simulation<A> {
         for _ in 0..max_ticks {
             self.step();
             if predicate(self) {
+                return Some(self.now);
+            }
+        }
+        None
+    }
+
+    /// Runs until `predicate` holds, evaluating it only at multiples of
+    /// `check_every` ticks (and before the first step, when the current
+    /// time is such a multiple), giving up after `max_ticks`.
+    ///
+    /// Between checkpoints the simulation advances with
+    /// [`Simulation::run_ticks`], so eventless stretches fast-forward.
+    /// This matches the long-standing harness idiom of a per-tick
+    /// `run_until` whose predicate short-circuits on
+    /// `now % check_every != 0` — same checkpoints, same result, without
+    /// visiting the idle ticks in between.
+    pub fn run_until_every(
+        &mut self,
+        mut predicate: impl FnMut(&Simulation<A>) -> bool,
+        check_every: u64,
+        max_ticks: u64,
+    ) -> Option<SimTime> {
+        self.ensure_started();
+        let check_every = check_every.max(1);
+        let end = self.now + max_ticks;
+        if self.now.ticks() % check_every == 0 && predicate(self) {
+            return Some(self.now);
+        }
+        while self.now < end {
+            let next_check = self.now.ticks() - self.now.ticks() % check_every + check_every;
+            let target = next_check.min(end.ticks());
+            self.run_ticks(target - self.now.ticks());
+            if self.now.ticks() % check_every == 0 && predicate(self) {
                 return Some(self.now);
             }
         }
@@ -825,6 +1076,176 @@ mod tests {
         assert_eq!(sim.node(p(1)).unwrap().received.len(), 2);
         sim.run_ticks(1);
         assert_eq!(sim.node(p(1)).unwrap().received.len(), 3);
+    }
+
+    /// Event-driven actor: echoes every message after a per-message
+    /// timer, plus a periodic "beat" timer.
+    struct TimerEcho {
+        beat_period: u64,
+        beats: Vec<SimTime>,
+        fired: Vec<(SimTime, TimerId)>,
+    }
+
+    const BEAT: TimerId = TimerId::new(0);
+    const ONESHOT: TimerId = TimerId::new(1);
+
+    impl TimerEcho {
+        fn new(beat_period: u64) -> Self {
+            TimerEcho {
+                beat_period,
+                beats: Vec::new(),
+                fired: Vec::new(),
+            }
+        }
+    }
+
+    impl Actor for TimerEcho {
+        type Message = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            if self.beat_period > 0 {
+                ctx.set_timer(BEAT, ctx.now() + self.beat_period);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<'_, u64>, _from: ProcessId, _n: u64) {
+            ctx.set_timer(ONESHOT, ctx.now() + 5);
+        }
+
+        fn on_timer(&mut self, ctx: &mut Context<'_, u64>, timer: TimerId) {
+            self.fired.push((ctx.now(), timer));
+            if timer == BEAT {
+                self.beats.push(ctx.now());
+                ctx.set_timer(BEAT, ctx.now() + self.beat_period);
+            }
+        }
+
+        fn wants_ticks(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn timers_fire_at_their_deadlines() {
+        let mut sim = Simulation::new(
+            pair_topology(),
+            Configuration::new(),
+            |_| TimerEcho::new(10),
+            SimOptions::default(),
+        );
+        sim.run_ticks(25);
+        let node = sim.node(p(0)).unwrap();
+        assert_eq!(node.beats, vec![SimTime::new(10), SimTime::new(20)]);
+    }
+
+    #[test]
+    fn fast_forward_skips_idle_ticks_without_changing_behavior() {
+        let run = |period| {
+            let mut sim = Simulation::new(
+                pair_topology(),
+                Configuration::new(),
+                |_| TimerEcho::new(period),
+                SimOptions::default(),
+            );
+            sim.command(p(0), |_, ctx| ctx.send(p(1), 1));
+            sim.run_ticks(1000);
+            (
+                sim.now(),
+                sim.node(p(0)).unwrap().beats.clone(),
+                sim.node(p(1)).unwrap().fired.clone(),
+                sim.metrics().clone(),
+            )
+        };
+        let (now, beats, fired, metrics) = run(100);
+        // The clock still lands exactly on the horizon.
+        assert_eq!(now, SimTime::new(1000));
+        assert_eq!(beats.len(), 10);
+        // The message at tick 1 armed p1's one-shot for tick 6.
+        assert!(fired.contains(&(SimTime::new(6), ONESHOT)));
+        assert_eq!(metrics.sent_total(), 1);
+        assert_eq!(metrics.delivered_total(), 1);
+    }
+
+    #[test]
+    fn timer_rearm_and_cancel_are_respected() {
+        struct Canceller {
+            fired: u32,
+        }
+        impl Actor for Canceller {
+            type Message = u64;
+            fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+                ctx.set_timer(TimerId::new(3), SimTime::new(4));
+                ctx.set_timer(TimerId::new(3), SimTime::new(8)); // re-arm
+                ctx.set_timer(TimerId::new(4), SimTime::new(5));
+                ctx.cancel_timer(TimerId::new(4));
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u64>, _: ProcessId, _: u64) {}
+            fn on_timer(&mut self, _ctx: &mut Context<'_, u64>, timer: TimerId) {
+                assert_eq!(timer, TimerId::new(3));
+                self.fired += 1;
+            }
+            fn wants_ticks(&self) -> bool {
+                false
+            }
+        }
+        let mut sim = Simulation::new(
+            pair_topology(),
+            Configuration::new(),
+            |_| Canceller { fired: 0 },
+            SimOptions::default(),
+        );
+        sim.run_ticks(6);
+        assert_eq!(sim.node(p(0)).unwrap().fired, 0);
+        sim.run_ticks(2);
+        assert_eq!(sim.node(p(0)).unwrap().fired, 1);
+    }
+
+    #[test]
+    fn timers_of_a_down_process_fire_on_recovery() {
+        let mut sim = Simulation::new(
+            pair_topology(),
+            Configuration::new(),
+            |_| TimerEcho::new(10),
+            SimOptions::default(),
+        );
+        sim.run_ticks(5);
+        sim.force_down(p(0), 10); // covers the beat due at tick 10
+        sim.run_ticks(20);
+        let node = sim.node(p(0)).unwrap();
+        // The tick-10 beat was deferred to the recovery tick (15), and
+        // the following beat fired normally at 25.
+        assert_eq!(node.beats, vec![SimTime::new(15), SimTime::new(25)]);
+        // The peer kept its own schedule.
+        assert_eq!(
+            sim.node(p(1)).unwrap().beats,
+            vec![SimTime::new(10), SimTime::new(20)]
+        );
+    }
+
+    #[test]
+    fn run_until_every_checks_only_at_multiples() {
+        let mut sim = Simulation::new(
+            pair_topology(),
+            Configuration::new(),
+            |_| TimerEcho::new(7),
+            SimOptions::default(),
+        );
+        let mut checked_at: Vec<u64> = Vec::new();
+        let hit = sim.run_until_every(
+            |s| {
+                // Record the observation times; converge once a beat
+                // has fired (first beat is at tick 7).
+                let t = s.now().ticks();
+                !s.node(p(0)).unwrap().beats.is_empty() && t > 0 && {
+                    checked_at.push(t);
+                    true
+                }
+            },
+            5,
+            100,
+        );
+        assert_eq!(hit, Some(SimTime::new(10)));
+        assert_eq!(sim.now(), SimTime::new(10));
     }
 
     #[test]

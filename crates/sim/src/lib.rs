@@ -31,4 +31,4 @@ mod time;
 pub use crash::CrashModel;
 pub use kernel::{Actor, Context, SimMessage, SimOptions, Simulation};
 pub use metrics::Metrics;
-pub use time::SimTime;
+pub use time::{SimTime, TimerId};

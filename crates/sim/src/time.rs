@@ -1,7 +1,50 @@
-//! Simulated time.
+//! Simulated time and timer identities.
 
 use core::fmt;
 use core::ops::{Add, AddAssign, Sub};
+
+/// The identity of a named timer owned by one actor.
+///
+/// Timers replace per-tick polling: an actor schedules a timer at an
+/// absolute [`SimTime`] deadline and is woken with
+/// [`Actor::on_timer`](crate::Actor::on_timer) when the deadline is
+/// reached. Each `(actor, TimerId)` pair names at most one pending
+/// deadline — re-scheduling an armed timer moves it.
+///
+/// Within one tick, due timers fire ordered by `(process id, TimerId)`,
+/// so a protocol that splits its former tick handler across several
+/// timers preserves its old intra-tick ordering by numbering them in the
+/// legacy execution order.
+///
+/// # Example
+///
+/// ```
+/// use diffuse_sim::TimerId;
+///
+/// const HEARTBEAT: TimerId = TimerId::new(0);
+/// assert_eq!(HEARTBEAT.value(), 0);
+/// assert_eq!(HEARTBEAT.to_string(), "timer#0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(u32);
+
+impl TimerId {
+    /// Creates a timer id.
+    pub const fn new(id: u32) -> Self {
+        TimerId(id)
+    }
+
+    /// The raw id.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
 
 /// A point in simulated time, measured in integer ticks.
 ///
@@ -112,5 +155,12 @@ mod tests {
     fn ordering_is_by_tick() {
         assert!(SimTime::new(1) < SimTime::new(2));
         assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn timer_ids_order_by_value() {
+        assert!(TimerId::new(0) < TimerId::new(1));
+        assert_eq!(TimerId::new(7).value(), 7);
+        assert_eq!(TimerId::new(7).to_string(), "timer#7");
     }
 }

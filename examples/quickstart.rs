@@ -1,17 +1,17 @@
 //! Quickstart: build a topology, compute the Maximum Reliability Tree,
-//! derive the optimal per-link message counts, and run one broadcast in
-//! the deterministic simulator.
+//! derive the optimal per-link message counts, and run one scripted
+//! broadcast [`Scenario`](diffuse::core::Scenario) on the deterministic
+//! simulator.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use diffuse::core::{
-    optimize, NetworkKnowledge, OptimalBroadcast, Payload, Protocol, ProtocolActor,
-};
+use diffuse::core::scenario::{Scenario, Workload};
+use diffuse::core::{optimize, NetworkKnowledge, OptimalBroadcast, Payload};
 use diffuse::graph::{generators, maximum_reliability_tree};
 use diffuse::model::{Configuration, LinkId, Probability, ProcessId};
-use diffuse::sim::{SimOptions, Simulation};
+use diffuse::sim::SimTime;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 16-process ring with an extra chord, 2% loss everywhere except
@@ -38,30 +38,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.reach()
     );
 
-    // 3. Run a real broadcast through the lossy simulator.
+    // 3. Run a real broadcast through the lossy simulator, described as
+    //    a Scenario: the same value would run unchanged on the
+    //    multi-threaded fabric via `diffuse::net::run_scenario_on_fabric`.
     let knowledge = NetworkKnowledge::exact(topology.clone(), config.clone());
-    let mut sim = Simulation::new(
-        topology.clone(),
-        config,
-        |id| ProtocolActor::new(OptimalBroadcast::new(id, knowledge.clone(), 0.9999)),
-        SimOptions::default().with_seed(2026),
-    );
-    sim.command(root, |actor, ctx| {
-        actor
-            .broadcast_now(ctx, Payload::from("hello, unreliable world"))
-            .expect("exact knowledge spans the system");
+    let scenario = Scenario::builder(topology.clone())
+        .config(config)
+        .seed(2026)
+        .workload(Workload::new().broadcast(
+            SimTime::ZERO,
+            root,
+            Payload::from("hello, unreliable world"),
+        ))
+        .build();
+    let report = scenario.run_sim(30, |id| {
+        OptimalBroadcast::new(id, knowledge.clone(), 0.9999)
     });
-    sim.run_ticks(30);
 
-    let reached = sim
-        .nodes()
-        .filter(|(_, a)| !a.protocol().delivered().is_empty())
-        .count();
+    let reached = report.delivered.values().filter(|&&d| d > 0).count();
+    let metrics = report.metrics.expect("kernel runs carry metrics");
     println!(
         "delivered at {reached}/{} processes with {} data messages ({} lost in links)",
-        sim.topology().process_count(),
-        sim.metrics().sent_of_kind("data"),
-        sim.metrics().lost_in_link(),
+        topology.process_count(),
+        metrics.sent_of_kind("data"),
+        metrics.lost_in_link(),
     );
     Ok(())
 }

@@ -249,7 +249,7 @@ pub mod collection {
     use std::fmt::Debug;
     use std::ops::Range;
 
-    /// Size specifiers accepted by [`vec`].
+    /// Size specifiers accepted by [`vec()`].
     pub trait SizeRange {
         /// Samples a concrete length.
         fn sample_len(&self, rng: &mut StdRng) -> usize;
@@ -267,7 +267,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, L> {
         element: S,

@@ -18,43 +18,83 @@
 //! * [`model`] — processes, links, topologies, probabilistic configurations;
 //! * [`graph`] — maximum reliability trees and topology generators;
 //! * [`bayes`] — interval Bayesian estimators and distortion-ranked estimates;
-//! * [`sim`] — a deterministic discrete-event simulation kernel;
-//! * [`core`] — the broadcast protocols: optimal, adaptive and the gossip
-//!   reference baseline, plus the `reach`/`optimize` machinery;
-//! * [`net`] — wire codec, lossy in-memory fabric, UDP transport, runtime.
+//! * [`sim`] — a deterministic discrete-event simulation kernel with named
+//!   timers and event-driven fast-forward;
+//! * [`core`] — the broadcast protocols (optimal, adaptive, gossip
+//!   reference baseline), the `reach`/`optimize` machinery, and the
+//!   [`Scenario`](core::Scenario) engine;
+//! * [`net`] — wire codec, lossy in-memory fabric, UDP transport, and a
+//!   deadline-sleeping node runtime.
 //!
 //! # Quickstart
 //!
+//! Protocols are event-driven state machines behind one
+//! [`Protocol::on_event`](core::Protocol::on_event) entry point: they
+//! react to messages, *named timers* they schedule themselves, crash
+//! recoveries, and broadcast requests. A [`Scenario`](core::Scenario)
+//! composes a topology, a failure configuration, a crash model, a
+//! scripted broadcast workload, and a timed fault script — and runs
+//! identically on the simulation kernel and on the in-memory fabric of
+//! real threads:
+//!
 //! ```
-//! use diffuse::core::{optimize, ReliabilityTree};
-//! use diffuse::graph::{generators, maximum_reliability_tree};
+//! use diffuse::core::scenario::{FaultAction, FaultScript, Scenario, Workload};
+//! use diffuse::core::{NetworkKnowledge, OptimalBroadcast, Payload};
+//! use diffuse::graph::generators;
 //! use diffuse::model::{Configuration, Probability, ProcessId};
+//! use diffuse::sim::SimTime;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // A 32-process ring with 1% crash and 5% loss probabilities.
-//! let topology = generators::ring(32)?;
-//! let config = Configuration::uniform(
-//!     &topology,
-//!     Probability::new(0.01)?,
-//!     Probability::new(0.05)?,
-//! );
+//! // A 16-process ring with 5% loss; perfect knowledge for brevity.
+//! let topology = generators::ring(16)?;
+//! let config = Configuration::uniform(&topology, Probability::ZERO, Probability::new(0.05)?);
+//! let knowledge = NetworkKnowledge::exact(topology.clone(), config.clone());
 //!
-//! // Build the maximum reliability tree rooted at the broadcaster …
-//! let root = ProcessId::new(0);
-//! let tree = maximum_reliability_tree(&topology, &config, root)?;
+//! // Broadcast at t0 and t60; a loss spike hits every link in between.
+//! let scenario = Scenario::builder(topology)
+//!     .config(config)
+//!     .seed(42)
+//!     .workload(
+//!         Workload::new()
+//!             .broadcast(SimTime::ZERO, ProcessId::new(0), Payload::from("before"))
+//!             .broadcast(SimTime::new(60), ProcessId::new(8), Payload::from("after")),
+//!     )
+//!     .faults(
+//!         FaultScript::new()
+//!             .at(SimTime::new(20), FaultAction::DegradeAll { loss: Probability::new(0.5)? })
+//!             .at(SimTime::new(40), FaultAction::Heal),
+//!     )
+//!     .build();
 //!
-//! // … and compute the cheapest per-link message counts reaching everyone
-//! // with probability at least 0.9999.
-//! let rel = ReliabilityTree::from_spanning_tree(&tree, &config)?;
-//! let plan = optimize(&rel, 0.9999)?;
-//! assert!(plan.reach() >= 0.9999);
-//! println!("{} messages needed", plan.total_messages());
+//! // Run on the deterministic kernel (idle stretches fast-forward);
+//! // `diffuse::net::run_scenario_on_fabric` takes the same value.
+//! let report = scenario.run_sim(100, |id| OptimalBroadcast::new(id, knowledge.clone(), 0.9999));
+//! assert!(report.all_delivered_at_least(2));
 //! # Ok(())
 //! # }
 //! ```
 //!
+//! The tree machinery underneath is directly accessible too —
+//! [`graph::maximum_reliability_tree`] builds the MRT and
+//! [`core::optimize`] computes the cheapest per-link copy counts for a
+//! target reliability `K`.
+//!
+//! # Migrating from the per-tick API (pre-PR 3)
+//!
+//! The `Protocol` trait no longer has `handle_tick`; protocols schedule
+//! [`TimerId`](core::TimerId)s via
+//! [`Actions::set_timer`](core::Actions::set_timer) and are woken at
+//! their deadlines. `handle_message`/`handle_recovery` survive as thin
+//! wrappers over `on_event`. Code that drove a protocol with a manual
+//! tick loop should wrap it in [`core::LegacyTickShim`], which owns the
+//! timer table and fires due timers from its `handle_tick` — bit-for-bit
+//! the old behavior. Event-driven drivers (the kernel, the net runtime)
+//! skip or sleep through the idle ticks the old API had to poll.
+//!
 //! See the `examples/` directory for runnable scenarios and the
-//! `diffuse-experiments` crate for the paper's full evaluation.
+//! `diffuse-experiments` crate for the paper's full evaluation
+//! (including `repro scenario`, a partition-then-heal script executed on
+//! both substrates).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
