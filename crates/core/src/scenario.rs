@@ -150,16 +150,78 @@ pub enum FaultAction {
     },
     /// Restore every link to the scenario's base configuration.
     Heal,
-    /// Force a process down for `down_ticks` ticks. Only the simulation
-    /// kernel can execute this (threads cannot be crashed from outside);
-    /// the fabric runner counts it in
-    /// [`ScenarioReport::skipped_faults`].
+    /// Force a process down for `down_ticks` ticks. The simulation kernel
+    /// executes this through `Simulation::force_down`; the fabric executes
+    /// it *cooperatively* — the node's runtime drops inbound traffic and
+    /// suppresses timers for the window, then fires
+    /// [`Event::Recovery`](crate::Event::Recovery) — so no substrate
+    /// reports it as skipped.
     Crash {
         /// The crashing process.
         process: ProcessId,
         /// Outage length in ticks.
         down_ticks: u64,
     },
+}
+
+/// The two hooks a substrate exposes for fault injection: override a
+/// link's loss and force a process down. [`FaultAction::apply`] maps
+/// every fault variant onto these, so the mapping exists exactly once.
+///
+/// Implemented by the simulation kernel's [`Simulation`] directly;
+/// `diffuse-net`'s fabric runners supply small adapters over their
+/// control handles.
+pub trait FaultSink {
+    /// Overrides one link's loss probability for future transmissions.
+    fn set_loss(&mut self, link: LinkId, loss: Probability);
+    /// Forces `process` down for the next `down_ticks` ticks.
+    fn force_down(&mut self, process: ProcessId, down_ticks: u64);
+}
+
+impl<A: diffuse_sim::Actor> FaultSink for Simulation<A> {
+    fn set_loss(&mut self, link: LinkId, loss: Probability) {
+        Simulation::set_loss(self, link, loss);
+    }
+
+    fn force_down(&mut self, process: ProcessId, down_ticks: u64) {
+        Simulation::force_down(self, process, down_ticks);
+    }
+}
+
+impl FaultAction {
+    /// Applies this action against a substrate's [`FaultSink`].
+    ///
+    /// This is the *single* definition of what each fault variant means
+    /// (which links a partition cuts, what a heal restores, how a crash
+    /// translates), shared by the simulation kernel driver
+    /// ([`ScenarioSim`]) and both of `diffuse-net`'s fabric runners — so
+    /// the substrates cannot drift apart variant by variant. `base` is
+    /// the scenario's base configuration, which [`FaultAction::Heal`]
+    /// restores.
+    pub fn apply(&self, topology: &Topology, base: &Configuration, sink: &mut dyn FaultSink) {
+        match self {
+            FaultAction::SetLoss { link, loss } => sink.set_loss(*link, *loss),
+            FaultAction::DegradeAll { loss } => {
+                for link in topology.links() {
+                    sink.set_loss(link, *loss);
+                }
+            }
+            FaultAction::Partition { island } => {
+                for link in partition_cut(topology, island) {
+                    sink.set_loss(link, Probability::ONE);
+                }
+            }
+            FaultAction::Heal => {
+                for link in topology.links() {
+                    sink.set_loss(link, base.loss(link));
+                }
+            }
+            FaultAction::Crash {
+                process,
+                down_ticks,
+            } => sink.force_down(*process, *down_ticks),
+        }
+    }
 }
 
 /// One [`FaultAction`] at one time.
@@ -338,8 +400,12 @@ pub struct ScenarioReport {
     /// conditions (incomplete knowledge, down origin) that never manage
     /// to issue before the run ends are counted here too.
     pub failed_broadcasts: u64,
-    /// Fault events the substrate could not execute (e.g. forced crashes
-    /// on the fabric).
+    /// Fault events the substrate could not execute. Every current
+    /// [`FaultAction`] variant is executable on both substrates (forced
+    /// crashes run cooperatively on the fabric), so this is zero on a
+    /// healthy run anywhere; the field stays so substrates that grow new,
+    /// partially-supported fault kinds have somewhere honest to count
+    /// them.
     pub skipped_faults: u64,
     /// Wire-level metrics (simulation kernel only).
     pub metrics: Option<Metrics>,
@@ -357,14 +423,16 @@ impl ScenarioReport {
     }
 }
 
-/// A scenario instantiated on the simulation kernel: owns the
-/// [`Simulation`] plus cursors into the workload and fault scripts, and
-/// applies script events at exactly their scheduled times while the
-/// clock advances (fast-forwarding through idle stretches whenever the
-/// kernel allows it).
-pub struct ScenarioSim<P: Protocol> {
-    sim: Simulation<ProtocolActor<P>>,
-    base_config: Configuration,
+/// Time-ordered application state for a scenario's two scripts.
+///
+/// Both substrates drive their runs through this one cursor type so the
+/// *semantics* of script application — fault-before-workload ordering at
+/// equal times, deferred-broadcast retries one tick later, pending
+/// broadcasts counting as failed at report time — are defined exactly
+/// once. [`ScenarioSim`] uses it against the simulation kernel;
+/// `diffuse_net`'s fabric runners use it against real threads.
+#[derive(Debug, Clone)]
+pub struct ScriptSchedule {
     workload: Vec<WorkloadEvent>,
     workload_cursor: usize,
     faults: Vec<FaultEvent>,
@@ -373,16 +441,115 @@ pub struct ScenarioSim<P: Protocol> {
     /// down): retried once per tick, like the net runtime's pending
     /// queue, so both substrates share the retry semantics.
     deferred: Vec<(SimTime, WorkloadEvent)>,
-    failed_broadcasts: u64,
+    failed: u64,
+}
+
+impl ScriptSchedule {
+    /// Builds the schedule from a scenario's workload and fault scripts
+    /// (each sorted by time, stable within equal times).
+    pub fn new(scenario: &Scenario) -> Self {
+        ScriptSchedule {
+            workload: scenario.workload.sorted(),
+            workload_cursor: 0,
+            faults: scenario.faults.sorted(),
+            fault_cursor: 0,
+            deferred: Vec::new(),
+            failed: 0,
+        }
+    }
+
+    /// The earliest unapplied script event or deferred retry.
+    pub fn next_time(&self) -> Option<SimTime> {
+        let workload = self.workload.get(self.workload_cursor).map(|e| e.at);
+        let fault = self.faults.get(self.fault_cursor).map(|e| e.at);
+        let retry = self.deferred.iter().map(|&(at, _)| at).min();
+        [workload, fault, retry].into_iter().flatten().min()
+    }
+
+    /// Takes every fault action due at or before `now`, in script order.
+    /// Faults are taken before [`ScriptSchedule::due_broadcasts`] at equal
+    /// times, so a broadcast scheduled at the moment of a heal sees the
+    /// healed links on every substrate.
+    pub fn due_faults(&mut self, now: SimTime) -> Vec<FaultAction> {
+        let mut due = Vec::new();
+        while self
+            .faults
+            .get(self.fault_cursor)
+            .is_some_and(|e| e.at <= now)
+        {
+            due.push(self.faults[self.fault_cursor].action.clone());
+            self.fault_cursor += 1;
+        }
+        due
+    }
+
+    /// Takes every broadcast due at or before `now`: deferred retries
+    /// first (in deferral order, so a broadcast never overtakes an
+    /// earlier one from the same origin), then newly-due workload events
+    /// in script order.
+    pub fn due_broadcasts(&mut self, now: SimTime) -> Vec<WorkloadEvent> {
+        let mut due = Vec::new();
+        self.deferred.retain(|(at, event)| {
+            if *at <= now {
+                due.push(event.clone());
+                false
+            } else {
+                true
+            }
+        });
+        while self
+            .workload
+            .get(self.workload_cursor)
+            .is_some_and(|e| e.at <= now)
+        {
+            due.push(self.workload[self.workload_cursor].clone());
+            self.workload_cursor += 1;
+        }
+        due
+    }
+
+    /// Re-queues a broadcast whose issue was deferred by a retryable
+    /// condition, to be retried at `at`.
+    pub fn defer(&mut self, at: SimTime, event: WorkloadEvent) {
+        self.deferred.push((at, event));
+    }
+
+    /// Counts one broadcast that failed non-retryably at issue time.
+    pub fn record_failed(&mut self) {
+        self.failed += 1;
+    }
+
+    /// Broadcasts that failed non-retryably so far (excluding still
+    /// deferred ones — see [`ScriptSchedule::pending`]).
+    pub fn failed_broadcasts(&self) -> u64 {
+        self.failed
+    }
+
+    /// Broadcasts currently deferred, awaiting their next retry. A run
+    /// that ends while broadcasts are pending reports them as failed —
+    /// they never issued.
+    pub fn pending(&self) -> u64 {
+        self.deferred.len() as u64
+    }
+}
+
+/// A scenario instantiated on the simulation kernel: owns the
+/// [`Simulation`] plus a [`ScriptSchedule`] over the workload and fault
+/// scripts, and applies script events at exactly their scheduled times
+/// while the clock advances (fast-forwarding through idle stretches
+/// whenever the kernel allows it).
+pub struct ScenarioSim<P: Protocol> {
+    sim: Simulation<ProtocolActor<P>>,
+    topology: Topology,
+    base_config: Configuration,
+    script: ScriptSchedule,
 }
 
 impl<P: Protocol> std::fmt::Debug for ScenarioSim<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ScenarioSim")
             .field("now", &self.sim.now())
-            .field("workload_cursor", &self.workload_cursor)
-            .field("fault_cursor", &self.fault_cursor)
-            .field("failed_broadcasts", &self.failed_broadcasts)
+            .field("script", &self.script)
             .finish_non_exhaustive()
     }
 }
@@ -398,13 +565,9 @@ impl<P: Protocol> ScenarioSim<P> {
         );
         ScenarioSim {
             sim,
+            topology: scenario.topology.clone(),
             base_config: scenario.config.clone(),
-            workload: scenario.workload.sorted(),
-            workload_cursor: 0,
-            faults: scenario.faults.sorted(),
-            fault_cursor: 0,
-            deferred: Vec::new(),
-            failed_broadcasts: 0,
+            script: ScriptSchedule::new(scenario),
         }
     }
 
@@ -421,22 +584,19 @@ impl<P: Protocol> ScenarioSim<P> {
 
     /// Scripted broadcasts that failed non-retryably at issue time.
     pub fn failed_broadcasts(&self) -> u64 {
-        self.failed_broadcasts
+        self.script.failed_broadcasts()
     }
 
     /// Scripted broadcasts currently deferred (incomplete knowledge or a
     /// down origin), awaiting their next per-tick retry.
     pub fn pending_broadcasts(&self) -> u64 {
-        self.deferred.len() as u64
+        self.script.pending()
     }
 
     /// The earliest unapplied script event or deferred retry strictly
     /// after `now`.
     fn next_script_time(&self) -> Option<SimTime> {
-        let workload = self.workload.get(self.workload_cursor).map(|e| e.at);
-        let fault = self.faults.get(self.fault_cursor).map(|e| e.at);
-        let retry = self.deferred.iter().map(|&(at, _)| at).min();
-        [workload, fault, retry].into_iter().flatten().min()
+        self.script.next_time()
     }
 
     /// Applies every script event due at or before the current time —
@@ -444,39 +604,10 @@ impl<P: Protocol> ScenarioSim<P> {
     /// order — and retries deferred broadcasts.
     fn apply_due_events(&mut self) {
         let now = self.sim.now();
-        while self
-            .faults
-            .get(self.fault_cursor)
-            .is_some_and(|e| e.at <= now)
-        {
-            let event = self.faults[self.fault_cursor].clone();
-            self.fault_cursor += 1;
-            self.apply_fault(&event.action);
+        for action in self.script.due_faults(now) {
+            self.apply_fault(&action);
         }
-        // Deferred retries fire before newly-due workload events so a
-        // broadcast never overtakes an earlier one from the same origin.
-        let due_retries: Vec<WorkloadEvent> = {
-            let mut due = Vec::new();
-            self.deferred.retain(|(at, event)| {
-                if *at <= now {
-                    due.push(event.clone());
-                    false
-                } else {
-                    true
-                }
-            });
-            due
-        };
-        for event in due_retries {
-            self.issue_broadcast(event);
-        }
-        while self
-            .workload
-            .get(self.workload_cursor)
-            .is_some_and(|e| e.at <= now)
-        {
-            let event = self.workload[self.workload_cursor].clone();
-            self.workload_cursor += 1;
+        for event in self.script.due_broadcasts(now) {
             self.issue_broadcast(event);
         }
     }
@@ -493,38 +624,14 @@ impl<P: Protocol> ScenarioSim<P> {
         });
         let retry = !issued || matches!(outcome, Err(crate::CoreError::KnowledgeIncomplete));
         if retry {
-            self.deferred.push((now + 1, event));
+            self.script.defer(now + 1, event);
         } else if outcome.is_err() {
-            self.failed_broadcasts += 1;
+            self.script.record_failed();
         }
     }
 
     fn apply_fault(&mut self, action: &FaultAction) {
-        match action {
-            FaultAction::SetLoss { link, loss } => self.sim.set_loss(*link, *loss),
-            FaultAction::DegradeAll { loss } => {
-                let links: Vec<LinkId> = self.sim.topology().links().collect();
-                for link in links {
-                    self.sim.set_loss(link, *loss);
-                }
-            }
-            FaultAction::Partition { island } => {
-                for link in partition_cut(self.sim.topology(), island) {
-                    self.sim.set_loss(link, Probability::ONE);
-                }
-            }
-            FaultAction::Heal => {
-                let links: Vec<LinkId> = self.sim.topology().links().collect();
-                for link in links {
-                    let base = self.base_config.loss(link);
-                    self.sim.set_loss(link, base);
-                }
-            }
-            FaultAction::Crash {
-                process,
-                down_ticks,
-            } => self.sim.force_down(*process, *down_ticks),
-        }
+        action.apply(&self.topology, &self.base_config, &mut self.sim);
     }
 
     /// Advances `n` ticks, applying script events at their scheduled
@@ -583,7 +690,7 @@ impl<P: Protocol> ScenarioSim<P> {
                 .nodes()
                 .map(|(id, actor)| (id, actor.protocol().delivered().len() as u64))
                 .collect(),
-            failed_broadcasts: self.failed_broadcasts + self.pending_broadcasts(),
+            failed_broadcasts: self.script.failed_broadcasts() + self.script.pending(),
             skipped_faults: 0,
             metrics: Some(self.sim.metrics().clone()),
         }

@@ -13,7 +13,7 @@ use diffuse_core::scenario::{FaultAction, FaultScript, Scenario, Workload};
 use diffuse_core::{AdaptiveBroadcast, AdaptiveParams, Payload, ReferenceGossip};
 use diffuse_graph::generators;
 use diffuse_model::{LinkId, Probability, ProcessId};
-use diffuse_net::{run_scenario_on_fabric, FabricScenarioOptions};
+use diffuse_net::{run_scenario_on_fabric, run_scenario_on_fabric_virtual, FabricScenarioOptions};
 use diffuse_sim::SimTime;
 
 use crate::harness::neighbor_map;
@@ -111,12 +111,21 @@ pub fn run(effort: &Effort) -> Vec<Table> {
         };
         trajectory.push_row(vec![t.to_string(), fmt(estimate), phase.to_string()]);
     }
-    let sim_report = run.report();
 
     // Substrate 2: the same scenario value on the fabric of real
-    // threads, with the gossip protocol (broadcast-only workload).
+    // threads, with the gossip protocol (broadcast-only workload) — run
+    // against a kernel reference in both of the fabric's timing modes.
+    // Under virtual time the fabric report must be *bit-identical* to
+    // the kernel's; under the wall clock it is only statistically
+    // comparable (different RNG stream, real scheduling).
     let steps = 8;
-    let fabric_report = run_scenario_on_fabric(
+    let gossip_reference = scenario.run_sim(horizon, |id| {
+        ReferenceGossip::new(id, neighbors[&id].clone(), steps)
+    });
+    let fabric_virtual = run_scenario_on_fabric_virtual(&scenario, horizon, |id| {
+        ReferenceGossip::new(id, neighbors[&id].clone(), steps)
+    });
+    let fabric_wall = run_scenario_on_fabric(
         &scenario,
         FabricScenarioOptions {
             tick_interval: Duration::from_millis(1),
@@ -127,16 +136,30 @@ pub fn run(effort: &Effort) -> Vec<Table> {
     );
 
     let mut comparison = Table::new(
-        "Same scenario, two substrates — deliveries per process".to_string(),
+        "Same scenario (gossip), three executions — deliveries per process".to_string(),
         &[
             "substrate",
             "min",
             "max",
             "failed broadcasts",
             "skipped faults",
+            "vs kernel",
         ],
     );
-    for (label, report) in [("sim kernel", &sim_report), ("fabric", &fabric_report)] {
+    let rows = [
+        ("sim kernel", &gossip_reference, "reference"),
+        (
+            "fabric (virtual time)",
+            &fabric_virtual,
+            if fabric_virtual == gossip_reference {
+                "bit-identical"
+            } else {
+                "MISMATCH"
+            },
+        ),
+        ("fabric (wall clock)", &fabric_wall, "statistical"),
+    ];
+    for (label, report, agreement) in rows {
         comparison.push_row(vec![
             label.to_string(),
             report.min_delivered().to_string(),
@@ -149,6 +172,7 @@ pub fn run(effort: &Effort) -> Vec<Table> {
                 .to_string(),
             report.failed_broadcasts.to_string(),
             report.skipped_faults.to_string(),
+            agreement.to_string(),
         ]);
     }
     vec![trajectory, comparison]
@@ -164,9 +188,14 @@ mod tests {
         let tables = run(&effort);
         assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].row_count(), 9);
-        assert_eq!(tables[1].row_count(), 2);
+        assert_eq!(tables[1].row_count(), 3);
         let text = tables[0].to_aligned();
         assert!(text.contains("partitioned"));
         assert!(text.contains("healed"));
+        // The virtual-time fabric row must report exact agreement with
+        // the kernel — anything else is a conformance regression.
+        let comparison = tables[1].to_aligned();
+        assert!(comparison.contains("bit-identical"), "{comparison}");
+        assert!(!comparison.contains("MISMATCH"), "{comparison}");
     }
 }

@@ -1,0 +1,136 @@
+//! The clock abstraction: wall time vs. virtual time.
+//!
+//! Every node runtime runs against a [`Clock`]. Under a [`WallClock`]
+//! the runtime maps real elapsed time onto logical [`SimTime`] ticks and
+//! sleeps on its transport between deadlines — the deployment behavior.
+//! Under a [`VirtualClock`](crate::VirtualClock) the runtime parks on a
+//! shared time authority ([`VirtualNet`](crate::VirtualNet)) that only
+//! advances virtual time when every runtime is quiescent, making fabric
+//! execution a deterministic function of `(scenario, seed)` with no real
+//! sleeping at all.
+
+use std::time::{Duration, Instant};
+
+use diffuse_sim::SimTime;
+
+use crate::virtual_time::VirtualClock;
+
+/// The time source a node runtime is driven by.
+///
+/// Constructed with [`Clock::wall`] for deployments and demos, or
+/// obtained from [`VirtualNet::clock`](crate::VirtualNet::clock) for
+/// deterministic virtual-time runs.
+#[derive(Debug, Clone)]
+pub enum Clock {
+    /// Real time: one logical tick corresponds to a fixed wall-clock
+    /// interval, and the runtime sleeps on its transport.
+    Wall(WallClock),
+    /// Virtual time: the runtime executes handler turns granted by a
+    /// [`VirtualNet`](crate::VirtualNet) and never touches the wall
+    /// clock.
+    Virtual(VirtualClock),
+}
+
+impl Clock {
+    /// A wall clock whose logical tick lasts `tick_interval` (clamped to
+    /// at least one millisecond).
+    pub fn wall(tick_interval: Duration) -> Self {
+        Clock::Wall(WallClock::new(tick_interval))
+    }
+}
+
+/// Wall-clock timing parameters for a node runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallClock {
+    tick: Duration,
+}
+
+impl WallClock {
+    /// A wall clock with the given tick length (clamped to ≥ 1 ms).
+    pub fn new(tick_interval: Duration) -> Self {
+        WallClock {
+            tick: tick_interval.max(Duration::from_millis(1)),
+        }
+    }
+
+    /// The wall-clock length of one logical tick.
+    pub fn tick_interval(&self) -> Duration {
+        self.tick
+    }
+
+    /// Starts measuring: the returned session pins tick zero to "now".
+    pub(crate) fn begin(&self) -> WallSession {
+        WallSession {
+            start: Instant::now(),
+            tick: self.tick,
+        }
+    }
+}
+
+/// A running wall clock: converts between [`Instant`]s and logical
+/// ticks. This is the single place the runtime touches `Instant::now`
+/// and `thread::sleep`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WallSession {
+    start: Instant,
+    tick: Duration,
+}
+
+impl WallSession {
+    /// The current logical tick.
+    pub(crate) fn now(&self) -> SimTime {
+        self.at(Instant::now())
+    }
+
+    /// The logical tick a given instant falls in.
+    pub(crate) fn at(&self, instant: Instant) -> SimTime {
+        SimTime::new((instant - self.start).as_nanos() as u64 / self.tick.as_nanos() as u64)
+    }
+
+    /// The instant at which the logical tick `at` begins.
+    pub(crate) fn deadline(&self, at: SimTime) -> Instant {
+        self.start + self.tick * u32::try_from(at.ticks()).unwrap_or(u32::MAX)
+    }
+
+    /// How long until the logical tick `at` begins (zero if passed).
+    pub(crate) fn until(&self, at: SimTime) -> Duration {
+        self.deadline(at).saturating_duration_since(Instant::now())
+    }
+
+    /// Sleeps until the logical tick `at` begins (returns immediately if
+    /// it already has).
+    pub(crate) fn sleep_until(&self, at: SimTime) {
+        let wait = self.until(at);
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_clamps_and_converts() {
+        let clock = WallClock::new(Duration::ZERO);
+        assert_eq!(clock.tick_interval(), Duration::from_millis(1));
+        let session = WallClock::new(Duration::from_millis(10)).begin();
+        assert_eq!(session.now(), SimTime::ZERO);
+        assert_eq!(
+            session.at(session.deadline(SimTime::new(7))),
+            SimTime::new(7)
+        );
+        // A deadline in the past yields a zero wait, not a panic.
+        assert_eq!(session.until(SimTime::ZERO), Duration::ZERO);
+        session.sleep_until(SimTime::ZERO);
+    }
+
+    #[test]
+    fn clock_wall_constructor() {
+        let Clock::Wall(w) = Clock::wall(Duration::from_millis(3)) else {
+            panic!("expected a wall clock");
+        };
+        assert_eq!(w.tick_interval(), Duration::from_millis(3));
+    }
+}

@@ -59,6 +59,23 @@ pub fn encode_message(message: &Message) -> Bytes {
     buf.freeze()
 }
 
+/// Reads a frame's metric kind (`"data"` / `"ack"` / `"heartbeat"`,
+/// matching [`SimMessage::kind`](diffuse_sim::SimMessage::kind) on the
+/// decoded [`Message`]) from the two-byte header alone, without decoding
+/// the body. Unknown or truncated headers report the generic kind.
+///
+/// Used by the virtual-time fabric to account sent-message metrics at
+/// send time exactly as the kernel does, without paying a full decode
+/// per send.
+pub fn frame_kind(frame: &[u8]) -> &'static str {
+    match frame {
+        [WIRE_VERSION, TAG_DATA, ..] | [WIRE_VERSION, TAG_GOSSIP, ..] => "data",
+        [WIRE_VERSION, TAG_ACK, ..] => "ack",
+        [WIRE_VERSION, TAG_HEARTBEAT, ..] => "heartbeat",
+        _ => "message",
+    }
+}
+
 /// Decodes a frame produced by [`encode_message`].
 ///
 /// # Errors
@@ -374,6 +391,37 @@ mod tests {
             let back = decode_message(&frame).expect("round trip");
             assert_eq!(back, message);
         }
+    }
+
+    /// The header-only kind probe must agree with the decoded message's
+    /// metric kind for every variant — the virtual fabric's sent
+    /// accounting relies on it.
+    #[test]
+    fn frame_kind_matches_decoded_kind() {
+        use diffuse_sim::SimMessage;
+        let messages = [
+            Message::Data(DataMessage {
+                id: sample_id(),
+                payload: Payload::from("x"),
+                tree: Arc::new(sample_tree()),
+            }),
+            Message::Gossip(GossipMessage {
+                id: sample_id(),
+                payload: Payload::empty(),
+                ttl: 1,
+            }),
+            Message::Ack { id: sample_id() },
+            Message::Heartbeat(HeartbeatMessage {
+                seq: 1,
+                view: Arc::new(sample_view()),
+            }),
+        ];
+        for message in messages {
+            let frame = encode_message(&message);
+            assert_eq!(frame_kind(&frame), message.kind());
+        }
+        assert_eq!(frame_kind(&[]), "message");
+        assert_eq!(frame_kind(&[99, 1]), "message");
     }
 
     #[test]

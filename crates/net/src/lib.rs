@@ -13,26 +13,37 @@
 //!   threads) and [`UdpTransport`] (one datagram per frame);
 //! * [`spawn_node`] — a per-node runtime thread that decodes frames,
 //!   drives the protocol, schedules logical ticks from wall time, and
-//!   surfaces deliveries through a [`NodeHandle`].
+//!   surfaces deliveries through a [`NodeHandle`];
+//! * [`Clock`] — wall time vs. virtual time. Under a
+//!   [`VirtualClock`] the node threads park on a [`VirtualNet`] time
+//!   authority that replays the simulation kernel's exact phase order
+//!   and RNG stream, making fabric runs deterministic and bit-comparable
+//!   to kernel runs (see [`run_scenario_on_fabric_virtual`] and
+//!   `tests/fabric_conformance.rs`).
 //!
 //! # Example
 //!
-//! See `examples/udp_cluster.rs` for a full UDP deployment, and the
+//! See `examples/udp_cluster.rs` for a full UDP deployment,
+//! `examples/deterministic_fabric.rs` for a virtual-time run, and the
 //! runtime tests for an in-memory three-node broadcast.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod clock;
 pub mod codec;
 mod error;
 mod runtime;
 mod scenario;
 mod transport;
 mod udp;
+mod virtual_time;
 
+pub use clock::{Clock, WallClock};
 pub use error::NetError;
-pub use runtime::{spawn_node, NodeHandle};
-pub use scenario::{run_scenario_on_fabric, FabricScenarioOptions};
+pub use runtime::{spawn_node, spawn_node_with_clock, NodeHandle};
+pub use scenario::{run_scenario_on_fabric, run_scenario_on_fabric_virtual, FabricScenarioOptions};
 pub use transport::{Fabric, FabricControl, FabricTransport, Transport};
 pub use udp::{UdpTransport, MAX_DATAGRAM};
+pub use virtual_time::{BroadcastOutcome, VirtualClock, VirtualNet, VirtualOptions};

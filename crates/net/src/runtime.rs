@@ -1,37 +1,46 @@
 //! A thread-based runtime driving a sans-io [`Protocol`] over a real
-//! [`Transport`].
+//! [`Transport`], under either clock.
 //!
-//! The loop is event-driven: it sleeps on the transport until either a
-//! frame arrives or the protocol's next timer deadline is reached —
-//! there is no fixed per-tick wakeup. `tick_interval` only defines the
-//! wall-clock length of one logical [`SimTime`] tick (the unit in which
-//! protocols express their deadlines), so a protocol whose next
-//! heartbeat is 100 ticks away leaves the thread asleep for 100 tick
-//! intervals instead of being polled 100 times.
+//! Under a [`WallClock`](crate::WallClock) the loop is event-driven: it
+//! sleeps on the transport until either a frame arrives or the
+//! protocol's next timer deadline is reached — there is no fixed
+//! per-tick wakeup. `tick_interval` only defines the wall-clock length
+//! of one logical [`SimTime`] tick (the unit in which protocols express
+//! their deadlines), so a protocol whose next heartbeat is 100 ticks
+//! away leaves the thread asleep for 100 tick intervals instead of
+//! being polled 100 times.
+//!
+//! Under a [`VirtualClock`](crate::VirtualClock) the loop parks on the
+//! fabric's time authority and executes handler turns exactly when and
+//! in the order the authority grants them — no wall clock, no sleeping,
+//! bit-reproducible runs (see [`crate::VirtualNet`]).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use diffuse_core::{Actions, BroadcastId, CoreError, Payload, Protocol};
+use diffuse_core::{Actions, BroadcastId, CoreError, Event, Payload, Protocol};
 use diffuse_sim::{SimTime, TimerId};
 
+use crate::clock::{Clock, WallClock, WallSession};
 use crate::codec::{decode_message, encode_message};
+use crate::virtual_time::{BroadcastOutcome, Turn, VirtualClock};
 use crate::{NetError, Transport};
 
 /// Commands accepted by a running node.
 #[derive(Debug)]
 enum Command {
     Broadcast(Payload),
+    Crash { down_ticks: u64 },
     Shutdown,
 }
 
 /// How long the loop will sleep at most before re-checking its command
 /// queue, when no timer deadline comes sooner. Bounds the latency of
 /// [`NodeHandle::broadcast`] and [`NodeHandle::shutdown`] without
-/// per-tick polling.
+/// per-tick polling. (Wall clock only — a virtual node never polls.)
 const COMMAND_POLL: Duration = Duration::from_millis(25);
 
 /// Handle to a node running on its own thread.
@@ -42,11 +51,19 @@ const COMMAND_POLL: Duration = Duration::from_millis(25);
 /// sends, and then joined — an in-progress send is never aborted
 /// mid-frame. The only difference is that pending *deliveries* can no
 /// longer be read, because the receiving end goes away with the handle.
+///
+/// One exception to the drain: a node shut down *inside* a cooperative
+/// crash window (see [`NodeHandle::inject_crash`]) stays crashed — its
+/// queued broadcasts are discarded rather than issued by a process that
+/// is, by scenario semantics, down.
 #[derive(Debug)]
 pub struct NodeHandle {
     commands: Sender<Command>,
     deliveries: Receiver<(BroadcastId, Payload)>,
     wakeups: Arc<AtomicU64>,
+    /// Set for virtual-time nodes: retiring the node from its authority
+    /// is what unblocks the parked thread on shutdown.
+    vclock: Option<VirtualClock>,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -55,12 +72,50 @@ impl NodeHandle {
     ///
     /// # Errors
     ///
-    /// Returns [`NetError::Closed`] if the node has shut down. Broadcast
-    /// errors inside the node (e.g. incomplete knowledge) are retried on
-    /// subsequent wakeups until they succeed.
+    /// Returns [`NetError::Closed`] if the node has shut down, and
+    /// [`NetError::Unsupported`] on a virtual-time node — deterministic
+    /// runs issue broadcasts through
+    /// [`VirtualNet::broadcast`](crate::VirtualNet::broadcast), which
+    /// pins them to an exact virtual tick. Broadcast errors inside the
+    /// node (e.g. incomplete knowledge) are retried on subsequent
+    /// wakeups until they succeed.
     pub fn broadcast(&self, payload: Payload) -> Result<(), NetError> {
+        if self.vclock.is_some() {
+            return Err(NetError::Unsupported(
+                "broadcasts on a virtual-time node go through VirtualNet::broadcast",
+            ));
+        }
         self.commands
             .send(Command::Broadcast(payload))
+            .map_err(|_| NetError::Closed)
+    }
+
+    /// Injects a cooperative crash: from its next wakeup the node drops
+    /// inbound traffic and suppresses timers and broadcasts for
+    /// `down_ticks` logical ticks, then fires
+    /// [`Event::Recovery`] — the fabric analogue of the kernel's forced
+    /// outage, used by fault scripts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Closed`] if the node has shut down, and
+    /// [`NetError::Unsupported`] on a virtual-time node (use
+    /// [`VirtualNet::force_down`](crate::VirtualNet::force_down)).
+    pub fn inject_crash(&self, down_ticks: u64) -> Result<(), NetError> {
+        if self.vclock.is_some() {
+            return Err(NetError::Unsupported(
+                "crashes on a virtual-time node go through VirtualNet::force_down",
+            ));
+        }
+        // A zero-length outage is a no-op on every substrate (the
+        // kernel's force_down early-returns); installing an empty
+        // window would still suppress one loop iteration and fire a
+        // spurious recovery event.
+        if down_ticks == 0 {
+            return Ok(());
+        }
+        self.commands
+            .send(Command::Crash { down_ticks })
             .map_err(|_| NetError::Closed)
     }
 
@@ -82,12 +137,14 @@ impl NodeHandle {
         }
     }
 
-    /// How many times the node's event loop has woken up so far
-    /// (received a frame, fired a timer, or polled for commands).
+    /// How many times the node's event loop has woken up so far.
     ///
-    /// Diagnostic: an idle node with no pending timers wakes only at the
-    /// command-poll cadence (tens of milliseconds), not once per tick —
-    /// the runtime tests assert this stays far below `wall time / tick`.
+    /// On a wall clock: received a frame, fired a timer, or polled for
+    /// commands — an idle node with no pending timers wakes only at the
+    /// command-poll cadence (tens of milliseconds), not once per tick.
+    /// On a virtual clock: executed a turn — an idle node wakes exactly
+    /// *zero* times however much virtual time passes, which the
+    /// idle-runtime test asserts as an exact count.
     pub fn wakeups(&self) -> u64 {
         self.wakeups.load(Ordering::Relaxed)
     }
@@ -100,6 +157,9 @@ impl NodeHandle {
 
     fn shutdown_in_place(&mut self) {
         let _ = self.commands.send(Command::Shutdown);
+        if let Some(vclock) = &self.vclock {
+            vclock.retire();
+        }
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
@@ -115,14 +175,32 @@ impl Drop for NodeHandle {
 /// Spawns `protocol` on a dedicated thread, driven by `transport`; one
 /// logical [`SimTime`] tick corresponds to `tick_interval` of wall time.
 ///
+/// Equivalent to [`spawn_node_with_clock`] with
+/// [`Clock::wall`]`(tick_interval)`.
+pub fn spawn_node<P, T>(protocol: P, transport: T, tick_interval: Duration) -> NodeHandle
+where
+    P: Protocol + Send + 'static,
+    T: Transport + 'static,
+{
+    spawn_node_with_clock(protocol, transport, Clock::wall(tick_interval))
+}
+
+/// Spawns `protocol` on a dedicated thread, driven by `transport` under
+/// the given [`Clock`].
+///
 /// The runtime decodes incoming frames, routes them to the protocol,
 /// fires the protocol's timers at their deadlines, encodes and transmits
 /// outgoing messages, surfaces deliveries through the returned handle,
 /// and retries pending broadcasts whose knowledge was still incomplete.
-/// Between events the thread sleeps until
+///
+/// Under [`Clock::Wall`], between events the thread sleeps until
 /// `min(next timer deadline, command poll)` — it does not busy-wake once
-/// per tick.
-pub fn spawn_node<P, T>(mut protocol: P, transport: T, tick_interval: Duration) -> NodeHandle
+/// per tick. Under [`Clock::Virtual`] the thread parks on the clock's
+/// [`VirtualNet`](crate::VirtualNet) authority and runs handler turns
+/// when granted; the transport must be one of the virtual fabric's own
+/// (see [`Fabric::build_virtual`](crate::Fabric::build_virtual)), and
+/// must belong to the same process id as the clock.
+pub fn spawn_node_with_clock<P, T>(protocol: P, transport: T, clock: Clock) -> NodeHandle
 where
     P: Protocol + Send + 'static,
     T: Transport + 'static,
@@ -132,38 +210,116 @@ where
     let wakeups = Arc::new(AtomicU64::new(0));
     let wakeup_counter = Arc::clone(&wakeups);
 
-    let thread = std::thread::spawn(move || {
-        let tick = tick_interval.max(Duration::from_millis(1));
-        let start = Instant::now();
-        let wall_now =
-            |at: Instant| SimTime::new((at - start).as_nanos() as u64 / tick.as_nanos() as u64);
-        let mut timers: BTreeMap<TimerId, SimTime> = BTreeMap::new();
-        let mut actions = Actions::new();
-        let mut pending_broadcasts: Vec<Payload> = Vec::new();
+    let vclock = match &clock {
+        Clock::Wall(_) => None,
+        Clock::Virtual(v) => Some(v.clone()),
+    };
+    let thread = std::thread::spawn(move || match clock {
+        Clock::Wall(wall) => run_wall_node(
+            protocol,
+            transport,
+            wall,
+            command_rx,
+            delivery_tx,
+            wakeup_counter,
+        ),
+        Clock::Virtual(virt) => {
+            run_virtual_node(protocol, transport, virt, delivery_tx, wakeup_counter)
+        }
+    });
 
-        let mut now = SimTime::ZERO;
-        protocol.on_start(now, &mut actions);
-        absorb_timers(&mut timers, &mut actions);
-        flush(&mut actions, &transport, &delivery_tx);
+    NodeHandle {
+        commands: command_tx,
+        deliveries: delivery_rx,
+        wakeups,
+        vclock,
+        thread: Some(thread),
+    }
+}
 
-        let mut shutting_down = false;
-        'run: loop {
-            wakeup_counter.fetch_add(1, Ordering::Relaxed);
-            now = wall_now(Instant::now());
+/// A cooperative crash window on the wall clock: down from `started`
+/// until `until`. Recovery reports the whole episode
+/// (`until − started`), so overlapping crash commands that extend or
+/// shorten the window still yield one episode-length recovery — the
+/// kernel's accumulated `down_ticks` semantics.
+struct CrashWindow {
+    started: SimTime,
+    until: SimTime,
+}
 
-            // 1. External commands.
-            loop {
-                match command_rx.try_recv() {
-                    Ok(Command::Broadcast(payload)) => pending_broadcasts.push(payload),
-                    Ok(Command::Shutdown) | Err(TryRecvError::Disconnected) => {
-                        shutting_down = true;
-                        break;
-                    }
-                    Err(TryRecvError::Empty) => break,
+/// The wall-clock event loop.
+fn run_wall_node<P, T>(
+    mut protocol: P,
+    transport: T,
+    clock: WallClock,
+    command_rx: Receiver<Command>,
+    delivery_tx: Sender<(BroadcastId, Payload)>,
+    wakeup_counter: Arc<AtomicU64>,
+) where
+    P: Protocol + Send + 'static,
+    T: Transport + 'static,
+{
+    let session: WallSession = clock.begin();
+    let mut timers: BTreeMap<TimerId, SimTime> = BTreeMap::new();
+    let mut actions = Actions::new();
+    let mut pending_broadcasts: Vec<Payload> = Vec::new();
+    let mut crash: Option<CrashWindow> = None;
+
+    let mut now = SimTime::ZERO;
+    protocol.on_start(now, &mut actions);
+    absorb_timers(&mut timers, &mut actions);
+    flush(&mut actions, &transport, &delivery_tx);
+
+    let mut shutting_down = false;
+    'run: loop {
+        wakeup_counter.fetch_add(1, Ordering::Relaxed);
+        now = session.now();
+
+        // 0. Crash recovery: the outage window elapsed — report the
+        //    recovery first, so timers deferred by the crash fire after
+        //    it (the kernel's phase order).
+        if crash.as_ref().is_some_and(|w| now >= w.until) {
+            let window = crash.take().expect("checked above");
+            protocol.on_event(
+                now,
+                Event::Recovery {
+                    down_ticks: window.until.saturating_since(window.started),
+                },
+                &mut actions,
+            );
+            absorb_timers(&mut timers, &mut actions);
+            flush(&mut actions, &transport, &delivery_tx);
+        }
+
+        // 1. External commands.
+        loop {
+            match command_rx.try_recv() {
+                Ok(Command::Broadcast(payload)) => pending_broadcasts.push(payload),
+                Ok(Command::Crash { down_ticks }) => {
+                    // A new deadline overrides a running one (the
+                    // kernel's force_down replaces the remaining count),
+                    // but the episode keeps its original start so the
+                    // recovery event reports the full outage.
+                    let started = crash.as_ref().map_or(now, |w| w.started);
+                    crash = Some(CrashWindow {
+                        started,
+                        until: now + down_ticks,
+                    });
                 }
+                Ok(Command::Shutdown) | Err(TryRecvError::Disconnected) => {
+                    shutting_down = true;
+                    break;
+                }
+                Err(TryRecvError::Empty) => break,
             }
+        }
 
-            // 2. Pending broadcasts (retried until knowledge suffices).
+        let down = crash.is_some();
+
+        // 2. Pending broadcasts (retried until knowledge suffices).
+        //    While down, broadcasts stay queued — the kernel defers
+        //    commands to down processes the same way.
+        if !down {
             pending_broadcasts.retain(|payload| {
                 match protocol.broadcast(now, payload.clone(), &mut actions) {
                     Ok(_) => false,
@@ -173,57 +329,120 @@ where
             });
             absorb_timers(&mut timers, &mut actions);
             flush(&mut actions, &transport, &delivery_tx);
+        }
 
-            // On shutdown, the queued work above was drained and its
-            // sends transmitted before the thread exits.
-            if shutting_down {
-                break 'run;
-            }
+        // On shutdown, the queued work above was drained and its sends
+        // transmitted before the thread exits — unless the node is
+        // inside a crash window, in which case its queue dies with it
+        // (a down process cannot issue broadcasts; see the NodeHandle
+        // docs).
+        if shutting_down {
+            break 'run;
+        }
 
-            // 3. Fire timers that are due at the current logical tick.
+        // 3. Fire timers that are due at the current logical tick
+        //    (suppressed while down; they fire on the recovery wakeup).
+        if !down {
             while let Some((&timer, _)) = timers.iter().find(|&(_, &at)| at <= now) {
                 timers.remove(&timer);
-                protocol.on_event(now, diffuse_core::Event::Timer(timer), &mut actions);
+                protocol.on_event(now, Event::Timer(timer), &mut actions);
                 absorb_timers(&mut timers, &mut actions);
                 flush(&mut actions, &transport, &delivery_tx);
             }
+        }
 
-            // 4. Sleep until the next deadline (or the command-poll cap),
-            //    waking early for incoming frames.
-            let budget = timers
-                .values()
-                .min()
-                .map(|&at| {
-                    let deadline = start + tick * u32::try_from(at.ticks()).unwrap_or(u32::MAX);
-                    deadline.saturating_duration_since(Instant::now())
-                })
-                .unwrap_or(COMMAND_POLL)
-                .min(COMMAND_POLL);
-            match transport.recv_timeout(budget) {
-                Ok(Some((from, frame))) => {
-                    now = wall_now(Instant::now());
-                    if let Ok(message) = decode_message(&frame) {
-                        protocol.on_event(
-                            now,
-                            diffuse_core::Event::Message { from, message },
-                            &mut actions,
-                        );
-                        absorb_timers(&mut timers, &mut actions);
-                        flush(&mut actions, &transport, &delivery_tx);
-                    }
-                    // Malformed frames from the network are dropped.
+        // 4. Sleep until the next deadline (or the command-poll cap),
+        //    waking early for incoming frames. While down, the next
+        //    deadline is the recovery tick.
+        let next_deadline = match &crash {
+            Some(window) => Some(window.until),
+            None => timers.values().min().copied(),
+        };
+        let budget = next_deadline
+            .map(|at| session.until(at))
+            .unwrap_or(COMMAND_POLL)
+            .min(COMMAND_POLL);
+        match transport.recv_timeout(budget) {
+            Ok(Some((from, frame))) => {
+                now = session.now();
+                if crash.is_some() {
+                    // Down: inbound traffic is dropped on the floor,
+                    // mirroring the kernel's receiver-down drops.
+                } else if let Ok(message) = decode_message(&frame) {
+                    protocol.on_event(now, Event::Message { from, message }, &mut actions);
+                    absorb_timers(&mut timers, &mut actions);
+                    flush(&mut actions, &transport, &delivery_tx);
                 }
-                Ok(None) => {}
-                Err(_) => break 'run,
+                // Malformed frames from the network are dropped.
+            }
+            Ok(None) => {}
+            Err(_) => break 'run,
+        }
+    }
+}
+
+/// The virtual-clock turn loop: executes exactly the handler invocations
+/// the time authority grants, in the order it grants them.
+fn run_virtual_node<P, T>(
+    mut protocol: P,
+    transport: T,
+    clock: VirtualClock,
+    delivery_tx: Sender<(BroadcastId, Payload)>,
+    wakeup_counter: Arc<AtomicU64>,
+) where
+    P: Protocol + Send + 'static,
+    T: Transport + 'static,
+{
+    /// Retires the node from its authority on any exit, including an
+    /// unwinding protocol panic — the driver must never deadlock waiting
+    /// for a turn nobody will complete.
+    struct RetireOnExit<'a>(&'a VirtualClock);
+    impl Drop for RetireOnExit<'_> {
+        fn drop(&mut self) {
+            self.0.retire();
+        }
+    }
+    let _guard = RetireOnExit(&clock);
+
+    let mut actions = Actions::new();
+    while let Some(turn) = clock.next_turn() {
+        wakeup_counter.fetch_add(1, Ordering::Relaxed);
+        let now = clock.now();
+        let mut outcome = None;
+        match turn {
+            Turn::Start => protocol.on_start(now, &mut actions),
+            Turn::Deliver { from, frame } => {
+                if let Ok(message) = decode_message(&frame) {
+                    protocol.on_event(now, Event::Message { from, message }, &mut actions);
+                }
+                // Malformed frames are dropped, as on the wall clock.
+            }
+            Turn::Timer(timer) => protocol.on_event(now, Event::Timer(timer), &mut actions),
+            Turn::Recover { down_ticks } => {
+                protocol.on_event(now, Event::Recovery { down_ticks }, &mut actions)
+            }
+            Turn::Broadcast(payload) => {
+                outcome = Some(match protocol.broadcast(now, payload, &mut actions) {
+                    Ok(_) => BroadcastOutcome::Issued,
+                    Err(CoreError::KnowledgeIncomplete) => BroadcastOutcome::Deferred,
+                    Err(_) => BroadcastOutcome::Failed,
+                });
             }
         }
-    });
-
-    NodeHandle {
-        commands: command_tx,
-        deliveries: delivery_rx,
-        wakeups,
-        thread: Some(thread),
+        // A broadcast that did not issue is not flushed — anything it
+        // buffered waits for the next handler, exactly like the kernel's
+        // ProtocolActor (whose failed broadcast_now returns before its
+        // flush).
+        let timer_ops = if matches!(
+            outcome,
+            Some(BroadcastOutcome::Deferred | BroadcastOutcome::Failed)
+        ) {
+            Vec::new()
+        } else {
+            flush(&mut actions, &transport, &delivery_tx);
+            actions.take_timer_ops()
+        };
+        clock.complete_turn(timer_ops, outcome);
     }
 }
 
@@ -368,6 +587,46 @@ mod tests {
             .unwrap()
             .expect("the broadcast queued before the drop must cross");
         assert_eq!(got.1.as_bytes(), b"dropped, not aborted");
+        h1.shutdown();
+    }
+
+    /// A cooperative crash makes the node deaf for its window: frames
+    /// sent during the outage are dropped, frames after recovery land.
+    #[test]
+    fn cooperative_crash_drops_traffic_then_recovers() {
+        let mut topology = Topology::new();
+        topology.add_link(p(0), p(1)).unwrap();
+        let knowledge = NetworkKnowledge::exact(topology.clone(), Configuration::new());
+        let mut transports = Fabric::build(&topology, Configuration::new(), 3);
+        let t1 = transports.remove(&p(1)).unwrap();
+        let t0 = transports.remove(&p(0)).unwrap();
+        let tick = Duration::from_millis(2);
+
+        let h1 = spawn_node(
+            OptimalBroadcast::new(p(1), knowledge.clone(), 0.99),
+            t1,
+            tick,
+        );
+        let h0 = spawn_node(OptimalBroadcast::new(p(0), knowledge, 0.99), t0, tick);
+
+        // Crash p1 for a long window, then broadcast while it is down.
+        h1.inject_crash(200).unwrap();
+        std::thread::sleep(Duration::from_millis(60)); // crash command lands
+        h0.broadcast(Payload::from("into the void")).unwrap();
+        let during = h1.next_delivery(Duration::from_millis(120)).unwrap();
+        assert!(during.is_none(), "a crashed node must not deliver");
+
+        // After the 200-tick (400 ms) window the node recovers and
+        // subsequent broadcasts land again.
+        std::thread::sleep(Duration::from_millis(400));
+        h0.broadcast(Payload::from("back online")).unwrap();
+        let after = h1
+            .next_delivery(Duration::from_secs(5))
+            .unwrap()
+            .expect("recovered node delivers again");
+        assert_eq!(after.1.as_bytes(), b"back online");
+
+        h0.shutdown();
         h1.shutdown();
     }
 }

@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::virtual_time::{VirtualCore, VirtualNet, VirtualOptions};
 use crate::NetError;
 
 /// A point-to-point frame transport bound to one process.
@@ -48,6 +49,10 @@ struct FabricShared {
     loss: Mutex<Configuration>,
     rng: Mutex<StdRng>,
     inboxes: BTreeMap<ProcessId, Sender<(ProcessId, Vec<u8>)>>,
+    /// Set on a virtual-time fabric: sends route through the time
+    /// authority (deterministic loss sampling, staggered arrival
+    /// scheduling) instead of the wall-clock channel path above.
+    virtual_core: Option<Arc<VirtualCore>>,
 }
 
 /// A lossy in-memory network connecting a set of [`FabricTransport`]s
@@ -102,6 +107,44 @@ impl Fabric {
         loss: Configuration,
         seed: u64,
     ) -> (BTreeMap<ProcessId, FabricTransport>, FabricControl) {
+        let (transports, shared) = Fabric::assemble(topology, loss, seed, None);
+        (transports, FabricControl { shared })
+    }
+
+    /// Builds a *virtual-time* fabric: one transport per process plus the
+    /// [`VirtualNet`] time authority that schedules every delivery, timer
+    /// and loss draw deterministically. Spawn each transport with
+    /// [`spawn_node_with_clock`](crate::spawn_node_with_clock) and
+    /// [`Clock::Virtual`](crate::Clock::Virtual)`(net.clock(id))`, then
+    /// drive the run through the returned [`VirtualNet`].
+    ///
+    /// A virtual fabric run is a deterministic function of
+    /// `(topology, loss, seed, options, script)`: re-running it yields a
+    /// byte-identical outcome, and running the same scenario on the
+    /// simulation kernel yields the *same* delivery counts and wire
+    /// metrics (asserted by `tests/fabric_conformance.rs`).
+    pub fn build_virtual(
+        topology: &Topology,
+        loss: Configuration,
+        seed: u64,
+        options: VirtualOptions,
+    ) -> (BTreeMap<ProcessId, FabricTransport>, VirtualNet) {
+        let net = VirtualNet::new(topology.clone(), loss, seed, options);
+        // The authority owns the live loss table and RNG; the wall-path
+        // copies in FabricShared would be dead state, so the shared
+        // side carries an empty configuration and a fixed seed instead
+        // of a second, misleading source of truth.
+        let (transports, _shared) =
+            Fabric::assemble(topology, Configuration::new(), 0, Some(net.core()));
+        (transports, net)
+    }
+
+    fn assemble(
+        topology: &Topology,
+        loss: Configuration,
+        seed: u64,
+        virtual_core: Option<Arc<VirtualCore>>,
+    ) -> (BTreeMap<ProcessId, FabricTransport>, Arc<FabricShared>) {
         let mut inboxes = BTreeMap::new();
         let mut receivers = BTreeMap::new();
         for p in topology.processes() {
@@ -114,6 +157,7 @@ impl Fabric {
             loss: Mutex::new(loss),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             inboxes,
+            virtual_core,
         });
         let transports = receivers
             .into_iter()
@@ -128,7 +172,7 @@ impl Fabric {
                 )
             })
             .collect();
-        (transports, FabricControl { shared })
+        (transports, shared)
     }
 }
 
@@ -181,6 +225,14 @@ impl Transport for FabricTransport {
     }
 
     fn send(&self, to: ProcessId, frame: &[u8]) -> Result<(), NetError> {
+        // On a virtual-time fabric the authority owns link validation,
+        // loss sampling and arrival scheduling; invalid destinations are
+        // counted there (as the kernel counts them), not surfaced as
+        // errors.
+        if let Some(core) = &self.shared.virtual_core {
+            core.send(self.id, to, frame);
+            return Ok(());
+        }
         let link = LinkId::new(self.id, to).map_err(|_| NetError::UnknownPeer(to))?;
         if !self.shared.topology.contains_link(link) {
             return Err(NetError::UnknownPeer(to));

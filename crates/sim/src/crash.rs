@@ -63,8 +63,14 @@ impl CrashModel {
 }
 
 /// Per-process crash state, advanced once per tick by the kernel.
+///
+/// Public so that substrates other than the simulation kernel — notably
+/// `diffuse-net`'s virtual-time fabric — can reproduce the kernel's
+/// crash phase bit-exactly: same state machine, same RNG draw pattern,
+/// same recovery reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct CrashState {
+pub struct CrashState {
+    /// Whether the process is currently up.
     pub up: bool,
     /// Ticks spent in the current down episode.
     pub down_ticks: u64,
@@ -72,7 +78,14 @@ pub(crate) struct CrashState {
     pub forced_down_remaining: u64,
 }
 
+impl Default for CrashState {
+    fn default() -> Self {
+        CrashState::new()
+    }
+}
+
 impl CrashState {
+    /// A freshly started (up) process.
     pub fn new() -> Self {
         CrashState {
             up: true,
@@ -83,6 +96,10 @@ impl CrashState {
 
     /// Advances one tick. Returns `Some(downtime)` when the process
     /// recovers on this tick (it is up again afterwards).
+    ///
+    /// Stochastic models consume randomness from `rng` in a fixed
+    /// per-call pattern; drivers that advance every process in id order
+    /// with a shared seeded RNG replay identically.
     pub fn advance<R: Rng + ?Sized>(&mut self, model: &CrashModel, rng: &mut R) -> Option<u64> {
         // Forced outages take precedence over the stochastic model.
         if self.forced_down_remaining > 0 {

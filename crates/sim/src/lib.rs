@@ -28,7 +28,7 @@ mod kernel;
 mod metrics;
 mod time;
 
-pub use crash::CrashModel;
+pub use crash::{CrashModel, CrashState};
 pub use kernel::{Actor, Context, SimMessage, SimOptions, Simulation};
 pub use metrics::Metrics;
 pub use time::{SimTime, TimerId};

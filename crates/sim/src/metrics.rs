@@ -31,26 +31,36 @@ impl Metrics {
     /// Records `n` sent copies in one pair of map updates — the kernel's
     /// outbox flush batches per destination and kind, since it is the
     /// Monte-Carlo hot path.
-    pub(crate) fn record_sent_batch(&mut self, link: LinkId, kind: &'static str, n: u64) {
+    ///
+    /// The recorders are public so alternate substrates (e.g.
+    /// `diffuse-net`'s virtual-time fabric) can account their wire events
+    /// in the same counters and be compared field-for-field against a
+    /// kernel run.
+    pub fn record_sent_batch(&mut self, link: LinkId, kind: &'static str, n: u64) {
         self.sent_total += n;
         *self.sent_by_kind.entry(kind).or_insert(0) += n;
         *self.sent_per_link.entry(link).or_insert(0) += n;
     }
 
-    pub(crate) fn record_delivered(&mut self, kind: &'static str) {
+    /// Records one message delivered to a running receiver.
+    pub fn record_delivered(&mut self, kind: &'static str) {
         self.delivered_total += 1;
         *self.delivered_by_kind.entry(kind).or_insert(0) += 1;
     }
 
-    pub(crate) fn record_lost(&mut self) {
+    /// Records one message destroyed by link loss.
+    pub fn record_lost(&mut self) {
         self.lost_in_link += 1;
     }
 
-    pub(crate) fn record_invalid_batch(&mut self, n: u64) {
+    /// Records `n` messages addressed to a non-neighbor or unknown
+    /// process.
+    pub fn record_invalid_batch(&mut self, n: u64) {
         self.dropped_invalid += n;
     }
 
-    pub(crate) fn record_dropped_receiver_down(&mut self) {
+    /// Records one message that arrived while its receiver was crashed.
+    pub fn record_dropped_receiver_down(&mut self) {
         self.dropped_receiver_down += 1;
     }
 

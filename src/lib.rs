@@ -24,7 +24,9 @@
 //!   reference baseline), the `reach`/`optimize` machinery, and the
 //!   [`Scenario`](core::Scenario) engine;
 //! * [`net`] — wire codec, lossy in-memory fabric, UDP transport, and a
-//!   deadline-sleeping node runtime.
+//!   deadline-sleeping node runtime that also runs under a *virtual
+//!   clock* ([`net::VirtualNet`]) for deterministic, kernel-bit-exact
+//!   fabric executions.
 //!
 //! # Quickstart
 //!
@@ -66,10 +68,17 @@
 //!     )
 //!     .build();
 //!
-//! // Run on the deterministic kernel (idle stretches fast-forward);
-//! // `diffuse::net::run_scenario_on_fabric` takes the same value.
+//! // Run on the deterministic kernel (idle stretches fast-forward).
 //! let report = scenario.run_sim(100, |id| OptimalBroadcast::new(id, knowledge.clone(), 0.9999));
 //! assert!(report.all_delivered_at_least(2));
+//!
+//! // The same value runs on the fabric of real threads: statistically
+//! // under the wall clock (`net::run_scenario_on_fabric`), or
+//! // *bit-identically* to the kernel under the virtual clock.
+//! let fabric = diffuse::net::run_scenario_on_fabric_virtual(&scenario, 100, |id| {
+//!     OptimalBroadcast::new(id, knowledge.clone(), 0.9999)
+//! });
+//! assert_eq!(report, fabric);
 //! # Ok(())
 //! # }
 //! ```

@@ -2,15 +2,13 @@
 //! workloads and fault scripts running identically on the simulation
 //! kernel and on the in-memory fabric of real threads.
 
-use std::time::Duration;
-
 use diffuse::core::scenario::{FaultAction, FaultScript, Scenario, Workload};
 use diffuse::core::{
     AdaptiveBroadcast, AdaptiveParams, NetworkKnowledge, OptimalBroadcast, Payload, ReferenceGossip,
 };
 use diffuse::graph::generators;
 use diffuse::model::{Configuration, LinkId, Probability, ProcessId};
-use diffuse::net::{run_scenario_on_fabric, FabricScenarioOptions};
+use diffuse::net::run_scenario_on_fabric_virtual;
 use diffuse::sim::SimTime;
 
 fn p(i: u32) -> ProcessId {
@@ -18,8 +16,14 @@ fn p(i: u32) -> ProcessId {
 }
 
 /// One scenario value — loss spike, heal, broadcasts before and after —
-/// runs unchanged on both substrates and every process delivers both
-/// broadcasts on each.
+/// runs unchanged on both substrates with *exact* agreement.
+///
+/// Until the virtual-time fabric landed, this test ran on the wall
+/// clock: the spike window needed wide margins around both broadcasts
+/// (command-poll latency plus scheduler jitter) and an 80 ms settle
+/// sleep, and only the delivery counts could be compared. Under virtual
+/// time the spike boundaries are exact ticks, there is no settle slack,
+/// and the whole report — including wire metrics — must be equal.
 #[test]
 fn loss_spike_scenario_runs_on_kernel_and_fabric() {
     let topology = generators::circulant(8, 4).unwrap();
@@ -31,7 +35,11 @@ fn loss_spike_scenario_runs_on_kernel_and_fabric() {
         .workload(
             Workload::new()
                 .broadcast(SimTime::new(2), p(0), Payload::from("before"))
-                .broadcast(SimTime::new(100), p(3), Payload::from("after")),
+                // Issued at *exactly* the heal tick: faults apply before
+                // broadcasts at equal times on every substrate, so this
+                // one rides the healed links — an assertion only exact
+                // virtual timing can make.
+                .broadcast(SimTime::new(70), p(3), Payload::from("after")),
         )
         .faults(
             FaultScript::new()
@@ -55,28 +63,19 @@ fn loss_spike_scenario_runs_on_kernel_and_fabric() {
     );
     assert_eq!(sim_report.failed_broadcasts, 0);
 
-    // Substrate 2: the same scenario value on real threads. The spike
-    // window (ticks 45–70) sits well clear of both broadcasts — wide
-    // margins because issue latency on the fabric includes the 25 ms
-    // command poll plus scheduler jitter.
-    let fabric_report = run_scenario_on_fabric(
-        &scenario,
-        FabricScenarioOptions {
-            tick_interval: Duration::from_millis(2),
-            run_ticks: 160,
-            settle: Duration::from_millis(80),
-        },
-        |id| OptimalBroadcast::new(id, knowledge.clone(), 0.9999),
-    );
-    assert!(
-        fabric_report.all_delivered_at_least(2),
-        "fabric run: {fabric_report:?}"
-    );
-    assert_eq!(fabric_report.failed_broadcasts, 0);
-    assert_eq!(fabric_report.skipped_faults, 0);
+    // Substrate 2: the same scenario value on real threads under the
+    // virtual clock. No margins, no settle: the report must be equal
+    // field for field.
+    let fabric_report = run_scenario_on_fabric_virtual(&scenario, 160, |id| {
+        OptimalBroadcast::new(id, knowledge.clone(), 0.9999)
+    });
+    assert_eq!(sim_report, fabric_report);
 
-    // The two substrates agree on the per-process outcome exactly.
-    assert_eq!(sim_report.delivered, fabric_report.delivered);
+    assert_eq!(fabric_report.skipped_faults, 0);
+    assert!(
+        fabric_report.metrics.as_ref().unwrap().sent_total() > 0,
+        "{fabric_report:?}"
+    );
 }
 
 /// The satellite requirement: a partition-then-heal fault script, after
