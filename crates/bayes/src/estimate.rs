@@ -90,12 +90,30 @@ impl fmt::Display for Distortion {
 /// its distortion factor `d`. The protocol-level bookkeeping (heartbeat
 /// sequence numbers, suspicion counters, timeouts) lives with the adaptive
 /// protocol in `diffuse-core`; this type is the portable, gossiped part.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Every estimate carries a monotone [`version`](Estimate::version)
+/// stamp, bumped by **any** mutation of the beliefs or the distortion —
+/// the fields are private, and the only mutation paths
+/// ([`beliefs_mut`](Estimate::beliefs_mut),
+/// [`set_distortion`](Estimate::set_distortion),
+/// [`adopt_if_better`](Estimate::adopt_if_better),
+/// [`adopt`](Estimate::adopt)) bump it. The adaptive protocol's delta
+/// heartbeats use the version to detect which entries of a knowledge
+/// view changed since the last emission. Versions are local bookkeeping:
+/// they never travel on the wire and are excluded from equality.
+#[derive(Debug, Clone, Default)]
 pub struct Estimate {
-    /// The Bayesian posterior over the failure probability.
-    pub beliefs: BeliefEstimator,
-    /// How eroded this posterior is.
-    pub distortion: Distortion,
+    beliefs: BeliefEstimator,
+    distortion: Distortion,
+    version: u64,
+}
+
+impl PartialEq for Estimate {
+    /// Equality over the gossiped content (beliefs + distortion); the
+    /// local [`version`](Estimate::version) stamp is excluded.
+    fn eq(&self, other: &Self) -> bool {
+        self.beliefs == other.beliefs && self.distortion == other.distortion
+    }
 }
 
 impl Estimate {
@@ -105,6 +123,7 @@ impl Estimate {
         Estimate {
             beliefs: BeliefEstimator::new(intervals),
             distortion: Distortion::Infinite,
+            version: 0,
         }
     }
 
@@ -115,6 +134,52 @@ impl Estimate {
         Estimate {
             beliefs: BeliefEstimator::new(intervals),
             distortion: Distortion::ZERO,
+            version: 0,
+        }
+    }
+
+    /// Assembles an estimate from its parts (e.g. decoded from the wire),
+    /// at version 0.
+    pub fn from_parts(beliefs: BeliefEstimator, distortion: Distortion) -> Self {
+        Estimate {
+            beliefs,
+            distortion,
+            version: 0,
+        }
+    }
+
+    /// The Bayesian posterior over the failure probability.
+    pub fn beliefs(&self) -> &BeliefEstimator {
+        &self.beliefs
+    }
+
+    /// How eroded this posterior is.
+    pub fn distortion(&self) -> Distortion {
+        self.distortion
+    }
+
+    /// Monotone mutation counter: strictly increases across any sequence
+    /// of mutations of this estimate. Two reads returning the same value
+    /// guarantee the beliefs and distortion are bitwise unchanged in
+    /// between.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Mutable access to the posterior. Taking the reference counts as a
+    /// mutation: the version is bumped unconditionally (a spurious bump
+    /// only costs a redundant delta entry, never correctness).
+    pub fn beliefs_mut(&mut self) -> &mut BeliefEstimator {
+        self.version += 1;
+        &mut self.beliefs
+    }
+
+    /// Replaces the distortion, bumping the version if it actually
+    /// changes.
+    pub fn set_distortion(&mut self, distortion: Distortion) {
+        if self.distortion != distortion {
+            self.distortion = distortion;
+            self.version += 1;
         }
     }
 
@@ -123,10 +188,20 @@ impl Estimate {
     /// adopted copy is second-hand). Returns `true` if adopted.
     ///
     /// Adoption is cheap: the belief vector is shared copy-on-write.
+    /// The version is bumped only when the adoption actually changes the
+    /// stored bits — re-adopting an identical estimate (the steady state
+    /// for entries reachable through several equally distorted
+    /// neighbors) is a value no-op and must not masquerade as a change,
+    /// or delta heartbeats would re-gossip the whole converged view
+    /// forever.
     pub fn adopt_if_better(&mut self, theirs: &Estimate) -> bool {
         if theirs.distortion < self.distortion {
+            let distortion = theirs.distortion.incremented();
+            if self.distortion != distortion || !self.beliefs.bits_eq(&theirs.beliefs) {
+                self.version += 1;
+            }
             self.beliefs = theirs.beliefs.clone();
-            self.distortion = theirs.distortion.incremented();
+            self.distortion = distortion;
             true
         } else {
             false
@@ -135,9 +210,14 @@ impl Estimate {
 
     /// Adopts `theirs` unconditionally, incrementing distortion — used for
     /// links freshly learned from a neighbor (Algorithm 4, lines 30–32).
+    /// Same value-change version rule as [`Estimate::adopt_if_better`].
     pub fn adopt(&mut self, theirs: &Estimate) {
+        let distortion = theirs.distortion.incremented();
+        if self.distortion != distortion || !self.beliefs.bits_eq(&theirs.beliefs) {
+            self.version += 1;
+        }
         self.beliefs = theirs.beliefs.clone();
-        self.distortion = theirs.distortion.incremented();
+        self.distortion = distortion;
     }
 }
 
@@ -175,20 +255,20 @@ mod tests {
     fn adopt_if_better_takes_less_distorted() {
         let mut mine = Estimate::unknown(10);
         let mut theirs = Estimate::first_hand(10);
-        theirs.beliefs.decrease_reliability(3);
+        theirs.beliefs_mut().decrease_reliability(3);
 
         assert!(mine.adopt_if_better(&theirs));
         // Adopted copy is second-hand: distortion 0 + 1.
-        assert_eq!(mine.distortion, Distortion::finite(1));
-        assert_eq!(mine.beliefs, theirs.beliefs);
+        assert_eq!(mine.distortion(), Distortion::finite(1));
+        assert_eq!(mine.beliefs(), theirs.beliefs());
         // Shared storage until someone mutates.
-        assert!(mine.beliefs.shares_storage_with(&theirs.beliefs));
+        assert!(mine.beliefs().shares_storage_with(theirs.beliefs()));
     }
 
     #[test]
     fn adopt_if_better_keeps_equal_or_better() {
         let mut mine = Estimate::first_hand(10);
-        mine.beliefs.increase_reliability(1);
+        mine.beliefs_mut().increase_reliability(1);
         let kept = mine.clone();
 
         // Equal distortion: keep ours (strict inequality in Algorithm 3).
@@ -207,10 +287,7 @@ mod tests {
         // The paper: "having the distortion factor C_j[p_j].d = 0
         // guarantees that the estimate of p_j concerning its own
         // reliability will always be adopted by p_k".
-        let mut relayed = Estimate {
-            beliefs: BeliefEstimator::new(10),
-            distortion: Distortion::finite(1),
-        };
+        let mut relayed = Estimate::from_parts(BeliefEstimator::new(10), Distortion::finite(1));
         let self_estimate = Estimate::first_hand(10);
         assert!(relayed.adopt_if_better(&self_estimate));
     }
@@ -218,12 +295,9 @@ mod tests {
     #[test]
     fn unconditional_adopt_increments_distortion() {
         let mut mine = Estimate::first_hand(5);
-        let theirs = Estimate {
-            beliefs: BeliefEstimator::new(5),
-            distortion: Distortion::finite(7),
-        };
+        let theirs = Estimate::from_parts(BeliefEstimator::new(5), Distortion::finite(7));
         mine.adopt(&theirs);
-        assert_eq!(mine.distortion, Distortion::finite(8));
+        assert_eq!(mine.distortion(), Distortion::finite(8));
     }
 
     #[test]
@@ -231,6 +305,45 @@ mod tests {
         let mut mine = Estimate::unknown(5);
         let theirs = Estimate::unknown(5);
         assert!(!mine.adopt_if_better(&theirs));
-        assert!(mine.distortion.is_infinite());
+        assert!(mine.distortion().is_infinite());
+    }
+
+    #[test]
+    fn version_moves_on_every_mutation_path() {
+        let mut e = Estimate::first_hand(5);
+        assert_eq!(e.version(), 0);
+
+        e.beliefs_mut().decrease_reliability(1);
+        let v1 = e.version();
+        assert!(v1 > 0);
+
+        // A no-op distortion write does not bump.
+        e.set_distortion(Distortion::ZERO);
+        assert_eq!(e.version(), v1);
+        e.set_distortion(Distortion::finite(3));
+        assert!(e.version() > v1);
+
+        // Adoption bumps only when something is adopted.
+        let v2 = e.version();
+        let better = Estimate::first_hand(5);
+        assert!(e.adopt_if_better(&better));
+        assert!(e.version() > v2);
+        let v3 = e.version();
+        assert!(!e.adopt_if_better(&Estimate::unknown(5)));
+        assert_eq!(e.version(), v3);
+
+        e.adopt(&Estimate::unknown(5));
+        assert!(e.version() > v3);
+    }
+
+    #[test]
+    fn equality_ignores_the_version_stamp() {
+        let mut a = Estimate::first_hand(8);
+        let b = Estimate::first_hand(8);
+        // Bump a's version without changing its content.
+        a.set_distortion(Distortion::finite(1));
+        a.set_distortion(Distortion::ZERO);
+        assert!(a.version() > b.version());
+        assert_eq!(a, b);
     }
 }

@@ -304,6 +304,23 @@ impl BeliefEstimator {
     pub fn shares_storage_with(&self, other: &BeliefEstimator) -> bool {
         Arc::ptr_eq(&self.beliefs, &other.beliefs)
     }
+
+    /// Bitwise equality of the belief vectors, with a shared-storage
+    /// fast path.
+    ///
+    /// Stricter than `==` (which treats `-0.0 == 0.0`): used where a
+    /// "did the value really change" decision must agree with
+    /// bit-identity guarantees, e.g. the adaptive protocol's
+    /// changed-entry detection for delta heartbeats.
+    pub fn bits_eq(&self, other: &BeliefEstimator) -> bool {
+        Arc::ptr_eq(&self.beliefs, &other.beliefs)
+            || (self.beliefs.len() == other.beliefs.len()
+                && self
+                    .beliefs
+                    .iter()
+                    .zip(other.beliefs.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()))
+    }
 }
 
 impl Default for BeliefEstimator {

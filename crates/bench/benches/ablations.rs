@@ -84,7 +84,7 @@ fn bench_estimate_adoption(c: &mut Criterion) {
         .sample_size(30)
         .measurement_time(Duration::from_secs(3));
     let mut theirs = Estimate::first_hand(100);
-    theirs.beliefs.decrease_reliability(5);
+    theirs.beliefs_mut().decrease_reliability(5);
     group.bench_function("cow_adopt", |b| {
         b.iter(|| {
             let mut mine = Estimate::unknown(100);
@@ -94,13 +94,12 @@ fn bench_estimate_adoption(c: &mut Criterion) {
     });
     group.bench_function("deep_copy_adopt", |b| {
         b.iter(|| {
-            let mut mine = Estimate::unknown(100);
             // Rebuild the belief vector from raw values: what adoption
             // would cost without structural sharing.
-            mine.beliefs =
-                BeliefEstimator::from_beliefs(theirs.beliefs.beliefs().to_vec()).unwrap();
-            mine.distortion = theirs.distortion.incremented();
-            mine
+            Estimate::from_parts(
+                BeliefEstimator::from_beliefs(theirs.beliefs().beliefs().to_vec()).unwrap(),
+                theirs.distortion().incremented(),
+            )
         })
     });
     group.finish();

@@ -12,6 +12,7 @@ use diffuse_core::{
     optimize, optimize_greedy, reach, Actions, AdaptiveBroadcast, AdaptiveParams, LegacyTickShim,
     MessageVector, Protocol, ProtocolActor,
 };
+use diffuse_experiments::scale::{converged_params, KernelOrderSystem};
 use diffuse_graph::maximum_reliability_tree;
 use diffuse_model::ProcessId;
 use diffuse_net::codec::{decode_message, encode_message};
@@ -88,66 +89,178 @@ fn bench_bayes(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_heartbeat_processing(c: &mut Criterion) {
+/// One full heartbeat round (emit + suspicion scan + self tick on every
+/// node, then every heartbeat merged at its receiver), driving the
+/// production `on_event` path directly — no shim or kernel overhead, so
+/// the number stays comparable across PRs.
+fn heartbeat_round(
+    b: &mut criterion::Bencher,
+    topology: &diffuse_model::Topology,
+    params: &AdaptiveParams,
+) {
     use diffuse_core::Event;
+    let all: Vec<ProcessId> = topology.processes().collect();
+    let mut nodes: Vec<AdaptiveBroadcast> = all
+        .iter()
+        .map(|&id| {
+            AdaptiveBroadcast::new(
+                id,
+                all.clone(),
+                topology.neighbors(id).collect(),
+                params.clone(),
+            )
+        })
+        .collect();
+    let mut actions = Actions::new();
+    let mut tick = 0u64;
+    b.iter(|| {
+        tick += 1;
+        let now = SimTime::new(tick);
+        let mut inboxes: Vec<(usize, ProcessId, diffuse_core::Message)> = Vec::new();
+        for node in nodes.iter_mut() {
+            node.on_event(
+                now,
+                Event::Timer(AdaptiveBroadcast::HEARTBEAT),
+                &mut actions,
+            );
+            node.on_event(
+                now,
+                Event::Timer(AdaptiveBroadcast::SUSPICION),
+                &mut actions,
+            );
+            node.on_event(
+                now,
+                Event::Timer(AdaptiveBroadcast::SELF_TICK),
+                &mut actions,
+            );
+            let from = node.id();
+            for (to, m) in actions.take_sends() {
+                // Fixture ids are dense 0..n: direct index routing.
+                inboxes.push((to.index() as usize, from, m));
+            }
+            actions.clear();
+        }
+        for (target, from, m) in inboxes {
+            nodes[target].handle_message(now, from, m, &mut actions);
+            actions.clear();
+        }
+    });
+}
 
-    // End-to-end cost of one heartbeat round on a 30-node system,
-    // driving the production `on_event` path directly (one heartbeat
-    // timer + one suspicion-scan timer per node per round — the work a
-    // round costs regardless of driver; no shim or kernel overhead, so
-    // the number stays comparable across PRs).
+fn bench_heartbeat_processing(c: &mut Criterion) {
+    // End-to-end cost of one heartbeat round, on the default (delta)
+    // path and on the full-view reference path — the ratio of the two
+    // 100-node rounds is the delta-heartbeat speedup recorded in
+    // BENCH_micro.json.
     let mut group = c.benchmark_group("heartbeat");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(4));
-    let (topology, _) = fixture(30, 4, 0.0);
-    let all: Vec<ProcessId> = topology.processes().collect();
+    let (topo30, _) = fixture(30, 4, 0.0);
     group.bench_function("round_30_nodes", |b| {
-        let mut nodes: Vec<AdaptiveBroadcast> = all
-            .iter()
-            .map(|&id| {
-                AdaptiveBroadcast::new(
-                    id,
-                    all.clone(),
-                    topology.neighbors(id).collect(),
-                    AdaptiveParams::default(),
+        heartbeat_round(b, &topo30, &AdaptiveParams::default())
+    });
+    let (topo100, _) = fixture(100, 4, 0.0);
+    group.bench_function("round_100_nodes", |b| {
+        heartbeat_round(b, &topo100, &AdaptiveParams::default())
+    });
+    group.bench_function("round_100_nodes_full_view", |b| {
+        heartbeat_round(b, &topo100, &AdaptiveParams::default().with_full_views())
+    });
+    group.bench_function("round_100_nodes_converged", |b| {
+        converged_round(b, &topo100, &converged_params())
+    });
+    group.bench_function("round_100_nodes_converged_full_view", |b| {
+        converged_round(b, &topo100, &converged_params().with_full_views())
+    });
+    group.finish();
+}
+
+/// One converged-regime heartbeat round (see [`KernelOrderSystem`]).
+fn converged_round(
+    b: &mut criterion::Bencher,
+    topology: &diffuse_model::Topology,
+    params: &AdaptiveParams,
+) {
+    let mut system = KernelOrderSystem::warmed(topology, params, 400);
+    b.iter(|| system.round());
+}
+
+/// Per-operation costs of the delta machinery on a converged 100-node
+/// system: copy-on-write view sync + delta assembly (`build_delta`),
+/// changed-entry merge (`merge_delta`), and the wire codec on a
+/// steady-state delta frame.
+fn bench_delta_view_ops(c: &mut Criterion) {
+    use diffuse_core::{Event, Message};
+    let mut group = c.benchmark_group("view");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    let (topology, _) = fixture(100, 4, 0.0);
+    let all: Vec<ProcessId> = topology.processes().collect();
+    let mut system = KernelOrderSystem::warmed(&topology, &converged_params(), 400);
+    let mut actions = Actions::new();
+    let mut tick = system.now().ticks();
+    // A steady-state delta frame (node 1 → node 0) for the merge and
+    // codec benches.
+    let (sender_idx, receiver_idx) = (1usize, 0usize);
+    let delta_message = system
+        .pending
+        .iter()
+        .find(|(target, from, m)| {
+            *target as usize == receiver_idx
+                && *from == all[sender_idx]
+                && matches!(
+                    m,
+                    Message::Heartbeat(diffuse_core::HeartbeatMessage {
+                        view: diffuse_core::HeartbeatView::Delta(_),
+                        ..
+                    })
                 )
-            })
-            .collect();
-        let mut actions = Actions::new();
-        let mut tick = 0u64;
+        })
+        .map(|(_, _, m)| m.clone())
+        .expect("converged system emits delta heartbeats");
+    let nodes = &mut system.nodes;
+
+    group.bench_function("build_delta", |b| {
+        // Each iteration is one steady-state emission: CoW cache sync
+        // (version walk, nothing to clone) + per-neighbor delta
+        // assembly + sends.
+        let node = &mut nodes[sender_idx];
         b.iter(|| {
             tick += 1;
-            let now = SimTime::new(tick);
-            let mut inboxes: Vec<(usize, ProcessId, diffuse_core::Message)> = Vec::new();
-            for node in nodes.iter_mut() {
-                node.on_event(
-                    now,
-                    Event::Timer(AdaptiveBroadcast::HEARTBEAT),
-                    &mut actions,
-                );
-                node.on_event(
-                    now,
-                    Event::Timer(AdaptiveBroadcast::SUSPICION),
-                    &mut actions,
-                );
-                node.on_event(
-                    now,
-                    Event::Timer(AdaptiveBroadcast::SELF_TICK),
-                    &mut actions,
-                );
-                let from = node.id();
-                for (to, m) in actions.take_sends() {
-                    let target = all.iter().position(|&p| p == to).unwrap();
-                    inboxes.push((target, from, m));
-                }
-                actions.clear();
-            }
-            for (target, from, m) in inboxes {
-                nodes[target].handle_message(now, from, m, &mut actions);
-                actions.clear();
-            }
-        });
+            node.on_event(
+                SimTime::new(tick),
+                Event::Timer(AdaptiveBroadcast::HEARTBEAT),
+                &mut actions,
+            );
+            let sends = actions.take_sends().len();
+            actions.clear();
+            sends
+        })
+    });
+    group.bench_function("merge_delta", |b| {
+        // Re-merging the same frame: reconcile dedups on the repeated
+        // seq, and the changed-entry walk plus the unchanged-entry fast
+        // paths run every iteration — the steady-state receive cost.
+        let from = all[sender_idx];
+        let node = &mut nodes[receiver_idx];
+        b.iter(|| {
+            node.handle_message(
+                SimTime::new(tick),
+                from,
+                delta_message.clone(),
+                &mut actions,
+            );
+            actions.clear();
+        })
+    });
+    let frame = encode_message(&delta_message);
+    group.bench_function("encode_delta", |b| {
+        b.iter(|| encode_message(&delta_message))
+    });
+    group.bench_function("decode_delta", |b| {
+        b.iter(|| decode_message(&frame).unwrap())
     });
     group.finish();
 }
@@ -302,6 +415,7 @@ criterion_group!(
     bench_reach_and_optimize,
     bench_bayes,
     bench_heartbeat_processing,
+    bench_delta_view_ops,
     bench_codec,
     bench_fast_forward
 );

@@ -14,6 +14,22 @@
 //! enough, every process's view converges to the real `(G, C)` and the
 //! broadcast activity's message counts coincide with the optimal
 //! algorithm's — the paper's Definition 2 of adaptiveness.
+//!
+//! # Delta heartbeats
+//!
+//! Under the default [`ViewMode::Delta`], heartbeats carry only the view
+//! entries whose [`Estimate::version`] moved since the last generation
+//! the receiver acknowledged (piggybacked on its own heartbeats back to
+//! us), with a full-view fallback on first contact, on any topology
+//! change, and until the latest full view is acknowledged. Deltas are
+//! *cumulative since their base*, so a lost heartbeat merely widens the
+//! next delta instead of wedging convergence. The receiver keeps a
+//! cheap copy-on-write mirror of each neighbor's view plus a per-entry
+//! evaluation memo, which is what makes skipping unchanged entries an
+//! *exact* optimization: the resulting estimates, broadcast plans and
+//! wire metrics are bit-identical to [`ViewMode::Full`] (the paper's
+//! literal data flow, kept as the executable specification) — asserted
+//! by the full-vs-delta equivalence property test.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -22,10 +38,12 @@ use diffuse_bayes::{Distortion, Estimate};
 use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
 use diffuse_sim::{SimTime, TimerId};
 
-use crate::knowledge::View;
+use crate::knowledge::{DeltaView, View};
 use crate::optimal::propagate;
-use crate::params::{AdaptiveParams, CorrectionMode, LinkBlame, ReconcileMode};
-use crate::protocol::{Actions, BroadcastId, Event, HeartbeatMessage, Message, Payload, Protocol};
+use crate::params::{AdaptiveParams, CorrectionMode, LinkBlame, ReconcileMode, ViewMode};
+use crate::protocol::{
+    Actions, BroadcastId, Event, HeartbeatMessage, HeartbeatView, Message, Payload, Protocol,
+};
 use crate::{CoreError, NetworkKnowledge};
 
 /// Per-process bookkeeping (`C_k[p_i]` plus its protocol fields).
@@ -44,6 +62,208 @@ struct PeerRecord {
     /// Ticks this process itself was down since the last heartbeat from
     /// this peer — misses that must not be blamed on the link.
     downtime_since_receipt: u64,
+}
+
+/// The suspicion-deadline schedule: the set of times at which an
+/// Event-2 scan may be due.
+///
+/// Peer deadlines themselves live on the `PeerRecord`s; this is the
+/// **insert-only** (lazy-deletion) index over them. Every deadline
+/// assignment registers its time; nothing is ever removed when a
+/// deadline moves — a superseded time simply fires a scan that finds
+/// the peers not yet due and skips them, and expired times are dropped
+/// as the scan consumes them. Arming the `SUSPICION` timer is a plain
+/// `first()`. This replaces the eager remove+insert per deadline reset
+/// (a `BTreeSet<(SimTime, ProcessId)>` rebalance, ~120 resets per node
+/// per round at n = 30) that cost ~28% of `heartbeat/round_30_nodes`
+/// after PR 3; times dedup in the set, so the steady state inserts
+/// one sentinel per distinct deadline instead of two rebalances per
+/// reset.
+#[derive(Debug, Default)]
+struct DeadlineQueue {
+    times: BTreeSet<SimTime>,
+    /// The time of the most recent insert, skipping the set lookup for
+    /// the common burst of same-deadline resets within one handler.
+    /// Cleared on expiry (a cached time may otherwise refer to an
+    /// already-consumed sentinel).
+    last: Option<SimTime>,
+}
+
+impl DeadlineQueue {
+    fn insert(&mut self, at: SimTime) {
+        if self.last != Some(at) {
+            self.times.insert(at);
+            self.last = Some(at);
+        }
+    }
+
+    /// The earliest scheduled scan time, if any.
+    fn earliest(&self) -> Option<SimTime> {
+        self.times.first().copied()
+    }
+
+    /// Drops every scan time due at or before `now`; returns `true` if
+    /// there was any (i.e. a scan is warranted).
+    fn expire(&mut self, now: SimTime) -> bool {
+        self.last = None;
+        let mut fired = false;
+        while let Some(&at) = self.times.first() {
+            if at > now {
+                break;
+            }
+            self.times.pop_first();
+            fired = true;
+        }
+        fired
+    }
+}
+
+/// Where a mirrored estimate lives.
+///
+/// The common case — an entry updated by the most recent frame — is a
+/// bare index into the mirror's retained `latest` frame, so merging a
+/// dense delta writes one `u32` per entry instead of cloning estimates.
+/// Entries the next frame does *not* update are materialized to
+/// [`MirrorValue::Inline`] before the frame is replaced; that
+/// materialization pass costs exactly the churn difference between two
+/// consecutive frames (zero in a fully dense stream, tiny in a sparse
+/// one).
+#[derive(Debug)]
+enum MirrorValue {
+    /// Owned copy, materialized when its source frame was replaced.
+    Inline(Estimate),
+    /// Index into the mirror's `latest` frame (the entry's own table:
+    /// processes or links).
+    Latest(u32),
+}
+
+/// One mirrored view entry plus the evaluation memo against it.
+#[derive(Debug)]
+struct MirrorEntry<K> {
+    key: K,
+    /// The neighbor's estimate as last seen (see [`MirrorValue`]).
+    value: MirrorValue,
+    /// Our own estimate's version when this entry was last evaluated.
+    my_version: u64,
+    /// Whether that evaluation adopted the neighbor's estimate.
+    adopted: bool,
+}
+
+/// Receiver-side mirror of one neighbor's last-known view.
+#[derive(Debug)]
+struct NeighborMirror {
+    /// Generation of the last merged frame — the value acknowledged back
+    /// to this neighbor.
+    generation: u64,
+    /// The neighbor's topology version backing this mirror.
+    topology_version: u64,
+    /// The most recent frame merged; `MirrorValue::Latest` entries
+    /// resolve into it.
+    latest: HeartbeatView,
+    processes: Vec<MirrorEntry<ProcessId>>,
+    links: Vec<MirrorEntry<LinkId>>,
+    /// Ascending indices of `processes` entries currently pointing at
+    /// `latest`.
+    latest_procs: Vec<u32>,
+    /// Same, for `links`.
+    latest_links: Vec<u32>,
+}
+
+/// Resolves a process-table index of a retained frame.
+fn frame_process(frame: &HeartbeatView, idx: u32) -> &Estimate {
+    match frame {
+        HeartbeatView::Full(v) => &v.processes[idx as usize].1,
+        HeartbeatView::Delta(d) => &d.processes[idx as usize].1,
+    }
+}
+
+/// Resolves a link-table index of a retained frame.
+fn frame_link(frame: &HeartbeatView, idx: u32) -> &Estimate {
+    match frame {
+        HeartbeatView::Full(v) => &v.links[idx as usize].1,
+        HeartbeatView::Delta(d) => &d.links[idx as usize].1,
+    }
+}
+
+/// Materializes the entries of `old_frame` that the newly merged frame
+/// did not re-point (`old_members \ new_members`, both ascending): their
+/// source frame is about to be dropped, so the mirror takes an owned
+/// copy. Cost is exactly the churn difference between the two frames.
+fn materialize_dropped<K>(
+    entries: &mut [MirrorEntry<K>],
+    old_frame: &HeartbeatView,
+    resolve: impl Fn(&HeartbeatView, u32) -> Estimate,
+    old_members: &[u32],
+    new_members: &[u32],
+) {
+    if old_members == new_members {
+        // The new frame re-pointed exactly the old frame's entries — the
+        // steady state of a dense delta stream. One memcmp skips the
+        // walk.
+        return;
+    }
+    let mut new_it = new_members.iter().peekable();
+    for &ei in old_members {
+        while new_it.peek().is_some_and(|&&n| n < ei) {
+            new_it.next();
+        }
+        if new_it.peek() == Some(&&ei) {
+            continue; // re-pointed at the new frame
+        }
+        let entry = &mut entries[ei as usize];
+        if let MirrorValue::Latest(idx) = entry.value {
+            entry.value = MirrorValue::Inline(resolve(old_frame, idx));
+        }
+    }
+}
+
+/// Sender-side per-neighbor delta bookkeeping.
+#[derive(Debug, Default, Clone)]
+struct NeighborEmission {
+    /// Latest generation this neighbor acknowledged (0 = none yet).
+    acked: u64,
+}
+
+/// Sender-side emission state: the cached copy-on-write view and the
+/// change bookkeeping that deltas are assembled from.
+#[derive(Debug)]
+struct EmissionCache {
+    /// Emission counter; stamped into every outgoing view frame.
+    generation: u64,
+    /// The cached full view, rebuilt copy-on-write per emission for the
+    /// entries whose version moved.
+    view: Arc<View>,
+    /// Per `view.processes` entry: (estimate version at last sync,
+    /// generation of the last sync that changed it).
+    proc_sync: Vec<(u64, u64)>,
+    /// Same, for `view.links`.
+    link_sync: Vec<(u64, u64)>,
+    /// The generation at which our topology version last changed. A
+    /// neighbor whose ack predates it may hold a mirror with the old
+    /// topology, so it gets full views until a newer ack arrives;
+    /// everyone else gets deltas.
+    topo_change_gen: u64,
+    /// Per-neighbor ack bookkeeping.
+    neighbors: BTreeMap<ProcessId, NeighborEmission>,
+}
+
+impl Default for EmissionCache {
+    fn default() -> Self {
+        EmissionCache {
+            generation: 0,
+            view: Arc::new(View {
+                generation: 0,
+                topology_version: 0,
+                topology: Arc::new(Topology::new()),
+                processes: Vec::new(),
+                links: Vec::new(),
+            }),
+            proc_sync: Vec::new(),
+            link_sync: Vec::new(),
+            topo_change_gen: 0,
+            neighbors: BTreeMap::new(),
+        }
+    }
 }
 
 /// The adaptive reliable broadcast protocol.
@@ -106,9 +326,16 @@ pub struct AdaptiveBroadcast {
 
     peers: BTreeMap<ProcessId, PeerRecord>,
     links: BTreeMap<LinkId, Estimate>,
-    /// Peer deadlines mirrored in deadline order, so the earliest
-    /// Event-2 check is O(1) to find when (re)arming [`Self::SUSPICION`].
-    deadline_queue: BTreeSet<(SimTime, ProcessId)>,
+    /// Insert-only schedule of Event-2 scan times (see
+    /// [`DeadlineQueue`]).
+    deadlines: DeadlineQueue,
+
+    /// Sender-side delta emission state.
+    emission: EmissionCache,
+    /// Receiver-side per-neighbor view mirrors (delta mode only).
+    mirrors: BTreeMap<ProcessId, NeighborMirror>,
+    /// Recycled frame-member index buffers for delta merges.
+    member_scratch: (Vec<u32>, Vec<u32>),
 
     my_seq: u64,
     next_heartbeat: SimTime,
@@ -189,11 +416,10 @@ impl AdaptiveBroadcast {
             links.insert(link, Estimate::first_hand(u));
         }
 
-        let deadline_queue = peers
-            .iter()
-            .filter(|&(&p, _)| p != id)
-            .map(|(&p, r)| (r.deadline, p))
-            .collect();
+        let mut deadlines = DeadlineQueue::default();
+        for (_, r) in peers.iter().filter(|&(&p, _)| p != id) {
+            deadlines.insert(r.deadline);
+        }
 
         AdaptiveBroadcast {
             id,
@@ -204,7 +430,10 @@ impl AdaptiveBroadcast {
             merged_versions: BTreeMap::new(),
             peers,
             links,
-            deadline_queue,
+            deadlines,
+            emission: EmissionCache::default(),
+            mirrors: BTreeMap::new(),
+            member_scratch: (Vec::new(), Vec::new()),
             my_seq: 0,
             next_heartbeat: SimTime::ZERO,
             next_self_tick: SimTime::new(params.self_tick_period),
@@ -230,13 +459,13 @@ impl AdaptiveBroadcast {
     /// Current estimate of a process's crash probability (posterior
     /// mean), or `None` for unknown processes.
     pub fn estimated_crash(&self, p: ProcessId) -> Option<Probability> {
-        self.peers.get(&p).map(|r| r.estimate.beliefs.mean())
+        self.peers.get(&p).map(|r| r.estimate.beliefs().mean())
     }
 
     /// Current estimate of a link's loss probability (posterior mean), or
     /// `None` for unknown links.
     pub fn estimated_loss(&self, l: LinkId) -> Option<Probability> {
-        self.links.get(&l).map(|e| e.beliefs.mean())
+        self.links.get(&l).map(|e| e.beliefs().mean())
     }
 
     /// The full estimate (posterior + distortion) for a process.
@@ -270,17 +499,21 @@ impl AdaptiveBroadcast {
     pub fn knowledge_snapshot(&self) -> NetworkKnowledge {
         let mut config = Configuration::new();
         for (&p, record) in &self.peers {
-            config.set_crash(p, record.estimate.beliefs.mean());
+            config.set_crash(p, record.estimate.beliefs().mean());
         }
         for (&l, estimate) in &self.links {
-            config.set_loss(l, estimate.beliefs.mean());
+            config.set_loss(l, estimate.beliefs().mean());
         }
         NetworkKnowledge::exact(Topology::clone(&self.topology), config)
     }
 
-    /// Builds the shareable view of `(Λ_k, C_k)` for heartbeats.
-    fn build_view(&self) -> Arc<View> {
+    /// Legacy full-view snapshot: fresh vectors, one allocation per
+    /// emission (the [`ViewMode::Full`] executable-specification path,
+    /// also used to seed tests).
+    fn build_full_view(&mut self) -> Arc<View> {
+        self.emission.generation += 1;
         Arc::new(View {
+            generation: self.emission.generation,
             topology_version: self.topology_version,
             topology: Arc::clone(&self.topology),
             processes: self
@@ -290,6 +523,107 @@ impl AdaptiveBroadcast {
                 .collect(),
             links: self.links.iter().map(|(&l, e)| (l, e.clone())).collect(),
         })
+    }
+
+    /// Brings the cached view up to date copy-on-write: only entries
+    /// whose [`Estimate::version`] moved since the last sync are
+    /// touched, and each such entry records the new generation as its
+    /// last-change generation (the key deltas are filtered by).
+    fn sync_view_cache(&mut self) {
+        self.emission.generation += 1;
+        let g = self.emission.generation;
+        if self.emission.proc_sync.is_empty() {
+            // First emission: build the cache outright.
+            self.emission.topo_change_gen = g;
+            self.emission.proc_sync = self
+                .peers
+                .values()
+                .map(|r| (r.estimate.version(), g))
+                .collect();
+            self.emission.link_sync = self.links.values().map(|e| (e.version(), g)).collect();
+            self.emission.view = Arc::new(View {
+                generation: g,
+                topology_version: self.topology_version,
+                topology: Arc::clone(&self.topology),
+                processes: self
+                    .peers
+                    .iter()
+                    .map(|(&p, r)| (p, r.estimate.clone()))
+                    .collect(),
+                links: self.links.iter().map(|(&l, e)| (l, e.clone())).collect(),
+            });
+            return;
+        }
+        // `make_mut` clones the view only if a previous emission's frame
+        // is still alive somewhere; entry clones are Arc-cheap either
+        // way.
+        let view = Arc::make_mut(&mut self.emission.view);
+        view.generation = g;
+        if view.topology_version != self.topology_version {
+            view.topology_version = self.topology_version;
+            view.topology = Arc::clone(&self.topology);
+            self.emission.topo_change_gen = g;
+        }
+        // Processes: the membership is fixed, so the cache walks in
+        // lockstep with the peer map.
+        for ((record, entry), sync) in self
+            .peers
+            .values()
+            .zip(view.processes.iter_mut())
+            .zip(self.emission.proc_sync.iter_mut())
+        {
+            let v = record.estimate.version();
+            if v != sync.0 {
+                entry.1 = record.estimate.clone();
+                *sync = (v, g);
+            }
+        }
+        // Links: a monotone-growing sorted set — lockstep walk with
+        // insertion for newly learned links.
+        for (i, (&l, e)) in self.links.iter().enumerate() {
+            if i == view.links.len() || view.links[i].0 != l {
+                view.links.insert(i, (l, e.clone()));
+                self.emission.link_sync.insert(i, (e.version(), g));
+            } else {
+                let v = e.version();
+                let sync = &mut self.emission.link_sync[i];
+                if v != sync.0 {
+                    view.links[i].1 = e.clone();
+                    *sync = (v, g);
+                }
+            }
+        }
+    }
+
+    /// Assembles the delta of entries changed since `base` from the
+    /// (already synced) view cache.
+    fn build_delta(&self, base: u64) -> Arc<DeltaView> {
+        let view = &self.emission.view;
+        Arc::new(DeltaView {
+            generation: self.emission.generation,
+            base,
+            topology_version: self.topology_version,
+            processes: view
+                .processes
+                .iter()
+                .zip(&self.emission.proc_sync)
+                .filter(|&(_, &(_, changed))| changed > base)
+                .map(|((p, e), _)| (*p, e.clone()))
+                .collect(),
+            links: view
+                .links
+                .iter()
+                .zip(&self.emission.link_sync)
+                .filter(|&(_, &(_, changed))| changed > base)
+                .map(|((l, e), _)| (*l, e.clone()))
+                .collect(),
+        })
+    }
+
+    /// The latest view generation we merged from `n` — the ack we
+    /// piggyback on heartbeats to `n` (0 = nothing merged yet).
+    fn ack_for(&self, n: ProcessId) -> u64 {
+        self.mirrors.get(&n).map_or(0, |m| m.generation)
     }
 
     /// Event 1 bookkeeping for the link to the heartbeat's sender.
@@ -347,7 +681,7 @@ impl AdaptiveBroadcast {
                         ReconcileMode::PaperLiteral => missed,
                     };
                     if blamable > 0 {
-                        estimate.beliefs.decrease_reliability(blamable);
+                        estimate.beliefs_mut().decrease_reliability(blamable);
                     }
                 }
                 LinkBlame::OnTimeout => {
@@ -355,20 +689,22 @@ impl AdaptiveBroadcast {
                     // difference.
                     if adjust_pos > 0 {
                         match self.params.correction {
-                            CorrectionMode::Exact => estimate.beliefs.undo_decrease(adjust_pos),
+                            CorrectionMode::Exact => {
+                                estimate.beliefs_mut().undo_decrease(adjust_pos)
+                            }
                             CorrectionMode::Bayes => {
-                                estimate.beliefs.increase_reliability(adjust_pos)
+                                estimate.beliefs_mut().increase_reliability(adjust_pos)
                             }
                         }
                     }
                     if adjust_neg > 0 {
-                        estimate.beliefs.decrease_reliability(adjust_neg);
+                        estimate.beliefs_mut().decrease_reliability(adjust_neg);
                     }
                 }
             }
             // The received heartbeat itself is a success observation.
             if self.params.reconcile == ReconcileMode::SeqGap {
-                estimate.beliefs.increase_reliability(1);
+                estimate.beliefs_mut().increase_reliability(1);
             }
         }
 
@@ -379,26 +715,36 @@ impl AdaptiveBroadcast {
         record.suspected = 0;
         record.last_seq = seq;
         record.downtime_since_receipt = 0;
-        let old = record.deadline;
-        record.deadline = now + record.timeout;
-        let new = record.deadline;
-        self.deadline_queue.remove(&(old, from));
-        self.deadline_queue.insert((new, from));
+        let at = now + record.timeout;
+        if record.deadline != at {
+            record.deadline = at;
+            self.deadlines.insert(at);
+        }
     }
 
-    /// Merges the sender's view (topology + estimates) into local state.
-    fn merge_view(&mut self, from: ProcessId, view: &View, now: SimTime) {
-        // Topology: merge only when the sender's version moved.
+    /// Topology part of a view merge: apply only when the sender's
+    /// version moved, bump our own version only when `Λ_k` actually
+    /// grows.
+    fn merge_topology(&mut self, from: ProcessId, version: u64, topology: &Topology) {
         let last = self.merged_versions.get(&from).copied().unwrap_or(0);
-        if view.topology_version > last {
+        if version > last {
             let before = (self.topology.process_count(), self.topology.link_count());
             let merged = Arc::make_mut(&mut self.topology);
-            merged.merge(&view.topology);
+            merged.merge(topology);
             if (merged.process_count(), merged.link_count()) != before {
                 self.topology_version += 1;
             }
-            self.merged_versions.insert(from, view.topology_version);
+            self.merged_versions.insert(from, version);
         }
+    }
+
+    /// Merges the sender's full view — the legacy [`ViewMode::Full`]
+    /// data flow (lines 26–32), evaluating every entry through its own
+    /// map lookup with eager deadline maintenance. Kept verbatim as the
+    /// executable specification the delta path is property-tested
+    /// against.
+    fn merge_view_legacy(&mut self, from: ProcessId, view: &View, now: SimTime) {
+        self.merge_topology(from, view.topology_version, &view.topology);
 
         // Process estimates: lines 26–27, selectBestEstimate for every
         // process. The sender's self-estimate has distortion 0 and is
@@ -411,11 +757,11 @@ impl AdaptiveBroadcast {
                 if record.estimate.adopt_if_better(theirs) {
                     // Adoption counts as an update of C_k[p_i] (Event 2's
                     // "not updated … in the last ∆" clock restarts).
-                    let old = record.deadline;
-                    record.deadline = now + record.timeout;
-                    let new = record.deadline;
-                    self.deadline_queue.remove(&(old, *p));
-                    self.deadline_queue.insert((new, *p));
+                    let at = now + record.timeout;
+                    if record.deadline != at {
+                        record.deadline = at;
+                        self.deadlines.insert(at);
+                    }
                 }
             }
         }
@@ -441,18 +787,271 @@ impl AdaptiveBroadcast {
             }
         }
     }
+
+    /// Delta-mode handling of a *full* view: same merge as the legacy
+    /// path (every entry evaluated), plus the mirror rebuild that arms
+    /// future delta merges. Full views are rare in steady state (first
+    /// contact, topology changes, ack gaps), so the per-entry lookups
+    /// are acceptable here.
+    fn merge_full_view(&mut self, from: ProcessId, view: &Arc<View>, now: SimTime) {
+        self.merge_topology(from, view.topology_version, &view.topology);
+
+        let mut mirror = NeighborMirror {
+            generation: view.generation,
+            topology_version: view.topology_version,
+            latest: HeartbeatView::Full(Arc::clone(view)),
+            processes: Vec::with_capacity(view.processes.len()),
+            links: Vec::with_capacity(view.links.len()),
+            latest_procs: (0..view.processes.len() as u32).collect(),
+            latest_links: (0..view.links.len() as u32).collect(),
+        };
+        for (i, (p, theirs)) in view.processes.iter().enumerate() {
+            let (my_version, adopted) = if *p == self.id {
+                (0, false)
+            } else if let Some(record) = self.peers.get_mut(p) {
+                let adopted = record.estimate.adopt_if_better(theirs);
+                if adopted {
+                    let at = now + record.timeout;
+                    if record.deadline != at {
+                        record.deadline = at;
+                        self.deadlines.insert(at);
+                    }
+                }
+                (record.estimate.version(), adopted)
+            } else {
+                (0, false)
+            };
+            mirror.processes.push(MirrorEntry {
+                key: *p,
+                value: MirrorValue::Latest(i as u32),
+                my_version,
+                adopted,
+            });
+        }
+        for (i, (l, theirs)) in view.links.iter().enumerate() {
+            let (adopted, my_version) = match self.links.get_mut(l) {
+                Some(mine) => {
+                    let adopted = mine.adopt_if_better(theirs);
+                    (adopted, mine.version())
+                }
+                None => {
+                    let mut fresh = Estimate::unknown(self.params.intervals);
+                    fresh.adopt(theirs);
+                    let v = fresh.version();
+                    self.links.insert(*l, fresh);
+                    let merged = Arc::make_mut(&mut self.topology);
+                    if !merged.contains_link(*l) {
+                        merged.insert_link(*l);
+                        self.topology_version += 1;
+                    }
+                    (true, v)
+                }
+            };
+            mirror.links.push(MirrorEntry {
+                key: *l,
+                value: MirrorValue::Latest(i as u32),
+                my_version,
+                adopted,
+            });
+        }
+        self.mirrors.insert(from, mirror);
+    }
+
+    /// Merges a delta view: evaluates the changed entries, re-evaluates
+    /// entries our own side touched since their last evaluation, and
+    /// handles everything else with the exact fast paths (deadline
+    /// restart for previously adopted entries, nothing for previously
+    /// rejected ones). See the module docs for why this is bit-identical
+    /// to merging the sender's full view.
+    fn merge_delta_view(&mut self, from: ProcessId, delta: &Arc<DeltaView>, now: SimTime) {
+        let Some(mirror) = self.mirrors.get_mut(&from) else {
+            // No full view merged yet: the delta has no base to apply
+            // to. A conformant sender never does this (it sends full
+            // views until we ack one); drop defensively.
+            self.errors += 1;
+            return;
+        };
+        if delta.base > mirror.generation || delta.topology_version != mirror.topology_version {
+            // The delta extends a state we never reached (or a topology
+            // we have not merged). Cannot happen with a conformant
+            // sender; skip the merge without advancing the ack so the
+            // sender's next delta (or full view) still applies.
+            self.errors += 1;
+            return;
+        }
+
+        // Swap in the new frame; the old one stays alive through this
+        // merge for value resolution and the materialization pass.
+        let old_frame =
+            std::mem::replace(&mut mirror.latest, HeartbeatView::Delta(Arc::clone(delta)));
+        // Member buffers are recycled through a scratch pair, so steady
+        // state allocates nothing here.
+        let mut new_procs: Vec<u32> = std::mem::take(&mut self.member_scratch.0);
+        let mut new_links: Vec<u32> = std::mem::take(&mut self.member_scratch.1);
+        new_procs.clear();
+        new_links.clear();
+
+        let id = self.id;
+        let peers = &mut self.peers;
+        let deadlines = &mut self.deadlines;
+        {
+            let mut di = 0usize; // cursor into the (sorted) delta entries
+            let mut peers_it = peers.iter_mut().peekable();
+            for (ei, entry) in mirror.processes.iter_mut().enumerate() {
+                while di < delta.processes.len() && delta.processes[di].0 < entry.key {
+                    di += 1;
+                }
+                let changed = di < delta.processes.len() && delta.processes[di].0 == entry.key;
+                if changed {
+                    entry.value = MirrorValue::Latest(di as u32);
+                    new_procs.push(ei as u32);
+                }
+                if entry.key == id {
+                    // My own estimate is never overwritten; the mirror
+                    // was just kept current above.
+                    continue;
+                }
+                // Advance the (sorted) peer cursor to this entry.
+                let record = loop {
+                    match peers_it.peek_mut() {
+                        Some((&p, _)) if p < entry.key => {
+                            peers_it.next();
+                        }
+                        Some((&p, _)) if p == entry.key => {
+                            break Some(peers_it.next().expect("peeked").1)
+                        }
+                        _ => break None,
+                    }
+                };
+                let Some(record) = record else { continue };
+                if changed {
+                    // The sender's entry changed: evaluate, exactly as a
+                    // full view would.
+                    let theirs = &delta.processes[di].1;
+                    let adopted = record.estimate.adopt_if_better(theirs);
+                    if adopted {
+                        let at = now + record.timeout;
+                        if record.deadline != at {
+                            record.deadline = at;
+                            deadlines.insert(at);
+                        }
+                    }
+                    entry.adopted = adopted;
+                    entry.my_version = record.estimate.version();
+                } else if record.estimate.version() != entry.my_version {
+                    // Our side changed since the last evaluation
+                    // (suspicion-scan distortion drift, adoption from
+                    // another neighbor, recovery): re-evaluate against
+                    // the mirrored value, as a full view would.
+                    let theirs = match &entry.value {
+                        MirrorValue::Inline(e) => e,
+                        MirrorValue::Latest(idx) => frame_process(&old_frame, *idx),
+                    };
+                    let adopted = record.estimate.adopt_if_better(theirs);
+                    if adopted {
+                        let at = now + record.timeout;
+                        if record.deadline != at {
+                            record.deadline = at;
+                            deadlines.insert(at);
+                        }
+                    }
+                    entry.adopted = adopted;
+                    entry.my_version = record.estimate.version();
+                } else if entry.adopted {
+                    // Unchanged on both sides, last evaluation adopted:
+                    // a full view would re-adopt the bitwise identical
+                    // value — a value no-op whose only effect is
+                    // restarting the entry's Event-2 staleness clock.
+                    let at = now + record.timeout;
+                    if record.deadline != at {
+                        record.deadline = at;
+                        deadlines.insert(at);
+                    }
+                }
+                // else: unchanged on both sides and last evaluation
+                // rejected — a full view would reject again; skip.
+            }
+        }
+
+        let links = &mut self.links;
+        {
+            let mut di = 0usize;
+            let mut links_it = links.iter_mut().peekable();
+            for (ei, entry) in mirror.links.iter_mut().enumerate() {
+                while di < delta.links.len() && delta.links[di].0 < entry.key {
+                    di += 1;
+                }
+                let changed = di < delta.links.len() && delta.links[di].0 == entry.key;
+                if changed {
+                    entry.value = MirrorValue::Latest(di as u32);
+                    new_links.push(ei as u32);
+                }
+                let mine = loop {
+                    match links_it.peek_mut() {
+                        Some((&l, _)) if l < entry.key => {
+                            links_it.next();
+                        }
+                        Some((&l, _)) if l == entry.key => {
+                            break Some(links_it.next().expect("peeked").1)
+                        }
+                        _ => break None,
+                    }
+                };
+                // Every mirrored link exists locally: the full-view
+                // merge that built the mirror inserted it.
+                let Some(mine) = mine else { continue };
+                if changed {
+                    entry.adopted = mine.adopt_if_better(&delta.links[di].1);
+                    entry.my_version = mine.version();
+                } else if mine.version() != entry.my_version {
+                    let theirs = match &entry.value {
+                        MirrorValue::Inline(e) => e,
+                        MirrorValue::Latest(idx) => frame_link(&old_frame, *idx),
+                    };
+                    let adopted = mine.adopt_if_better(theirs);
+                    entry.adopted = adopted;
+                    entry.my_version = mine.version();
+                }
+                // Unchanged on both sides: links carry no Event-2
+                // clock, and re-adoption would be a bitwise value
+                // no-op, so there is nothing to replay.
+            }
+        }
+
+        // Materialize what the old frame still backed before dropping it.
+        materialize_dropped(
+            &mut mirror.processes,
+            &old_frame,
+            |f, i| frame_process(f, i).clone(),
+            &mirror.latest_procs,
+            &new_procs,
+        );
+        materialize_dropped(
+            &mut mirror.links,
+            &old_frame,
+            |f, i| frame_link(f, i).clone(),
+            &mirror.latest_links,
+            &new_links,
+        );
+        self.member_scratch.0 = std::mem::replace(&mut mirror.latest_procs, new_procs);
+        self.member_scratch.1 = std::mem::replace(&mut mirror.latest_links, new_links);
+        mirror.generation = delta.generation;
+    }
 }
 
 impl AdaptiveBroadcast {
-    /// (Re)arms [`Self::SUSPICION`] at the earliest peer deadline.
-    fn arm_suspicion(&self, actions: &mut Actions) {
-        if let Some(&(at, _)) = self.deadline_queue.first() {
+    /// (Re)arms [`Self::SUSPICION`] at the earliest scheduled scan
+    /// time. Superseded times fire scans that find nothing due — a
+    /// no-op — so arming never needs to prune.
+    fn arm_suspicion(&mut self, actions: &mut Actions) {
+        if let Some(at) = self.deadlines.earliest() {
             actions.set_timer(Self::SUSPICION, at);
         }
     }
 
     /// Heartbeat emission (lines 14–17): one view snapshot, one sequenced
-    /// heartbeat per neighbor.
+    /// heartbeat per neighbor — full or delta per
+    /// [`AdaptiveParams::heartbeat_views`] and per-neighbor ack state.
     fn emit_heartbeats(&mut self, now: SimTime, actions: &mut Actions) {
         if now < self.next_heartbeat {
             // Fired early (e.g. a stale deadline): keep the chain alive.
@@ -460,18 +1059,61 @@ impl AdaptiveBroadcast {
             return;
         }
         self.my_seq += 1;
-        // My own seq rides in the message; receivers track it in their
-        // PeerRecord.
-        let view = self.build_view();
-        for &n in &self.neighbors {
-            actions.send(
-                n,
-                Message::Heartbeat(HeartbeatMessage {
-                    seq: self.my_seq,
-                    view: Arc::clone(&view),
-                }),
-            );
-            self.heartbeats_sent += 1;
+        match self.params.heartbeat_views {
+            ViewMode::Full => {
+                let view = self.build_full_view();
+                for i in 0..self.neighbors.len() {
+                    let n = self.neighbors[i];
+                    actions.send(
+                        n,
+                        Message::Heartbeat(HeartbeatMessage {
+                            seq: self.my_seq,
+                            ack: 0,
+                            view: HeartbeatView::Full(Arc::clone(&view)),
+                        }),
+                    );
+                    self.heartbeats_sent += 1;
+                }
+            }
+            ViewMode::Delta => {
+                self.sync_view_cache();
+                // Deltas are cached per distinct base: in steady state
+                // every neighbor acked the previous emission and one
+                // assembly serves them all.
+                let mut delta_cache: Vec<(u64, Arc<DeltaView>)> = Vec::new();
+                for i in 0..self.neighbors.len() {
+                    let n = self.neighbors[i];
+                    let acked = self.emission.neighbors.get(&n).map_or(0, |st| st.acked);
+                    // Full-view fallback: first contact (nothing acked
+                    // yet), or the neighbor's last merge predates our
+                    // latest topology change — its mirror may carry the
+                    // old topology, which deltas cannot update.
+                    let full = acked < self.emission.topo_change_gen.max(1);
+                    let view = if full {
+                        HeartbeatView::Full(Arc::clone(&self.emission.view))
+                    } else {
+                        let base = acked;
+                        let delta = match delta_cache.iter().find(|(b, _)| *b == base) {
+                            Some((_, d)) => Arc::clone(d),
+                            None => {
+                                let d = self.build_delta(base);
+                                delta_cache.push((base, Arc::clone(&d)));
+                                d
+                            }
+                        };
+                        HeartbeatView::Delta(delta)
+                    };
+                    actions.send(
+                        n,
+                        Message::Heartbeat(HeartbeatMessage {
+                            seq: self.my_seq,
+                            ack: self.ack_for(n),
+                            view,
+                        }),
+                    );
+                    self.heartbeats_sent += 1;
+                }
+            }
         }
         // `max(1)`: the params fields are pub, and a period of 0 must
         // degrade to once per tick (the legacy behavior), not a
@@ -480,13 +1122,18 @@ impl AdaptiveBroadcast {
         actions.set_timer(Self::HEARTBEAT, self.next_heartbeat);
     }
 
-    /// Event 2: per-peer staleness checks, over every peer whose
-    /// deadline has passed.
+    /// Event 2: per-peer staleness checks over every peer whose deadline
+    /// has passed — one iteration of the peer map in both view modes
+    /// (cheap: most peers fail the `now < deadline` test and are
+    /// skipped; the deadline *schedule* only decides when this scan
+    /// fires, see [`DeadlineQueue`]).
     fn run_suspicion_scan(&mut self, now: SimTime, actions: &mut Actions) {
         let is_neighbor: BTreeSet<ProcessId> = self.neighbors.iter().copied().collect();
         let blame_link_now = self.params.link_blame == LinkBlame::OnTimeout
             || self.params.reconcile == ReconcileMode::PaperLiteral;
         let mut suspected_neighbors: Vec<ProcessId> = Vec::new();
+
+        self.deadlines.expire(now);
         for (&p, record) in self.peers.iter_mut() {
             if p == self.id || now < record.deadline {
                 continue;
@@ -500,25 +1147,29 @@ impl AdaptiveBroadcast {
                 // lower distortion) would keep overwriting the fresh
                 // negative evidence. See DESIGN.md §4.
                 record.suspected += 1;
-                record.estimate.beliefs.decrease_reliability(1);
-                record.estimate.distortion = Distortion::finite(1);
+                record.estimate.beliefs_mut().decrease_reliability(1);
+                record.estimate.set_distortion(Distortion::finite(1));
                 suspected_neighbors.push(p);
             } else {
                 // Line 35: remote knowledge gets distorted with time.
-                record.estimate.distortion = record.estimate.distortion.incremented();
+                record
+                    .estimate
+                    .set_distortion(record.estimate.distortion().incremented());
             }
-            let old = record.deadline;
-            record.deadline = now + record.timeout;
-            self.deadline_queue.remove(&(old, p));
-            self.deadline_queue.insert((record.deadline, p));
+            let at = now + record.timeout;
+            if record.deadline != at {
+                record.deadline = at;
+                self.deadlines.insert(at);
+            }
         }
+
         // Line 39 (paper mode): the link to a suspected neighbor is
         // decreased as well.
         if blame_link_now {
             for p in suspected_neighbors {
                 let link = LinkId::new(self.id, p).expect("neighbor differs");
                 if let Some(estimate) = self.links.get_mut(&link) {
-                    estimate.beliefs.decrease_reliability(1);
+                    estimate.beliefs_mut().decrease_reliability(1);
                 }
             }
         }
@@ -532,7 +1183,7 @@ impl AdaptiveBroadcast {
             return;
         }
         if let Some(me) = self.peers.get_mut(&self.id) {
-            me.estimate.beliefs.increase_reliability(1);
+            me.estimate.beliefs_mut().increase_reliability(1);
         }
         self.next_self_tick = now + self.params.self_tick_period.max(1);
         actions.set_timer(Self::SELF_TICK, self.next_self_tick);
@@ -546,14 +1197,37 @@ impl AdaptiveBroadcast {
         actions: &mut Actions,
     ) {
         match message {
-            Message::Heartbeat(HeartbeatMessage { seq, view }) => {
+            Message::Heartbeat(HeartbeatMessage { seq, ack, view }) => {
                 if !self.neighbors.contains(&from) {
                     self.errors += 1;
                     return;
                 }
                 // Event 1: reconcile the direct link, then merge the view.
                 self.reconcile_link(from, seq, now);
-                self.merge_view(from, &view, now);
+                if self.params.heartbeat_views == ViewMode::Delta {
+                    // The sender's ack of *our* emissions anchors the
+                    // base of our future deltas to it.
+                    let st = self.emission.neighbors.entry(from).or_default();
+                    if ack > st.acked {
+                        st.acked = ack;
+                    }
+                }
+                match (&view, self.params.heartbeat_views) {
+                    (HeartbeatView::Full(v), ViewMode::Full) => {
+                        self.merge_view_legacy(from, v, now)
+                    }
+                    (HeartbeatView::Full(v), ViewMode::Delta) => self.merge_full_view(from, v, now),
+                    (HeartbeatView::Delta(d), ViewMode::Delta) => {
+                        self.merge_delta_view(from, d, now)
+                    }
+                    (HeartbeatView::Delta(_), ViewMode::Full) => {
+                        // A full-view node keeps no mirrors and cannot
+                        // apply deltas. (Mixed systems never produce
+                        // this: a full-view node acks 0, so delta-mode
+                        // senders keep sending it full views.)
+                        self.errors += 1;
+                    }
+                }
                 // Receipt and adoption push peer deadlines around; keep
                 // the suspicion timer at the new earliest one.
                 self.arm_suspicion(actions);
@@ -586,7 +1260,7 @@ impl AdaptiveBroadcast {
         let n =
             u32::try_from((down_ticks / self.params.self_tick_period).max(1)).unwrap_or(u32::MAX);
         if let Some(me) = self.peers.get_mut(&self.id) {
-            me.estimate.beliefs.decrease_reliability(n);
+            me.estimate.beliefs_mut().decrease_reliability(n);
         }
         // My silence was my fault, not my neighbors': excuse the misses I
         // caused and give everyone a fresh grace period.
@@ -595,10 +1269,11 @@ impl AdaptiveBroadcast {
                 continue;
             }
             record.downtime_since_receipt += down_ticks;
-            let old = record.deadline;
-            record.deadline = now + record.timeout;
-            self.deadline_queue.remove(&(old, p));
-            self.deadline_queue.insert((record.deadline, p));
+            let at = now + record.timeout;
+            if record.deadline != at {
+                record.deadline = at;
+                self.deadlines.insert(at);
+            }
         }
         self.next_self_tick = now + self.params.self_tick_period.max(1);
         self.next_heartbeat = now; // announce recovery promptly
@@ -738,18 +1413,18 @@ mod tests {
         let node = AdaptiveBroadcast::new(p(0), vec![p(0), p(1), p(2)], vec![p(1)], params());
         // Own estimate: distortion 0. Remote: ∞.
         assert_eq!(
-            node.process_estimate(p(0)).unwrap().distortion,
+            node.process_estimate(p(0)).unwrap().distortion(),
             Distortion::ZERO
         );
         assert!(node
             .process_estimate(p(2))
             .unwrap()
-            .distortion
+            .distortion()
             .is_infinite());
         // Direct links at distortion 0; only those exist.
         let l01 = LinkId::new(p(0), p(1)).unwrap();
         assert_eq!(
-            node.link_estimate(l01).unwrap().distortion,
+            node.link_estimate(l01).unwrap().distortion(),
             Distortion::ZERO
         );
         assert!(node
@@ -825,12 +1500,12 @@ mod tests {
         }
         // a's estimate of b is second-hand: distortion exactly 1.
         assert_eq!(
-            a.protocol().process_estimate(p(1)).unwrap().distortion,
+            a.protocol().process_estimate(p(1)).unwrap().distortion(),
             Distortion::finite(1)
         );
         // a's estimate of c traveled two hops: distortion 2.
         assert_eq!(
-            a.protocol().process_estimate(p(2)).unwrap().distortion,
+            a.protocol().process_estimate(p(2)).unwrap().distortion(),
             Distortion::finite(2)
         );
     }
@@ -1034,13 +1709,17 @@ mod tests {
     #[test]
     fn heartbeats_from_strangers_are_ignored() {
         let all = vec![p(0), p(1), p(2)];
-        let mut node = AdaptiveBroadcast::new(p(0), all, vec![p(1)], params());
-        let view = node.build_view();
+        let mut node = AdaptiveBroadcast::new(all[0], all.clone(), vec![p(1)], params());
+        let view = node.build_full_view();
         let mut actions = Actions::new();
         node.handle_message(
             SimTime::new(1),
             p(2), // not a neighbor
-            Message::Heartbeat(HeartbeatMessage { seq: 1, view }),
+            Message::Heartbeat(HeartbeatMessage {
+                seq: 1,
+                ack: 0,
+                view: HeartbeatView::Full(view),
+            }),
             &mut actions,
         );
         assert_eq!(node.error_count(), 1);
@@ -1050,10 +1729,14 @@ mod tests {
     fn duplicate_heartbeat_seq_is_idempotent() {
         let all = vec![p(0), p(1)];
         let mut a = AdaptiveBroadcast::new(p(0), all.clone(), vec![p(1)], params());
-        let b = AdaptiveBroadcast::new(p(1), all, vec![p(0)], params());
-        let view = b.build_view();
+        let mut b = AdaptiveBroadcast::new(p(1), all, vec![p(0)], params());
+        let view = b.build_full_view();
         let mut actions = Actions::new();
-        let hb = Message::Heartbeat(HeartbeatMessage { seq: 1, view });
+        let hb = Message::Heartbeat(HeartbeatMessage {
+            seq: 1,
+            ack: 0,
+            view: HeartbeatView::Full(view),
+        });
         a.handle_message(SimTime::new(1), p(1), hb.clone(), &mut actions);
         let after_first = a.estimated_loss(LinkId::new(p(0), p(1)).unwrap()).unwrap();
         a.handle_message(SimTime::new(1), p(1), hb, &mut actions);
@@ -1110,5 +1793,154 @@ mod tests {
             after <= healthy + 0.02,
             "own downtime must not poison the link estimate ({healthy} → {after})"
         );
+    }
+
+    /// First contact is always a full view; once the receiver's ack
+    /// comes back, emissions switch to deltas.
+    #[test]
+    fn delta_mode_full_view_fallback_then_deltas() {
+        let all = vec![p(0), p(1)];
+        let mut a = AdaptiveBroadcast::new(p(0), all.clone(), vec![p(1)], params());
+        let mut b = AdaptiveBroadcast::new(p(1), all, vec![p(0)], params());
+        let mut actions = Actions::new();
+
+        let take_heartbeat = |actions: &mut Actions| -> Message {
+            let sends = actions.take_sends();
+            actions.clear();
+            sends.into_iter().next().expect("one heartbeat").1
+        };
+
+        // a's first emission: full (nothing acked yet).
+        a.on_event(
+            SimTime::new(1),
+            Event::Timer(AdaptiveBroadcast::HEARTBEAT),
+            &mut actions,
+        );
+        let m1 = take_heartbeat(&mut actions);
+        let Message::Heartbeat(hb1) = &m1 else {
+            panic!("expected heartbeat")
+        };
+        assert!(matches!(hb1.view, HeartbeatView::Full(_)));
+        b.handle_message(SimTime::new(1), p(0), m1, &mut actions);
+        actions.clear();
+
+        // b replies: its heartbeat acks a's generation.
+        b.on_event(
+            SimTime::new(1),
+            Event::Timer(AdaptiveBroadcast::HEARTBEAT),
+            &mut actions,
+        );
+        let m2 = take_heartbeat(&mut actions);
+        let Message::Heartbeat(hb2) = &m2 else {
+            panic!("expected heartbeat")
+        };
+        assert!(hb2.ack > 0, "b must ack a's merged generation");
+        a.handle_message(SimTime::new(1), p(1), m2, &mut actions);
+        actions.clear();
+
+        // a learned a new link from b's view → topology changed → the
+        // next emission is full again.
+        a.on_event(
+            SimTime::new(2),
+            Event::Timer(AdaptiveBroadcast::HEARTBEAT),
+            &mut actions,
+        );
+        let m3 = take_heartbeat(&mut actions);
+        assert!(matches!(m3, Message::Heartbeat(_)));
+        // 0—1 line: b's view carries no link a lacks, so no topology
+        // change — but the first full (gen 1) was only acked now, so
+        // this emission may already ride a delta.
+        b.handle_message(SimTime::new(2), p(0), m3.clone(), &mut actions);
+        actions.clear();
+        b.on_event(
+            SimTime::new(2),
+            Event::Timer(AdaptiveBroadcast::HEARTBEAT),
+            &mut actions,
+        );
+        let m4 = take_heartbeat(&mut actions);
+        a.handle_message(SimTime::new(2), p(1), m4, &mut actions);
+        actions.clear();
+
+        // Steady state: with acks flowing both ways, emissions are
+        // deltas from here on.
+        a.on_event(
+            SimTime::new(3),
+            Event::Timer(AdaptiveBroadcast::HEARTBEAT),
+            &mut actions,
+        );
+        let m5 = take_heartbeat(&mut actions);
+        let Message::Heartbeat(hb5) = &m5 else {
+            panic!("expected heartbeat")
+        };
+        assert!(
+            matches!(hb5.view, HeartbeatView::Delta(_)),
+            "steady state must ride deltas"
+        );
+    }
+
+    /// A delta whose base the receiver never reached is dropped without
+    /// corrupting state, and a subsequent full view recovers.
+    #[test]
+    fn inapplicable_delta_is_dropped_and_full_view_recovers() {
+        let all = vec![p(0), p(1)];
+        let mut a = AdaptiveBroadcast::new(p(0), all.clone(), vec![p(1)], params());
+        let mut b = AdaptiveBroadcast::new(p(1), all, vec![p(0)], params());
+        let mut actions = Actions::new();
+
+        // A hand-crafted delta with an impossible base: b has no mirror
+        // of a at all yet.
+        let bogus = Message::Heartbeat(HeartbeatMessage {
+            seq: 1,
+            ack: 0,
+            view: HeartbeatView::Delta(Arc::new(DeltaView {
+                generation: 9,
+                base: 7,
+                topology_version: 1,
+                processes: vec![(p(0), Estimate::first_hand(100))],
+                links: Vec::new(),
+            })),
+        });
+        b.handle_message(SimTime::new(1), p(0), bogus, &mut actions);
+        actions.clear();
+        assert_eq!(b.error_count(), 1, "delta without a mirror is dropped");
+        // The estimate merge was skipped: a's self-estimate is still
+        // unknown to b.
+        assert!(b.process_estimate(p(0)).unwrap().distortion().is_infinite());
+
+        // A full view (what a conformant sender falls back to) heals it.
+        let view = a.build_full_view();
+        b.handle_message(
+            SimTime::new(2),
+            p(0),
+            Message::Heartbeat(HeartbeatMessage {
+                seq: 2,
+                ack: 0,
+                view: HeartbeatView::Full(view),
+            }),
+            &mut actions,
+        );
+        assert_eq!(
+            b.process_estimate(p(0)).unwrap().distortion(),
+            Distortion::finite(1)
+        );
+    }
+
+    /// The scan-time schedule is insert-only: superseded times stay
+    /// until they expire, times dedup, and arming reads the earliest
+    /// scheduled time.
+    #[test]
+    fn deadline_schedule_is_insert_only_and_self_expiring() {
+        let mut queue = DeadlineQueue::default();
+        queue.insert(SimTime::new(5));
+        queue.insert(SimTime::new(5)); // dedup
+        queue.insert(SimTime::new(10));
+        assert_eq!(queue.earliest(), Some(SimTime::new(5)));
+        // Expiring at 7 consumes the (possibly superseded) time 5 and
+        // reports that a scan is warranted; 10 remains scheduled.
+        assert!(queue.expire(SimTime::new(7)));
+        assert!(!queue.expire(SimTime::new(7)));
+        assert_eq!(queue.earliest(), Some(SimTime::new(10)));
+        assert!(queue.expire(SimTime::new(10)));
+        assert_eq!(queue.earliest(), None);
     }
 }

@@ -79,8 +79,20 @@ impl NetworkKnowledge {
 /// vectors inside are copy-on-write, so building and adopting views is
 /// cheap. The topology is behind an [`Arc`] with a version counter:
 /// receivers skip re-merging a topology they have already merged.
+///
+/// Under delta heartbeats the sender keeps one cached `Arc<View>` and
+/// rebuilds it copy-on-write per emission, stamping each emission with a
+/// monotone [`generation`](View::generation); receivers acknowledge the
+/// generation they last merged, which is what lets later heartbeats
+/// carry only a [`DeltaView`] of the entries changed since.
 #[derive(Debug, Clone, PartialEq)]
 pub struct View {
+    /// The sender's emission counter at the time this view was snapshot.
+    ///
+    /// Receivers echo the last merged generation back to the sender
+    /// (piggybacked on their own heartbeats), anchoring the base of
+    /// future [`DeltaView`]s.
+    pub generation: u64,
     /// Incremented by the sender whenever its `Λ_k` changes.
     pub topology_version: u64,
     /// The sender's known topology.
@@ -111,13 +123,76 @@ impl View {
     /// Approximate encoded size in bytes, for bandwidth accounting: the
     /// paper reports 50 KB heartbeats for 100 processes with `U = 100`.
     pub fn wire_size(&self) -> usize {
-        let estimate_size = |e: &Estimate| e.beliefs.intervals() * 8 + 8;
+        let estimate_size = |e: &Estimate| e.beliefs().intervals() * 8 + 8;
         8 + self.topology.link_count() * 8
             + self
                 .processes
                 .iter()
                 .map(|(_, e)| 4 + estimate_size(e))
                 .sum::<usize>()
+            + self
+                .links
+                .iter()
+                .map(|(_, e)| 8 + estimate_size(e))
+                .sum::<usize>()
+    }
+}
+
+/// The changed-entry payload of a delta heartbeat: the estimates whose
+/// version moved since the receiver's last acknowledged merge.
+///
+/// A delta is **cumulative since its base**: it carries the *current*
+/// value of every entry that changed in the generation window
+/// `(base, generation]`, where `base` is the latest generation the
+/// receiver acknowledged to the sender. A receiver whose last merged
+/// generation is `g ≥ base` can therefore always apply it (entries
+/// already merged are re-applied idempotently), and a lost delta merely
+/// widens the next one instead of wedging convergence. Deltas never
+/// carry topology: any `Λ_k` change switches the sender back to a full
+/// [`View`] until the receiver acknowledges it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaView {
+    /// The sender's emission counter at this emission.
+    pub generation: u64,
+    /// The acknowledged generation this delta extends: entries changed
+    /// in `(base, generation]` are included.
+    pub base: u64,
+    /// The sender's topology version — unchanged, by construction, since
+    /// the full view the receiver acknowledged.
+    pub topology_version: u64,
+    /// Changed process estimates, sorted by process id.
+    pub processes: Vec<(ProcessId, Estimate)>,
+    /// Changed link estimates, sorted by link id.
+    pub links: Vec<(LinkId, Estimate)>,
+}
+
+impl DeltaView {
+    /// Looks up the changed estimate for a process (binary search).
+    pub fn process_estimate(&self, p: ProcessId) -> Option<&Estimate> {
+        self.processes
+            .binary_search_by_key(&p, |(id, _)| *id)
+            .ok()
+            .map(|i| &self.processes[i].1)
+    }
+
+    /// Looks up the changed estimate for a link (binary search).
+    pub fn link_estimate(&self, l: LinkId) -> Option<&Estimate> {
+        self.links
+            .binary_search_by_key(&l, |(id, _)| *id)
+            .ok()
+            .map(|i| &self.links[i].1)
+    }
+
+    /// Approximate encoded size in bytes (same accounting as
+    /// [`View::wire_size`], minus the topology section deltas never
+    /// carry).
+    pub fn wire_size(&self) -> usize {
+        let estimate_size = |e: &Estimate| e.beliefs().intervals() * 8 + 8;
+        24 + self
+            .processes
+            .iter()
+            .map(|(_, e)| 4 + estimate_size(e))
+            .sum::<usize>()
             + self
                 .links
                 .iter()
@@ -191,6 +266,7 @@ mod tests {
         topo.add_link(p(0), p(1)).unwrap();
         let link = LinkId::new(p(0), p(1)).unwrap();
         let view = View {
+            generation: 1,
             topology_version: 1,
             topology: Arc::new(topo),
             processes: vec![
@@ -200,7 +276,7 @@ mod tests {
             links: vec![(link, Estimate::first_hand(10))],
         };
         assert_eq!(
-            view.process_estimate(p(0)).unwrap().distortion,
+            view.process_estimate(p(0)).unwrap().distortion(),
             Distortion::ZERO
         );
         assert!(view.process_estimate(p(9)).is_none());
@@ -209,5 +285,27 @@ mod tests {
             .link_estimate(LinkId::new(p(1), p(2)).unwrap())
             .is_none());
         assert!(view.wire_size() > 3 * 80);
+    }
+
+    #[test]
+    fn delta_view_lookup_and_size() {
+        let link = LinkId::new(p(0), p(1)).unwrap();
+        let delta = DeltaView {
+            generation: 7,
+            base: 5,
+            topology_version: 2,
+            processes: vec![(p(1), Estimate::first_hand(10))],
+            links: vec![(link, Estimate::unknown(10))],
+        };
+        assert!(delta.process_estimate(p(1)).is_some());
+        assert!(delta.process_estimate(p(0)).is_none());
+        assert!(delta.link_estimate(link).is_some());
+        assert!(delta
+            .link_estimate(LinkId::new(p(1), p(2)).unwrap())
+            .is_none());
+        // Two U=10 estimates: well under a same-shape full view with a
+        // topology section, well over the bare header.
+        assert!(delta.wire_size() > 2 * 80);
+        assert!(delta.wire_size() < 300);
     }
 }

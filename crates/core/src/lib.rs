@@ -77,16 +77,16 @@ pub use adaptive::AdaptiveBroadcast;
 pub use diffuse_sim::TimerId;
 pub use error::CoreError;
 pub use gossip::ReferenceGossip;
-pub use knowledge::{NetworkKnowledge, View};
+pub use knowledge::{DeltaView, NetworkKnowledge, View};
 pub use optimal::OptimalBroadcast;
 pub use optimize::{
     gain, optimize, optimize_budget, optimize_budget_greedy, optimize_exhaustive, optimize_greedy,
     MessagePlan,
 };
-pub use params::{AdaptiveParams, CorrectionMode, LinkBlame, ReconcileMode};
+pub use params::{AdaptiveParams, CorrectionMode, LinkBlame, ReconcileMode, ViewMode};
 pub use protocol::{
-    Actions, BroadcastId, DataMessage, Event, GossipMessage, HeartbeatMessage, LegacyTickShim,
-    Message, Payload, Protocol, ProtocolActor, TimerOp,
+    Actions, BroadcastId, DataMessage, Event, GossipMessage, HeartbeatMessage, HeartbeatView,
+    LegacyTickShim, Message, Payload, Protocol, ProtocolActor, TimerOp,
 };
 pub use reach::{link_success, pow_det, reach, reach_recursive, MessageVector};
 pub use scenario::{
@@ -252,6 +252,25 @@ mod property_tests {
             prop_assert_eq!(fast.reach().to_bits(), slow.reach().to_bits());
             // The public entry point rides the fast path.
             prop_assert_eq!(&optimize(&tree, k).unwrap(), &slow);
+        }
+
+        /// The plateau regime: λ → 1 with deep reliability targets,
+        /// where consecutive gains round to the same `f64`. The
+        /// class-cursor tail drills plateaus directly (no heap
+        /// fallback), so it must still match the reference greedy bit
+        /// for bit.
+        #[test]
+        fn prop_waterfill_plateau_regime_is_bit_identical(
+            lambdas in proptest::collection::vec(0.9f64..0.99, 1..4),
+            shape_seed in any::<u64>(),
+            k_pick in 0usize..2,
+        ) {
+            let k = [0.99999, 0.9999999][k_pick];
+            let tree = random_shape_tree(&lambdas, shape_seed);
+            let fast = optimize_waterfill(&tree, k).unwrap();
+            let slow = optimize_greedy(&tree, k).unwrap();
+            prop_assert_eq!(fast.vector().counts(), slow.vector().counts());
+            prop_assert_eq!(fast.reach().to_bits(), slow.reach().to_bits());
         }
 
         /// Budget-dual bit-identity on random shapes and budgets.

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use diffuse_model::ProcessId;
 use diffuse_sim::{Actor, Context, SimMessage, SimTime, TimerId};
 
-use crate::knowledge::View;
+use crate::knowledge::{DeltaView, View};
 use crate::tree::SharedWireTree;
 
 /// An immutable, cheaply clonable application payload.
@@ -121,16 +121,37 @@ pub struct GossipMessage {
     pub ttl: u32,
 }
 
+/// The knowledge payload of one heartbeat: a full `(Λ, C)` snapshot or a
+/// delta of the entries changed since the receiver's last acknowledged
+/// merge.
+///
+/// Full views are sent on first contact, after any topology change, and
+/// whenever the receiver has not yet acknowledged the sender's latest
+/// full view; everything else rides a [`DeltaView`]. Both bodies are
+/// behind [`Arc`]s, so one snapshot per period serves every neighbor it
+/// applies to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeartbeatView {
+    /// The sender's complete topology and reliability view.
+    Full(Arc<View>),
+    /// Only the entries changed since the delta's base generation.
+    Delta(Arc<DeltaView>),
+}
+
 /// A heartbeat of the adaptive protocol's approximation activity:
 /// the sender's sequence number and its `(Λ, C)` view (Algorithm 4,
-/// line 17). The view is shared — one snapshot per period serves every
-/// neighbor.
+/// line 17), full or delta (see [`HeartbeatView`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct HeartbeatMessage {
     /// Sender's heartbeat sequence number (`C_j[p_j].seq`).
     pub seq: u64,
-    /// Sender's topology and reliability view.
-    pub view: Arc<View>,
+    /// The latest view generation the sender has merged *from the
+    /// destination* (0 = none yet). This piggybacked acknowledgement is
+    /// what anchors the base of the destination's future delta
+    /// heartbeats back to us.
+    pub ack: u64,
+    /// Sender's topology and reliability view, full or delta.
+    pub view: HeartbeatView,
 }
 
 /// Every message exchanged by the protocols in this crate.

@@ -407,7 +407,11 @@ pub struct ScenarioReport {
     /// partially-supported fault kinds have somewhere honest to count
     /// them.
     pub skipped_faults: u64,
-    /// Wire-level metrics (simulation kernel only).
+    /// Wire-level metrics. Kernel and virtual-fabric runs fill these
+    /// exactly (bit-comparable across those substrates); wall-clock
+    /// fabric runs fill best-effort transport-level counters that are
+    /// **not** kernel-comparable (different RNG stream, real
+    /// scheduling, delivered-at-enqueue semantics).
     pub metrics: Option<Metrics>,
 }
 

@@ -379,13 +379,21 @@ pub fn optimize_waterfill(tree: &ReliabilityTree, k: f64) -> Result<MessagePlan,
 /// The boundary tail, specialized to λ-classes: every link of a class at
 /// the same count offers the same gain, so the greedy's `(gain, index)`
 /// order over the bracket reduces to per-class cursors — the max-gain
-/// class advances its lowest-index unfilled link, cross-class gain ties
-/// resolve by that link index, and each advance costs one multiply
-/// instead of a heap rotation. Falls back to the general heap tail
-/// ([`greedy_until_target`]) whenever a gain *plateau* (consecutive
-/// counts rounding to the same `f64` gain) would let an advanced link
-/// tie with its own class siblings — only the heap order is exact there
-/// — or when there are too many classes for linear winner scans.
+/// class advances its current link, cross-class gain ties resolve by
+/// that link's index, and each advance costs one multiply instead of a
+/// heap rotation.
+///
+/// Gain *plateaus* (consecutive counts whose gains round to the same
+/// `f64`) are handled exactly, not by falling back to the heap: within
+/// a plateau every increment of a link re-offers the same top gain, so
+/// the heap — popping the smallest index among equals — **drills** the
+/// class's lowest-index link through the whole plateau before touching
+/// the next link. The cursor models this directly: `links[..drilled]`
+/// sit at the plateau's `bottom` count, `links[drilled]` is mid-drill at
+/// `cur_count`, and the rest remain at `level`; when every link reaches
+/// `bottom` the class rolls to the next (plateau-collapsed) level. The
+/// only remaining fallback is `MAX_CURSOR_CLASSES`, beyond which the
+/// linear winner scans lose to the heap.
 fn class_cursor_tail(
     tree: &ReliabilityTree,
     classes: &LambdaClasses,
@@ -402,16 +410,30 @@ fn class_cursor_tail(
         return Ok(MessagePlan::new(m, r));
     }
     struct Cursor {
-        /// Count of the class's not-yet-advanced links.
+        /// Count of the class's not-yet-drilled links.
         level: u32,
-        /// Links already advanced to `level + 1` (a prefix in index
-        /// order).
-        filled: u32,
-        /// `gain(λ, level)` — what advancing the next link yields.
+        /// First count past the current gain plateau: the smallest
+        /// `b > level` with `gain(λ, b)` rounding to different bits
+        /// than `gain(λ, level)`.
+        bottom: u32,
+        /// Links already drilled to `bottom` (a prefix in index order).
+        drilled: u32,
+        /// The mid-drill count of `links[drilled]`, in
+        /// `[level, bottom)`.
+        cur_count: u32,
+        /// The plateau gain `gain(λ, level)` — exactly what every
+        /// advance in the plateau yields.
         gain: f64,
-        /// `gain(λ, level + 1)`, precomputed for the level rollover and
-        /// the plateau check.
-        gain_next: f64,
+    }
+    /// First count past the plateau starting at `level` (callers ensure
+    /// `g = gain(λ, level) > 1`, so the walk terminates: gains are
+    /// non-increasing towards 1).
+    fn plateau_bottom(lambda: f64, level: u32, g: f64) -> u32 {
+        let mut b = level.saturating_add(1);
+        while b < u32::MAX && gain(lambda, b).to_bits() == g.to_bits() {
+            b += 1;
+        }
+        b
     }
     let mut cursors: Vec<Cursor> = classes
         .lambda
@@ -419,11 +441,17 @@ fn class_cursor_tail(
         .zip(above)
         .map(|(&lambda, &a)| {
             let level = (1 + a).min(COUNT_CLAMP) as u32;
+            let g = gain(lambda, level);
             Cursor {
                 level,
-                filled: 0,
-                gain: gain(lambda, level),
-                gain_next: gain(lambda, level + 1),
+                bottom: if g > 1.0 {
+                    plateau_bottom(lambda, level, g)
+                } else {
+                    level + 1
+                },
+                drilled: 0,
+                cur_count: level,
+                gain: g,
             }
         })
         .collect();
@@ -442,8 +470,8 @@ fn class_cursor_tail(
                     match c.gain.total_cmp(&cw.gain) {
                         std::cmp::Ordering::Greater => Some(i),
                         std::cmp::Ordering::Equal
-                            if classes.links[i][c.filled as usize]
-                                < classes.links[w][cw.filled as usize] =>
+                            if classes.links[i][c.drilled as usize]
+                                < classes.links[w][cw.drilled as usize] =>
                         {
                             Some(i)
                         }
@@ -458,33 +486,27 @@ fn class_cursor_tail(
                 best_reach: reach(tree, &m),
             });
         };
-        // Plateau guard, for ANY class: the cursor's winner scan only
-        // considers each class's lowest-index *unfilled* link, which is
-        // exact as long as every already-advanced link sits at a
-        // strictly lower gain. If some class's next-level gain rounds to
-        // the same f64 as the winning gain, an advanced link of that
-        // class is a heap candidate tied at the top — possibly with a
-        // smaller index than the cursor's pick — so only the per-link
-        // heap order is exact. (For the winner itself this also covers
-        // its own-level plateau: advancing a link would let it leapfrog
-        // its class siblings.)
-        let winning_gain = cursors[w].gain.to_bits();
-        if cursors
-            .iter()
-            .any(|c| c.gain_next.to_bits() == winning_gain)
-        {
-            return greedy_until_target(tree, m, increments, k);
-        }
+        let lambda = classes.lambda[w];
         let cur = &mut cursors[w];
-        let link = classes.links[w][cur.filled as usize] as usize;
+        let link = classes.links[w][cur.drilled as usize] as usize;
         m.increment(link);
         r *= cur.gain;
-        cur.filled += 1;
-        if cur.filled as usize == classes.links[w].len() {
-            cur.level += 1;
-            cur.filled = 0;
-            cur.gain = cur.gain_next;
-            cur.gain_next = gain(classes.lambda[w], cur.level + 1);
+        cur.cur_count += 1;
+        if cur.cur_count == cur.bottom {
+            // This link cleared the plateau; the next one starts
+            // drilling from `level`.
+            cur.drilled += 1;
+            cur.cur_count = cur.level;
+            if cur.drilled as usize == classes.links[w].len() {
+                // Whole class drilled: roll to the next plateau.
+                cur.level = cur.bottom;
+                cur.drilled = 0;
+                cur.cur_count = cur.level;
+                cur.gain = gain(lambda, cur.level);
+                if cur.gain > 1.0 {
+                    cur.bottom = plateau_bottom(lambda, cur.level, cur.gain);
+                }
+            }
         }
         increments += 1;
         if increments % RECOMPUTE_EVERY == 0 {
@@ -642,6 +664,53 @@ mod tests {
                 let fast = optimize_budget_waterfill(&tree, budget).unwrap();
                 let slow = optimize_budget_greedy(&tree, budget).unwrap();
                 assert_eq!(fast, slow, "λ={lambdas:?}, budget={budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_drills_gain_plateaus_bit_identically() {
+        // λ → 1 at an extreme target drives per-link counts deep enough
+        // that consecutive gains round to the same f64 — the plateau
+        // regime that used to force the per-link heap fallback. The
+        // cursor must reproduce the heap's drill order exactly.
+        let lambdas = [0.99, 0.99, 0.9];
+        let k = 1.0 - 1e-12;
+        let tree = star_tree(&lambdas);
+        let fast = optimize_waterfill(&tree, k).unwrap();
+        let slow = optimize_greedy(&tree, k).unwrap();
+        assert_eq!(fast, slow);
+        // The fixture is not vacuous: somewhere inside the distributed
+        // counts two consecutive gains round to the same f64.
+        let hit_plateau = (0..tree.link_count()).any(|j| {
+            let (lambda, c) = (tree.lambda(j), fast.count(j));
+            (1..c).any(|m| gain(lambda, m).to_bits() == gain(lambda, m + 1).to_bits())
+        });
+        assert!(
+            hit_plateau,
+            "fixture must exercise a gain plateau: {fast:?}"
+        );
+    }
+
+    #[test]
+    fn cursor_handles_mixed_plateau_classes() {
+        // Several identical-λ classes plus a distinct one, deep targets:
+        // cross-class ties and within-class drills interleave.
+        for (lambdas, k) in [
+            (&[0.97, 0.97, 0.5][..], 0.999999999),
+            (&[0.995, 0.995, 0.995, 0.995][..], 1.0 - 1e-11),
+            (&[0.99, 0.9][..], 1.0 - 1e-12),
+        ] {
+            let tree = star_tree(lambdas);
+            match (optimize_waterfill(&tree, k), optimize_greedy(&tree, k)) {
+                (Ok(f), Ok(s)) => assert_eq!(f, s, "λ={lambdas:?} k={k}"),
+                (
+                    Err(CoreError::TargetUnreachable { best_reach: a }),
+                    Err(CoreError::TargetUnreachable { best_reach: b }),
+                ) => {
+                    assert_eq!(a.to_bits(), b.to_bits())
+                }
+                other => panic!("solver disagreement: {other:?}"),
             }
         }
     }

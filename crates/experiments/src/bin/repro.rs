@@ -5,14 +5,14 @@
 //! ```text
 //! repro <experiment> [--quick] [--csv] [--runs N] [--graphs N] [--seed N]
 //!
-//! experiments: fig1 table1 fig4a fig4b fig5a fig5b fig6 hetero refine scenario all
+//! experiments: fig1 table1 fig4a fig4b fig5a fig5b fig6 hetero refine scenario scale all
 //! ```
 
 use std::process::ExitCode;
 
 use diffuse_experiments::fig4::Panel;
 use diffuse_experiments::{
-    fig1, fig4, fig5, fig6, hetero, refine, scenarios, table1, Effort, Table,
+    fig1, fig4, fig5, fig6, hetero, refine, scale, scenarios, table1, Effort, Table,
 };
 
 fn print_table(table: &Table, csv: bool) {
@@ -25,7 +25,7 @@ fn print_table(table: &Table, csv: bool) {
 }
 
 const USAGE: &str =
-    "usage: repro <fig1|table1|fig4a|fig4b|fig5a|fig5b|fig6|hetero|refine|scenario|all> \
+    "usage: repro <fig1|table1|fig4a|fig4b|fig5a|fig5b|fig6|hetero|refine|scenario|scale|all> \
      [--quick] [--csv] [--runs N] [--graphs N] [--seed N]";
 
 fn usage() -> ExitCode {
@@ -98,6 +98,7 @@ fn main() -> ExitCode {
         "hetero" => vec![hetero::run(&effort)],
         "refine" => vec![refine::run()],
         "scenario" => scenarios::run(&effort),
+        "scale" => vec![scale::run(&effort)],
         "all" => vec![
             fig1::run(),
             table1::run(),

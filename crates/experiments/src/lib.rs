@@ -12,6 +12,7 @@
 //! | `hetero` | [`hetero`] | §7 future work — heterogeneous losses |
 //! | `refine` | [`refine`] | §7 future work — interval refinement |
 //! | `scenario` | [`scenarios`] | partition-then-heal script on both substrates |
+//! | `scale` | [`scale`] | thousand-node rounds, delta vs full heartbeats |
 //!
 //! Run everything with the `repro` binary:
 //!
@@ -34,6 +35,7 @@ mod harness;
 pub mod hetero;
 mod parallel;
 pub mod refine;
+pub mod scale;
 pub mod scenarios;
 mod stats;
 mod table;

@@ -1,0 +1,322 @@
+//! The `scale` sweep: thousand-node heartbeat rounds, delta vs full
+//! views.
+//!
+//! The Hu & Jehl–scale measurement PAPERS.md calls for: how expensive is
+//! one steady-state round of the adaptive protocol's approximation
+//! activity as the system grows to n ∈ {100, 300, 1000}, and how much of
+//! that the delta-heartbeat machinery removes. Two regimes are swept:
+//!
+//! * **converged** — paper-literal reconciliation with on-reconcile
+//!   blame (a received heartbeat is not itself Bayesian evidence) and
+//!   sparse self-monitoring: after the initial transient the knowledge
+//!   views are stable and deltas shrink to the self-tick wave. This is
+//!   the regime where per-heartbeat cost drops from
+//!   O(processes + links) to O(changes).
+//! * **evidence** (the repo default, SeqGap reconcile) — every heartbeat
+//!   is fresh evidence, so essentially every view entry changes every
+//!   round and deltas are dense; the sweep shows the delta machinery
+//!   holding its own rather than winning.
+//!
+//! Each row reports wall-clock µs per round (all nodes: emissions,
+//! suspicion scans, self ticks, merges) and the average heartbeat
+//! payload in KB (the [`View::wire_size`]/[`DeltaView::wire_size`]
+//! accounting; the paper reports ~50 KB full heartbeats at n = 100,
+//! U = 100).
+//!
+//! [`View::wire_size`]: diffuse_core::View::wire_size
+//! [`DeltaView::wire_size`]: diffuse_core::DeltaView::wire_size
+
+use std::time::Instant;
+
+use diffuse_core::{
+    Actions, AdaptiveBroadcast, AdaptiveParams, Event, HeartbeatView, LinkBlame, Message, Protocol,
+    ReconcileMode, ViewMode,
+};
+use diffuse_graph::generators;
+use diffuse_model::ProcessId;
+use diffuse_sim::SimTime;
+
+use crate::table::{fmt, Table};
+use crate::Effort;
+
+/// One measured configuration.
+struct Point {
+    n: u32,
+    regime: &'static str,
+    mode: ViewMode,
+    us_per_round: f64,
+    heartbeat_kb: f64,
+}
+
+/// The converged-regime parameterization (see the module docs): used by
+/// the sweep below and by the `heartbeat`/`view` micro benches.
+pub fn converged_params() -> AdaptiveParams {
+    AdaptiveParams::default()
+        .with_reconcile(ReconcileMode::PaperLiteral)
+        .with_link_blame(LinkBlame::OnReconcile)
+        .with_self_tick_period(50)
+}
+
+/// An adaptive system stepped one heartbeat round at a time in the
+/// kernel's phase order: the previous tick's messages are delivered
+/// *before* timers fire, so suspicion deadlines are always refreshed in
+/// time and Event 2 stays quiet in healthy steady state.
+///
+/// This is the one shared round driver: the scale sweep below and the
+/// `heartbeat`/`view` micro benches (crates/bench/benches/micro.rs)
+/// both step it, so the phase order cannot silently diverge between
+/// them. Process ids must be dense `0..n` (the generator families
+/// guarantee it): sends route by index.
+#[derive(Debug)]
+pub struct KernelOrderSystem {
+    /// The nodes, indexed by process id.
+    pub nodes: Vec<AdaptiveBroadcast>,
+    /// Messages sent this tick, delivered at the start of the next.
+    pub pending: Vec<(u32, ProcessId, Message)>,
+    actions: Actions,
+    tick: u64,
+}
+
+impl KernelOrderSystem {
+    /// Builds the system over `topology` and warms it through its
+    /// transient (`warmup` rounds).
+    pub fn warmed(
+        topology: &diffuse_model::Topology,
+        params: &AdaptiveParams,
+        warmup: u64,
+    ) -> Self {
+        let all: Vec<ProcessId> = topology.processes().collect();
+        let mut system = KernelOrderSystem {
+            nodes: all
+                .iter()
+                .map(|&id| {
+                    AdaptiveBroadcast::new(
+                        id,
+                        all.clone(),
+                        topology.neighbors(id).collect(),
+                        params.clone(),
+                    )
+                })
+                .collect(),
+            pending: Vec::new(),
+            actions: Actions::new(),
+            tick: 0,
+        };
+        for _ in 0..warmup {
+            system.round();
+        }
+        system
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> SimTime {
+        SimTime::new(self.tick)
+    }
+
+    /// Advances the tick and steps one round.
+    pub fn round(&mut self) {
+        self.round_inspecting(|_, _| {});
+    }
+
+    /// Like [`KernelOrderSystem::round`], calling `inspect` for every
+    /// message sent this round (e.g. to account heartbeat wire sizes).
+    pub fn round_inspecting(&mut self, mut inspect: impl FnMut(ProcessId, &Message)) {
+        self.tick += 1;
+        let now = SimTime::new(self.tick);
+        for (target, from, m) in self.pending.drain(..) {
+            self.nodes[target as usize].handle_message(now, from, m, &mut self.actions);
+            self.actions.clear();
+        }
+        for node in self.nodes.iter_mut() {
+            node.on_event(
+                now,
+                Event::Timer(AdaptiveBroadcast::HEARTBEAT),
+                &mut self.actions,
+            );
+            node.on_event(
+                now,
+                Event::Timer(AdaptiveBroadcast::SUSPICION),
+                &mut self.actions,
+            );
+            node.on_event(
+                now,
+                Event::Timer(AdaptiveBroadcast::SELF_TICK),
+                &mut self.actions,
+            );
+            let from = node.id();
+            for (to, m) in self.actions.take_sends() {
+                inspect(to, &m);
+                self.pending.push((to.index(), from, m));
+            }
+            self.actions.clear();
+        }
+    }
+}
+
+/// Runs `rounds` steady-state rounds over a circulant(n, 4) system and
+/// returns (µs per round, average heartbeat KB).
+fn measure(n: u32, params: &AdaptiveParams, warmup: u64, rounds: u64) -> (f64, f64) {
+    let topology = generators::circulant(n, 4).expect("circulant");
+    let mut system = KernelOrderSystem::warmed(&topology, params, warmup);
+    let mut heartbeat_bytes = 0u64;
+    let mut heartbeats = 0u64;
+    let started = Instant::now();
+    for _ in 0..rounds {
+        system.round_inspecting(|_, m| {
+            if let Message::Heartbeat(hb) = m {
+                heartbeats += 1;
+                heartbeat_bytes += match &hb.view {
+                    HeartbeatView::Full(v) => v.wire_size() as u64,
+                    HeartbeatView::Delta(d) => d.wire_size() as u64,
+                };
+            }
+        });
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let kb = if heartbeats == 0 {
+        0.0
+    } else {
+        heartbeat_bytes as f64 / heartbeats as f64 / 1024.0
+    };
+    (elapsed * 1e6 / rounds as f64, kb)
+}
+
+/// Runs the scale sweep and renders the comparison table.
+pub fn run(effort: &Effort) -> Table {
+    let sizes: &[u32] = if effort.quick {
+        &[30, 100]
+    } else {
+        &[100, 300, 1000]
+    };
+    let mut points = Vec::new();
+    for &n in sizes {
+        // Rounds scale down with n so the sweep stays minutes, not
+        // hours; warmup must clear the topology/estimate transient
+        // (topology spreads one hop per round — circulant(1000, 4) has
+        // diameter 250).
+        let (warmup, rounds) = if effort.quick {
+            (200, 20)
+        } else if n >= 1000 {
+            (320, 5)
+        } else {
+            (300, 40)
+        };
+        for (regime, base) in [
+            ("converged", converged_params()),
+            ("evidence", AdaptiveParams::default()),
+        ] {
+            if regime == "evidence" && n >= 1000 && !effort.quick {
+                // The dense-evidence regime walks every entry every
+                // round by construction; at n = 1000 that is minutes of
+                // warmup per configuration for a number the 100/300
+                // points already characterize. The thousand-node rows
+                // measure the converged regime — the one the delta
+                // machinery exists for.
+                continue;
+            }
+            for mode in [ViewMode::Delta, ViewMode::Full] {
+                let params = base.clone().with_heartbeat_views(mode);
+                let (us, kb) = measure(n, &params, warmup, rounds);
+                points.push(Point {
+                    n,
+                    regime,
+                    mode,
+                    us_per_round: us,
+                    heartbeat_kb: kb,
+                });
+            }
+        }
+    }
+
+    let mut table = Table::new(
+        "Scale sweep: one heartbeat round (all nodes), delta vs full views — \
+         circulant(n, 4), U = 100"
+            .to_string(),
+        &[
+            "n",
+            "regime",
+            "views",
+            "us/round",
+            "heartbeat KB",
+            "speedup",
+            "wire saving",
+        ],
+    );
+    for pair in points.chunks(2) {
+        let [delta, full] = pair else { continue };
+        for point in [delta, full] {
+            let (speedup, saving) = if point.mode == ViewMode::Delta {
+                (
+                    format!("{:.1}x", full.us_per_round / delta.us_per_round),
+                    format!(
+                        "{:.0}x",
+                        (full.heartbeat_kb / delta.heartbeat_kb.max(1e-9)).max(1.0)
+                    ),
+                )
+            } else {
+                ("1.0x".to_string(), "1x".to_string())
+            };
+            table.push_row(vec![
+                point.n.to_string(),
+                point.regime.to_string(),
+                match point.mode {
+                    ViewMode::Delta => "delta".to_string(),
+                    ViewMode::Full => "full".to_string(),
+                },
+                fmt(point.us_per_round),
+                fmt(point.heartbeat_kb),
+                speedup,
+                saving,
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke shape test at tiny sizes (the CI scale smoke runs the
+    /// quick preset through the repro binary).
+    #[test]
+    fn scale_table_has_expected_shape() {
+        let mut effort = Effort::quick();
+        effort.quick = true;
+        let table = run(&effort);
+        // 2 sizes × 2 regimes × 2 modes (quick keeps every regime).
+        assert_eq!(table.row_count(), 8);
+        let text = table.to_aligned();
+        assert!(text.contains("converged"));
+        assert!(text.contains("delta"));
+    }
+
+    /// The converged regime's delta rounds must beat the full-view
+    /// rounds — the acceptance claim, asserted at smoke scale.
+    #[test]
+    #[ignore = "release-only: wall-clock comparison is meaningless under debug"]
+    fn converged_delta_beats_full_views() {
+        let (delta_us, delta_kb) = measure(
+            100,
+            &converged_params().with_heartbeat_views(ViewMode::Delta),
+            300,
+            30,
+        );
+        let (full_us, full_kb) = measure(
+            100,
+            &converged_params().with_heartbeat_views(ViewMode::Full),
+            300,
+            30,
+        );
+        assert!(
+            delta_us * 2.0 < full_us,
+            "converged delta rounds must be at least 2x faster \
+             ({delta_us:.0}µs vs {full_us:.0}µs)"
+        );
+        assert!(
+            delta_kb * 10.0 < full_kb,
+            "converged deltas must be at least 10x smaller on the wire \
+             ({delta_kb:.2}KB vs {full_kb:.2}KB)"
+        );
+    }
+}

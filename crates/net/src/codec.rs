@@ -5,21 +5,29 @@
 //! few dozen lines, versioned, and property-tested for round-trips.
 //!
 //! Frame layout: `version:u8 | tag:u8 | body…` with tags
-//! `1 = Data`, `2 = Gossip`, `3 = Ack`, `4 = Heartbeat`.
+//! `1 = Data`, `2 = Gossip`, `3 = Ack`, `4 = Heartbeat (full view)`,
+//! `5 = Heartbeat (delta view)`.
+//!
+//! Version 2 extended heartbeats with the delta-view machinery: full
+//! heartbeats gained the piggybacked `ack` and the view `generation`,
+//! and delta heartbeats (tag 5) carry only the entries changed since
+//! their base generation — O(changes) to encode, decode and transmit.
 
 use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use diffuse_bayes::{BeliefEstimator, Distortion, Estimate};
 use diffuse_core::{
-    BroadcastId, DataMessage, GossipMessage, HeartbeatMessage, Message, Payload, View, WireTree,
+    BroadcastId, DataMessage, DeltaView, GossipMessage, HeartbeatMessage, HeartbeatView, Message,
+    Payload, View, WireTree,
 };
 use diffuse_model::{LinkId, ProcessId, Topology};
 
 use crate::NetError;
 
-/// Current wire-format version.
-pub const WIRE_VERSION: u8 = 1;
+/// Current wire-format version (2: delta heartbeats, acks, view
+/// generations).
+pub const WIRE_VERSION: u8 = 2;
 
 /// Safety cap on any decoded element count (processes, links, beliefs).
 const MAX_COUNT: usize = 1 << 20;
@@ -28,6 +36,7 @@ const TAG_DATA: u8 = 1;
 const TAG_GOSSIP: u8 = 2;
 const TAG_ACK: u8 = 3;
 const TAG_HEARTBEAT: u8 = 4;
+const TAG_HEARTBEAT_DELTA: u8 = 5;
 
 /// Encodes a protocol message into a standalone frame.
 pub fn encode_message(message: &Message) -> Bytes {
@@ -50,11 +59,20 @@ pub fn encode_message(message: &Message) -> Bytes {
             buf.put_u8(TAG_ACK);
             put_broadcast_id(&mut buf, *id);
         }
-        Message::Heartbeat(h) => {
-            buf.put_u8(TAG_HEARTBEAT);
-            buf.put_u64_le(h.seq);
-            put_view(&mut buf, &h.view);
-        }
+        Message::Heartbeat(h) => match &h.view {
+            HeartbeatView::Full(view) => {
+                buf.put_u8(TAG_HEARTBEAT);
+                buf.put_u64_le(h.seq);
+                buf.put_u64_le(h.ack);
+                put_view(&mut buf, view);
+            }
+            HeartbeatView::Delta(delta) => {
+                buf.put_u8(TAG_HEARTBEAT_DELTA);
+                buf.put_u64_le(h.seq);
+                buf.put_u64_le(h.ack);
+                put_delta_view(&mut buf, delta);
+            }
+        },
     }
     buf.freeze()
 }
@@ -71,7 +89,7 @@ pub fn frame_kind(frame: &[u8]) -> &'static str {
     match frame {
         [WIRE_VERSION, TAG_DATA, ..] | [WIRE_VERSION, TAG_GOSSIP, ..] => "data",
         [WIRE_VERSION, TAG_ACK, ..] => "ack",
-        [WIRE_VERSION, TAG_HEARTBEAT, ..] => "heartbeat",
+        [WIRE_VERSION, TAG_HEARTBEAT, ..] | [WIRE_VERSION, TAG_HEARTBEAT_DELTA, ..] => "heartbeat",
         _ => "message",
     }
 }
@@ -110,10 +128,22 @@ pub fn decode_message(mut buf: &[u8]) -> Result<Message, NetError> {
         },
         TAG_HEARTBEAT => {
             let seq = get_u64(&mut buf)?;
+            let ack = get_u64(&mut buf)?;
             let view = get_view(&mut buf)?;
             Message::Heartbeat(HeartbeatMessage {
                 seq,
-                view: Arc::new(view),
+                ack,
+                view: HeartbeatView::Full(Arc::new(view)),
+            })
+        }
+        TAG_HEARTBEAT_DELTA => {
+            let seq = get_u64(&mut buf)?;
+            let ack = get_u64(&mut buf)?;
+            let delta = get_delta_view(&mut buf)?;
+            Message::Heartbeat(HeartbeatMessage {
+                seq,
+                ack,
+                view: HeartbeatView::Delta(Arc::new(delta)),
             })
         }
         other => return Err(NetError::BadTag(other)),
@@ -226,7 +256,7 @@ fn get_wire_tree(buf: &mut &[u8]) -> Result<WireTree, NetError> {
 }
 
 fn put_estimate(buf: &mut BytesMut, estimate: &Estimate) {
-    match estimate.distortion {
+    match estimate.distortion() {
         Distortion::Finite(v) => {
             buf.put_u8(0);
             buf.put_u32_le(v);
@@ -236,7 +266,7 @@ fn put_estimate(buf: &mut BytesMut, estimate: &Estimate) {
             buf.put_u32_le(0);
         }
     }
-    let beliefs = estimate.beliefs.beliefs();
+    let beliefs = estimate.beliefs().beliefs();
     buf.put_u32_le(beliefs.len() as u32);
     for b in beliefs {
         buf.put_u64_le(b.to_bits());
@@ -257,17 +287,18 @@ fn get_estimate(buf: &mut &[u8]) -> Result<Estimate, NetError> {
     }
     let beliefs =
         BeliefEstimator::from_beliefs(beliefs).map_err(|_| NetError::Invalid("bad beliefs"))?;
-    Ok(Estimate {
+    Ok(Estimate::from_parts(
         beliefs,
-        distortion: if infinite {
+        if infinite {
             Distortion::Infinite
         } else {
             Distortion::finite(value)
         },
-    })
+    ))
 }
 
 fn put_view(buf: &mut BytesMut, view: &View) {
+    buf.put_u64_le(view.generation);
     buf.put_u64_le(view.topology_version);
     // Topology: explicit process list (covers isolated processes) plus
     // the link list.
@@ -296,6 +327,7 @@ fn put_view(buf: &mut BytesMut, view: &View) {
 }
 
 fn get_view(buf: &mut &[u8]) -> Result<View, NetError> {
+    let generation = get_u64(buf)?;
     let topology_version = get_u64(buf)?;
     let mut topology = Topology::new();
     let n_proc = get_count(buf)?;
@@ -327,8 +359,56 @@ fn get_view(buf: &mut &[u8]) -> Result<View, NetError> {
     processes.sort_by_key(|(p, _)| *p);
     links.sort_by_key(|(l, _)| *l);
     Ok(View {
+        generation,
         topology_version,
         topology: Arc::new(topology),
+        processes,
+        links,
+    })
+}
+
+fn put_delta_view(buf: &mut BytesMut, delta: &DeltaView) {
+    buf.put_u64_le(delta.generation);
+    buf.put_u64_le(delta.base);
+    buf.put_u64_le(delta.topology_version);
+    buf.put_u32_le(delta.processes.len() as u32);
+    for (p, e) in &delta.processes {
+        buf.put_u32_le(p.index());
+        put_estimate(buf, e);
+    }
+    buf.put_u32_le(delta.links.len() as u32);
+    for (l, e) in &delta.links {
+        buf.put_u32_le(l.lo().index());
+        buf.put_u32_le(l.hi().index());
+        put_estimate(buf, e);
+    }
+}
+
+fn get_delta_view(buf: &mut &[u8]) -> Result<DeltaView, NetError> {
+    let generation = get_u64(buf)?;
+    let base = get_u64(buf)?;
+    let topology_version = get_u64(buf)?;
+    let n_pe = get_count(buf)?;
+    let mut processes = Vec::with_capacity(n_pe);
+    for _ in 0..n_pe {
+        let p = ProcessId::new(get_u32(buf)?);
+        processes.push((p, get_estimate(buf)?));
+    }
+    let n_le = get_count(buf)?;
+    let mut links = Vec::with_capacity(n_le);
+    for _ in 0..n_le {
+        let a = ProcessId::new(get_u32(buf)?);
+        let b = ProcessId::new(get_u32(buf)?);
+        let link = LinkId::new(a, b).map_err(|_| NetError::Invalid("self-loop link"))?;
+        links.push((link, get_estimate(buf)?));
+    }
+    // Keep the delta's sort invariants even against a hostile encoder.
+    processes.sort_by_key(|(p, _)| *p);
+    links.sort_by_key(|(l, _)| *l);
+    Ok(DeltaView {
+        generation,
+        base,
+        topology_version,
         processes,
         links,
     })
@@ -358,11 +438,24 @@ mod tests {
         topology.add_link(p(0), p(1)).unwrap();
         topology.add_process(p(9)); // isolated process survives encode
         let mut est = Estimate::first_hand(5);
-        est.beliefs.decrease_reliability(1);
+        est.beliefs_mut().decrease_reliability(1);
         View {
+            generation: 12,
             topology_version: 7,
             topology: Arc::new(topology),
             processes: vec![(p(0), est.clone()), (p(1), Estimate::unknown(5))],
+            links: vec![(LinkId::new(p(0), p(1)).unwrap(), est)],
+        }
+    }
+
+    fn sample_delta() -> DeltaView {
+        let mut est = Estimate::first_hand(5);
+        est.beliefs_mut().increase_reliability(2);
+        DeltaView {
+            generation: 13,
+            base: 12,
+            topology_version: 7,
+            processes: vec![(p(1), est.clone())],
             links: vec![(LinkId::new(p(0), p(1)).unwrap(), est)],
         }
     }
@@ -383,7 +476,13 @@ mod tests {
             Message::Ack { id: sample_id() },
             Message::Heartbeat(HeartbeatMessage {
                 seq: 1234567,
-                view: Arc::new(sample_view()),
+                ack: 11,
+                view: HeartbeatView::Full(Arc::new(sample_view())),
+            }),
+            Message::Heartbeat(HeartbeatMessage {
+                seq: 1234568,
+                ack: 12,
+                view: HeartbeatView::Delta(Arc::new(sample_delta())),
             }),
         ];
         for message in messages {
@@ -391,6 +490,30 @@ mod tests {
             let back = decode_message(&frame).expect("round trip");
             assert_eq!(back, message);
         }
+    }
+
+    /// A delta frame of one changed entry is far smaller than the full
+    /// view it patches — the wire-cost win delta heartbeats exist for.
+    #[test]
+    fn delta_frames_are_smaller_than_full_frames() {
+        let full = encode_message(&Message::Heartbeat(HeartbeatMessage {
+            seq: 1,
+            ack: 0,
+            view: HeartbeatView::Full(Arc::new(sample_view())),
+        }));
+        let mut delta = sample_delta();
+        delta.links.clear();
+        let delta = encode_message(&Message::Heartbeat(HeartbeatMessage {
+            seq: 2,
+            ack: 1,
+            view: HeartbeatView::Delta(Arc::new(delta)),
+        }));
+        assert!(
+            delta.len() * 2 < full.len(),
+            "delta {} vs full {}",
+            delta.len(),
+            full.len()
+        );
     }
 
     /// The header-only kind probe must agree with the decoded message's
@@ -413,7 +536,13 @@ mod tests {
             Message::Ack { id: sample_id() },
             Message::Heartbeat(HeartbeatMessage {
                 seq: 1,
-                view: Arc::new(sample_view()),
+                ack: 0,
+                view: HeartbeatView::Full(Arc::new(sample_view())),
+            }),
+            Message::Heartbeat(HeartbeatMessage {
+                seq: 2,
+                ack: 1,
+                view: HeartbeatView::Delta(Arc::new(sample_delta())),
             }),
         ];
         for message in messages {
@@ -426,13 +555,23 @@ mod tests {
 
     #[test]
     fn truncation_anywhere_is_detected() {
-        let frame = encode_message(&Message::Heartbeat(HeartbeatMessage {
-            seq: 5,
-            view: Arc::new(sample_view()),
-        }));
-        for cut in 0..frame.len() {
-            let err = decode_message(&frame[..cut]);
-            assert!(err.is_err(), "cut at {cut} must fail");
+        for message in [
+            Message::Heartbeat(HeartbeatMessage {
+                seq: 5,
+                ack: 3,
+                view: HeartbeatView::Full(Arc::new(sample_view())),
+            }),
+            Message::Heartbeat(HeartbeatMessage {
+                seq: 6,
+                ack: 5,
+                view: HeartbeatView::Delta(Arc::new(sample_delta())),
+            }),
+        ] {
+            let frame = encode_message(&message);
+            for cut in 0..frame.len() {
+                let err = decode_message(&frame[..cut]);
+                assert!(err.is_err(), "cut at {cut} must fail");
+            }
         }
     }
 

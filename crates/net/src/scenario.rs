@@ -71,6 +71,11 @@ impl Default for FabricScenarioOptions {
 /// node *defers* (e.g. incomplete knowledge) are retried by its runtime
 /// until they issue, matching the kernel `ScenarioSim`'s per-tick retry
 /// of deferred broadcasts.
+///
+/// The report's [`metrics`](ScenarioReport::metrics) are filled from
+/// transport-level counters — best effort and **not kernel-comparable**
+/// (different RNG stream, real scheduling, delivered-at-enqueue
+/// semantics; see [`FabricControl::metrics`]).
 pub fn run_scenario_on_fabric<P, F>(
     scenario: &Scenario,
     options: FabricScenarioOptions,
@@ -144,7 +149,11 @@ where
         delivered,
         failed_broadcasts: script.failed_broadcasts(),
         skipped_faults: 0,
-        metrics: None,
+        // Transport-level counters: best effort, NOT kernel-comparable
+        // (different RNG stream, real scheduling, delivered-at-enqueue
+        // semantics — see FabricControl::metrics). Collected after the
+        // shutdown drain so late sends are included.
+        metrics: Some(control.metrics()),
     }
 }
 
@@ -305,6 +314,11 @@ mod tests {
         assert!(report.all_delivered_at_least(1), "{report:?}");
         assert_eq!(report.failed_broadcasts, 0);
         assert_eq!(report.skipped_faults, 0);
+        // Wall runs now carry best-effort transport metrics: the
+        // broadcast's data frames were counted.
+        let metrics = report.metrics.as_ref().expect("wall metrics filled");
+        assert!(metrics.sent_of_kind("data") > 0, "{metrics:?}");
+        assert!(metrics.delivered_total() <= metrics.sent_total());
     }
 
     #[test]

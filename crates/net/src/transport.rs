@@ -6,10 +6,12 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
+use diffuse_sim::Metrics;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::codec::frame_kind;
 use crate::virtual_time::{VirtualCore, VirtualNet, VirtualOptions};
 use crate::NetError;
 
@@ -49,6 +51,12 @@ struct FabricShared {
     loss: Mutex<Configuration>,
     rng: Mutex<StdRng>,
     inboxes: BTreeMap<ProcessId, Sender<(ProcessId, Vec<u8>)>>,
+    /// Transport-level wire counters for wall-clock runs (sent / lost /
+    /// enqueued-as-delivered per kind and link). Best effort: see
+    /// [`FabricControl::metrics`] for the caveats. The virtual-time
+    /// fabric bypasses this (its authority accounts kernel-exact
+    /// metrics).
+    metrics: Mutex<Metrics>,
     /// Set on a virtual-time fabric: sends route through the time
     /// authority (deterministic loss sampling, staggered arrival
     /// scheduling) instead of the wall-clock channel path above.
@@ -157,6 +165,7 @@ impl Fabric {
             loss: Mutex::new(loss),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             inboxes,
+            metrics: Mutex::new(Metrics::new()),
             virtual_core,
         });
         let transports = receivers
@@ -192,6 +201,19 @@ impl FabricControl {
     /// The fabric's topology.
     pub fn topology(&self) -> &Topology {
         &self.shared.topology
+    }
+
+    /// A snapshot of the fabric's transport-level wire counters.
+    ///
+    /// **Best effort, not kernel-comparable:** the wall-clock fabric
+    /// rides a different RNG stream and real thread scheduling, a frame
+    /// counts as *delivered* when it is enqueued to the peer's inbox
+    /// (the transport cannot see cooperative crash windows, which drop
+    /// frames inside the node runtime), and there is no
+    /// receiver-down accounting. Useful for dashboards and sanity
+    /// checks; use the virtual-time fabric for bit-exact metrics.
+    pub fn metrics(&self) -> Metrics {
+        self.shared.metrics.lock().clone()
     }
 }
 
@@ -233,12 +255,23 @@ impl Transport for FabricTransport {
             core.send(self.id, to, frame);
             return Ok(());
         }
-        let link = LinkId::new(self.id, to).map_err(|_| NetError::UnknownPeer(to))?;
+        // One metrics guard per send: every node thread shares this
+        // mutex, so the hot path must not re-acquire it per counter.
+        let Ok(link) = LinkId::new(self.id, to) else {
+            self.shared.metrics.lock().record_invalid_batch(1);
+            return Err(NetError::UnknownPeer(to));
+        };
         if !self.shared.topology.contains_link(link) {
+            self.shared.metrics.lock().record_invalid_batch(1);
             return Err(NetError::UnknownPeer(to));
         }
+        let kind = frame_kind(frame);
         let loss = self.shared.loss.lock().loss(link);
-        if !loss.is_zero() && self.shared.rng.lock().gen_bool(loss.value()) {
+        let lost = !loss.is_zero() && self.shared.rng.lock().gen_bool(loss.value());
+        if lost {
+            let mut metrics = self.shared.metrics.lock();
+            metrics.record_sent_batch(link, kind, 1);
+            metrics.record_lost();
             return Ok(()); // dropped on the (virtual) wire
         }
         let Some(inbox) = self.shared.inboxes.get(&to) else {
@@ -246,7 +279,13 @@ impl Transport for FabricTransport {
         };
         inbox
             .send((self.id, frame.to_vec()))
-            .map_err(|_| NetError::Closed)
+            .map_err(|_| NetError::Closed)?;
+        // "Delivered" = enqueued to the peer's inbox (see
+        // FabricControl::metrics for why this is best effort).
+        let mut metrics = self.shared.metrics.lock();
+        metrics.record_sent_batch(link, kind, 1);
+        metrics.record_delivered(kind);
+        Ok(())
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<(ProcessId, Vec<u8>)>, NetError> {

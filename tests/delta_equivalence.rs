@@ -1,0 +1,459 @@
+//! Full-view vs delta-view equivalence: the two heartbeat modes must be
+//! **bit-identical** in everything observable.
+//!
+//! The adaptive protocol's delta heartbeats ([`ViewMode::Delta`], the
+//! default) are an optimization with a proof obligation: a run that
+//! gossips only changed view entries must produce exactly the state a
+//! full-view run ([`ViewMode::Full`], the executable specification)
+//! produces — same per-node estimates bit for bit, same broadcast
+//! plans, same wire [`Metrics`] — across random topologies, per-link
+//! loss, heartbeat periods, forced outages, and stochastic crash
+//! models. Heartbeat *sends* are one-per-neighbor-per-period in both
+//! modes, so the kernel's frozen loss RNG stream consumes identically
+//! and the two runs see the same drops; everything after that is on the
+//! merge logic, which these tests pin down.
+
+use diffuse::bayes::Estimate;
+use diffuse::core::scenario::{FaultAction, FaultScript, Scenario, Workload};
+use diffuse::core::{
+    Actions, AdaptiveBroadcast, AdaptiveParams, HeartbeatView, Message, Payload, Protocol, ViewMode,
+};
+use diffuse::graph::generators;
+use diffuse::model::{Configuration, LinkId, Probability, ProcessId};
+use diffuse::sim::{CrashModel, SimTime};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Bit-exact fingerprint of an estimate: distortion plus every belief's
+/// raw bits.
+fn estimate_bits(e: &Estimate) -> Vec<u64> {
+    let mut out = vec![match e.distortion().value() {
+        Some(v) => v as u64,
+        None => u64::MAX,
+    }];
+    out.extend(e.beliefs().beliefs().iter().map(|b| b.to_bits()));
+    out
+}
+
+/// Bit-exact fingerprint of a node's entire knowledge state.
+fn node_bits(node: &AdaptiveBroadcast) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    for q in node.known_topology().processes() {
+        out.push(estimate_bits(
+            node.process_estimate(q).expect("known process"),
+        ));
+    }
+    for l in node.known_topology().links() {
+        out.push(estimate_bits(node.link_estimate(l).expect("known link")));
+    }
+    out
+}
+
+/// Per-node state fingerprints, per-node broadcast plans, and the
+/// scenario report of one run.
+type ModeOutcome = (
+    Vec<Vec<Vec<u64>>>,
+    Vec<Option<String>>,
+    diffuse::core::ScenarioReport,
+);
+
+/// Runs `scenario` for `ticks` in the given view mode and returns
+/// per-node state fingerprints, broadcast plans, and the report.
+fn run_mode(
+    scenario: &Scenario,
+    ticks: u64,
+    params: &AdaptiveParams,
+    mode: ViewMode,
+) -> ModeOutcome {
+    let topology = scenario.topology.clone();
+    let all: Vec<ProcessId> = topology.processes().collect();
+    let params = params.clone().with_heartbeat_views(mode);
+    let mut run = scenario.sim(|id| {
+        AdaptiveBroadcast::new(
+            id,
+            all.clone(),
+            topology.neighbors(id).collect(),
+            params.clone(),
+        )
+    });
+    run.run_ticks(ticks);
+    let mut states = Vec::new();
+    let mut plans = Vec::new();
+    for &id in &all {
+        let node = run.sim().node(id).expect("node exists").protocol();
+        states.push(node_bits(node));
+        // The broadcast plan a node would derive right now — the thing
+        // receivers must be able to re-derive bit-identically.
+        plans.push(if node.topology_complete() {
+            node.knowledge_snapshot()
+                .broadcast_plan(id, node.params().target_reliability)
+                .ok()
+                .map(|(tree, plan)| format!("{tree:?}|{plan:?}"))
+        } else {
+            None
+        });
+    }
+    let report = run.report();
+    (states, plans, report)
+}
+
+/// A seeded random scenario exercising loss, partitions, crashes,
+/// degradation and workload broadcasts.
+fn random_scenario(seed: u64) -> (Scenario, AdaptiveParams, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(4u32..=9);
+    let topology = match rng.gen_range(0u32..4) {
+        0 => generators::ring(n).unwrap(),
+        1 => generators::circulant(n.max(5), 4).unwrap(),
+        2 => generators::line(n).unwrap(),
+        _ => generators::star(n).unwrap(),
+    };
+    let mut config = Configuration::new();
+    for link in topology.links() {
+        config.set_loss(link, Probability::new(rng.gen_range(0.0..0.4)).unwrap());
+    }
+    let processes: Vec<ProcessId> = topology.processes().collect();
+    let horizon = rng.gen_range(40u64..=120);
+
+    let mut workload = Workload::new();
+    if rng.gen_bool(0.7) {
+        let origin = processes[rng.gen_range(0..processes.len())];
+        workload = workload.broadcast(
+            SimTime::new(rng.gen_range(0..horizon / 2)),
+            origin,
+            Payload::from("w"),
+        );
+    }
+    let mut faults = FaultScript::new();
+    if rng.gen_bool(0.6) {
+        let island_size = rng.gen_range(1..processes.len());
+        let cut_at = rng.gen_range(0..horizon / 2);
+        faults = faults
+            .at(
+                SimTime::new(cut_at),
+                FaultAction::Partition {
+                    island: processes[..island_size].to_vec(),
+                },
+            )
+            .at(
+                SimTime::new(cut_at + rng.gen_range(5u64..20)),
+                FaultAction::Heal,
+            );
+    }
+    if rng.gen_bool(0.6) {
+        faults = faults.at(
+            SimTime::new(rng.gen_range(0..horizon)),
+            FaultAction::Crash {
+                process: processes[rng.gen_range(0..processes.len())],
+                down_ticks: rng.gen_range(1..=12),
+            },
+        );
+    }
+    let crash_model = match rng.gen_range(0u32..3) {
+        0 => CrashModel::AlwaysUp,
+        1 => CrashModel::Bernoulli {
+            p: Probability::new(0.03).unwrap(),
+        },
+        _ => CrashModel::Markov {
+            p: Probability::new(0.05).unwrap(),
+            mean_downtime: 3.0,
+        },
+    };
+    let scenario = Scenario::builder(topology)
+        .config(config)
+        .seed(rng.gen_range(0..u64::MAX / 2))
+        .crash_model(crash_model)
+        .workload(workload)
+        .faults(faults)
+        .build();
+    let params = AdaptiveParams::default()
+        .with_intervals([8, 16, 100][rng.gen_range(0..3usize)])
+        .with_heartbeat_period(rng.gen_range(1..=4))
+        .with_self_tick_period(rng.gen_range(1..=6));
+    (scenario, params, horizon)
+}
+
+fn assert_modes_equivalent(scenario: &Scenario, params: &AdaptiveParams, ticks: u64, label: &str) {
+    let (full_states, full_plans, full_report) = run_mode(scenario, ticks, params, ViewMode::Full);
+    let (delta_states, delta_plans, delta_report) =
+        run_mode(scenario, ticks, params, ViewMode::Delta);
+    assert_eq!(
+        full_states, delta_states,
+        "{label}: per-node estimates diverged (seed {})",
+        scenario.seed
+    );
+    assert_eq!(
+        full_plans, delta_plans,
+        "{label}: broadcast plans diverged (seed {})",
+        scenario.seed
+    );
+    assert_eq!(
+        full_report, delta_report,
+        "{label}: reports (deliveries / wire metrics) diverged (seed {})",
+        scenario.seed
+    );
+}
+
+/// The fixed regression matrix: every seed expands into a different
+/// topology family, loss configuration, fault script and crash model.
+#[test]
+fn full_and_delta_views_are_bit_identical_across_the_matrix() {
+    for seed in [1u64, 2, 3, 5, 8, 13, 21, 0xDE17A, 0xFAB, 0xC0FFEE] {
+        let (scenario, params, horizon) = random_scenario(seed);
+        assert_modes_equivalent(&scenario, &params, horizon, "matrix");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property form: arbitrary seeds, same bit-identity.
+    #[test]
+    fn prop_full_and_delta_views_are_bit_identical(seed in any::<u64>()) {
+        let (scenario, params, horizon) = random_scenario(seed);
+        let (full_states, _, full_report) =
+            run_mode(&scenario, horizon, &params, ViewMode::Full);
+        let (delta_states, _, delta_report) =
+            run_mode(&scenario, horizon, &params, ViewMode::Delta);
+        prop_assert_eq!(full_states, delta_states, "seed {}", seed);
+        prop_assert_eq!(full_report, delta_report, "seed {}", seed);
+    }
+}
+
+/// Manual-drive harness: routes every send instantly unless the drop
+/// filter claims it.
+fn drive_round(
+    nodes: &mut [AdaptiveBroadcast],
+    now: SimTime,
+    drop: &mut dyn FnMut(ProcessId, ProcessId, &Message) -> bool,
+) {
+    let mut actions = Actions::new();
+    let mut pending: Vec<(ProcessId, ProcessId, Message)> = Vec::new();
+    for node in nodes.iter_mut() {
+        node.on_event(
+            now,
+            diffuse::core::Event::Timer(AdaptiveBroadcast::HEARTBEAT),
+            &mut actions,
+        );
+        node.on_event(
+            now,
+            diffuse::core::Event::Timer(AdaptiveBroadcast::SUSPICION),
+            &mut actions,
+        );
+        node.on_event(
+            now,
+            diffuse::core::Event::Timer(AdaptiveBroadcast::SELF_TICK),
+            &mut actions,
+        );
+        let from = node.id();
+        for (to, m) in actions.take_sends() {
+            pending.push((from, to, m));
+        }
+        actions.clear();
+    }
+    for (from, to, m) in pending {
+        if drop(from, to, &m) {
+            continue;
+        }
+        if let Some(node) = nodes.iter_mut().find(|n| n.id() == to) {
+            node.handle_message(now, from, m, &mut actions);
+            actions.clear();
+        }
+    }
+}
+
+fn line3(mode: ViewMode) -> Vec<AdaptiveBroadcast> {
+    let all = vec![p(0), p(1), p(2)];
+    let params = AdaptiveParams::default()
+        .with_intervals(16)
+        .with_heartbeat_views(mode);
+    vec![
+        AdaptiveBroadcast::new(p(0), all.clone(), vec![p(1)], params.clone()),
+        AdaptiveBroadcast::new(p(1), all.clone(), vec![p(0), p(2)], params.clone()),
+        AdaptiveBroadcast::new(p(2), all, vec![p(1)], params),
+    ]
+}
+
+/// Losing delta heartbeats can never wedge convergence: deltas are
+/// cumulative since the receiver's last acknowledged generation, so the
+/// next one that arrives covers everything the lost ones carried. A
+/// full-view twin run with the *same* drop pattern stays bit-identical
+/// throughout — including across the loss window and the recovery.
+#[test]
+fn lost_deltas_recover_and_match_the_full_view_twin() {
+    let mut full = line3(ViewMode::Full);
+    let mut delta = line3(ViewMode::Delta);
+    // Drop every 1→0 heartbeat during ticks 20..30 (by then the system
+    // is warmed up and rides deltas), plus a scattered tail.
+    let dropper = |from: ProcessId, to: ProcessId, now: u64| {
+        (from, to) == (p(1), p(0)) && ((20..30).contains(&now) || now % 7 == 0)
+    };
+    for t in 1..=60u64 {
+        let now = SimTime::new(t);
+        let mut full_drop = |from: ProcessId, to: ProcessId, _m: &Message| dropper(from, to, t);
+        drive_round(&mut full, now, &mut full_drop);
+        let mut delta_drop = |from: ProcessId, to: ProcessId, _m: &Message| dropper(from, to, t);
+        drive_round(&mut delta, now, &mut delta_drop);
+        for (f, d) in full.iter().zip(delta.iter()) {
+            assert_eq!(
+                node_bits(f),
+                node_bits(d),
+                "tick {t}: node {} diverged",
+                f.id()
+            );
+        }
+    }
+    // Convergence was not wedged: the link estimates settled despite
+    // the losses, identically in both modes.
+    let l01 = LinkId::new(p(0), p(1)).unwrap();
+    let full_loss = full[0].estimated_loss(l01).unwrap().value();
+    let delta_loss = delta[0].estimated_loss(l01).unwrap().value();
+    assert_eq!(full_loss.to_bits(), delta_loss.to_bits());
+}
+
+/// After a loss window the next arriving delta has a base no newer than
+/// the receiver's last merged generation (the ack protocol guarantees
+/// it), so it applies — the "generation gap" a lost frame opens is
+/// closed by cumulative deltas, never by a wedged mirror.
+#[test]
+fn delta_bases_never_outrun_the_receiver() {
+    let mut nodes = line3(ViewMode::Delta);
+    let mut last_merged_0_from_1 = 0u64; // generation p0 last merged from p1
+    for t in 1..=80u64 {
+        let now = SimTime::new(t);
+        let mut check = |from: ProcessId, to: ProcessId, m: &Message| -> bool {
+            if let Message::Heartbeat(hb) = m {
+                if (from, to) == (p(1), p(0)) {
+                    match &hb.view {
+                        HeartbeatView::Delta(d) => {
+                            // Drop a third of them — the survivors must
+                            // still be applicable.
+                            if t % 3 == 0 {
+                                return true;
+                            }
+                            assert!(
+                                d.base <= last_merged_0_from_1,
+                                "tick {t}: delta base {} outran receiver at {}",
+                                d.base,
+                                last_merged_0_from_1
+                            );
+                            last_merged_0_from_1 = d.generation;
+                        }
+                        HeartbeatView::Full(v) => {
+                            last_merged_0_from_1 = v.generation;
+                        }
+                    }
+                }
+            }
+            false
+        };
+        drive_round(&mut nodes, now, &mut check);
+    }
+    assert!(last_merged_0_from_1 > 0, "p0 merged frames from p1");
+    // And no defensive drop ever fired: every surviving frame applied.
+    assert_eq!(nodes[0].error_count(), 0);
+}
+
+/// Topology changes force a full-view fallback until acknowledged: a
+/// node that learns a new link mid-run (its `Λ_k` grows, so mirrors of
+/// it go stale) switches its heartbeats back to full views until the
+/// receiver acks a post-change generation, then returns to deltas.
+#[test]
+fn topology_change_falls_back_to_full_views() {
+    let mut nodes = line3(ViewMode::Delta);
+    // Track the kind of every a→b (0→1) heartbeat per tick.
+    let mut kinds: Vec<(u64, bool)> = Vec::new(); // (tick, is_full)
+    for t in 1..=12u64 {
+        let now = SimTime::new(t);
+        let mut capture = |from: ProcessId, to: ProcessId, m: &Message| -> bool {
+            if (from, to) == (p(0), p(1)) {
+                if let Message::Heartbeat(hb) = m {
+                    kinds.push((t, matches!(hb.view, HeartbeatView::Full(_))));
+                }
+            }
+            false
+        };
+        drive_round(&mut nodes, now, &mut capture);
+    }
+    // t=1: first contact → full. a learns the 1–2 link from b's t=1
+    // view, so its topology version moves: frames stay full until b
+    // acks a post-change generation, then flip to deltas for good.
+    assert!(kinds[0].1, "first contact must be full: {kinds:?}");
+    assert!(
+        kinds.iter().any(|&(t, full)| t > 1 && full),
+        "the topology change must force at least one more full view: {kinds:?}"
+    );
+    let last_full = kinds
+        .iter()
+        .filter(|&&(_, full)| full)
+        .map(|&(t, _)| t)
+        .max()
+        .unwrap();
+    assert!(
+        last_full <= 4,
+        "fallback must be acknowledged promptly: {kinds:?}"
+    );
+    assert!(
+        kinds.iter().any(|&(t, full)| t > last_full && !full),
+        "steady state must return to deltas: {kinds:?}"
+    );
+}
+
+/// Sanity: steady-state frames really are small deltas — first-contact
+/// frames are full views, converged ones undercut them on the wire.
+#[test]
+fn steady_state_frames_are_small_deltas() {
+    let topology = generators::circulant(10, 4).unwrap();
+    let all: Vec<ProcessId> = topology.processes().collect();
+    let params = AdaptiveParams::default().with_intervals(16);
+    let mut nodes: Vec<AdaptiveBroadcast> = all
+        .iter()
+        .map(|&id| {
+            AdaptiveBroadcast::new(
+                id,
+                all.clone(),
+                topology.neighbors(id).collect(),
+                params.clone(),
+            )
+        })
+        .collect();
+    let mut max_full_size = 0usize;
+    let mut tick1_all_full = true;
+    let mut final_tick_delta_sizes: Vec<usize> = Vec::new();
+    for t in 1..=40u64 {
+        let now = SimTime::new(t);
+        let mut capture = |_from: ProcessId, _to: ProcessId, m: &Message| -> bool {
+            if let Message::Heartbeat(hb) = m {
+                match &hb.view {
+                    HeartbeatView::Full(v) => {
+                        max_full_size = max_full_size.max(v.wire_size());
+                    }
+                    HeartbeatView::Delta(d) => {
+                        if t == 1 {
+                            tick1_all_full = false;
+                        }
+                        if t == 40 {
+                            final_tick_delta_sizes.push(d.wire_size());
+                        }
+                    }
+                }
+            }
+            false
+        };
+        drive_round(&mut nodes, now, &mut capture);
+    }
+    assert!(tick1_all_full, "first contact must be full views");
+    assert!(
+        !final_tick_delta_sizes.is_empty(),
+        "steady state must ride deltas"
+    );
+    assert!(
+        final_tick_delta_sizes.iter().all(|&s| s < max_full_size),
+        "steady-state deltas {final_tick_delta_sizes:?} must undercut full views ({max_full_size} B)"
+    );
+}

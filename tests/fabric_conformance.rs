@@ -197,32 +197,44 @@ fn randomized_scenarios_optimal_conformance() {
 /// path.
 #[test]
 fn adaptive_protocol_conformance() {
-    for seed in [11u64, 42, 0xADA] {
-        let (mut scenario, horizon) = random_scenario(seed.wrapping_add(0x5EED));
-        // A tick-0 broadcast is deferred until topology knowledge
-        // completes — both substrates must retry it identically.
-        scenario.workload = Workload::new()
-            .broadcast(SimTime::ZERO, p(0), Payload::from("too early"))
-            .broadcast(SimTime::new(horizon / 2), p(1), Payload::from("later"));
-        let topology = scenario.topology.clone();
-        let all: Vec<ProcessId> = topology.processes().collect();
-        let params = AdaptiveParams::default().with_intervals(16);
-        let make = |id: ProcessId| {
-            AdaptiveBroadcast::new(
-                id,
-                all.clone(),
-                topology.neighbors(id).collect(),
-                params.clone(),
-            )
-        };
-        let sim = scenario.run_sim(horizon, make);
-        assert_conformant(
-            &scenario,
-            horizon,
-            sim,
-            || run_scenario_on_fabric_virtual(&scenario, horizon, make),
-            "adaptive",
-        );
+    // Both heartbeat view modes ride the wire here: the default delta
+    // mode exercises the delta-frame codec end to end (encode at the
+    // sender, decode at the receiver, full-view fallbacks on first
+    // contact and topology changes), the full mode the legacy frames —
+    // and each must match its kernel twin bit for bit.
+    for mode in [
+        diffuse::core::ViewMode::Delta,
+        diffuse::core::ViewMode::Full,
+    ] {
+        for seed in [11u64, 42, 0xADA] {
+            let (mut scenario, horizon) = random_scenario(seed.wrapping_add(0x5EED));
+            // A tick-0 broadcast is deferred until topology knowledge
+            // completes — both substrates must retry it identically.
+            scenario.workload = Workload::new()
+                .broadcast(SimTime::ZERO, p(0), Payload::from("too early"))
+                .broadcast(SimTime::new(horizon / 2), p(1), Payload::from("later"));
+            let topology = scenario.topology.clone();
+            let all: Vec<ProcessId> = topology.processes().collect();
+            let params = AdaptiveParams::default()
+                .with_intervals(16)
+                .with_heartbeat_views(mode);
+            let make = |id: ProcessId| {
+                AdaptiveBroadcast::new(
+                    id,
+                    all.clone(),
+                    topology.neighbors(id).collect(),
+                    params.clone(),
+                )
+            };
+            let sim = scenario.run_sim(horizon, make);
+            assert_conformant(
+                &scenario,
+                horizon,
+                sim,
+                || run_scenario_on_fabric_virtual(&scenario, horizon, make),
+                &format!("adaptive ({mode:?} views)"),
+            );
+        }
     }
 }
 
