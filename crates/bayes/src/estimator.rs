@@ -134,6 +134,7 @@ impl BeliefEstimator {
             let mut sum = 0.0;
             for (u, b) in beliefs.iter_mut().enumerate() {
                 let mid = (2 * u + 1) as f64 / (2 * u_count) as f64;
+                // lint:allow(det-pow): belief update computed once by this estimator and gossiped as-is; receivers adopt the bits, they never re-derive them.
                 *b *= weight(mid).powi(factor as i32);
                 sum += *b;
             }

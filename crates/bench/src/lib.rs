@@ -1,5 +1,7 @@
 //! Shared fixtures for the `diffuse` Criterion benchmarks.
 
+#![forbid(unsafe_code)]
+
 use diffuse_core::ReliabilityTree;
 use diffuse_graph::{generators, maximum_reliability_tree};
 use diffuse_model::{Configuration, Probability, ProcessId, Topology};

@@ -130,8 +130,9 @@ impl DeadlineQueue {
 /// one).
 #[derive(Debug)]
 enum MirrorValue {
-    /// Owned copy, materialized when its source frame was replaced.
-    Inline(Estimate),
+    /// Retained handle, materialized (one `Arc` clone, no estimate copy)
+    /// when its source frame was replaced.
+    Inline(Arc<Estimate>),
     /// Index into the mirror's `latest` frame (the entry's own table:
     /// processes or links).
     Latest(u32),
@@ -170,7 +171,7 @@ struct NeighborMirror {
 }
 
 /// Resolves a process-table index of a retained frame.
-fn frame_process(frame: &HeartbeatView, idx: u32) -> &Estimate {
+fn frame_process(frame: &HeartbeatView, idx: u32) -> &Arc<Estimate> {
     match frame {
         HeartbeatView::Full(v) => &v.processes[idx as usize].1,
         HeartbeatView::Delta(d) => &d.processes[idx as usize].1,
@@ -178,7 +179,7 @@ fn frame_process(frame: &HeartbeatView, idx: u32) -> &Estimate {
 }
 
 /// Resolves a link-table index of a retained frame.
-fn frame_link(frame: &HeartbeatView, idx: u32) -> &Estimate {
+fn frame_link(frame: &HeartbeatView, idx: u32) -> &Arc<Estimate> {
     match frame {
         HeartbeatView::Full(v) => &v.links[idx as usize].1,
         HeartbeatView::Delta(d) => &d.links[idx as usize].1,
@@ -187,12 +188,14 @@ fn frame_link(frame: &HeartbeatView, idx: u32) -> &Estimate {
 
 /// Materializes the entries of `old_frame` that the newly merged frame
 /// did not re-point (`old_members \ new_members`, both ascending): their
-/// source frame is about to be dropped, so the mirror takes an owned
-/// copy. Cost is exactly the churn difference between the two frames.
+/// source frame is about to be dropped, so the mirror takes its own
+/// handle on each such entry (an `Arc` clone — the estimate itself is
+/// shared, never copied). Cost is exactly the churn difference between
+/// the two frames.
 fn materialize_dropped<K>(
     entries: &mut [MirrorEntry<K>],
     old_frame: &HeartbeatView,
-    resolve: impl Fn(&HeartbeatView, u32) -> Estimate,
+    resolve: impl Fn(&HeartbeatView, u32) -> Arc<Estimate>,
     old_members: &[u32],
     new_members: &[u32],
 ) {
@@ -507,22 +510,14 @@ impl AdaptiveBroadcast {
         NetworkKnowledge::exact(Topology::clone(&self.topology), config)
     }
 
-    /// Legacy full-view snapshot: fresh vectors, one allocation per
-    /// emission (the [`ViewMode::Full`] executable-specification path,
-    /// also used to seed tests).
+    /// Full-view snapshot (the [`ViewMode::Full`]
+    /// executable-specification path, also used to seed tests). Shares
+    /// the same copy-on-write cache as delta emission: entries whose
+    /// estimate did not move since the last emission are `Arc`-shared,
+    /// not re-cloned, so full-view mode pays per *changed* entry too.
     fn build_full_view(&mut self) -> Arc<View> {
-        self.emission.generation += 1;
-        Arc::new(View {
-            generation: self.emission.generation,
-            topology_version: self.topology_version,
-            topology: Arc::clone(&self.topology),
-            processes: self
-                .peers
-                .iter()
-                .map(|(&p, r)| (p, r.estimate.clone()))
-                .collect(),
-            links: self.links.iter().map(|(&l, e)| (l, e.clone())).collect(),
-        })
+        self.sync_view_cache();
+        Arc::clone(&self.emission.view)
     }
 
     /// Brings the cached view up to date copy-on-write: only entries
@@ -548,9 +543,13 @@ impl AdaptiveBroadcast {
                 processes: self
                     .peers
                     .iter()
-                    .map(|(&p, r)| (p, r.estimate.clone()))
+                    .map(|(&p, r)| (p, Arc::new(r.estimate.clone())))
                     .collect(),
-                links: self.links.iter().map(|(&l, e)| (l, e.clone())).collect(),
+                links: self
+                    .links
+                    .iter()
+                    .map(|(&l, e)| (l, Arc::new(e.clone())))
+                    .collect(),
             });
             return;
         }
@@ -574,7 +573,7 @@ impl AdaptiveBroadcast {
         {
             let v = record.estimate.version();
             if v != sync.0 {
-                entry.1 = record.estimate.clone();
+                entry.1 = Arc::new(record.estimate.clone());
                 *sync = (v, g);
             }
         }
@@ -582,13 +581,13 @@ impl AdaptiveBroadcast {
         // insertion for newly learned links.
         for (i, (&l, e)) in self.links.iter().enumerate() {
             if i == view.links.len() || view.links[i].0 != l {
-                view.links.insert(i, (l, e.clone()));
+                view.links.insert(i, (l, Arc::new(e.clone())));
                 self.emission.link_sync.insert(i, (e.version(), g));
             } else {
                 let v = e.version();
                 let sync = &mut self.emission.link_sync[i];
                 if v != sync.0 {
-                    view.links[i].1 = e.clone();
+                    view.links[i].1 = Arc::new(e.clone());
                     *sync = (v, g);
                 }
             }
@@ -596,7 +595,10 @@ impl AdaptiveBroadcast {
     }
 
     /// Assembles the delta of entries changed since `base` from the
-    /// (already synced) view cache.
+    /// (already synced) view cache. Delta entries are `Arc`-shared with
+    /// the cached view — assembling a delta clones handles, never
+    /// estimates, so the former sync-then-assemble double-clone per
+    /// changed entry is gone.
     fn build_delta(&self, base: u64) -> Arc<DeltaView> {
         let view = &self.emission.view;
         Arc::new(DeltaView {
@@ -608,14 +610,14 @@ impl AdaptiveBroadcast {
                 .iter()
                 .zip(&self.emission.proc_sync)
                 .filter(|&(_, &(_, changed))| changed > base)
-                .map(|((p, e), _)| (*p, e.clone()))
+                .map(|((p, e), _)| (*p, Arc::clone(e)))
                 .collect(),
             links: view
                 .links
                 .iter()
                 .zip(&self.emission.link_sync)
                 .filter(|&(_, &(_, changed))| changed > base)
-                .map(|((l, e), _)| (*l, e.clone()))
+                .map(|((l, e), _)| (*l, Arc::clone(e)))
                 .collect(),
         })
     }
@@ -1022,14 +1024,14 @@ impl AdaptiveBroadcast {
         materialize_dropped(
             &mut mirror.processes,
             &old_frame,
-            |f, i| frame_process(f, i).clone(),
+            |f, i| Arc::clone(frame_process(f, i)),
             &mirror.latest_procs,
             &new_procs,
         );
         materialize_dropped(
             &mut mirror.links,
             &old_frame,
-            |f, i| frame_link(f, i).clone(),
+            |f, i| Arc::clone(frame_link(f, i)),
             &mirror.latest_links,
             &new_links,
         );
@@ -1896,7 +1898,7 @@ mod tests {
                 generation: 9,
                 base: 7,
                 topology_version: 1,
-                processes: vec![(p(0), Estimate::first_hand(100))],
+                processes: vec![(p(0), Arc::new(Estimate::first_hand(100)))],
                 links: Vec::new(),
             })),
         });

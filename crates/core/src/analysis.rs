@@ -8,6 +8,8 @@
 //! down the more reliable path. Equating the two delivery probabilities
 //! yields the paper's headline ratio `k₁/k₀ = ½·log_L α + 1` (< 1).
 
+// lint:allow-file(det-pow): closed-form paper figures computed locally for display; nothing here is re-derived from gossip, so cross-host bit-identity is not required.
+
 use crate::CoreError;
 
 /// Validates the two-path parameters: `0 < l < 1`, `alpha ≥ 1`, and

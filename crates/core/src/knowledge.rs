@@ -75,10 +75,13 @@ impl NetworkKnowledge {
 /// heartbeats.
 ///
 /// Estimates are stored as *sorted vectors* so receivers can merge-join
-/// them against their own ordered maps in linear time, and the belief
-/// vectors inside are copy-on-write, so building and adopting views is
-/// cheap. The topology is behind an [`Arc`] with a version counter:
-/// receivers skip re-merging a topology they have already merged.
+/// them against their own ordered maps in linear time. Each entry is an
+/// `Arc<Estimate>` (with copy-on-write belief vectors inside), so the
+/// sender's cached view and every per-neighbor [`DeltaView`] assembled
+/// from it share one allocation per entry instead of cloning estimates
+/// twice per emission. The topology is behind an [`Arc`] with a version
+/// counter: receivers skip re-merging a topology they have already
+/// merged.
 ///
 /// Under delta heartbeats the sender keeps one cached `Arc<View>` and
 /// rebuilds it copy-on-write per emission, stamping each emission with a
@@ -98,9 +101,9 @@ pub struct View {
     /// The sender's known topology.
     pub topology: Arc<Topology>,
     /// Process estimates, sorted by process id.
-    pub processes: Vec<(ProcessId, Estimate)>,
+    pub processes: Vec<(ProcessId, Arc<Estimate>)>,
     /// Link estimates, sorted by link id.
-    pub links: Vec<(LinkId, Estimate)>,
+    pub links: Vec<(LinkId, Arc<Estimate>)>,
 }
 
 impl View {
@@ -109,7 +112,7 @@ impl View {
         self.processes
             .binary_search_by_key(&p, |(id, _)| *id)
             .ok()
-            .map(|i| &self.processes[i].1)
+            .map(|i| self.processes[i].1.as_ref())
     }
 
     /// Looks up the estimate for a link (binary search).
@@ -117,7 +120,7 @@ impl View {
         self.links
             .binary_search_by_key(&l, |(id, _)| *id)
             .ok()
-            .map(|i| &self.links[i].1)
+            .map(|i| self.links[i].1.as_ref())
     }
 
     /// Approximate encoded size in bytes, for bandwidth accounting: the
@@ -160,10 +163,12 @@ pub struct DeltaView {
     /// The sender's topology version — unchanged, by construction, since
     /// the full view the receiver acknowledged.
     pub topology_version: u64,
-    /// Changed process estimates, sorted by process id.
-    pub processes: Vec<(ProcessId, Estimate)>,
-    /// Changed link estimates, sorted by link id.
-    pub links: Vec<(LinkId, Estimate)>,
+    /// Changed process estimates, sorted by process id. Entries are
+    /// [`Arc`]-shared with the sender's cached [`View`].
+    pub processes: Vec<(ProcessId, Arc<Estimate>)>,
+    /// Changed link estimates, sorted by link id. Entries are
+    /// [`Arc`]-shared with the sender's cached [`View`].
+    pub links: Vec<(LinkId, Arc<Estimate>)>,
 }
 
 impl DeltaView {
@@ -172,7 +177,7 @@ impl DeltaView {
         self.processes
             .binary_search_by_key(&p, |(id, _)| *id)
             .ok()
-            .map(|i| &self.processes[i].1)
+            .map(|i| self.processes[i].1.as_ref())
     }
 
     /// Looks up the changed estimate for a link (binary search).
@@ -180,7 +185,7 @@ impl DeltaView {
         self.links
             .binary_search_by_key(&l, |(id, _)| *id)
             .ok()
-            .map(|i| &self.links[i].1)
+            .map(|i| self.links[i].1.as_ref())
     }
 
     /// Approximate encoded size in bytes (same accounting as
@@ -270,10 +275,10 @@ mod tests {
             topology_version: 1,
             topology: Arc::new(topo),
             processes: vec![
-                (p(0), Estimate::first_hand(10)),
-                (p(1), Estimate::unknown(10)),
+                (p(0), Arc::new(Estimate::first_hand(10))),
+                (p(1), Arc::new(Estimate::unknown(10))),
             ],
-            links: vec![(link, Estimate::first_hand(10))],
+            links: vec![(link, Arc::new(Estimate::first_hand(10)))],
         };
         assert_eq!(
             view.process_estimate(p(0)).unwrap().distortion(),
@@ -294,8 +299,8 @@ mod tests {
             generation: 7,
             base: 5,
             topology_version: 2,
-            processes: vec![(p(1), Estimate::first_hand(10))],
-            links: vec![(link, Estimate::unknown(10))],
+            processes: vec![(p(1), Arc::new(Estimate::first_hand(10)))],
+            links: vec![(link, Arc::new(Estimate::unknown(10)))],
         };
         assert!(delta.process_estimate(p(1)).is_some());
         assert!(delta.process_estimate(p(0)).is_none());

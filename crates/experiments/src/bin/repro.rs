@@ -6,7 +6,11 @@
 //! repro <experiment> [--quick] [--csv] [--runs N] [--graphs N] [--seed N]
 //!
 //! experiments: fig1 table1 fig4a fig4b fig5a fig5b fig6 hetero refine scenario scale all
+//!
+//! repro lint            # alias for `cargo run -p diffuse-lint -- check`
 //! ```
+
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
@@ -26,11 +30,45 @@ fn print_table(table: &Table, csv: bool) {
 
 const USAGE: &str =
     "usage: repro <fig1|table1|fig4a|fig4b|fig5a|fig5b|fig6|hetero|refine|scenario|scale|all> \
-     [--quick] [--csv] [--runs N] [--graphs N] [--seed N]";
+     [--quick] [--csv] [--runs N] [--graphs N] [--seed N]\n       \
+     repro lint   (determinism lint over the workspace; alias for `diffuse-lint check`)";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
     ExitCode::FAILURE
+}
+
+/// `repro lint`: thin alias for `cargo run -p diffuse-lint -- check`,
+/// so the determinism gate is discoverable from the main binary.
+fn run_lint() -> ExitCode {
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("repro lint: cannot determine current directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = diffuse_lint::find_workspace_root(&cwd) else {
+        eprintln!("repro lint: no workspace root above {}", cwd.display());
+        return ExitCode::from(2);
+    };
+    match diffuse_lint::run_check(&root) {
+        Ok(diagnostics) if diagnostics.is_empty() => {
+            println!("repro lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(diagnostics) => {
+            for d in &diagnostics {
+                println!("{d}");
+            }
+            println!("repro lint: {} diagnostic(s)", diagnostics.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("repro lint: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -43,6 +81,9 @@ fn main() -> ExitCode {
     let Some(experiment) = args.first().cloned() else {
         return usage();
     };
+    if experiment == "lint" {
+        return run_lint();
+    }
 
     let mut effort = if args.iter().any(|a| a == "--quick") {
         Effort::quick()
@@ -86,6 +127,8 @@ fn main() -> ExitCode {
         }
     }
 
+    #[allow(clippy::disallowed_methods)]
+    // lint:allow(no-wall-clock): CLI progress timer for the operator; not part of any experiment's output.
     let start = std::time::Instant::now();
     let tables: Vec<Table> = match experiment.as_str() {
         "fig1" => vec![fig1::run()],

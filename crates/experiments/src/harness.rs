@@ -415,6 +415,7 @@ mod tests {
         let s = CalibrationSettings::certifying(0.9, 0.05, 64);
         assert_eq!(s.required_successes(), 29);
         // The bound holds: target^n ≤ alpha.
+        // lint:allow(det-pow): test assertion on the closed-form calibration bound.
         assert!(s.target.powi(s.required_successes() as i32) <= s.alpha);
         // Comparable-to-runs reproduces the rule-of-three effort scale:
         // n ≈ runs (ln(0.05)/ln(1 - 3/runs) ≈ runs for large runs).

@@ -33,6 +33,7 @@ impl Summary {
         let std_dev = if count < 2 {
             0.0
         } else {
+            // lint:allow(det-pow): sample variance for experiment report tables; display-only statistics, never a broadcast plan input.
             let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0);
             var.sqrt()
         };

@@ -1,0 +1,53 @@
+//! Lint diagnostics: what fired, where, and why.
+
+use core::fmt;
+
+/// One lint finding, anchored to a workspace-relative path and a
+/// 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired (kebab-case, e.g. `no-wall-clock`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(path: &str, line: usize, rule: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            path: path.to_owned(),
+            line,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_as_path_line_rule_message() {
+        let d = Diagnostic::new("crates/core/src/x.rs", 7, "det-pow", "use pow_det");
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/x.rs:7: [det-pow] use pow_det"
+        );
+    }
+}

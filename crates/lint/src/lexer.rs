@@ -1,0 +1,305 @@
+//! A minimal comment/string-aware pass over Rust source.
+//!
+//! The rules in this crate are lexical, so the one thing the scanner
+//! must get right is *where code stops and prose begins*: a mention of
+//! `Instant::now` in a doc comment, a rule pattern inside a string
+//! literal, or a `//` inside a raw string must never trigger (or
+//! suppress) a rule. This module splits a source file into per-line
+//! [`Line`]s holding the code text (string/char contents blanked to
+//! spaces, comments removed) and the comment text (where suppression
+//! pragmas live) separately.
+//!
+//! Handled: line comments, nested block comments, string literals with
+//! escapes, raw strings (`r"…"`, `r#"…"#`, …), byte and raw byte
+//! strings, char and byte-char literals, and the char-vs-lifetime
+//! ambiguity (`'a'` vs `&'a str`). This is not a full Rust lexer — it
+//! is exactly the subset needed to scan this workspace soundly.
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code text: comments stripped, string/char literal *contents*
+    /// replaced by spaces (the delimiting quotes are kept so the code
+    /// shape stays readable in diagnostics).
+    pub code: String,
+    /// Comment text on this line (line + block comments, concatenated).
+    pub comment: String,
+}
+
+impl Line {
+    /// True if the line carries any non-whitespace code.
+    pub fn has_code(&self) -> bool {
+        !self.code.trim().is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Splits `source` into per-line code/comment parts.
+pub fn split_lines(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = vec![Line::default()];
+    let mut state = State::Code;
+    // The last non-whitespace char pushed as code, for raw-string prefix
+    // disambiguation (`r"` after an identifier char is not a prefix).
+    let mut prev_code = ' ';
+    let mut i = 0;
+
+    let push_code = |lines: &mut Vec<Line>, c: char| {
+        lines.last_mut().expect("line buffer").code.push(c);
+    };
+    let push_comment = |lines: &mut Vec<Line>, c: char| {
+        lines.last_mut().expect("line buffer").comment.push(c);
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        if c == '\n' {
+            lines.push(Line::default());
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    push_code(&mut lines, '"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == 'b' && next == Some('"') {
+                    push_code(&mut lines, 'b');
+                    push_code(&mut lines, '"');
+                    state = State::Str;
+                    i += 2;
+                } else if c == 'b' && next == Some('\'') {
+                    push_code(&mut lines, 'b');
+                    push_code(&mut lines, '\'');
+                    state = State::CharLit;
+                    i += 2;
+                } else if (c == 'r' || (c == 'b' && next == Some('r')))
+                    && !is_ident(prev_code)
+                    && raw_string_hashes(&chars, i).is_some()
+                {
+                    let hashes = raw_string_hashes(&chars, i).expect("checked above");
+                    let prefix_len = if c == 'b' { 2 } else { 1 };
+                    for k in 0..prefix_len {
+                        push_code(&mut lines, chars[i + k]);
+                    }
+                    push_code(&mut lines, '"');
+                    state = State::RawStr(hashes);
+                    i += prefix_len + hashes as usize + 1;
+                } else if c == '\'' {
+                    if is_char_literal(&chars, i) {
+                        push_code(&mut lines, '\'');
+                        state = State::CharLit;
+                    } else {
+                        // A lifetime: keep it as code.
+                        push_code(&mut lines, '\'');
+                    }
+                    i += 1;
+                } else {
+                    push_code(&mut lines, c);
+                    if !c.is_whitespace() {
+                        prev_code = c;
+                    }
+                    i += 1;
+                }
+                if state != State::Code {
+                    prev_code = ' ';
+                }
+            }
+            State::LineComment => {
+                push_comment(&mut lines, c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    push_comment(&mut lines, c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    push_code(&mut lines, ' ');
+                    if matches!(next, Some(n) if n != '\n') {
+                        push_code(&mut lines, ' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    push_code(&mut lines, '"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    push_code(&mut lines, ' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && has_hashes(&chars, i + 1, hashes) {
+                    push_code(&mut lines, '"');
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    push_code(&mut lines, ' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    push_code(&mut lines, ' ');
+                    if next.is_some() {
+                        push_code(&mut lines, ' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    push_code(&mut lines, '\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    push_code(&mut lines, ' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// If position `i` starts a raw-string prefix (`r`, `br`), returns the
+/// number of `#`s in it; `None` if this is not a raw string.
+fn raw_string_hashes(chars: &[char], i: usize) -> Option<u32> {
+    let mut j = if chars[i] == 'b' { i + 2 } else { i + 1 };
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+fn has_hashes(chars: &[char], from: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime) at a `'`.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(c) if is_ident(*c) || *c == '_' => {
+            // 'x' is a char; 'x followed by anything else is a lifetime.
+            // Multi-char contents ('ab') only occur in escapes, handled
+            // above.
+            chars.get(i + 2) == Some(&'\'')
+        }
+        // '(' , ' ' , etc. — only valid as char literal contents.
+        Some(_) => true,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        split_lines(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn comments_are_separated_from_code() {
+        let lines = split_lines("let x = 1; // trailing note\n// full line\nlet y = 2;");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert_eq!(lines[0].comment.trim(), "trailing note");
+        assert!(!lines[1].has_code());
+        assert_eq!(lines[1].comment.trim(), "full line");
+        assert_eq!(lines[2].code.trim(), "let y = 2;");
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = split_lines("a /* one /* two */ still */ b\n/* open\nclose */ c");
+        assert_eq!(lines[0].code.replace(' ', ""), "ab");
+        assert!(!lines[1].has_code());
+        assert_eq!(lines[2].code.trim(), "c");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let code = code_of("let s = \"Instant::now // not a comment\";");
+        assert!(!code[0].contains("Instant"));
+        assert!(!code[0].contains("//"));
+        assert!(code[0].contains("let s ="));
+    }
+
+    #[test]
+    fn raw_strings_hide_quotes_and_slashes() {
+        let code = code_of("let s = r#\"quote \" and // slash\"# + x;");
+        assert!(!code[0].contains("slash"));
+        assert!(code[0].contains("+ x"));
+        // Raw string with no hashes.
+        let code = code_of("let s = r\"thread_rng\"; call();");
+        assert!(!code[0].contains("thread_rng"));
+        assert!(code[0].contains("call()"));
+    }
+
+    #[test]
+    fn escapes_do_not_end_strings_early() {
+        let code = code_of("let s = \"a\\\"b // c\"; done();");
+        assert!(code[0].contains("done()"));
+        assert!(!code[0].contains("// c"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let code = code_of("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'y'; // note");
+        assert!(code[0].contains("&'a str"));
+        assert!(code[0].contains("'y'") || code[0].contains("' '"));
+        let lines = split_lines("let c = ' '; f(); // after space char");
+        assert!(lines[0].code.contains("f()"));
+        assert_eq!(lines[0].comment.trim(), "after space char");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let code = code_of("let b = b\"SystemTime::now\"; let c = b'\\n'; g();");
+        assert!(!code[0].contains("SystemTime"));
+        assert!(code[0].contains("g()"));
+    }
+}

@@ -1,0 +1,87 @@
+//! The `diffuse-lint` CLI.
+//!
+//! ```text
+//! cargo run -p diffuse-lint -- check [--root PATH]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` diagnostics found, `2` usage or I/O
+//! error. Diagnostics print one per line as `path:line: [rule]
+//! message`, so editors and CI logs can jump to the site.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use diffuse_lint::{find_workspace_root, run_check};
+
+const USAGE: &str = "usage: diffuse-lint check [--root PATH]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut command: Option<&str> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "check" if command.is_none() => command = Some("check"),
+            "--root" => match iter.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if command != Some("check") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = match root {
+        Some(root) => root,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(e) => {
+                    eprintln!("diffuse-lint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!("diffuse-lint: no workspace root above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match run_check(&root) {
+        Ok(diagnostics) if diagnostics.is_empty() => {
+            println!("diffuse-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(diagnostics) => {
+            for d in &diagnostics {
+                println!("{d}");
+            }
+            println!("diffuse-lint: {} diagnostic(s)", diagnostics.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("diffuse-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The per-crate determinism policy.
+//!
+//! Two classes of code exist in this workspace:
+//!
+//! * **Deterministic** — the algorithm, estimator, and simulation
+//!   crates. Their outputs must be a pure function of their inputs
+//!   (topology, scenario, seed): senders and receivers re-derive the
+//!   *same* broadcast plans, and the virtual-time fabric replays the
+//!   kernel's RNG stream draw-for-draw. Iteration-order hazards
+//!   (`HashMap`/`HashSet`) are banned here outright.
+//! * **WallAware** — the deployment substrate, experiment drivers and
+//!   benches. They may measure wall time through the sanctioned
+//!   `crates/net/src/clock.rs` abstraction, but every *direct* wall
+//!   call still needs an explicit, reasoned suppression.
+//!
+//! Paths that return [`None`] are not scanned at all: vendored shims
+//! (stand-ins for crates.io, not this project's code) and lint test
+//! fixtures (which exist to *contain* violations).
+
+/// Which determinism class a source file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateClass {
+    /// Output must be a pure function of inputs; unordered iteration is
+    /// banned.
+    Deterministic,
+    /// May touch wall time via the clock abstraction; deterministic
+    /// rules still apply but wall-time suppressions are expected.
+    WallAware,
+}
+
+/// The deterministic crates: the paper's algorithms and everything a
+/// bit-identity test relies on.
+const DETERMINISTIC: &[&str] = &[
+    "crates/model/",
+    "crates/graph/",
+    "crates/bayes/",
+    "crates/sim/",
+    "crates/core/",
+    "crates/lint/",
+];
+
+/// The wall-clock-aware crates: deployment substrate, experiment
+/// drivers, benches, and the facade's integration tests/examples.
+const WALL_AWARE: &[&str] = &[
+    "crates/net/",
+    "crates/experiments/",
+    "crates/bench/",
+    "src/",
+    "tests/",
+    "examples/",
+    "benches/",
+];
+
+/// Classifies a workspace-relative path (`/`-separated), or `None` if
+/// the file is out of scope for the lint.
+pub fn classify(path: &str) -> Option<CrateClass> {
+    // Fixtures deliberately contain violations; shims are vendored
+    // stand-ins for crates.io code, not part of this project.
+    if path.split('/').any(|c| c == "fixtures") {
+        return None;
+    }
+    if path.starts_with("shims/") || path.starts_with("target/") {
+        return None;
+    }
+    if DETERMINISTIC.iter().any(|p| path.starts_with(p)) {
+        return Some(CrateClass::Deterministic);
+    }
+    if WALL_AWARE.iter().any(|p| path.starts_with(p)) {
+        return Some(CrateClass::WallAware);
+    }
+    // A new crate defaults to the strict class: relaxing it is a
+    // deliberate edit to this table, not an accident of omission.
+    if path.starts_with("crates/") {
+        return Some(CrateClass::Deterministic);
+    }
+    Some(CrateClass::WallAware)
+}
+
+/// True if `path` is a crate root that must carry
+/// `#![forbid(unsafe_code)]` (lib roots, bin roots).
+pub fn is_crate_root(path: &str) -> bool {
+    if classify(path).is_none() {
+        return false;
+    }
+    path == "src/lib.rs"
+        || path == "src/main.rs"
+        || (path.starts_with("crates/")
+            && (path.ends_with("/src/lib.rs") || path.ends_with("/src/main.rs")))
+        || path.contains("/src/bin/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_table_matches_the_workspace_layout() {
+        assert_eq!(
+            classify("crates/core/src/adaptive.rs"),
+            Some(CrateClass::Deterministic)
+        );
+        assert_eq!(
+            classify("crates/net/src/runtime.rs"),
+            Some(CrateClass::WallAware)
+        );
+        assert_eq!(
+            classify("tests/net_integration.rs"),
+            Some(CrateClass::WallAware)
+        );
+        assert_eq!(classify("shims/rand/src/lib.rs"), None);
+        assert_eq!(classify("crates/lint/tests/fixtures/det-pow/bad.rs"), None);
+        // Unknown crates land in the strict class.
+        assert_eq!(
+            classify("crates/future/src/lib.rs"),
+            Some(CrateClass::Deterministic)
+        );
+    }
+
+    #[test]
+    fn crate_roots_are_lib_and_bin_roots() {
+        assert!(is_crate_root("crates/core/src/lib.rs"));
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(is_crate_root("crates/lint/src/main.rs"));
+        assert!(is_crate_root("crates/experiments/src/bin/repro.rs"));
+        assert!(!is_crate_root("crates/core/src/adaptive.rs"));
+        assert!(!is_crate_root("shims/rand/src/lib.rs"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Suppression pragmas: `lint:allow(<rule>): <reason>`.
+//!
+//! Two scopes exist:
+//!
+//! * `// lint:allow(<rule>): <reason>` — suppresses `<rule>` on the
+//!   line carrying the pragma (trailing comment) or, when the pragma
+//!   sits on a comment-only line, on the next line that has code.
+//! * `// lint:allow-file(<rule>): <reason>` — suppresses `<rule>` for
+//!   the whole file.
+//!
+//! The reason is **mandatory**: a pragma without one does not suppress
+//! anything and instead produces a `pragma` diagnostic of its own, as
+//! does a pragma naming an unknown rule. Suppressions are cheap to
+//! write on purpose — the cost is that each must say *why* the
+//! violation is sound.
+//!
+//! A pragma is only recognized when it *starts* the comment: `//`
+//! immediately followed by the pragma text. Doc comments can therefore
+//! freely quote the syntax (their text begins with the extra `/` or `!`
+//! of `///`/`//!`), and prose mentioning a pragma mid-sentence never
+//! suppresses anything. One pragma per comment line; the reason runs to
+//! the end of the line.
+
+use crate::lexer::Line;
+
+/// A parsed suppression pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: usize,
+    /// The rule it names (not yet validated against the rule set).
+    pub rule: String,
+    /// File scope (`lint:allow-file`) vs. site scope (`lint:allow`).
+    pub file_scope: bool,
+    /// Whether a non-empty reason followed the rule.
+    pub has_reason: bool,
+}
+
+/// Extracts every pragma from a file's comment text. Only a comment
+/// whose text *begins* with `lint:allow` counts (see module docs).
+pub fn parse(lines: &[Line]) -> Vec<Pragma> {
+    let mut pragmas = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let Some(rest) = line.comment.trim_start().strip_prefix("lint:allow") else {
+            continue;
+        };
+        let (file_scope, rest) = match rest.strip_prefix("-file") {
+            Some(r) => (true, r),
+            None => (false, rest),
+        };
+        let Some(rest) = rest.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_owned();
+        let has_reason = rest[close + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim().is_empty());
+        pragmas.push(Pragma {
+            line: idx + 1,
+            rule,
+            file_scope,
+            has_reason,
+        });
+    }
+    pragmas
+}
+
+/// The set of (line, rule) pairs a valid site-scope pragma suppresses:
+/// the pragma's own line if it has code, else the next line with code.
+pub fn site_allows(pragmas: &[Pragma], lines: &[Line]) -> Vec<(usize, String)> {
+    let mut allows = Vec::new();
+    for pragma in pragmas.iter().filter(|p| !p.file_scope && p.has_reason) {
+        let own = pragma.line;
+        let target = if lines[own - 1].has_code() {
+            Some(own)
+        } else {
+            (own..lines.len())
+                .map(|i| i + 1)
+                .find(|&n| lines[n - 1].has_code())
+        };
+        if let Some(target) = target {
+            allows.push((target, pragma.rule.clone()));
+        }
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::split_lines;
+
+    #[test]
+    fn trailing_pragma_targets_its_own_line() {
+        let lines = split_lines("let x = now(); // lint:allow(no-wall-clock): test timing\n");
+        let pragmas = parse(&lines);
+        assert_eq!(pragmas.len(), 1);
+        assert!(pragmas[0].has_reason);
+        assert_eq!(
+            site_allows(&pragmas, &lines),
+            vec![(1, "no-wall-clock".to_owned())]
+        );
+    }
+
+    #[test]
+    fn own_line_pragma_targets_next_code_line() {
+        let src = "// lint:allow(det-pow): closed form\n// more prose\nlet y = x.powi(2);\n";
+        let lines = split_lines(src);
+        let pragmas = parse(&lines);
+        assert_eq!(
+            site_allows(&pragmas, &lines),
+            vec![(3, "det-pow".to_owned())]
+        );
+    }
+
+    #[test]
+    fn reasonless_pragma_suppresses_nothing() {
+        let lines = split_lines("// lint:allow(det-pow)\nlet y = x.powi(2);\n");
+        let pragmas = parse(&lines);
+        assert_eq!(pragmas.len(), 1);
+        assert!(!pragmas[0].has_reason);
+        assert!(site_allows(&pragmas, &lines).is_empty());
+    }
+
+    #[test]
+    fn file_scope_pragma_is_flagged_as_such() {
+        let lines = split_lines("// lint:allow-file(det-pow): whole file is closed-form\n");
+        let pragmas = parse(&lines);
+        assert!(pragmas[0].file_scope);
+        assert!(pragmas[0].has_reason);
+        assert!(site_allows(&pragmas, &lines).is_empty());
+    }
+
+    #[test]
+    fn pragma_requires_colon_and_text() {
+        let lines = split_lines("// lint:allow(no-wall-clock):   \nf();\n");
+        let pragmas = parse(&lines);
+        assert!(!pragmas[0].has_reason);
+    }
+}

@@ -1,0 +1,82 @@
+//! `version-bump-audit`: every mutation path on `Estimate` moves the
+//! version stamp.
+//!
+//! Delta heartbeats (PR 5) detect changed knowledge entries purely by
+//! comparing `Estimate::version` stamps. A `&mut self` method that
+//! mutates beliefs or distortion *without* touching `self.version`
+//! would make changes invisible to delta emission — receivers would
+//! silently diverge from full-view heartbeats. This rule finds the
+//! `impl Estimate` block in `crates/bayes/src/estimate.rs` and demands
+//! that every `&mut self` method's body (or signature-to-body span)
+//! mention `self.version`.
+//!
+//! Like the codec rule, it only runs when the estimate file is in the
+//! scanned set.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::{fn_spans, span_text, SourceFile};
+
+const RULE: &str = "version-bump-audit";
+
+/// Audits the estimate file; appends diagnostics.
+pub(crate) fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let lines = &file.lines;
+
+    // Find the inherent `impl Estimate {` block (not `impl Trait for`).
+    let Some(impl_line) = lines.iter().position(|l| {
+        let code = l.code.trim();
+        code.starts_with("impl Estimate") && !code.contains(" for ")
+    }) else {
+        out.push(Diagnostic::new(
+            &file.path,
+            1,
+            RULE,
+            "no inherent `impl Estimate` block found",
+        ));
+        return;
+    };
+    let impl_start = impl_line + 1;
+    let impl_end = block_end(lines, impl_start).unwrap_or(lines.len());
+
+    for span in fn_spans(lines, impl_start, impl_end) {
+        if span.start <= impl_start || span.end > impl_end {
+            continue;
+        }
+        let text = span_text(lines, span.start, span.end);
+        if text.contains("&mut self") && !text.contains("self.version") {
+            out.push(Diagnostic::new(
+                &file.path,
+                span.start,
+                RULE,
+                format!(
+                    "`&mut self` method `{}` never touches `self.version`; delta heartbeats would miss its mutations",
+                    span.name
+                ),
+            ));
+        }
+    }
+}
+
+/// The 1-based line of the brace closing the block opened on `start`.
+fn block_end(lines: &[crate::lexer::Line], start: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut opened = false;
+    for (idx, line) in lines.iter().enumerate().skip(start - 1) {
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    opened = true;
+                    depth += 1;
+                }
+                '}' if opened => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(idx + 1);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,50 @@
+// lint-fixture: crates/net/src/codec.rs
+//! A codec whose TAG_PONG is emitted but neither probed, decoded, nor
+//! round-trip tested.
+
+const TAG_PING: u8 = 1;
+const TAG_PONG: u8 = 2;
+
+#[derive(Debug, PartialEq)]
+pub enum Message {
+    Ping,
+    Pong,
+}
+
+pub fn frame_kind(frame: &[u8]) -> &'static str {
+    match frame {
+        [TAG_PING, ..] => "ping",
+        _ => "unknown",
+    }
+}
+
+pub fn encode_message(message: &Message) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match message {
+        Message::Ping => buf.push(put_u8(TAG_PING)),
+        Message::Pong => buf.push(put_u8(TAG_PONG)),
+    }
+    buf
+}
+
+fn put_u8(tag: u8) -> u8 {
+    tag
+}
+
+pub fn decode_message(buf: &[u8]) -> Option<Message> {
+    match buf.first()? {
+        &TAG_PING => Some(Message::Ping),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_round_trip() {
+        let frame = encode_message(&Message::Ping);
+        assert_eq!(decode_message(&frame), Some(Message::Ping));
+    }
+}

@@ -1,0 +1,6 @@
+// lint-fixture: crates/widget/src/lib.rs
+//! A crate root without the unsafe wall.
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,8 @@
+// lint-fixture: crates/widget/src/lib.rs
+//! A crate root carrying the unsafe wall.
+
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

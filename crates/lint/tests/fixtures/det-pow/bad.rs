@@ -1,0 +1,10 @@
+// lint-fixture: crates/core/src/planner.rs
+//! Plan math on the float intrinsics instead of pow_det.
+
+pub fn loss_mass(l: f64, k: u32) -> f64 {
+    l.powi(k as i32)
+}
+
+pub fn half_power(l: f64) -> f64 {
+    l.powf(0.5)
+}

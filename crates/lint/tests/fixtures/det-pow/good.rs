@@ -1,0 +1,14 @@
+// lint-fixture: crates/core/src/good_planner.rs
+//! Plan math through pow_det; display-only math suppressed with a
+//! written reason.
+
+use crate::pow_det;
+
+pub fn loss_mass(l: f64, k: u32) -> f64 {
+    pow_det(l, k)
+}
+
+pub fn display_only(l: f64) -> f64 {
+    // lint:allow(det-pow): display-only figure, never re-derived from gossip.
+    l.powf(0.5)
+}

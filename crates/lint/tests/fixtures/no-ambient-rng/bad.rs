@@ -1,0 +1,13 @@
+// lint-fixture: crates/net/src/entropy.rs
+//! Ambient entropy sources break seeded reproducibility everywhere.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+pub fn roll() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn fresh() -> StdRng {
+    StdRng::from_entropy()
+}

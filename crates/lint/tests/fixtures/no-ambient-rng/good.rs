@@ -1,0 +1,8 @@
+// lint-fixture: crates/net/src/seeded.rs
+//! Every stream is seeded explicitly.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+pub fn stream(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

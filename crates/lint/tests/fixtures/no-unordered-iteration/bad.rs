@@ -1,0 +1,16 @@
+// lint-fixture: crates/core/src/registry.rs
+//! Unordered containers in a deterministic crate.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut counts = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}
+
+pub fn uniques(xs: &[u32]) -> HashSet<u32> {
+    xs.iter().copied().collect()
+}

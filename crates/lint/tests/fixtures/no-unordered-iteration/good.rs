@@ -1,0 +1,19 @@
+// lint-fixture: crates/core/src/good_registry.rs
+//! Ordered containers keep iteration reproducible; names that merely
+//! contain the banned idents (FxHashMap) do not trigger.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct FxHashMapLike;
+
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut counts = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}
+
+pub fn uniques(xs: &[u32]) -> BTreeSet<u32> {
+    xs.iter().copied().collect()
+}

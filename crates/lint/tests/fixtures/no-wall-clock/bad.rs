@@ -1,0 +1,12 @@
+// lint-fixture: crates/sim/src/wall.rs
+//! A deterministic crate reaching for the wall clock.
+
+use std::time::{Duration, Instant};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn nap() {
+    std::thread::sleep(Duration::from_millis(5));
+}

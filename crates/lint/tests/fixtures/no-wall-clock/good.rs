@@ -1,0 +1,9 @@
+// lint-fixture: crates/sim/src/good_wall.rs
+//! Virtual time only. Prose and strings may mention Instant::now and
+//! thread::sleep freely — only code triggers the rule.
+
+pub const NOTE: &str = "Instant::now belongs in crates/net/src/clock.rs";
+
+pub fn tick(now: u64) -> u64 {
+    now + 1
+}

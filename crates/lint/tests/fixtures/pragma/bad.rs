@@ -1,0 +1,11 @@
+// lint-fixture: crates/core/src/pragmas.rs
+//! Malformed pragmas: reasonless ones report and do not suppress;
+//! unknown rule names report too.
+
+// lint:allow(det-pow)
+pub fn unreasoned(x: f64) -> f64 {
+    x.powi(2)
+}
+
+// lint:allow(no-such-rule): the rule name is misspelled
+pub fn misspelled() {}

@@ -1,0 +1,10 @@
+// lint-fixture: crates/core/src/good_pragmas.rs
+//! Well-formed pragmas: a reasoned site suppression and a reasoned
+//! file-wide one.
+
+// lint:allow-file(no-unordered-iteration): demo of file scope; nothing here iterates.
+
+pub fn display_only(x: f64) -> f64 {
+    // lint:allow(det-pow): display-only figure with a written reason.
+    x.powi(2)
+}

@@ -1,0 +1,21 @@
+// lint-fixture: crates/bayes/src/estimate.rs
+//! An Estimate with a mutation path that skips the version stamp.
+
+pub struct Estimate {
+    value: u32,
+    version: u64,
+}
+
+impl Estimate {
+    pub fn value(&self) -> u32 {
+        self.value
+    }
+
+    pub fn set_value(&mut self, value: u32) {
+        self.value = value;
+    }
+
+    pub fn touch(&mut self) {
+        self.version += 1;
+    }
+}

@@ -1,0 +1,121 @@
+//! Golden-file fixture tests: each rule directory under
+//! `tests/fixtures/` holds a `bad.rs` (must produce exactly the
+//! diagnostics in `bad.expected`) and a `good.rs` (must be clean).
+//!
+//! Fixtures carry a `// lint-fixture: <virtual-path>` header naming the
+//! workspace-relative path they pretend to live at, which is what
+//! selects their policy class and arms the cross-file rules.
+//!
+//! Regenerate goldens with `BLESS=1 cargo test -p diffuse-lint` and
+//! review the diff.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Rule directories (everything except the mini workspace for the
+/// binary test).
+fn rule_dirs() -> Vec<PathBuf> {
+    let mut dirs: Vec<PathBuf> = fs::read_dir(fixtures_dir())
+        .expect("fixtures dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "mini_bad_workspace"))
+        .collect();
+    dirs.sort();
+    dirs
+}
+
+fn run_fixture(path: &Path) -> Vec<String> {
+    let content = fs::read_to_string(path).expect("fixture readable");
+    let header = content.lines().next().unwrap_or_default();
+    let virtual_path = header
+        .strip_prefix("// lint-fixture: ")
+        .unwrap_or_else(|| panic!("{} lacks a `// lint-fixture:` header", path.display()))
+        .trim()
+        .to_owned();
+    diffuse_lint::check_sources(&[(virtual_path, content)])
+        .iter()
+        .map(|d| d.to_string())
+        .collect()
+}
+
+#[test]
+fn every_rule_has_a_fixture_directory() {
+    let names: Vec<String> = rule_dirs()
+        .iter()
+        .map(|d| d.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    for rule in diffuse_lint::rules::RULES {
+        assert!(
+            names.contains(&rule.to_string()),
+            "no fixture dir for {rule}"
+        );
+    }
+    // The pragma machinery has its own directory.
+    assert!(names.contains(&"pragma".to_owned()));
+}
+
+#[test]
+fn bad_fixtures_match_their_goldens() {
+    for dir in rule_dirs() {
+        let bad = dir.join("bad.rs");
+        let golden = dir.join("bad.expected");
+        let got = run_fixture(&bad).join("\n") + "\n";
+        if std::env::var("BLESS").is_ok() {
+            fs::write(&golden, &got).expect("write golden");
+        }
+        let want = fs::read_to_string(&golden)
+            .unwrap_or_else(|_| panic!("{} missing (run with BLESS=1)", golden.display()));
+        assert_eq!(got, want, "diagnostics diverge for {}", bad.display());
+        assert!(
+            got.trim().lines().count() >= 1,
+            "{} must trigger at least one diagnostic",
+            bad.display()
+        );
+    }
+}
+
+#[test]
+fn good_fixtures_are_clean() {
+    for dir in rule_dirs() {
+        let diags = run_fixture(&dir.join("good.rs"));
+        assert!(
+            diags.is_empty(),
+            "good fixture in {} produced: {diags:#?}",
+            dir.display()
+        );
+    }
+}
+
+/// The real binary exits non-zero on a dirty tree and points at the
+/// offending file:line.
+#[test]
+fn binary_fails_with_file_line_diagnostics_on_a_bad_workspace() {
+    let output = Command::new(env!("CARGO_BIN_EXE_diffuse-lint"))
+        .args(["check", "--root"])
+        .arg(fixtures_dir().join("mini_bad_workspace"))
+        .output()
+        .expect("run diffuse-lint");
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("crates/demo/src/lib.rs:"),
+        "diagnostics must carry file:line, got:\n{stdout}"
+    );
+    assert!(stdout.contains("[no-wall-clock]"), "{stdout}");
+    assert!(stdout.contains("[crate-hygiene]"), "{stdout}");
+}
+
+/// Usage errors exit 2, distinct from lint findings.
+#[test]
+fn binary_usage_error_exits_two() {
+    let output = Command::new(env!("CARGO_BIN_EXE_diffuse-lint"))
+        .arg("frobnicate")
+        .output()
+        .expect("run diffuse-lint");
+    assert_eq!(output.status.code(), Some(2), "{output:?}");
+}

@@ -1,0 +1,62 @@
+//! The workspace lints itself clean — the gate that keeps the
+//! determinism invariants machine-enforced from here on.
+
+use std::path::Path;
+use std::process::Command;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the root")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let diagnostics = diffuse_lint::run_check(workspace_root()).expect("scan workspace");
+    assert!(
+        diagnostics.is_empty(),
+        "workspace must self-lint clean; fix or add a reasoned `lint:allow`:\n{}",
+        diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Every suppression pragma in the tree carries a reason: a reasonless
+/// or unknown-rule pragma yields a `pragma` diagnostic, so a clean scan
+/// (asserted above) implies the property. This test makes the contract
+/// explicit by scanning for pragma diagnostics specifically.
+#[test]
+fn every_pragma_in_the_tree_carries_a_reason() {
+    let diagnostics = diffuse_lint::run_check(workspace_root()).expect("scan workspace");
+    let pragma_problems: Vec<String> = diagnostics
+        .iter()
+        .filter(|d| d.rule == "pragma")
+        .map(ToString::to_string)
+        .collect();
+    assert!(
+        pragma_problems.is_empty(),
+        "malformed pragmas:\n{}",
+        pragma_problems.join("\n")
+    );
+}
+
+/// The CLI exits 0 on the clean workspace — the exact invocation CI
+/// gates on.
+#[test]
+fn binary_exits_zero_on_the_workspace() {
+    let output = Command::new(env!("CARGO_BIN_EXE_diffuse-lint"))
+        .args(["check", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("run diffuse-lint");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stdout:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+}

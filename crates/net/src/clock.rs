@@ -8,6 +8,11 @@
 //! advances virtual time when every runtime is quiescent, making fabric
 //! execution a deterministic function of `(scenario, seed)` with no real
 //! sleeping at all.
+//!
+//! This module is the **only** file allowed to call `Instant::now`,
+//! `SystemTime::now`, or `thread::sleep` — the `diffuse-lint`
+//! `no-wall-clock` rule and the root `clippy.toml` disallowed-methods
+//! list enforce that everything else goes through a [`WallSession`].
 
 use std::time::{Duration, Instant};
 
@@ -59,6 +64,7 @@ impl WallClock {
     }
 
     /// Starts measuring: the returned session pins tick zero to "now".
+    #[allow(clippy::disallowed_methods)] // clock.rs is the sanctioned wall-clock site
     pub(crate) fn begin(&self) -> WallSession {
         WallSession {
             start: Instant::now(),
@@ -76,6 +82,7 @@ pub(crate) struct WallSession {
     tick: Duration,
 }
 
+#[allow(clippy::disallowed_methods)] // clock.rs is the sanctioned wall-clock site
 impl WallSession {
     /// The current logical tick.
     pub(crate) fn now(&self) -> SimTime {
@@ -105,6 +112,14 @@ impl WallSession {
             std::thread::sleep(wait);
         }
     }
+
+    /// Sleeps for a raw wall-clock duration (settle slack after the run
+    /// horizon, letting in-flight frames drain).
+    pub(crate) fn settle(&self, slack: Duration) {
+        if !slack.is_zero() {
+            std::thread::sleep(slack);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +139,7 @@ mod tests {
         // A deadline in the past yields a zero wait, not a panic.
         assert_eq!(session.until(SimTime::ZERO), Duration::ZERO);
         session.sleep_until(SimTime::ZERO);
+        session.settle(Duration::ZERO);
     }
 
     #[test]

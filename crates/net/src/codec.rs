@@ -345,7 +345,7 @@ fn get_view(buf: &mut &[u8]) -> Result<View, NetError> {
     let mut processes = Vec::with_capacity(n_pe);
     for _ in 0..n_pe {
         let p = ProcessId::new(get_u32(buf)?);
-        processes.push((p, get_estimate(buf)?));
+        processes.push((p, Arc::new(get_estimate(buf)?)));
     }
     let n_le = get_count(buf)?;
     let mut links = Vec::with_capacity(n_le);
@@ -353,7 +353,7 @@ fn get_view(buf: &mut &[u8]) -> Result<View, NetError> {
         let a = ProcessId::new(get_u32(buf)?);
         let b = ProcessId::new(get_u32(buf)?);
         let link = LinkId::new(a, b).map_err(|_| NetError::Invalid("self-loop link"))?;
-        links.push((link, get_estimate(buf)?));
+        links.push((link, Arc::new(get_estimate(buf)?)));
     }
     // Keep the view's sort invariants even against a hostile encoder.
     processes.sort_by_key(|(p, _)| *p);
@@ -392,7 +392,7 @@ fn get_delta_view(buf: &mut &[u8]) -> Result<DeltaView, NetError> {
     let mut processes = Vec::with_capacity(n_pe);
     for _ in 0..n_pe {
         let p = ProcessId::new(get_u32(buf)?);
-        processes.push((p, get_estimate(buf)?));
+        processes.push((p, Arc::new(get_estimate(buf)?)));
     }
     let n_le = get_count(buf)?;
     let mut links = Vec::with_capacity(n_le);
@@ -400,7 +400,7 @@ fn get_delta_view(buf: &mut &[u8]) -> Result<DeltaView, NetError> {
         let a = ProcessId::new(get_u32(buf)?);
         let b = ProcessId::new(get_u32(buf)?);
         let link = LinkId::new(a, b).map_err(|_| NetError::Invalid("self-loop link"))?;
-        links.push((link, get_estimate(buf)?));
+        links.push((link, Arc::new(get_estimate(buf)?)));
     }
     // Keep the delta's sort invariants even against a hostile encoder.
     processes.sort_by_key(|(p, _)| *p);
@@ -443,8 +443,11 @@ mod tests {
             generation: 12,
             topology_version: 7,
             topology: Arc::new(topology),
-            processes: vec![(p(0), est.clone()), (p(1), Estimate::unknown(5))],
-            links: vec![(LinkId::new(p(0), p(1)).unwrap(), est)],
+            processes: vec![
+                (p(0), Arc::new(est.clone())),
+                (p(1), Arc::new(Estimate::unknown(5))),
+            ],
+            links: vec![(LinkId::new(p(0), p(1)).unwrap(), Arc::new(est))],
         }
     }
 
@@ -455,8 +458,8 @@ mod tests {
             generation: 13,
             base: 12,
             topology_version: 7,
-            processes: vec![(p(1), est.clone())],
-            links: vec![(LinkId::new(p(0), p(1)).unwrap(), est)],
+            processes: vec![(p(1), Arc::new(est.clone()))],
+            links: vec![(LinkId::new(p(0), p(1)).unwrap(), Arc::new(est))],
         }
     }
 

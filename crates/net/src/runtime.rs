@@ -593,6 +593,7 @@ mod tests {
     /// A cooperative crash makes the node deaf for its window: frames
     /// sent during the outage are dropped, frames after recovery land.
     #[test]
+    #[allow(clippy::disallowed_methods)] // real-thread test sleeps on wall time
     fn cooperative_crash_drops_traffic_then_recovers() {
         let mut topology = Topology::new();
         topology.add_link(p(0), p(1)).unwrap();
@@ -611,13 +612,15 @@ mod tests {
 
         // Crash p1 for a long window, then broadcast while it is down.
         h1.inject_crash(200).unwrap();
-        std::thread::sleep(Duration::from_millis(60)); // crash command lands
+        // lint:allow(no-wall-clock): real-thread test; waits for the crash command to land.
+        std::thread::sleep(Duration::from_millis(60));
         h0.broadcast(Payload::from("into the void")).unwrap();
         let during = h1.next_delivery(Duration::from_millis(120)).unwrap();
         assert!(during.is_none(), "a crashed node must not deliver");
 
         // After the 200-tick (400 ms) window the node recovers and
         // subsequent broadcasts land again.
+        // lint:allow(no-wall-clock): real-thread test; must wait out the crash window.
         std::thread::sleep(Duration::from_millis(400));
         h0.broadcast(Payload::from("back online")).unwrap();
         let after = h1

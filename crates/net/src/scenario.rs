@@ -130,7 +130,7 @@ where
 
     // Let the scenario play out to its horizon, plus settle time.
     session.sleep_until(horizon_tick);
-    std::thread::sleep(options.settle);
+    session.settle(options.settle);
 
     // Drain deliveries, then shut everything down.
     let mut delivered = BTreeMap::new();
@@ -337,7 +337,9 @@ mod tests {
                 Payload::from("beyond the horizon"),
             ))
             .build();
-        let started = std::time::Instant::now();
+        // Elapsed-time measurement goes through the Clock abstraction:
+        // a 1 ms-tick WallSession counts wall milliseconds as ticks.
+        let stopwatch = WallClock::new(Duration::from_millis(1)).begin();
         let report = run_scenario_on_fabric(
             &scenario,
             FabricScenarioOptions {
@@ -350,7 +352,7 @@ mod tests {
         assert_eq!(report.min_delivered(), 0, "{report:?}");
         assert_eq!(report.failed_broadcasts, 0);
         assert!(
-            started.elapsed() < Duration::from_millis(500),
+            stopwatch.now() < SimTime::new(500),
             "the run must end at its 20 ms horizon, not at tick 500"
         );
     }

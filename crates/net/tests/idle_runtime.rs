@@ -30,6 +30,7 @@ fn process_cpu_time() -> Duration {
 /// event-driven loop stays under the command-poll cadence, and the
 /// whole process burns (almost) no CPU while it sleeps.
 #[test]
+#[allow(clippy::disallowed_methods)] // wall-time sleep is the scenario under test
 fn idle_node_sleeps_instead_of_busy_waking() {
     let mut topology = Topology::new();
     topology
@@ -46,6 +47,7 @@ fn idle_node_sleeps_instead_of_busy_waking() {
 
     #[cfg(target_os = "linux")]
     let cpu_before = process_cpu_time();
+    // lint:allow(no-wall-clock): the idle-wakeup count being measured only accumulates over real time.
     std::thread::sleep(Duration::from_millis(350));
     let wakeups = handle.wakeups();
     // Command-poll cadence is 25 ms → ~14 expected; leave headroom

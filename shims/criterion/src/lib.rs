@@ -223,6 +223,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times repeated calls of `routine`.
+    #[allow(clippy::disallowed_methods)] // the bench harness is the wall timer
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // One untimed warmup call, then the timed batch.
         black_box(routine());

@@ -52,6 +52,7 @@ fn live_protocol_messages_round_trip_the_codec() {
 }
 
 #[test]
+#[allow(clippy::disallowed_methods)] // real-thread test sleeps on wall time
 fn adaptive_protocol_learns_over_fabric_threads() {
     // Three adaptive nodes on real threads over the lossy in-memory
     // fabric: after a while, the edge node has learned the remote link.
@@ -80,6 +81,7 @@ fn adaptive_protocol_learns_over_fabric_threads() {
 
     // Give the heartbeats time to spread topology + estimates, then ask
     // the edge node to broadcast; success implies complete knowledge.
+    // lint:allow(no-wall-clock): real-thread fabric test; gossip spreads over wall time here.
     std::thread::sleep(Duration::from_millis(600));
     handles[0]
         .broadcast(Payload::from("learned over threads"))
