@@ -8,6 +8,8 @@
 //! experiments: fig1 table1 fig4a fig4b fig5a fig5b fig6 hetero refine scenario scale all
 //!
 //! repro lint            # alias for `cargo run -p diffuse-lint -- check`
+//! repro soak [--quick] [--nodes N] [--ticks N] [--seed N]
+//!                       # chaos soak: multi-process UDP cluster under churn
 //! ```
 
 #![forbid(unsafe_code)]
@@ -31,7 +33,9 @@ fn print_table(table: &Table, csv: bool) {
 const USAGE: &str =
     "usage: repro <fig1|table1|fig4a|fig4b|fig5a|fig5b|fig6|hetero|refine|scenario|scale|all> \
      [--quick] [--csv] [--runs N] [--graphs N] [--seed N]\n       \
-     repro lint   (determinism lint over the workspace; alias for `diffuse-lint check`)";
+     repro lint   (determinism lint over the workspace; alias for `diffuse-lint check`)\n       \
+     repro soak [--quick] [--nodes N] [--ticks N] [--seed N]   \
+     (multi-process UDP soak under loss spikes, partition and crash+restart)";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -71,7 +75,91 @@ fn run_lint() -> ExitCode {
     }
 }
 
+/// `repro soak`: launches the multi-process UDP chaos soak (loss
+/// spikes, partition + heal, hard crash + restart) and reports whether
+/// the delivery guarantee held.
+fn run_soak_cli(args: &[String]) -> ExitCode {
+    let mut options = if args.iter().any(|a| a == "--quick") {
+        diffuse_net::SoakOptions::quick()
+    } else {
+        diffuse_net::SoakOptions::standard()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut parse = |flag: &str| -> Result<u64, ExitCode> {
+            match it.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(v)) => Ok(v),
+                _ => {
+                    eprintln!("repro soak: {flag} expects a number");
+                    Err(usage())
+                }
+            }
+        };
+        match a.as_str() {
+            "--quick" => {}
+            "--nodes" => match parse("--nodes") {
+                Ok(v) if v >= 8 => options.nodes = v as u32,
+                Ok(v) => {
+                    eprintln!("repro soak: --nodes must be at least 8, got {v}");
+                    return ExitCode::FAILURE;
+                }
+                Err(code) => return code,
+            },
+            "--ticks" => match parse("--ticks") {
+                Ok(v) => options.load_ticks = v,
+                Err(code) => return code,
+            },
+            "--seed" => match parse("--seed") {
+                Ok(v) => options.seed = v,
+                Err(code) => return code,
+            },
+            other => {
+                eprintln!("repro soak: unrecognized option `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    println!(
+        "[soak] {} processes, {} load ticks, base loss {}, seed {}",
+        options.nodes, options.load_ticks, options.base_loss, options.seed
+    );
+    let report = match diffuse_net::run_soak(options) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("repro soak: cluster failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "[soak] accepted {} broadcasts from correct origins (+{} from the crashing node)",
+        report.accepted, report.accepted_from_crashed
+    );
+    println!(
+        "[soak] crashed+restarted {:?}; {} correct processes; {} wire messages; \
+         {} malformed frames survived",
+        report.crashed,
+        report.correct.len(),
+        report.sent_total,
+        report.malformed_frames
+    );
+    if report.complete() {
+        println!(
+            "[soak] PASS: every correct process delivered all {} broadcasts",
+            report.accepted
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("[soak] FAIL: missing deliveries: {:?}", report.missing);
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
+    // Must run first: soak clusters re-execute this binary to spawn
+    // node workers, and worker invocations never return.
+    diffuse_net::maybe_run_udp_worker();
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         // Explicitly requested help goes to stdout and succeeds.
@@ -83,6 +171,9 @@ fn main() -> ExitCode {
     };
     if experiment == "lint" {
         return run_lint();
+    }
+    if experiment == "soak" {
+        return run_soak_cli(&args[1..]);
     }
 
     let mut effort = if args.iter().any(|a| a == "--quick") {

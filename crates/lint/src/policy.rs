@@ -41,6 +41,14 @@ const DETERMINISTIC: &[&str] = &[
 
 /// The wall-clock-aware crates: deployment substrate, experiment
 /// drivers, benches, and the facade's integration tests/examples.
+///
+/// `crates/net/` covers the whole third substrate, including its
+/// chaos-injection layer (`chaos.rs`), the multi-process UDP cluster
+/// (`cluster.rs`) and the soak harness (`soak.rs`): they schedule
+/// real-network behavior (delay windows, handshake deadlines) and so
+/// are wall-aware *by design* — but their randomness still comes from
+/// seeded RNGs, and every direct wall call outside `clock.rs` still
+/// needs a reasoned suppression.
 const WALL_AWARE: &[&str] = &[
     "crates/net/",
     "crates/experiments/",
@@ -101,6 +109,18 @@ mod tests {
         );
         assert_eq!(
             classify("crates/net/src/runtime.rs"),
+            Some(CrateClass::WallAware)
+        );
+        // The chaos/cluster/soak stack is wall-aware by design (real
+        // sockets, real processes) but still inside the lint's scope.
+        for module in ["chaos.rs", "cluster.rs", "soak.rs"] {
+            assert_eq!(
+                classify(&format!("crates/net/src/{module}")),
+                Some(CrateClass::WallAware)
+            );
+        }
+        assert_eq!(
+            classify("crates/net/tests/udp_cluster.rs"),
             Some(CrateClass::WallAware)
         );
         assert_eq!(

@@ -44,6 +44,28 @@ impl Clock {
     }
 }
 
+/// Reads the monotonic clock.
+///
+/// The single sanctioned raw `Instant::now` outside [`WallSession`]:
+/// the chaos layer ([`ChaosTransport`](crate::ChaosTransport)) stamps
+/// hold-back release deadlines and receive budgets with it, and the
+/// cluster driver uses it for handshake timeouts. Virtual-time code
+/// must never call this — it is wall-aware by construction.
+#[allow(clippy::disallowed_methods)] // clock.rs is the sanctioned wall-clock site
+pub(crate) fn monotonic_now() -> Instant {
+    Instant::now()
+}
+
+/// Briefly parks the thread before retrying a transient socket
+/// operation (`EAGAIN`-class send pressure). Exponential in `attempt`,
+/// starting at 100 µs and capped well under a logical tick, so a full
+/// retry burst stays invisible to the tick schedule.
+#[allow(clippy::disallowed_methods)] // clock.rs is the sanctioned wall-clock site
+pub(crate) fn transient_backoff(attempt: u32) {
+    let micros = 100u64 << attempt.min(4);
+    std::thread::sleep(Duration::from_micros(micros));
+}
+
 /// Wall-clock timing parameters for a node runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WallClock {
@@ -140,6 +162,14 @@ mod tests {
         assert_eq!(session.until(SimTime::ZERO), Duration::ZERO);
         session.sleep_until(SimTime::ZERO);
         session.settle(Duration::ZERO);
+    }
+
+    #[test]
+    fn monotonic_and_backoff_make_progress() {
+        let before = monotonic_now();
+        transient_backoff(0);
+        let after = monotonic_now();
+        assert!(after >= before);
     }
 
     #[test]

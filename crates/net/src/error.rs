@@ -35,6 +35,37 @@ pub enum NetError {
     Io(std::io::Error),
 }
 
+impl NetError {
+    /// True for socket-level errors that the paper's link model treats
+    /// as **message loss**, not failure: the datagram (or the chance to
+    /// receive one) is gone, but the socket remains usable.
+    ///
+    /// Covers ICMP port-unreachable surfacing as `ECONNREFUSED` /
+    /// `ECONNRESET` (a crashed or not-yet-bound peer), `EAGAIN` /
+    /// `EWOULDBLOCK` and timeouts (kernel buffer pressure), `EINTR`,
+    /// and `EPERM` on send (a firewall dropping the datagram — Linux
+    /// reports conntrack/iptables drops this way). Callers on a hot
+    /// path should count these as lost and carry on; everything else
+    /// (bad frame sizes, unknown peers, closed transports, hard IO
+    /// errors) stays an error.
+    pub fn is_transient(&self) -> bool {
+        use std::io::ErrorKind;
+        match self {
+            NetError::Io(e) => matches!(
+                e.kind(),
+                ErrorKind::ConnectionRefused
+                    | ErrorKind::ConnectionReset
+                    | ErrorKind::ConnectionAborted
+                    | ErrorKind::WouldBlock
+                    | ErrorKind::TimedOut
+                    | ErrorKind::Interrupted
+                    | ErrorKind::PermissionDenied
+            ),
+            _ => false,
+        }
+    }
+}
+
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -90,6 +121,51 @@ mod tests {
     fn io_errors_chain() {
         let err = NetError::from(std::io::Error::other("boom"));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn transient_classification() {
+        use std::io::ErrorKind;
+        let transient = [
+            ErrorKind::ConnectionRefused,
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::WouldBlock,
+            ErrorKind::TimedOut,
+            ErrorKind::Interrupted,
+            ErrorKind::PermissionDenied,
+        ];
+        for kind in transient {
+            assert!(
+                NetError::from(std::io::Error::from(kind)).is_transient(),
+                "{kind:?} should be transient"
+            );
+        }
+        let hard = [
+            ErrorKind::NotFound,
+            ErrorKind::AddrInUse,
+            ErrorKind::InvalidInput,
+            ErrorKind::BrokenPipe,
+        ];
+        for kind in hard {
+            assert!(
+                !NetError::from(std::io::Error::from(kind)).is_transient(),
+                "{kind:?} should be hard"
+            );
+        }
+    }
+
+    #[test]
+    fn non_io_errors_are_never_transient() {
+        assert!(!NetError::Truncated.is_transient());
+        assert!(!NetError::BadTag(7).is_transient());
+        assert!(!NetError::Closed.is_transient());
+        assert!(!NetError::UnknownPeer(ProcessId::new(3)).is_transient());
+        assert!(!NetError::FrameTooLarge {
+            size: 70_000,
+            limit: 65_000
+        }
+        .is_transient());
     }
 
     #[test]

@@ -31,19 +31,28 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod chaos;
 mod clock;
+mod cluster;
 pub mod codec;
 mod error;
 mod runtime;
 mod scenario;
+mod soak;
 mod transport;
 mod udp;
 mod virtual_time;
 
+pub use chaos::{ChaosControl, ChaosCounters, ChaosPolicy, ChaosTransport};
 pub use clock::{Clock, WallClock};
+pub use cluster::{
+    maybe_run_udp_worker, run_scenario_on_udp_cluster, ClusterReport, ProtocolSpec, UdpCluster,
+    UdpClusterOptions, UDP_WORKER_ENV,
+};
 pub use error::NetError;
 pub use runtime::{spawn_node, spawn_node_with_clock, NodeHandle};
 pub use scenario::{run_scenario_on_fabric, run_scenario_on_fabric_virtual, FabricScenarioOptions};
+pub use soak::{run_soak, SoakOptions, SoakReport};
 pub use transport::{Fabric, FabricControl, FabricTransport, Transport};
 pub use udp::{UdpTransport, MAX_DATAGRAM};
 pub use virtual_time::{BroadcastOutcome, VirtualClock, VirtualNet, VirtualOptions};

@@ -61,6 +61,7 @@ pub struct NodeHandle {
     commands: Sender<Command>,
     deliveries: Receiver<(BroadcastId, Payload)>,
     wakeups: Arc<AtomicU64>,
+    malformed: Arc<AtomicU64>,
     /// Set for virtual-time nodes: retiring the node from its authority
     /// is what unblocks the parked thread on shutdown.
     vclock: Option<VirtualClock>,
@@ -149,6 +150,16 @@ impl NodeHandle {
         self.wakeups.load(Ordering::Relaxed)
     }
 
+    /// How many inbound frames failed to decode and were dropped.
+    ///
+    /// Malformed or truncated wire data is never an error and never a
+    /// panic — the frame is counted here and the loop moves on, on both
+    /// the wall and the virtual clock. A nonzero count against a
+    /// well-behaved fabric indicates frame corruption or a version skew.
+    pub fn malformed_frames(&self) -> u64 {
+        self.malformed.load(Ordering::Relaxed)
+    }
+
     /// Requests shutdown and joins the node thread (see the type-level
     /// docs for the drop equivalent).
     pub fn shutdown(mut self) {
@@ -209,6 +220,8 @@ where
     let (delivery_tx, delivery_rx) = unbounded::<(BroadcastId, Payload)>();
     let wakeups = Arc::new(AtomicU64::new(0));
     let wakeup_counter = Arc::clone(&wakeups);
+    let malformed = Arc::new(AtomicU64::new(0));
+    let malformed_counter = Arc::clone(&malformed);
 
     let vclock = match &clock {
         Clock::Wall(_) => None,
@@ -222,16 +235,23 @@ where
             command_rx,
             delivery_tx,
             wakeup_counter,
+            malformed_counter,
         ),
-        Clock::Virtual(virt) => {
-            run_virtual_node(protocol, transport, virt, delivery_tx, wakeup_counter)
-        }
+        Clock::Virtual(virt) => run_virtual_node(
+            protocol,
+            transport,
+            virt,
+            delivery_tx,
+            wakeup_counter,
+            malformed_counter,
+        ),
     });
 
     NodeHandle {
         commands: command_tx,
         deliveries: delivery_rx,
         wakeups,
+        malformed,
         vclock,
         thread: Some(thread),
     }
@@ -250,11 +270,12 @@ struct CrashWindow {
 /// The wall-clock event loop.
 fn run_wall_node<P, T>(
     mut protocol: P,
-    transport: T,
+    mut transport: T,
     clock: WallClock,
     command_rx: Receiver<Command>,
     delivery_tx: Sender<(BroadcastId, Payload)>,
     wakeup_counter: Arc<AtomicU64>,
+    malformed_counter: Arc<AtomicU64>,
 ) where
     P: Protocol + Send + 'static,
     T: Transport + 'static,
@@ -368,12 +389,20 @@ fn run_wall_node<P, T>(
                 if crash.is_some() {
                     // Down: inbound traffic is dropped on the floor,
                     // mirroring the kernel's receiver-down drops.
-                } else if let Ok(message) = decode_message(&frame) {
-                    protocol.on_event(now, Event::Message { from, message }, &mut actions);
-                    absorb_timers(&mut timers, &mut actions);
-                    flush(&mut actions, &transport, &delivery_tx);
+                } else {
+                    match decode_message(&frame) {
+                        Ok(message) => {
+                            protocol.on_event(now, Event::Message { from, message }, &mut actions);
+                            absorb_timers(&mut timers, &mut actions);
+                            flush(&mut actions, &transport, &delivery_tx);
+                        }
+                        // Malformed frames from the network are
+                        // counted and dropped, never a panic.
+                        Err(_) => {
+                            malformed_counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                 }
-                // Malformed frames from the network are dropped.
             }
             Ok(None) => {}
             Err(_) => break 'run,
@@ -389,6 +418,7 @@ fn run_virtual_node<P, T>(
     clock: VirtualClock,
     delivery_tx: Sender<(BroadcastId, Payload)>,
     wakeup_counter: Arc<AtomicU64>,
+    malformed_counter: Arc<AtomicU64>,
 ) where
     P: Protocol + Send + 'static,
     T: Transport + 'static,
@@ -412,10 +442,16 @@ fn run_virtual_node<P, T>(
         match turn {
             Turn::Start => protocol.on_start(now, &mut actions),
             Turn::Deliver { from, frame } => {
-                if let Ok(message) = decode_message(&frame) {
-                    protocol.on_event(now, Event::Message { from, message }, &mut actions);
+                match decode_message(&frame) {
+                    Ok(message) => {
+                        protocol.on_event(now, Event::Message { from, message }, &mut actions)
+                    }
+                    // Malformed frames are counted and dropped, as on
+                    // the wall clock.
+                    Err(_) => {
+                        malformed_counter.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
-                // Malformed frames are dropped, as on the wall clock.
             }
             Turn::Timer(timer) => protocol.on_event(now, Event::Timer(timer), &mut actions),
             Turn::Recover { down_ticks } => {

@@ -1,0 +1,281 @@
+//! Soak harness: a sustained broadcast stream over a live UDP cluster
+//! under churn.
+//!
+//! [`run_soak`] launches an n-process cluster (n ≥ 8) and keeps a
+//! broadcast stream flowing while the harness injects, in sequence, a
+//! cluster-wide **loss spike**, a **partition** that later heals, and a
+//! hard **crash + restart** of one node (SIGKILL, fresh process, same
+//! port). The delivery guarantee under test is the paper's: every
+//! broadcast accepted from a correct origin must eventually be
+//! delivered by every correct process. A node that was hard-killed is
+//! not correct for the run (its in-memory protocol state died with it),
+//! so the assertion quantifies over the surviving processes and over
+//! broadcasts whose origin stayed up.
+//!
+//! The stream stops early enough that the gossip TTL
+//! (`steps × step_period` ticks) plus the settle window can drain every
+//! in-flight rumor before the cluster is stopped — the harness checks
+//! completeness of an eventually-quiescent run, not liveness under
+//! perpetual load.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use diffuse_core::scenario::FaultSink;
+use diffuse_model::{Probability, ProcessId, Topology};
+use diffuse_sim::SimTime;
+
+use crate::clock::WallClock;
+use crate::cluster::{ProtocolSpec, UdpCluster, UdpClusterOptions};
+use crate::NetError;
+
+/// Tuning for one soak run. The defaults are the CI profile (see
+/// [`SoakOptions::quick`]); `repro soak` without `--quick` runs the
+/// longer standard profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoakOptions {
+    /// Cluster size; must be at least 8 (the issue's floor for a
+    /// meaningful multi-process run).
+    pub nodes: u32,
+    /// Wall-clock length of one logical tick.
+    pub tick_interval: Duration,
+    /// Ticks of sustained load (broadcasts + faults all happen in this
+    /// window).
+    pub load_ticks: u64,
+    /// Ticks between consecutive broadcasts in the stream.
+    pub broadcast_period: u64,
+    /// Baseline per-link loss probability applied from the start.
+    pub base_loss: f64,
+    /// RNG/cluster seed.
+    pub seed: u64,
+}
+
+impl SoakOptions {
+    /// The CI profile: 8 nodes, short load window — finishes in a few
+    /// seconds while still exercising spike, partition/heal and
+    /// crash+restart.
+    pub fn quick() -> Self {
+        SoakOptions {
+            nodes: 8,
+            tick_interval: Duration::from_millis(3),
+            load_ticks: 300,
+            broadcast_period: 10,
+            base_loss: 0.03,
+            seed: 7,
+        }
+    }
+
+    /// The standard profile: a larger cluster under a longer window.
+    pub fn standard() -> Self {
+        SoakOptions {
+            nodes: 10,
+            tick_interval: Duration::from_millis(3),
+            load_ticks: 900,
+            broadcast_period: 6,
+            base_loss: 0.05,
+            seed: 7,
+        }
+    }
+}
+
+/// What one soak run did and observed.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Broadcasts accepted from origins that stayed correct (up the
+    /// whole run).
+    pub accepted: u64,
+    /// Broadcasts requested of the crashing node (not covered by the
+    /// delivery guarantee).
+    pub accepted_from_crashed: u64,
+    /// Processes that stayed correct (everyone but the killed node).
+    pub correct: Vec<ProcessId>,
+    /// The node that was hard-killed and restarted mid-run.
+    pub crashed: ProcessId,
+    /// `(process, missing broadcasts)` pairs — empty iff the delivery
+    /// guarantee held.
+    pub missing: Vec<(ProcessId, u64)>,
+    /// Malformed wire frames counted (and survived) across all workers.
+    pub malformed_frames: u64,
+    /// Total wire messages sent, from the merged chaos metrics.
+    pub sent_total: u64,
+}
+
+impl SoakReport {
+    /// True iff every correct process delivered every broadcast
+    /// accepted from a correct origin.
+    pub fn complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+}
+
+/// Runs the soak: sustained stream + loss spike + partition/heal + one
+/// hard crash+restart, then checks the delivery guarantee.
+///
+/// Returns the report; the caller asserts
+/// [`SoakReport::complete`] (the `repro soak` CLI and the
+/// `udp_cluster` integration test both do).
+///
+/// # Errors
+///
+/// Fails if the cluster cannot launch (see
+/// [`UdpCluster::launch`](crate::UdpCluster::launch)) or the crashed
+/// worker cannot be restarted.
+///
+/// # Panics
+///
+/// Panics if `options.nodes < 8` — smaller clusters don't exercise the
+/// concurrency this harness exists to soak.
+pub fn run_soak(options: SoakOptions) -> Result<SoakReport, NetError> {
+    assert!(
+        options.nodes >= 8,
+        "soak requires at least 8 nodes, got {}",
+        options.nodes
+    );
+    let n = options.nodes;
+
+    // Circulant topology with skips {1, 2}: degree 4, diameter ~n/4,
+    // stays connected when any single node dies.
+    let mut topology = Topology::new();
+    for i in 0..n {
+        topology.add_process(ProcessId::new(i));
+    }
+    for i in 0..n {
+        for skip in [1u32, 2] {
+            let j = (i + skip) % n;
+            let _ = topology.add_link(ProcessId::new(i), ProcessId::new(j));
+        }
+    }
+    let base = Probability::new(options.base_loss).expect("base_loss in [0, 1]");
+    let config = diffuse_model::Configuration::uniform(&topology, Probability::ZERO, base);
+
+    // Gossip TTL spans every fault window: steps × step_period = 80
+    // ticks of forwarding per rumor, against a 15-tick spike and a
+    // ~12%-of-load partition.
+    let protocol = ProtocolSpec::Gossip {
+        steps: 40,
+        step_period: 2,
+    };
+    // The cluster run must outlast the last broadcast by TTL + margin
+    // so the stream drains fully before STOP.
+    let drain_ticks = 40 * 2 + 60;
+    let cluster_options = UdpClusterOptions {
+        tick_interval: options.tick_interval,
+        run_ticks: options.load_ticks + drain_ticks,
+        settle: Duration::from_millis(250),
+        handshake_timeout: Duration::from_secs(10),
+    };
+    let mut cluster =
+        UdpCluster::launch(&topology, &config, options.seed, protocol, cluster_options)?;
+
+    // Churn plan, as fractions of the load window.
+    let crashed = ProcessId::new(n - 1);
+    let spike_at = options.load_ticks / 5;
+    let spike_len = 15;
+    let partition_at = options.load_ticks * 2 / 5;
+    let partition_len = options.load_ticks / 8;
+    let kill_at = options.load_ticks * 7 / 10;
+    let restart_at = kill_at + options.load_ticks / 10;
+    // The partition cuts the two lowest-numbered nodes off from the
+    // rest (their mutual links stay up).
+    let island: BTreeSet<ProcessId> = [ProcessId::new(0), ProcessId::new(1)].into();
+    let cut: Vec<diffuse_model::LinkId> = topology
+        .links()
+        .filter(|l| island.contains(&l.lo()) != island.contains(&l.hi()))
+        .collect();
+
+    let clock = WallClock::new(options.tick_interval);
+    let session = clock.begin();
+    let mut accepted = 0u64;
+    let mut accepted_from_crashed = 0u64;
+    let mut killed = false;
+    let mut seq = 0u64;
+    let mut tick = 0u64;
+    while tick < options.load_ticks {
+        session.sleep_until(SimTime::new(tick));
+        cluster.pump();
+
+        if tick == spike_at {
+            // Cluster-wide loss spike: every link to 0.3 for spike_len
+            // ticks (restored below).
+            for link in topology.links() {
+                cluster.set_loss(link, Probability::new(0.3).expect("0.3 is a probability"));
+            }
+        }
+        if tick == spike_at + spike_len {
+            for link in topology.links() {
+                cluster.set_loss(link, config.loss(link));
+            }
+        }
+        if tick == partition_at {
+            for &link in &cut {
+                cluster.set_loss(link, Probability::ONE);
+            }
+        }
+        if tick == partition_at + partition_len {
+            for &link in &cut {
+                cluster.set_loss(link, config.loss(link));
+            }
+        }
+        if tick == kill_at {
+            cluster.kill(crashed);
+            killed = true;
+        }
+        if tick == restart_at {
+            cluster.restart(crashed)?;
+        }
+
+        if tick % options.broadcast_period == 0 {
+            // Rotate origins over the whole ring, skipping the crashed
+            // node's dead window; broadcasts it *accepts* while alive
+            // are tracked separately (no guarantee attaches to them).
+            let origin = ProcessId::new((seq % u64::from(n)) as u32);
+            seq += 1;
+            let payload = format!("soak-{seq}").into_bytes();
+            if origin == crashed {
+                if !killed && cluster.broadcast(origin, &payload) {
+                    accepted_from_crashed += 1;
+                }
+            } else if cluster.broadcast(origin, &payload) {
+                accepted += 1;
+            }
+        }
+        tick += 1;
+    }
+    // Quiesce: let the last rumors run out their TTL, then stop.
+    session.sleep_until(SimTime::new(options.load_ticks + drain_ticks));
+    session.settle(cluster_options.settle);
+
+    let correct: Vec<ProcessId> = topology.processes().filter(|&p| p != crashed).collect();
+    let report = cluster.finish(0);
+
+    // The guarantee: every correct process delivered every broadcast
+    // accepted from a correct origin. Origins deliver locally too, so
+    // one uniform bound covers all correct processes.
+    let mut missing = Vec::new();
+    for &p in &correct {
+        let got = report
+            .delivered_ids
+            .get(&p)
+            .map(|set| set.iter().filter(|(origin, _)| *origin != crashed).count() as u64)
+            .unwrap_or(0);
+        if got < accepted {
+            missing.push((p, accepted - got));
+        }
+    }
+
+    let sent_total = report
+        .report
+        .metrics
+        .as_ref()
+        .map(|m| m.sent_total())
+        .unwrap_or(0);
+    Ok(SoakReport {
+        accepted,
+        accepted_from_crashed,
+        correct,
+        crashed,
+        missing,
+        malformed_frames: report.malformed_frames,
+        sent_total,
+    })
+}

@@ -35,13 +35,18 @@ pub trait Transport: Send {
 
     /// Receives the next frame, waiting up to `timeout`.
     ///
-    /// Returns `Ok(None)` on timeout.
+    /// Returns `Ok(None)` on timeout. Takes `&mut self` so
+    /// implementations can keep receive-path state without interior
+    /// mutability — a reusable datagram buffer and cached socket timeout
+    /// ([`UdpTransport`](crate::UdpTransport)), or a delayed-frame
+    /// hold-back queue ([`ChaosTransport`](crate::ChaosTransport)).
     ///
     /// # Errors
     ///
     /// Returns [`NetError::Closed`] once the transport cannot produce
     /// further frames.
-    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(ProcessId, Vec<u8>)>, NetError>;
+    fn recv_timeout(&mut self, timeout: Duration)
+        -> Result<Option<(ProcessId, Vec<u8>)>, NetError>;
 }
 
 /// Shared state of the in-memory fabric.
@@ -81,7 +86,7 @@ struct FabricShared {
 /// let mut topology = Topology::new();
 /// topology.add_link(ProcessId::new(0), ProcessId::new(1))?;
 /// let mut transports = Fabric::build(&topology, Configuration::new(), 7);
-/// let t1 = transports.remove(&ProcessId::new(1)).unwrap();
+/// let mut t1 = transports.remove(&ProcessId::new(1)).unwrap();
 /// let t0 = transports.remove(&ProcessId::new(0)).unwrap();
 ///
 /// t0.send(ProcessId::new(1), b"ping")?;
@@ -288,7 +293,10 @@ impl Transport for FabricTransport {
         Ok(())
     }
 
-    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(ProcessId, Vec<u8>)>, NetError> {
+    fn recv_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(ProcessId, Vec<u8>)>, NetError> {
         match self.receiver.recv_timeout(timeout) {
             Ok(frame) => Ok(Some(frame)),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
@@ -316,7 +324,7 @@ mod tests {
 
     #[test]
     fn frames_travel_between_endpoints() {
-        let (a, b) = pair();
+        let (a, mut b) = pair();
         assert_eq!(a.local_id(), p(0));
         a.send(p(1), b"one").unwrap();
         a.send(p(1), b"two").unwrap();
@@ -329,7 +337,7 @@ mod tests {
 
     #[test]
     fn timeout_returns_none() {
-        let (_a, b) = pair();
+        let (_a, mut b) = pair();
         let got = b.recv_timeout(Duration::from_millis(10)).unwrap();
         assert!(got.is_none());
     }
@@ -354,7 +362,7 @@ mod tests {
         let mut loss = Configuration::new();
         loss.set_loss(link, Probability::ONE);
         let mut map = Fabric::build(&topology, loss, 1);
-        let b = map.remove(&p(1)).unwrap();
+        let mut b = map.remove(&p(1)).unwrap();
         let a = map.remove(&p(0)).unwrap();
 
         a.send(p(1), b"gone").unwrap();

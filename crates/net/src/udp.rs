@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use diffuse_model::ProcessId;
 
+use crate::clock::transient_backoff;
 use crate::{NetError, Transport};
 
 /// Maximum encodable frame: one UDP datagram's worth of payload.
@@ -15,17 +16,38 @@ use crate::{NetError, Transport};
 /// 100-process, `U = 100` heartbeats (~50 KB) fit.
 pub const MAX_DATAGRAM: usize = 65_000;
 
+/// How many times a send blocked by kernel buffer pressure
+/// (`EAGAIN`-class errors) is retried, with exponential backoff, before
+/// the datagram is counted as lost.
+const SEND_RETRIES: u32 = 3;
+
 /// A [`Transport`] over a UDP socket with a static peer registry.
 ///
 /// Peers are identified by [`ProcessId`]; frames from unregistered
 /// addresses are ignored. UDP is inherently lossy and unordered, which is
-/// exactly the paper's link model — no reliability layer is added.
+/// exactly the paper's link model — no reliability layer is added, and
+/// transient socket errors (`ECONNREFUSED` from a crashed peer, `EAGAIN`
+/// under buffer pressure — see [`NetError::is_transient`]) are treated
+/// as message loss rather than surfaced as failures.
+///
+/// The receive path reuses one datagram-sized buffer and re-arms the
+/// socket read timeout only when the requested budget changes (the node
+/// runtime polls with a constant budget when idle, so the steady state
+/// is zero allocations and zero `setsockopt` calls per receive).
 #[derive(Debug)]
 pub struct UdpTransport {
     id: ProcessId,
     socket: UdpSocket,
     peers: BTreeMap<ProcessId, SocketAddr>,
     by_addr: BTreeMap<SocketAddr, ProcessId>,
+    /// Reusable receive scratch; `recv_from` writes into it and the
+    /// frame is copied out at its true length.
+    recv_buf: Vec<u8>,
+    /// The read timeout currently armed on the socket, so equal budgets
+    /// skip the `set_read_timeout` syscall.
+    armed_timeout: Option<Duration>,
+    /// How many times the read timeout was actually (re-)armed.
+    rearm_count: u64,
 }
 
 impl UdpTransport {
@@ -46,7 +68,17 @@ impl UdpTransport {
             socket,
             peers,
             by_addr,
+            recv_buf: vec![0u8; MAX_DATAGRAM],
+            armed_timeout: None,
+            rearm_count: 0,
         })
+    }
+
+    /// How many times the socket read timeout has been (re-)armed; stays
+    /// flat while [`recv_timeout`](Transport::recv_timeout) is called
+    /// with an unchanged budget.
+    pub fn timeout_rearms(&self) -> u64 {
+        self.rearm_count
     }
 
     /// The bound local address (useful when binding to port 0).
@@ -82,29 +114,64 @@ impl Transport for UdpTransport {
         let Some(addr) = self.peers.get(&to) else {
             return Err(NetError::UnknownPeer(to));
         };
-        self.socket.send_to(frame, addr)?;
-        Ok(())
-    }
-
-    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(ProcessId, Vec<u8>)>, NetError> {
-        self.socket
-            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
-        let mut buf = vec![0u8; MAX_DATAGRAM];
-        match self.socket.recv_from(&mut buf) {
-            Ok((n, addr)) => {
-                buf.truncate(n);
-                match self.by_addr.get(&addr) {
-                    Some(peer) => Ok(Some((*peer, buf))),
-                    None => Ok(None), // stranger datagrams are dropped
+        let mut attempt = 0;
+        loop {
+            match self.socket.send_to(frame, addr) {
+                Ok(_) => return Ok(()),
+                // Buffer pressure usually clears within microseconds:
+                // worth a bounded retry burst before declaring loss.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
+                    ) && attempt < SEND_RETRIES =>
+                {
+                    attempt += 1;
+                    transient_backoff(attempt);
+                }
+                Err(e) => {
+                    let err = NetError::from(e);
+                    // ICMP port-unreachable (crashed / not-yet-bound
+                    // peer), firewall drops, exhausted retries: the
+                    // datagram is gone, which on this medium is loss,
+                    // not failure.
+                    return if err.is_transient() { Ok(()) } else { Err(err) };
                 }
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                Ok(None)
+        }
+    }
+
+    fn recv_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(ProcessId, Vec<u8>)>, NetError> {
+        // set_read_timeout has millisecond-ish granularity anyway;
+        // rounding the budget up to whole milliseconds makes repeated
+        // near-equal budgets hit the armed-timeout cache.
+        let millis = u64::try_from(timeout.as_millis()).unwrap_or(u64::MAX);
+        let ceil = millis.saturating_add(u64::from(timeout.subsec_nanos() % 1_000_000 != 0));
+        let budget = Duration::from_millis(ceil.max(1));
+        if self.armed_timeout != Some(budget) {
+            self.socket.set_read_timeout(Some(budget))?;
+            self.armed_timeout = Some(budget);
+            self.rearm_count += 1;
+        }
+        match self.socket.recv_from(&mut self.recv_buf) {
+            Ok((n, addr)) => match self.by_addr.get(&addr) {
+                Some(peer) => Ok(Some((*peer, self.recv_buf[..n].to_vec()))),
+                None => Ok(None), // stranger datagrams are dropped
+            },
+            Err(e) => {
+                let err = NetError::from(e);
+                // Timeouts and transient kicks (e.g. a queued ICMP
+                // error from an earlier send surfacing here) both mean
+                // "no frame this time", never a dead transport.
+                if err.is_transient() {
+                    Ok(None)
+                } else {
+                    Err(err)
+                }
             }
-            Err(e) => Err(e.into()),
         }
     }
 }
@@ -131,7 +198,7 @@ mod tests {
 
     #[test]
     fn loopback_round_trip() {
-        let (a, b) = loopback_pair();
+        let (a, mut b) = loopback_pair();
         a.send(p(1), b"hello").unwrap();
         let (from, frame) = b
             .recv_timeout(Duration::from_secs(2))
@@ -140,6 +207,65 @@ mod tests {
         assert_eq!(from, p(0));
         assert_eq!(frame, b"hello");
         assert_eq!(a.local_id(), p(0));
+    }
+
+    #[test]
+    fn reused_buffer_does_not_leak_between_frames() {
+        let (a, mut b) = loopback_pair();
+        // A long frame followed by a short one: the short receive must
+        // not drag in stale tail bytes from the reused scratch buffer.
+        for frame in [&b"a-much-longer-first-frame"[..], &b"hi"[..], &b"x"[..]] {
+            a.send(p(1), frame).unwrap();
+            let (_, got) = b
+                .recv_timeout(Duration::from_secs(2))
+                .unwrap()
+                .expect("datagram arrives on loopback");
+            assert_eq!(got, frame);
+        }
+    }
+
+    #[test]
+    fn equal_budgets_skip_timeout_rearming() {
+        let (_a, mut b) = loopback_pair();
+        let budget = Duration::from_millis(5);
+        for _ in 0..3 {
+            assert!(b.recv_timeout(budget).unwrap().is_none());
+        }
+        assert_eq!(b.timeout_rearms(), 1, "same budget must arm only once");
+        // Sub-millisecond jitter rounds up to the same armed value.
+        assert!(b
+            .recv_timeout(budget - Duration::from_micros(300))
+            .unwrap()
+            .is_none());
+        assert_eq!(b.timeout_rearms(), 1);
+        assert!(b.recv_timeout(Duration::from_millis(9)).unwrap().is_none());
+        assert_eq!(b.timeout_rearms(), 2, "a new budget re-arms");
+    }
+
+    #[test]
+    fn send_to_dead_peer_is_loss_not_error() {
+        // Bind a throwaway socket to reserve an address, then drop it:
+        // sends now draw ICMP port-unreachable (ECONNREFUSED on Linux),
+        // which must read as loss, repeatedly, without poisoning the
+        // socket for later sends.
+        let any: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let dead_addr = {
+            let dead = UdpSocket::bind(any).unwrap();
+            dead.local_addr().unwrap()
+        };
+        let mut a = UdpTransport::bind(p(0), any, BTreeMap::new()).unwrap();
+        a.register_peer(p(1), dead_addr);
+        for _ in 0..8 {
+            a.send(p(1), b"into the void").unwrap();
+        }
+        // The socket still works against a live peer afterwards.
+        let live = UdpSocket::bind(any).unwrap();
+        a.register_peer(p(2), live.local_addr().unwrap());
+        a.send(p(2), b"still alive").unwrap();
+        let mut buf = [0u8; 64];
+        live.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let (n, _) = live.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"still alive");
     }
 
     #[test]
@@ -160,13 +286,13 @@ mod tests {
 
     #[test]
     fn timeout_returns_none() {
-        let (_a, b) = loopback_pair();
+        let (_a, mut b) = loopback_pair();
         assert!(b.recv_timeout(Duration::from_millis(20)).unwrap().is_none());
     }
 
     #[test]
     fn stranger_datagrams_are_ignored() {
-        let (a, b) = loopback_pair();
+        let (a, mut b) = loopback_pair();
         // An unregistered socket sends to b.
         let stranger = UdpSocket::bind("127.0.0.1:0").unwrap();
         stranger.send_to(b"spoof", b.local_addr().unwrap()).unwrap();

@@ -1,0 +1,222 @@
+//! Integration tests for the multi-process UDP cluster substrate.
+//!
+//! `harness = false`: the cluster spawns node workers by re-executing
+//! this very binary, so `main` must route worker invocations into
+//! [`diffuse_net::maybe_run_udp_worker`] before any test runs. The
+//! tests themselves run sequentially (each launches its own cluster of
+//! real OS processes; parallelism would only add scheduler noise).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use diffuse_core::{FaultAction, FaultScript, ReferenceGossip, Scenario, ScenarioReport, Workload};
+use diffuse_model::{Probability, ProcessId, Topology};
+use diffuse_net::{
+    run_scenario_on_fabric, run_scenario_on_udp_cluster, run_soak, FabricScenarioOptions,
+    ProtocolSpec, SoakOptions, UdpClusterOptions,
+};
+use diffuse_sim::SimTime;
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Circulant graph with skips {1, 2}: degree 4, stays connected under
+/// any single node failure — the same shape the soak harness uses.
+fn circulant(n: u32) -> Topology {
+    let mut topology = Topology::new();
+    for i in 0..n {
+        topology.add_process(p(i));
+    }
+    for i in 0..n {
+        for skip in [1u32, 2] {
+            let _ = topology.add_link(p(i), p((i + skip) % n));
+        }
+    }
+    topology
+}
+
+fn prob(v: f64) -> Probability {
+    Probability::new(v).expect("test probability in range")
+}
+
+/// A scripted scenario — loss spike, partition + heal, cooperative
+/// crash — executes end-to-end on real processes with zero skipped
+/// faults.
+fn scripted_scenario_runs_every_fault() {
+    let topology = circulant(8);
+    let workload = Workload::new()
+        .broadcast(SimTime::new(10), p(0), b"alpha".to_vec().into())
+        .broadcast(SimTime::new(30), p(2), b"bravo".to_vec().into())
+        .broadcast(SimTime::new(60), p(4), b"charlie".to_vec().into())
+        .broadcast(SimTime::new(90), p(6), b"delta".to_vec().into())
+        .broadcast(SimTime::new(120), p(1), b"echo".to_vec().into());
+    let faults = FaultScript::new()
+        .at(
+            SimTime::new(40),
+            FaultAction::DegradeAll { loss: prob(0.3) },
+        )
+        .at(SimTime::new(55), FaultAction::Heal)
+        .at(
+            SimTime::new(100),
+            FaultAction::Partition {
+                island: vec![p(0), p(1)],
+            },
+        )
+        .at(SimTime::new(130), FaultAction::Heal)
+        .at(
+            SimTime::new(160),
+            FaultAction::Crash {
+                process: p(5),
+                down_ticks: 30,
+            },
+        );
+    let scenario = Scenario::builder(topology)
+        .uniform_loss(prob(0.02))
+        .seed(11)
+        .workload(workload)
+        .faults(faults)
+        .build();
+
+    let report = run_scenario_on_udp_cluster(
+        &scenario,
+        UdpClusterOptions {
+            tick_interval: Duration::from_millis(3),
+            run_ticks: 300,
+            settle: Duration::from_millis(250),
+            handshake_timeout: Duration::from_secs(10),
+        },
+        ProtocolSpec::Gossip {
+            steps: 40,
+            step_period: 2,
+        },
+    )
+    .expect("cluster launches (maybe_run_udp_worker is hooked in main)");
+
+    assert_eq!(
+        report.skipped_faults, 0,
+        "every scripted fault must execute"
+    );
+    assert_eq!(
+        report.failed_broadcasts, 0,
+        "all origins were up at broadcast time"
+    );
+    assert_eq!(report.delivered.len(), 8, "one delivery count per process");
+    assert!(
+        report.all_delivered_at_least(1),
+        "every process delivers despite spike + partition + crash: {:?}",
+        report.delivered
+    );
+    let metrics = report
+        .metrics
+        .as_ref()
+        .expect("cluster reports wire metrics");
+    assert!(metrics.sent_total() > 0, "wire metrics merged from workers");
+    assert!(
+        metrics.sent_of_kind("data") > 0,
+        "gossip traffic is data-kind on the wire"
+    );
+}
+
+/// The same `Scenario` value, unmodified, on all three substrates:
+/// simulation kernel, in-process fabric, multi-process UDP cluster.
+/// Over lossless links each substrate must deliver every broadcast to
+/// every process.
+fn same_scenario_on_all_three_substrates() {
+    let topology = circulant(8);
+    let workload = Workload::new()
+        .broadcast(SimTime::new(5), p(0), b"one".to_vec().into())
+        .broadcast(SimTime::new(10), p(3), b"two".to_vec().into())
+        .broadcast(SimTime::new(15), p(6), b"three".to_vec().into());
+    let scenario = Scenario::builder(topology.clone())
+        .uniform_loss(Probability::ZERO)
+        .seed(3)
+        .workload(workload)
+        .build();
+    let steps = 30;
+    let make = |id: ProcessId| {
+        ReferenceGossip::new(id, topology.neighbors(id).collect(), steps).with_step_period(1)
+    };
+
+    let kernel = scenario.run_sim(120, make);
+    let fabric = run_scenario_on_fabric(
+        &scenario,
+        FabricScenarioOptions {
+            tick_interval: Duration::from_millis(2),
+            run_ticks: 120,
+            settle: Duration::from_millis(100),
+        },
+        make,
+    );
+    let cluster = run_scenario_on_udp_cluster(
+        &scenario,
+        UdpClusterOptions {
+            tick_interval: Duration::from_millis(3),
+            run_ticks: 120,
+            settle: Duration::from_millis(250),
+            handshake_timeout: Duration::from_secs(10),
+        },
+        ProtocolSpec::Gossip {
+            steps,
+            step_period: 1,
+        },
+    )
+    .expect("cluster launches");
+
+    let full: BTreeMap<ProcessId, u64> = scenario.topology.processes().map(|p| (p, 3u64)).collect();
+    let check = |name: &str, report: &ScenarioReport| {
+        assert_eq!(
+            report.delivered, full,
+            "{name}: full delivery over lossless links"
+        );
+        assert_eq!(report.skipped_faults, 0, "{name}: nothing skipped");
+        assert_eq!(report.failed_broadcasts, 0, "{name}: nothing failed");
+    };
+    check("kernel", &kernel);
+    check("fabric", &fabric);
+    check("udp-cluster", &cluster);
+}
+
+/// The CI soak profile: 8 processes, sustained stream, loss spike,
+/// partition + heal, one hard kill + restart — and the paper's
+/// delivery guarantee holds for every correct process.
+fn quick_soak_holds_delivery_guarantee() {
+    let report = run_soak(SoakOptions::quick()).expect("soak cluster launches and restarts");
+    assert!(report.accepted > 0, "the stream accepted broadcasts");
+    assert_eq!(report.correct.len(), 7, "8 nodes, one crashed");
+    assert!(
+        report.complete(),
+        "every correct process must deliver every broadcast accepted from a \
+         correct origin; missing = {:?} of {} accepted",
+        report.missing,
+        report.accepted
+    );
+    assert!(report.sent_total > 0, "soak merged wire metrics");
+}
+
+fn main() {
+    // Worker invocations (child processes of the clusters below) divert
+    // here and never return.
+    diffuse_net::maybe_run_udp_worker();
+
+    let tests: [(&str, fn()); 3] = [
+        (
+            "scripted_scenario_runs_every_fault",
+            scripted_scenario_runs_every_fault,
+        ),
+        (
+            "same_scenario_on_all_three_substrates",
+            same_scenario_on_all_three_substrates,
+        ),
+        (
+            "quick_soak_holds_delivery_guarantee",
+            quick_soak_holds_delivery_guarantee,
+        ),
+    ];
+    for (name, test) in tests {
+        eprintln!("running {name} ...");
+        test();
+        eprintln!("running {name} ... ok");
+    }
+    println!("udp_cluster: {} tests passed", tests.len());
+}

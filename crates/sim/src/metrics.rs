@@ -44,13 +44,26 @@ impl Metrics {
 
     /// Records one message delivered to a running receiver.
     pub fn record_delivered(&mut self, kind: &'static str) {
-        self.delivered_total += 1;
-        *self.delivered_by_kind.entry(kind).or_insert(0) += 1;
+        self.record_delivered_batch(kind, 1);
+    }
+
+    /// Records `n` deliveries of one kind in one update — the
+    /// cross-process aggregation path (the UDP cluster driver merges
+    /// per-node transport counters reported over a control channel).
+    pub fn record_delivered_batch(&mut self, kind: &'static str, n: u64) {
+        self.delivered_total += n;
+        *self.delivered_by_kind.entry(kind).or_insert(0) += n;
     }
 
     /// Records one message destroyed by link loss.
     pub fn record_lost(&mut self) {
-        self.lost_in_link += 1;
+        self.record_lost_batch(1);
+    }
+
+    /// Records `n` messages destroyed by link loss in one update (see
+    /// [`Metrics::record_delivered_batch`]).
+    pub fn record_lost_batch(&mut self, n: u64) {
+        self.lost_in_link += n;
     }
 
     /// Records `n` messages addressed to a non-neighbor or unknown
@@ -177,6 +190,21 @@ mod tests {
         assert_eq!(m.sent_over(link(0, 1)), 2);
         assert_eq!(m.sent_over(link(5, 6)), 0);
         assert_eq!(m.per_link().count(), 2);
+    }
+
+    #[test]
+    fn batch_recorders_match_repeated_singles() {
+        let mut singles = Metrics::new();
+        for _ in 0..7 {
+            singles.record_delivered("data");
+        }
+        for _ in 0..4 {
+            singles.record_lost();
+        }
+        let mut batched = Metrics::new();
+        batched.record_delivered_batch("data", 7);
+        batched.record_lost_batch(4);
+        assert_eq!(singles, batched);
     }
 
     #[test]

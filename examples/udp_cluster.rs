@@ -1,8 +1,15 @@
-//! Run the optimal broadcast across four real UDP sockets on localhost.
+//! Run broadcasts across real UDP sockets on localhost — first
+//! in-process (four node threads, four sockets), then as a true
+//! multi-process cluster with transport-level chaos injection.
 //!
-//! Each node runs on its own thread with its own socket; frames are
-//! encoded with the `diffuse-net` wire codec. UDP supplies the lossy,
-//! unordered link model for free.
+//! Part 1 wires four node threads together over UDP and, on two of
+//! them, interposes a [`ChaosTransport`] that injects seeded Bernoulli
+//! loss and a delay/reorder window between socket and runtime.
+//!
+//! Part 2 hands the same idea to the third substrate: one OS process
+//! per node (this example re-executes itself — note the
+//! [`maybe_run_udp_worker`] hook at the top of `main`), driven by an
+//! ordinary [`Scenario`] with a scripted loss spike.
 //!
 //! ```text
 //! cargo run --example udp_cluster
@@ -12,18 +19,18 @@ use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::time::Duration;
 
-use diffuse::core::{NetworkKnowledge, OptimalBroadcast, Payload};
-use diffuse::model::{Configuration, ProcessId, Topology};
-use diffuse::net::{spawn_node, UdpTransport};
+use diffuse::core::{
+    FaultAction, FaultScript, NetworkKnowledge, OptimalBroadcast, Payload, Scenario, Workload,
+};
+use diffuse::model::{Configuration, Probability, ProcessId, Topology};
+use diffuse::net::{
+    maybe_run_udp_worker, run_scenario_on_udp_cluster, spawn_node, ChaosTransport, ProtocolSpec,
+    UdpClusterOptions, UdpTransport,
+};
+use diffuse::sim::SimTime;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Diamond topology: 0 — {1, 2} — 3.
-    let ids: Vec<ProcessId> = (0..4).map(ProcessId::new).collect();
-    let mut topology = Topology::new();
-    topology.add_link(ids[0], ids[1])?;
-    topology.add_link(ids[0], ids[2])?;
-    topology.add_link(ids[1], ids[3])?;
-    topology.add_link(ids[2], ids[3])?;
+fn in_process_with_chaos(topology: &Topology) -> Result<(), Box<dyn std::error::Error>> {
+    let ids: Vec<ProcessId> = topology.processes().collect();
     let knowledge = NetworkKnowledge::exact(topology.clone(), Configuration::new());
 
     // Bind every node to an ephemeral localhost port, then exchange the
@@ -37,6 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sockets.insert(id, t);
     }
     let mut handles = BTreeMap::new();
+    let mut chaos_controls = Vec::new();
     for &id in &ids {
         let mut transport = sockets.remove(&id).expect("bound above");
         for n in topology.neighbors(id) {
@@ -44,10 +52,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("{id} listening on {}", addresses[&id]);
         let protocol = OptimalBroadcast::new(id, knowledge.clone(), 0.9999);
-        handles.insert(
-            id,
-            spawn_node(protocol, transport, Duration::from_millis(10)),
-        );
+        // The two even-numbered nodes get a chaos layer between socket
+        // and runtime: 10% egress loss everywhere plus a 0–2 ms
+        // delay/reorder window, all from a seeded RNG.
+        if id.index() % 2 == 0 {
+            let (chaos, control) = ChaosTransport::new(transport, 42 + u64::from(id.index()));
+            control.set_default_loss(Probability::new(0.10)?);
+            control.set_delay(Some((Duration::ZERO, Duration::from_millis(2))));
+            chaos_controls.push((id, control));
+            handles.insert(id, spawn_node(protocol, chaos, Duration::from_millis(10)));
+        } else {
+            handles.insert(
+                id,
+                spawn_node(protocol, transport, Duration::from_millis(10)),
+            );
+        }
     }
 
     handles[&ids[0]].broadcast(Payload::from("datagrams, assemble"))?;
@@ -61,9 +80,81 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None => println!("{id} missed the broadcast (UDP is allowed to lose it)"),
         }
     }
+    for (id, control) in &chaos_controls {
+        let c = control.counters();
+        println!(
+            "{id} chaos: {} dropped, {} delayed, {} duplicated",
+            c.dropped, c.delayed, c.duplicated
+        );
+    }
 
     for (_, handle) in handles {
         handle.shutdown();
     }
+    Ok(())
+}
+
+fn multi_process_scenario(topology: &Topology) -> Result<(), Box<dyn std::error::Error>> {
+    let ids: Vec<ProcessId> = topology.processes().collect();
+    let scenario = Scenario::builder(topology.clone())
+        .uniform_loss(Probability::new(0.02)?)
+        .seed(9)
+        .workload(
+            Workload::new()
+                .broadcast(SimTime::new(10), ids[0], Payload::from("hello, processes"))
+                .broadcast(SimTime::new(40), ids[3], Payload::from("and hello back")),
+        )
+        .faults(
+            FaultScript::new()
+                .at(
+                    SimTime::new(20),
+                    FaultAction::DegradeAll {
+                        loss: Probability::new(0.25)?,
+                    },
+                )
+                .at(SimTime::new(35), FaultAction::Heal),
+        )
+        .build();
+
+    let report = run_scenario_on_udp_cluster(
+        &scenario,
+        UdpClusterOptions::default(),
+        ProtocolSpec::Gossip {
+            steps: 30,
+            step_period: 2,
+        },
+    )?;
+    println!(
+        "cluster run: {:?} delivered, {} faults skipped",
+        report.delivered, report.skipped_faults
+    );
+    if let Some(metrics) = &report.metrics {
+        println!(
+            "cluster wire: {} sent ({} data), {} lost to chaos",
+            metrics.sent_total(),
+            metrics.sent_of_kind("data"),
+            metrics.lost_in_link()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Part 2 spawns node worker processes by re-executing this binary;
+    // worker invocations divert here and never return.
+    maybe_run_udp_worker();
+
+    // Diamond topology: 0 — {1, 2} — 3.
+    let ids: Vec<ProcessId> = (0..4).map(ProcessId::new).collect();
+    let mut topology = Topology::new();
+    topology.add_link(ids[0], ids[1])?;
+    topology.add_link(ids[0], ids[2])?;
+    topology.add_link(ids[1], ids[3])?;
+    topology.add_link(ids[2], ids[3])?;
+
+    println!("--- part 1: four node threads, chaos on two of them ---");
+    in_process_with_chaos(&topology)?;
+    println!("--- part 2: four node processes, scripted loss spike ---");
+    multi_process_scenario(&topology)?;
     Ok(())
 }
