@@ -21,6 +21,7 @@ fn bench_effort() -> Effort {
         connectivities: vec![6],
         sizes: vec![40],
         threads: 1,
+        workers: vec![1],
         seed: 0xBE9C,
         quick: true,
     }

@@ -409,6 +409,61 @@ fn bench_fast_forward(c: &mut Criterion) {
     group.finish();
 }
 
+/// The sharded executor against the deterministic kernel on one busy
+/// gossip scenario: same seed, same reports (asserted once up front),
+/// different execution engines. The workers/kernel ratio recorded in
+/// BENCH_micro.json is a statement about the benchmark host — on a
+/// single-core machine barrier lockstep is pure overhead and the ratio
+/// sits at or below 1x; with ≥ 4 hardware threads it is the parallel
+/// speedup.
+fn bench_sharded_executor(c: &mut Criterion) {
+    use diffuse_core::scenario::{Scenario, Workload};
+    use diffuse_core::{Payload, ReferenceGossip};
+    use diffuse_graph::generators;
+
+    let n = 1000u32;
+    let topology = generators::circulant(n, 8).unwrap();
+    let mut workload = Workload::new();
+    for i in 0..10u32 {
+        workload = workload.broadcast(
+            SimTime::new(u64::from(i) * 3),
+            ProcessId::new((i * 97) % n),
+            Payload::from(format!("b{i}").into_bytes()),
+        );
+    }
+    let scenario = Scenario::builder(topology)
+        .seed(7)
+        .link_delay(1)
+        .workload(workload)
+        .build();
+    let horizon = 80;
+    let topology = scenario.topology.clone();
+    let make = |id: ProcessId| ReferenceGossip::new(id, topology.neighbors(id).collect(), 8);
+
+    // Loss-free scenario: every engine must produce the identical
+    // report before its timing means anything.
+    let kernel_report = scenario.run_sim(horizon, make);
+    for workers in [4usize, 8] {
+        let sharded = scenario.run_sim_sharded(horizon, workers, make);
+        assert_eq!(kernel_report, sharded, "{workers} workers");
+    }
+
+    let mut group = c.benchmark_group("shard");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    group.bench_function("kernel/n1000", |b| {
+        b.iter(|| scenario.run_sim(horizon, make))
+    });
+    group.bench_function("workers4/n1000", |b| {
+        b.iter(|| scenario.run_sim_sharded(horizon, 4, make))
+    });
+    group.bench_function("workers8/n1000", |b| {
+        b.iter(|| scenario.run_sim_sharded(horizon, 8, make))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_mrt,
@@ -417,6 +472,7 @@ criterion_group!(
     bench_heartbeat_processing,
     bench_delta_view_ops,
     bench_codec,
-    bench_fast_forward
+    bench_fast_forward,
+    bench_sharded_executor
 );
 criterion_main!(benches);

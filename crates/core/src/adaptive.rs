@@ -79,7 +79,21 @@ struct PeerRecord {
 /// after PR 3; times dedup in the set, so the steady state inserts
 /// one sentinel per distinct deadline instead of two rebalances per
 /// reset.
-#[derive(Debug, Default)]
+///
+/// Far-future deadlines are additionally **bucketed**: a deadline more
+/// than [`DeadlineQueue::NEAR`] ticks out registers a sentinel at the
+/// start of its enclosing [`DeadlineQueue::BUCKET`]-wide bucket rather
+/// than at its exact time, so the churn of timeout growth constantly
+/// pushing deadlines around the far future dedups into one sentinel
+/// per bucket instead of one per distinct deadline. Rounding *down*
+/// (never up) keeps observable behavior bit-identical to the exact
+/// queue: a bucket sentinel fires a scan at most `BUCKET - 1` ticks
+/// before the deadline it covers, the scan finds the peer not yet due
+/// and calls [`DeadlineQueue::rearm`], and the deadline — by then
+/// inside the near window — is re-registered at its exact time. Peers
+/// are therefore still processed at exactly their deadline tick; the
+/// only cost is an occasional no-op scan at a bucket boundary.
+#[derive(Debug)]
 struct DeadlineQueue {
     times: BTreeSet<SimTime>,
     /// The time of the most recent insert, skipping the set lookup for
@@ -87,13 +101,71 @@ struct DeadlineQueue {
     /// Cleared on expiry (a cached time may otherwise refer to an
     /// already-consumed sentinel).
     last: Option<SimTime>,
+    /// Bucket width for far-future sentinels; `1` is exact mode (every
+    /// sentinel sits at its deadline), used to equivalence-test the
+    /// bucketed production queue.
+    bucket: u64,
+}
+
+impl Default for DeadlineQueue {
+    fn default() -> Self {
+        DeadlineQueue {
+            times: BTreeSet::new(),
+            last: None,
+            bucket: DeadlineQueue::BUCKET,
+        }
+    }
 }
 
 impl DeadlineQueue {
-    fn insert(&mut self, at: SimTime) {
-        if self.last != Some(at) {
-            self.times.insert(at);
-            self.last = Some(at);
+    /// Width of a far-future bucket.
+    const BUCKET: u64 = 64;
+    /// Horizon inside which deadlines keep their exact sentinel. Must
+    /// be at least [`Self::BUCKET`] so a rounded-down bucket sentinel
+    /// is still strictly in the future.
+    const NEAR: u64 = 128;
+
+    /// Exact (bucket-disabled) mode, for equivalence tests.
+    #[cfg(test)]
+    fn exact() -> Self {
+        DeadlineQueue {
+            bucket: 1,
+            ..DeadlineQueue::default()
+        }
+    }
+
+    /// The sentinel time registered for a deadline `at` assigned at
+    /// `now`: exact inside the near window, the enclosing bucket start
+    /// beyond it.
+    fn sentinel(&self, now: SimTime, at: SimTime) -> SimTime {
+        if self.bucket <= 1 || at.ticks() <= now.ticks() + Self::NEAR {
+            at
+        } else {
+            let s = SimTime::new((at.ticks() / self.bucket) * self.bucket);
+            debug_assert!(
+                s > now,
+                "NEAR >= BUCKET keeps bucket sentinels in the future"
+            );
+            s
+        }
+    }
+
+    fn insert(&mut self, now: SimTime, at: SimTime) {
+        let s = self.sentinel(now, at);
+        if self.last != Some(s) {
+            self.times.insert(s);
+            self.last = Some(s);
+        }
+    }
+
+    /// Re-registers a not-yet-due deadline encountered by a scan at
+    /// `now`. A deadline's covering sentinel can only have been
+    /// consumed early if it was bucketed — i.e. fired within one bucket
+    /// of the deadline — so deadlines farther out than that still hold
+    /// a registered sentinel and are skipped for free.
+    fn rearm(&mut self, now: SimTime, at: SimTime) {
+        if at.ticks() - now.ticks() < self.bucket {
+            self.insert(now, at);
         }
     }
 
@@ -421,7 +493,7 @@ impl AdaptiveBroadcast {
 
         let mut deadlines = DeadlineQueue::default();
         for (_, r) in peers.iter().filter(|&(&p, _)| p != id) {
-            deadlines.insert(r.deadline);
+            deadlines.insert(SimTime::ZERO, r.deadline);
         }
 
         AdaptiveBroadcast {
@@ -720,7 +792,7 @@ impl AdaptiveBroadcast {
         let at = now + record.timeout;
         if record.deadline != at {
             record.deadline = at;
-            self.deadlines.insert(at);
+            self.deadlines.insert(now, at);
         }
     }
 
@@ -762,7 +834,7 @@ impl AdaptiveBroadcast {
                     let at = now + record.timeout;
                     if record.deadline != at {
                         record.deadline = at;
-                        self.deadlines.insert(at);
+                        self.deadlines.insert(now, at);
                     }
                 }
             }
@@ -816,7 +888,7 @@ impl AdaptiveBroadcast {
                     let at = now + record.timeout;
                     if record.deadline != at {
                         record.deadline = at;
-                        self.deadlines.insert(at);
+                        self.deadlines.insert(now, at);
                     }
                 }
                 (record.estimate.version(), adopted)
@@ -935,7 +1007,7 @@ impl AdaptiveBroadcast {
                         let at = now + record.timeout;
                         if record.deadline != at {
                             record.deadline = at;
-                            deadlines.insert(at);
+                            deadlines.insert(now, at);
                         }
                     }
                     entry.adopted = adopted;
@@ -954,7 +1026,7 @@ impl AdaptiveBroadcast {
                         let at = now + record.timeout;
                         if record.deadline != at {
                             record.deadline = at;
-                            deadlines.insert(at);
+                            deadlines.insert(now, at);
                         }
                     }
                     entry.adopted = adopted;
@@ -967,7 +1039,7 @@ impl AdaptiveBroadcast {
                     let at = now + record.timeout;
                     if record.deadline != at {
                         record.deadline = at;
-                        deadlines.insert(at);
+                        deadlines.insert(now, at);
                     }
                 }
                 // else: unchanged on both sides and last evaluation
@@ -1042,6 +1114,20 @@ impl AdaptiveBroadcast {
 }
 
 impl AdaptiveBroadcast {
+    /// Swaps the suspicion schedule for the exact (bucket-disabled)
+    /// queue, re-registering every current peer deadline. Equivalence
+    /// tests run one scenario per mode and compare the reports.
+    #[cfg(test)]
+    fn use_exact_deadlines(&mut self) {
+        let mut exact = DeadlineQueue::exact();
+        for (&p, r) in &self.peers {
+            if p != self.id {
+                exact.insert(SimTime::ZERO, r.deadline);
+            }
+        }
+        self.deadlines = exact;
+    }
+
     /// (Re)arms [`Self::SUSPICION`] at the earliest scheduled scan
     /// time. Superseded times fire scans that find nothing due — a
     /// no-op — so arming never needs to prune.
@@ -1137,7 +1223,14 @@ impl AdaptiveBroadcast {
 
         self.deadlines.expire(now);
         for (&p, record) in self.peers.iter_mut() {
-            if p == self.id || now < record.deadline {
+            if p == self.id {
+                continue;
+            }
+            if now < record.deadline {
+                // A bucketed sentinel may have just been consumed up to
+                // one bucket before this deadline; re-register it (now
+                // near, hence exact) so it still fires a scan on time.
+                self.deadlines.rearm(now, record.deadline);
                 continue;
             }
             if is_neighbor.contains(&p) {
@@ -1161,7 +1254,7 @@ impl AdaptiveBroadcast {
             let at = now + record.timeout;
             if record.deadline != at {
                 record.deadline = at;
-                self.deadlines.insert(at);
+                self.deadlines.insert(now, at);
             }
         }
 
@@ -1274,7 +1367,7 @@ impl AdaptiveBroadcast {
             let at = now + record.timeout;
             if record.deadline != at {
                 record.deadline = at;
-                self.deadlines.insert(at);
+                self.deadlines.insert(now, at);
             }
         }
         self.next_self_tick = now + self.params.self_tick_period.max(1);
@@ -1933,9 +2026,10 @@ mod tests {
     #[test]
     fn deadline_schedule_is_insert_only_and_self_expiring() {
         let mut queue = DeadlineQueue::default();
-        queue.insert(SimTime::new(5));
-        queue.insert(SimTime::new(5)); // dedup
-        queue.insert(SimTime::new(10));
+        let now = SimTime::ZERO;
+        queue.insert(now, SimTime::new(5));
+        queue.insert(now, SimTime::new(5)); // dedup
+        queue.insert(now, SimTime::new(10));
         assert_eq!(queue.earliest(), Some(SimTime::new(5)));
         // Expiring at 7 consumes the (possibly superseded) time 5 and
         // reports that a scan is warranted; 10 remains scheduled.
@@ -1944,5 +2038,129 @@ mod tests {
         assert_eq!(queue.earliest(), Some(SimTime::new(10)));
         assert!(queue.expire(SimTime::new(10)));
         assert_eq!(queue.earliest(), None);
+    }
+
+    #[test]
+    fn far_deadlines_bucket_and_near_deadlines_stay_exact() {
+        let q = DeadlineQueue::default();
+        // Inside the near window: exact.
+        assert_eq!(
+            q.sentinel(SimTime::ZERO, SimTime::new(100)),
+            SimTime::new(100)
+        );
+        // Beyond it: rounded down to the bucket start, never past now.
+        assert_eq!(
+            q.sentinel(SimTime::ZERO, SimTime::new(1000)),
+            SimTime::new(960)
+        );
+        // The same deadline assigned close to its time stays exact.
+        assert_eq!(
+            q.sentinel(SimTime::new(900), SimTime::new(1000)),
+            SimTime::new(1000)
+        );
+        // Exact mode never buckets.
+        let e = DeadlineQueue::exact();
+        assert_eq!(
+            e.sentinel(SimTime::ZERO, SimTime::new(1000)),
+            SimTime::new(1000)
+        );
+    }
+
+    /// Drives the full sentinel protocol (insert on assignment, expire +
+    /// rearm on scan, re-assign on fire) over a synthetic peer set and
+    /// records when each peer's deadline is processed.
+    fn drive_deadline_protocol(mut q: DeadlineQueue, horizon: u64) -> Vec<(usize, u64)> {
+        let timeouts: [u64; 5] = [7, 64, 150, 333, 1000];
+        let mut deadline: Vec<u64> = timeouts.iter().map(|&t| 1 + t).collect();
+        for &d in &deadline {
+            q.insert(SimTime::ZERO, SimTime::new(d));
+        }
+        let mut fired = Vec::new();
+        while let Some(at) = q.earliest() {
+            if at.ticks() > horizon {
+                break;
+            }
+            let now = at;
+            q.expire(now);
+            for (i, d) in deadline.iter_mut().enumerate() {
+                if now.ticks() < *d {
+                    q.rearm(now, SimTime::new(*d));
+                    continue;
+                }
+                fired.push((i, now.ticks()));
+                *d = now.ticks() + timeouts[i];
+                q.insert(now, SimTime::new(*d));
+            }
+        }
+        fired
+    }
+
+    /// The bucketed queue processes every deadline at exactly the tick
+    /// the exact queue does — bucket sentinels only add no-op scans.
+    #[test]
+    fn bucketed_queue_fires_every_deadline_at_its_exact_time() {
+        let exact = drive_deadline_protocol(DeadlineQueue::exact(), 5_000);
+        let bucketed = drive_deadline_protocol(DeadlineQueue::default(), 5_000);
+        assert!(!exact.is_empty());
+        assert_eq!(exact, bucketed);
+    }
+
+    /// Full-protocol equivalence: a lossy, crashy adaptive scenario with
+    /// timeouts far beyond the near window produces a bit-identical
+    /// report whether the suspicion schedule buckets or not.
+    #[test]
+    fn bucketed_deadlines_leave_scenario_reports_bit_identical() {
+        use crate::scenario::{FaultAction, FaultScript, Scenario, Workload};
+        use crate::Payload;
+        use diffuse_graph::generators;
+        use diffuse_model::{Configuration, Probability};
+
+        let run = |exact: bool| {
+            let topology = generators::ring(5).unwrap();
+            let config = Configuration::uniform(
+                &topology,
+                Probability::ZERO,
+                Probability::new(0.2).unwrap(),
+            );
+            let scenario = Scenario::builder(topology.clone())
+                .config(config)
+                .seed(11)
+                .workload(Workload::new().broadcast(
+                    SimTime::new(500),
+                    p(0),
+                    Payload::from("probe"),
+                ))
+                .faults(FaultScript::new().at(
+                    SimTime::new(200),
+                    FaultAction::Crash {
+                        process: p(3),
+                        down_ticks: 180,
+                    },
+                ))
+                .build();
+            let all: Vec<ProcessId> = (0..5).map(p).collect();
+            let params = AdaptiveParams {
+                // δ = 150 pushes every deadline past NEAR (128), so the
+                // bucketed run really exercises bucket sentinels.
+                heartbeat_period: 150,
+                self_tick_period: 150,
+                ..AdaptiveParams::default()
+            };
+            scenario.run_sim(1_200, |id| {
+                let neighbors = topology.neighbors(id).collect();
+                let mut node = AdaptiveBroadcast::new(id, all.clone(), neighbors, params.clone());
+                if exact {
+                    node.use_exact_deadlines();
+                }
+                node
+            })
+        };
+
+        let bucketed = run(false);
+        let exact = run(true);
+        assert_eq!(bucketed, exact);
+        assert_eq!(format!("{bucketed:?}"), format!("{exact:?}"));
+        // The scenario is non-trivial: something was delivered.
+        assert!(bucketed.delivered.values().any(|&n| n > 0), "{bucketed:?}");
     }
 }

@@ -91,7 +91,7 @@ pub use protocol::{
 pub use reach::{link_success, pow_det, reach, reach_recursive, MessageVector};
 pub use scenario::{
     FaultAction, FaultScript, FaultSink, Scenario, ScenarioBuilder, ScenarioReport, ScenarioSim,
-    ScriptSchedule, Workload, WorkloadEvent,
+    ScriptSchedule, ShardedScenarioSim, Workload, WorkloadEvent,
 };
 pub use tree::{ReliabilityTree, SharedWireTree, WireTree};
 pub use waterfill::{optimize_budget_waterfill, optimize_waterfill};

@@ -45,7 +45,7 @@
 use std::collections::BTreeMap;
 
 use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
-use diffuse_sim::{CrashModel, Metrics, SimOptions, SimTime, Simulation};
+use diffuse_sim::{CrashModel, Metrics, ShardedKernel, SimOptions, SimTime, Simulation};
 
 use crate::protocol::{Payload, Protocol, ProtocolActor};
 
@@ -188,6 +188,16 @@ impl<A: diffuse_sim::Actor> FaultSink for Simulation<A> {
     }
 }
 
+impl<A: diffuse_sim::Actor> FaultSink for ShardedKernel<A> {
+    fn set_loss(&mut self, link: LinkId, loss: Probability) {
+        ShardedKernel::set_loss(self, link, loss);
+    }
+
+    fn force_down(&mut self, process: ProcessId, down_ticks: u64) {
+        ShardedKernel::force_down(self, process, down_ticks);
+    }
+}
+
 impl FaultAction {
     /// Applies this action against a substrate's [`FaultSink`].
     ///
@@ -322,6 +332,31 @@ impl Scenario {
         make: impl FnMut(ProcessId) -> P,
     ) -> ScenarioReport {
         let mut run = self.sim(make);
+        run.run_ticks(ticks);
+        run.report()
+    }
+
+    /// Instantiates the scenario on the sharded executor with `workers`
+    /// worker threads (see [`ShardedKernel`] for the determinism
+    /// contract — self-reproducible per `(seed, workers)`, identical to
+    /// [`Scenario::sim`] when `workers == 1`).
+    pub fn sim_sharded<P: Protocol + Send>(
+        &self,
+        workers: usize,
+        make: impl FnMut(ProcessId) -> P,
+    ) -> ShardedScenarioSim<P> {
+        ShardedScenarioSim::new(self, workers, make)
+    }
+
+    /// Convenience: instantiate on the sharded executor, run `ticks`,
+    /// report.
+    pub fn run_sim_sharded<P: Protocol + Send>(
+        &self,
+        ticks: u64,
+        workers: usize,
+        make: impl FnMut(ProcessId) -> P,
+    ) -> ScenarioReport {
+        let mut run = self.sim_sharded(workers, make);
         run.run_ticks(ticks);
         run.report()
     }
@@ -697,6 +732,139 @@ impl<P: Protocol> ScenarioSim<P> {
             failed_broadcasts: self.script.failed_broadcasts() + self.script.pending(),
             skipped_faults: 0,
             metrics: Some(self.sim.metrics().clone()),
+        }
+    }
+}
+
+/// A scenario instantiated on the sharded executor: the same
+/// [`ScriptSchedule`] semantics as [`ScenarioSim`], driving a
+/// [`ShardedKernel`] instead of the spec kernel.
+///
+/// Script events — faults and broadcasts — are applied by the
+/// coordinator *between* run segments, while no worker thread is live;
+/// every shard therefore observes each fault at the same tick barrier.
+/// Deferred-broadcast retries, fault-before-workload ordering at equal
+/// times, and pending-counts-as-failed reporting all reuse
+/// [`ScriptSchedule`] unchanged, so the sharded driver cannot drift
+/// from the kernel driver's script semantics.
+pub struct ShardedScenarioSim<P: Protocol + Send> {
+    sim: ShardedKernel<ProtocolActor<P>>,
+    topology: Topology,
+    base_config: Configuration,
+    script: ScriptSchedule,
+}
+
+impl<P: Protocol + Send> std::fmt::Debug for ShardedScenarioSim<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedScenarioSim")
+            .field("now", &self.sim.now())
+            .field("workers", &self.sim.workers())
+            .field("script", &self.script)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Protocol + Send> ShardedScenarioSim<P> {
+    /// Instantiates `scenario` on the sharded executor with `workers`
+    /// worker threads (clamped to `1..=process count`).
+    pub fn new(scenario: &Scenario, workers: usize, mut make: impl FnMut(ProcessId) -> P) -> Self {
+        let sim = ShardedKernel::new(
+            scenario.topology.clone(),
+            scenario.config.clone(),
+            |id| ProtocolActor::new(make(id)),
+            scenario.sim_options(),
+            workers,
+        );
+        ShardedScenarioSim {
+            sim,
+            topology: scenario.topology.clone(),
+            base_config: scenario.config.clone(),
+            script: ScriptSchedule::new(scenario),
+        }
+    }
+
+    /// The underlying sharded executor (metrics, node access, time).
+    pub fn sim(&self) -> &ShardedKernel<ProtocolActor<P>> {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying executor (extra fault
+    /// injection, manual commands between segments).
+    pub fn sim_mut(&mut self) -> &mut ShardedKernel<ProtocolActor<P>> {
+        &mut self.sim
+    }
+
+    /// Scripted broadcasts that failed non-retryably at issue time.
+    pub fn failed_broadcasts(&self) -> u64 {
+        self.script.failed_broadcasts()
+    }
+
+    /// Scripted broadcasts currently deferred, awaiting their next
+    /// per-tick retry.
+    pub fn pending_broadcasts(&self) -> u64 {
+        self.script.pending()
+    }
+
+    /// Applies every script event due at or before the current time —
+    /// faults before broadcasts at equal times (the same boundary as
+    /// [`ScenarioSim`]). Runs on the coordinator between segments.
+    fn apply_due_events(&mut self) {
+        let now = self.sim.now();
+        for action in self.script.due_faults(now) {
+            action.apply(&self.topology, &self.base_config, &mut self.sim);
+        }
+        for event in self.script.due_broadcasts(now) {
+            self.issue_broadcast(event);
+        }
+    }
+
+    /// Issues one scripted broadcast; retryable outcomes defer to the
+    /// next tick exactly as in [`ScenarioSim::run_ticks`]'s driver.
+    fn issue_broadcast(&mut self, event: WorkloadEvent) {
+        let now = self.sim.now();
+        let mut outcome = Ok(());
+        let issued = self.sim.command(event.origin, |actor, ctx| {
+            outcome = actor.broadcast_now(ctx, event.payload.clone()).map(|_| ());
+        });
+        let retry = !issued || matches!(outcome, Err(crate::CoreError::KnowledgeIncomplete));
+        if retry {
+            self.script.defer(now + 1, event);
+        } else if outcome.is_err() {
+            self.script.record_failed();
+        }
+    }
+
+    /// Advances `n` ticks, applying script events at their scheduled
+    /// times (at tick barriers — no worker thread is live while a
+    /// script event applies). Idle stretches between events
+    /// fast-forward when every shard agrees nothing is due.
+    pub fn run_ticks(&mut self, n: u64) {
+        let end = self.sim.now() + n;
+        loop {
+            let now = self.sim.now();
+            if now >= end {
+                break;
+            }
+            self.apply_due_events();
+            let target = self.script.next_time().filter(|&t| t <= end).unwrap_or(end);
+            self.sim.run_ticks(target - self.sim.now());
+        }
+    }
+
+    /// The run's outcome so far, field-compatible with
+    /// [`ScenarioSim::report`]: per-process deliveries in id order,
+    /// pending broadcasts counted as failed, shard metrics merged in
+    /// shard order.
+    pub fn report(&self) -> ScenarioReport {
+        ScenarioReport {
+            delivered: self
+                .sim
+                .nodes()
+                .map(|(id, actor)| (id, actor.protocol().delivered().len() as u64))
+                .collect(),
+            failed_broadcasts: self.script.failed_broadcasts() + self.script.pending(),
+            skipped_faults: 0,
+            metrics: Some(self.sim.metrics()),
         }
     }
 }

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--quick] [--csv] [--runs N] [--graphs N] [--seed N]
+//! repro <experiment> [--quick] [--csv] [--runs N] [--graphs N] [--seed N] [--workers N]
 //!
 //! experiments: fig1 table1 fig4a fig4b fig5a fig5b fig6 hetero refine scenario scale all
 //!
@@ -32,7 +32,7 @@ fn print_table(table: &Table, csv: bool) {
 
 const USAGE: &str =
     "usage: repro <fig1|table1|fig4a|fig4b|fig5a|fig5b|fig6|hetero|refine|scenario|scale|all> \
-     [--quick] [--csv] [--runs N] [--graphs N] [--seed N]\n       \
+     [--quick] [--csv] [--runs N] [--graphs N] [--seed N] [--workers N]\n       \
      repro lint   (determinism lint over the workspace; alias for `diffuse-lint check`)\n       \
      repro soak [--quick] [--nodes N] [--ticks N] [--seed N]   \
      (multi-process UDP soak under loss spikes, partition and crash+restart)";
@@ -211,6 +211,14 @@ fn main() -> ExitCode {
                 Ok(v) => effort.seed = v,
                 Err(code) => return code,
             },
+            "--workers" => match parse("--workers") {
+                Ok(v) if v >= 1 => effort.workers = vec![v as usize],
+                Ok(v) => {
+                    eprintln!("repro: --workers must be at least 1, got {v}");
+                    return ExitCode::FAILURE;
+                }
+                Err(code) => return code,
+            },
             other => {
                 eprintln!("repro: unrecognized option `{other}`");
                 return usage();
@@ -232,7 +240,7 @@ fn main() -> ExitCode {
         "hetero" => vec![hetero::run(&effort)],
         "refine" => vec![refine::run()],
         "scenario" => scenarios::run(&effort),
-        "scale" => vec![scale::run(&effort)],
+        "scale" => vec![scale::run(&effort), scale::run_sharded(&effort)],
         "all" => vec![
             fig1::run(),
             table1::run(),

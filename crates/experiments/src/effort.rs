@@ -24,6 +24,9 @@ pub struct Effort {
     pub sizes: Vec<u32>,
     /// Worker threads for independent sweep points.
     pub threads: usize,
+    /// Shard worker counts the sharded-executor sweep compares
+    /// (`repro scale`); `--workers N` pins a single count.
+    pub workers: Vec<usize>,
     /// Base RNG seed.
     pub seed: u64,
     /// `true` for the subsampled smoke preset (experiments may shrink
@@ -45,6 +48,7 @@ impl Effort {
             threads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(2),
+            workers: vec![1, 4, 8],
             seed: 0xD1FF_0001,
             quick: false,
         }
@@ -60,6 +64,7 @@ impl Effort {
             check_every: 10,
             connectivities: vec![2, 8, 14, 20],
             sizes: vec![100, 160, 220],
+            workers: vec![1, 4],
             quick: true,
             ..Effort::standard()
         }

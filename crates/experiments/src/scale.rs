@@ -28,13 +28,16 @@
 
 use std::time::Instant;
 
+use diffuse_core::scenario::{Scenario, ScenarioReport, Workload};
 use diffuse_core::{
-    Actions, AdaptiveBroadcast, AdaptiveParams, Event, HeartbeatView, LinkBlame, Message, Protocol,
-    ReconcileMode, ViewMode,
+    Actions, AdaptiveBroadcast, AdaptiveParams, Event, HeartbeatView, LinkBlame, Message, Payload,
+    Protocol, ReconcileMode, ReferenceGossip, ViewMode,
 };
 use diffuse_graph::generators;
 use diffuse_model::ProcessId;
 use diffuse_sim::SimTime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::table::{fmt, Table};
 use crate::Effort;
@@ -275,6 +278,144 @@ pub fn run(effort: &Effort) -> Table {
     table
 }
 
+/// One sharded-sweep measurement.
+struct ShardPoint {
+    n: u32,
+    links: usize,
+    workers: usize,
+    ms: f64,
+    reach: f64,
+    speedup: f64,
+}
+
+/// Builds the sharded-sweep scenario for `n` nodes: a connected sparse
+/// Erdős–Rényi supergraph (`p = 2·ln n / n` keeps the diameter
+/// logarithmic, so the flood reaches every shard within a few ticks and
+/// no worker sits idle) carrying a handful of staggered broadcasts.
+/// Loss-free by construction: no RNG is consumed during the run, so
+/// every worker count must produce the identical report.
+fn sharded_scenario(n: u32, broadcasts: u32, seed: u64) -> Scenario {
+    let p = (2.0 * f64::from(n).ln() / f64::from(n)).min(0.5);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topology = generators::erdos_renyi_connected_fast(n, p, 50, &mut rng)
+        .expect("p = 2 ln n / n is well above the connectivity threshold");
+    let mut workload = Workload::new();
+    for i in 0..broadcasts {
+        workload = workload.broadcast(
+            SimTime::new(u64::from(i) * 2),
+            ProcessId::new((i.wrapping_mul(5003)) % n),
+            Payload::from(format!("scale-{i}").into_bytes()),
+        );
+    }
+    Scenario::builder(topology)
+        .seed(seed ^ 0x005C_A1ED)
+        .link_delay(1)
+        .workload(workload)
+        .build()
+}
+
+/// Steps every node keeps forwarding a fresh message: comfortably above
+/// the supergraph's logarithmic diameter, so the flood completes.
+const SHARD_GOSSIP_STEPS: u32 = 8;
+
+/// Runs one sharded sweep and returns (wall-clock ms, the report).
+#[allow(clippy::disallowed_methods)] // wall throughput is the measurement
+fn measure_sharded(scenario: &Scenario, horizon: u64, workers: usize) -> (f64, ScenarioReport) {
+    let topology = &scenario.topology;
+    // lint:allow(no-wall-clock): ms-per-sweep wall throughput is the quantity this experiment reports.
+    let started = Instant::now();
+    let report = scenario.run_sim_sharded(horizon, workers, |id| {
+        ReferenceGossip::new(id, topology.neighbors(id).collect(), SHARD_GOSSIP_STEPS)
+    });
+    (started.elapsed().as_secs_f64() * 1e3, report)
+}
+
+/// Runs the sharded-executor sweep: the same gossip flood executed at
+/// each worker count in [`Effort::workers`], on sparse random graphs up
+/// to 100 000 nodes (`--quick` subsamples to 300/1200).
+///
+/// The scenarios are loss-free, so no RNG is consumed and every worker
+/// count must produce the identical [`ScenarioReport`] — the sweep
+/// asserts that equality on every row before timing is reported. The
+/// speedup column is relative to the first worker count in the list
+/// (the default puts `1` first, i.e. the kernel-equivalent path). On a
+/// host without parallel hardware it sits at or below 1.0x: barrier
+/// lockstep is pure overhead when the workers time-slice one core.
+///
+/// # Panics
+///
+/// Panics if two worker counts disagree on the report — that would be a
+/// determinism bug in the sharded executor, not a measurement artifact.
+pub fn run_sharded(effort: &Effort) -> Table {
+    let sizes: &[u32] = if effort.quick {
+        &[300, 1_200]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let mut points = Vec::new();
+    for &n in sizes {
+        // Larger graphs carry fewer concurrent broadcasts so the sweep
+        // stays seconds per row; the per-broadcast traffic is already
+        // O(n·degree) = O(n·ln n).
+        let broadcasts = if n >= 100_000 {
+            1
+        } else if n >= 10_000 {
+            2
+        } else {
+            4
+        };
+        let scenario = sharded_scenario(n, broadcasts, effort.seed ^ u64::from(n));
+        let links = scenario.topology.link_count();
+        let horizon = 40;
+        let mut baseline: Option<(f64, ScenarioReport)> = None;
+        for &workers in &effort.workers {
+            let (ms, report) = measure_sharded(&scenario, horizon, workers);
+            let reach =
+                report.delivered.values().filter(|&&d| d > 0).count() as f64 / f64::from(n.max(1));
+            let speedup = match &baseline {
+                Some((base_ms, base_report)) => {
+                    assert_eq!(
+                        base_report, &report,
+                        "loss-free sharded runs must agree at any worker count \
+                         (n = {n}, workers = {workers})"
+                    );
+                    base_ms / ms
+                }
+                None => {
+                    baseline = Some((ms, report));
+                    1.0
+                }
+            };
+            points.push(ShardPoint {
+                n,
+                links,
+                workers,
+                ms,
+                reach,
+                speedup,
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        "Sharded executor sweep: gossip flood on G(n, 2 ln n / n), \
+         report-identical at every worker count"
+            .to_string(),
+        &["n", "links", "workers", "ms/run", "reach", "speedup"],
+    );
+    for point in &points {
+        table.push_row(vec![
+            point.n.to_string(),
+            point.links.to_string(),
+            point.workers.to_string(),
+            fmt(point.ms),
+            format!("{:.3}", point.reach),
+            format!("{:.2}x", point.speedup),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +432,19 @@ mod tests {
         let text = table.to_aligned();
         assert!(text.contains("converged"));
         assert!(text.contains("delta"));
+    }
+
+    /// The sharded sweep covers every (size, worker-count) pair and
+    /// self-checks report equality across worker counts internally.
+    #[test]
+    fn sharded_table_covers_sizes_and_worker_counts() {
+        let effort = Effort::quick();
+        let table = run_sharded(&effort);
+        // 2 quick sizes × 2 quick worker counts.
+        assert_eq!(table.row_count(), 4);
+        let text = table.to_aligned();
+        assert!(text.contains("1200"));
+        assert!(text.contains("workers"));
     }
 
     /// The converged regime's delta rounds must beat the full-view

@@ -257,6 +257,75 @@ pub fn erdos_renyi_connected<R: Rng + ?Sized>(
     Err(GraphError::ConnectivityUnreachable)
 }
 
+/// A connected Erdős–Rényi random graph `G(n, p)`, sampled in
+/// `O(n + m)` expected time.
+///
+/// Uses the Batagelj–Brandes geometric-skip construction: instead of
+/// one Bernoulli draw per candidate pair (the `O(n²)` loop of
+/// [`erdos_renyi_connected`]), it draws the *gap* to the next present
+/// edge directly from the geometric distribution, touching only pairs
+/// that become links. At the sparse densities the scale sweeps use
+/// (`p ~ c·ln n / n`), this makes 10⁴–10⁵-node graphs cheap to sample.
+///
+/// The edge distribution matches `G(n, p)` exactly, but the sampler
+/// consumes the RNG differently from the naive loop, so for one seed
+/// the two functions return *different* (equally distributed) graphs.
+/// Like the naive version it resamples until connected, up to
+/// `attempts` tries.
+///
+/// # Errors
+///
+/// * [`GraphError::TooFewProcesses`] for `n < 2`;
+/// * [`GraphError::ConnectivityUnreachable`] if no connected sample was
+///   found within the budget (choose a larger `edge_probability`).
+pub fn erdos_renyi_connected_fast<R: Rng + ?Sized>(
+    n: u32,
+    edge_probability: f64,
+    attempts: u32,
+    rng: &mut R,
+) -> Result<Topology, GraphError> {
+    if n < 2 {
+        return Err(GraphError::TooFewProcesses { needed: 2, got: n });
+    }
+    let p = edge_probability.clamp(0.0, 1.0);
+    if p <= 0.0 {
+        // No edges can appear and n >= 2: never connected. Bail before
+        // the skip formula divides by ln(1 - 0) = 0.
+        return Err(GraphError::ConnectivityUnreachable);
+    }
+    let log_q = (1.0 - p).ln(); // -inf when p == 1: skip collapses to 0
+    for _ in 0..attempts.max(1) {
+        let mut t = Topology::with_processes(n);
+        // Enumerate the pairs (w, v) with w < v in column order; `skip`
+        // drawn geometric(p) jumps straight to the next present edge.
+        let mut v: u64 = 1;
+        let mut w: i64 = -1;
+        while v < u64::from(n) {
+            let r: f64 = rng.gen();
+            let skip = if log_q == f64::NEG_INFINITY {
+                0.0
+            } else {
+                ((1.0 - r).ln() / log_q).floor()
+            };
+            // The skip is capped at the pairs remaining in the current
+            // column walk; anything larger ends the sample anyway.
+            w += 1 + skip.min(1e18) as i64;
+            while w >= v as i64 && v < u64::from(n) {
+                w -= v as i64;
+                v += 1;
+            }
+            if v < u64::from(n) {
+                t.add_link(ProcessId::new(w as u32), ProcessId::new(v as u32))
+                    .expect("w < v by construction");
+            }
+        }
+        if t.is_connected() {
+            return Ok(t);
+        }
+    }
+    Err(GraphError::ConnectivityUnreachable)
+}
+
 /// A two-zone "LAN/WAN" topology for the heterogeneous-reliability
 /// extension experiment: two complete clusters of `cluster_size` processes
 /// bridged by `bridges` parallel inter-cluster links.
@@ -424,6 +493,51 @@ mod tests {
             erdos_renyi_connected(10, 0.0, 3, &mut rng),
             Err(GraphError::ConnectivityUnreachable)
         ));
+    }
+
+    #[test]
+    fn erdos_renyi_fast_is_deterministic_per_seed() {
+        let a = erdos_renyi_connected_fast(200, 0.05, 50, &mut StdRng::seed_from_u64(7)).unwrap();
+        let b = erdos_renyi_connected_fast(200, 0.05, 50, &mut StdRng::seed_from_u64(7)).unwrap();
+        let c = erdos_renyi_connected_fast(200, 0.05, 50, &mut StdRng::seed_from_u64(8)).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should (almost surely) differ");
+        assert!(a.is_connected());
+        assert_eq!(a.process_count(), 200);
+    }
+
+    #[test]
+    fn erdos_renyi_fast_degree_statistics_match_gnp() {
+        // E[mean degree] = (n - 1) p = 9.99; over 2000 * 999 pair draws
+        // the sample mean concentrates tightly. A generous ±15% band
+        // keeps the test deterministic-robust across seed choices.
+        let n = 2_000u32;
+        let p = 0.005;
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = erdos_renyi_connected_fast(n, p, 50, &mut rng).unwrap();
+        let mean = 2.0 * g.link_count() as f64 / f64::from(n);
+        let expected = f64::from(n - 1) * p;
+        assert!(
+            (mean - expected).abs() < 0.15 * expected,
+            "mean degree {mean:.2} outside 15% of {expected:.2}"
+        );
+        // No self-loops, no duplicate pairs (Topology enforces both, so
+        // reaching here with the right count suffices), and every
+        // endpoint is in range.
+        assert!(g.links().all(|l| l.lo().index() < n && l.hi().index() < n));
+    }
+
+    #[test]
+    fn erdos_renyi_fast_handles_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(matches!(
+            erdos_renyi_connected_fast(10, 0.0, 3, &mut rng),
+            Err(GraphError::ConnectivityUnreachable)
+        ));
+        // p = 1 is the complete graph: C(12, 2) links.
+        let g = erdos_renyi_connected_fast(12, 1.0, 1, &mut rng).unwrap();
+        assert_eq!(g.link_count(), 66);
+        assert!(erdos_renyi_connected_fast(1, 0.5, 1, &mut rng).is_err());
     }
 
     #[test]

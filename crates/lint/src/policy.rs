@@ -1,13 +1,19 @@
 //! The per-crate determinism policy.
 //!
-//! Two classes of code exist in this workspace:
+//! Three classes of code exist in this workspace:
 //!
 //! * **Deterministic** — the algorithm, estimator, and simulation
 //!   crates. Their outputs must be a pure function of their inputs
 //!   (topology, scenario, seed): senders and receivers re-derive the
 //!   *same* broadcast plans, and the virtual-time fabric replays the
 //!   kernel's RNG stream draw-for-draw. Iteration-order hazards
-//!   (`HashMap`/`HashSet`) are banned here outright.
+//!   (`HashMap`/`HashSet`) are banned here outright, and so is
+//!   threading — one RNG stream means one thread of execution.
+//! * **RelaxedDeterminism** — the sharded executor modules. They are
+//!   *reproducible by construction* (per-shard RNG streams derived from
+//!   the run seed, barrier-synchronized lockstep), so they may spawn
+//!   scoped threads; the wall-clock and unordered-iteration bans still
+//!   apply in full.
 //! * **WallAware** — the deployment substrate, experiment drivers and
 //!   benches. They may measure wall time through the sanctioned
 //!   `crates/net/src/clock.rs` abstraction, but every *direct* wall
@@ -20,9 +26,13 @@
 /// Which determinism class a source file belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrateClass {
-    /// Output must be a pure function of inputs; unordered iteration is
-    /// banned.
+    /// Output must be a pure function of inputs; unordered iteration
+    /// and threading are banned.
     Deterministic,
+    /// Deterministic by construction despite threads: per-shard seeded
+    /// RNG streams and barrier lockstep. Scoped threads are allowed;
+    /// wall clocks and unordered iteration stay banned.
+    RelaxedDeterminism,
     /// May touch wall time via the clock abstraction; deterministic
     /// rules still apply but wall-time suppressions are expected.
     WallAware,
@@ -49,6 +59,12 @@ const DETERMINISTIC: &[&str] = &[
 /// are wall-aware *by design* — but their randomness still comes from
 /// seeded RNGs, and every direct wall call outside `clock.rs` still
 /// needs a reasoned suppression.
+/// The relaxed-determinism files: the sharded executor, reproducible by
+/// construction (per-shard seeded RNG streams, barrier lockstep) yet
+/// necessarily threaded. Listed as exact files, not a prefix — adding a
+/// module here is a deliberate policy decision.
+const RELAXED_DETERMINISM: &[&str] = &["crates/sim/src/shard.rs", "crates/sim/src/shard_rng.rs"];
+
 const WALL_AWARE: &[&str] = &[
     "crates/net/",
     "crates/experiments/",
@@ -69,6 +85,11 @@ pub fn classify(path: &str) -> Option<CrateClass> {
     }
     if path.starts_with("shims/") || path.starts_with("target/") {
         return None;
+    }
+    // Exact-file overrides come before the prefix tables: the sharded
+    // executor lives inside the deterministic `crates/sim/` prefix.
+    if RELAXED_DETERMINISM.contains(&path) {
+        return Some(CrateClass::RelaxedDeterminism);
     }
     if DETERMINISTIC.iter().any(|p| path.starts_with(p)) {
         return Some(CrateClass::Deterministic);
@@ -126,6 +147,19 @@ mod tests {
         assert_eq!(
             classify("tests/net_integration.rs"),
             Some(CrateClass::WallAware)
+        );
+        // The sharded executor is relaxed-determinism: threaded, but
+        // reproducible by construction. Its exact files only — the rest
+        // of the sim crate stays strict.
+        for module in ["shard.rs", "shard_rng.rs"] {
+            assert_eq!(
+                classify(&format!("crates/sim/src/{module}")),
+                Some(CrateClass::RelaxedDeterminism)
+            );
+        }
+        assert_eq!(
+            classify("crates/sim/src/kernel.rs"),
+            Some(CrateClass::Deterministic)
         );
         assert_eq!(classify("shims/rand/src/lib.rs"), None);
         assert_eq!(classify("crates/lint/tests/fixtures/det-pow/bad.rs"), None);

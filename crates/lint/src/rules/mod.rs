@@ -14,6 +14,7 @@ pub const RULES: &[&str] = &[
     "no-wall-clock",
     "no-ambient-rng",
     "no-unordered-iteration",
+    "no-threading",
     "det-pow",
     "codec-tag-coverage",
     "version-bump-audit",
@@ -154,7 +155,7 @@ fn line_rules(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             }
         }
 
-        if file.class == CrateClass::Deterministic {
+        if file.class != CrateClass::WallAware {
             for ty in ["HashMap", "HashSet"] {
                 if contains_token(code, ty) {
                     out.push(Diagnostic::new(
@@ -162,6 +163,23 @@ fn line_rules(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                         at,
                         "no-unordered-iteration",
                         format!("`{ty}` in a deterministic crate; iteration order breaks seeded-stream reproducibility — use the BTree equivalent"),
+                    ));
+                }
+            }
+        }
+
+        // One RNG stream means one thread of execution: strictly
+        // deterministic code may not spawn threads. RelaxedDeterminism
+        // (the sharded executor: per-shard seeded streams, barrier
+        // lockstep) and WallAware code (experiment drivers) may.
+        if file.class == CrateClass::Deterministic {
+            for call in ["thread::spawn", "thread::scope"] {
+                if contains_token(code, call) {
+                    out.push(Diagnostic::new(
+                        &file.path,
+                        at,
+                        "no-threading",
+                        format!("`{call}` in a deterministic crate; threaded execution needs the relaxed-determinism policy class (see crates/lint/src/policy.rs)"),
                     ));
                 }
             }

@@ -1,0 +1,14 @@
+// lint-fixture: crates/core/src/parallel_merge.rs
+//! Threads in a strictly deterministic crate: one seeded RNG stream
+//! means one thread of execution.
+
+use std::thread;
+
+pub fn fan_out(xs: &[u32]) -> u32 {
+    let handle = thread::spawn(move || 1u32);
+    let scoped = thread::scope(|s| {
+        s.spawn(|| xs.len() as u32);
+        0u32
+    });
+    handle.join().unwrap_or(0) + scoped
+}

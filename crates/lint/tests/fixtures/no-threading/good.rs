@@ -1,0 +1,18 @@
+// lint-fixture: crates/sim/src/shard.rs
+//! The sharded executor is relaxed-determinism: scoped threads are
+//! allowed (per-shard seeded RNG streams, barrier lockstep), while the
+//! unordered-iteration and wall-clock bans still apply — so this file
+//! stays on BTree containers and never reads the wall clock.
+
+use std::collections::BTreeMap;
+use std::thread;
+
+pub fn run_shards(shards: &mut [BTreeMap<u32, u32>]) {
+    thread::scope(|scope| {
+        for shard in shards.iter_mut() {
+            scope.spawn(move || {
+                shard.insert(0, 0);
+            });
+        }
+    });
+}

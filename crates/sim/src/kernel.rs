@@ -93,6 +93,24 @@ pub struct Context<'a, M> {
     timer_ops: &'a mut Vec<(TimerId, Option<SimTime>)>,
 }
 
+impl<'a, M> Context<'a, M> {
+    /// Crate-internal constructor, shared with the sharded executor so
+    /// both kernels hand actors the exact same handler surface.
+    pub(crate) fn internal_new(
+        now: SimTime,
+        id: ProcessId,
+        outbox: &'a mut Vec<(ProcessId, M)>,
+        timer_ops: &'a mut Vec<(TimerId, Option<SimTime>)>,
+    ) -> Self {
+        Context {
+            now,
+            id,
+            outbox,
+            timer_ops,
+        }
+    }
+}
+
 impl<M> Context<'_, M> {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {

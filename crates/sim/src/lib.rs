@@ -26,9 +26,13 @@
 mod crash;
 mod kernel;
 mod metrics;
+mod shard;
+mod shard_rng;
 mod time;
 
 pub use crash::{CrashModel, CrashState};
 pub use kernel::{Actor, Context, SimMessage, SimOptions, Simulation};
 pub use metrics::Metrics;
+pub use shard::ShardedKernel;
+pub use shard_rng::shard_seed;
 pub use time::{SimTime, TimerId};

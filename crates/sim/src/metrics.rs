@@ -156,6 +156,31 @@ impl Metrics {
     pub fn reset(&mut self) {
         *self = Metrics::default();
     }
+
+    /// Adds every counter of `other` into `self`.
+    ///
+    /// Used by drivers that account wire events in separate `Metrics`
+    /// instances — one per shard of the sharded executor, one per node of
+    /// the UDP cluster — and report a single aggregate. Merging in any
+    /// order yields the same totals; merging shards in shard order keeps
+    /// even the map iteration deterministic by construction (`BTreeMap`s
+    /// sort their keys regardless).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.sent_total += other.sent_total;
+        self.delivered_total += other.delivered_total;
+        self.lost_in_link += other.lost_in_link;
+        self.dropped_receiver_down += other.dropped_receiver_down;
+        self.dropped_invalid += other.dropped_invalid;
+        for (&kind, &n) in &other.sent_by_kind {
+            *self.sent_by_kind.entry(kind).or_insert(0) += n;
+        }
+        for (&kind, &n) in &other.delivered_by_kind {
+            *self.delivered_by_kind.entry(kind).or_insert(0) += n;
+        }
+        for (&link, &n) in &other.sent_per_link {
+            *self.sent_per_link.entry(link).or_insert(0) += n;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +242,39 @@ mod tests {
         assert_eq!(m.messages_per_link_of_kind("heartbeat", 5), 2.0);
         assert_eq!(m.messages_per_link_of_kind("data", 5), 0.0);
         assert_eq!(m.messages_per_link(0), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = Metrics::new();
+        a.record_sent(link(0, 1), "data");
+        a.record_delivered("data");
+        a.record_lost();
+        let mut b = Metrics::new();
+        b.record_sent(link(0, 1), "data");
+        b.record_sent(link(1, 2), "ack");
+        b.record_dropped_receiver_down();
+        b.record_invalid();
+
+        let mut merged = Metrics::new();
+        merged.merge(&a);
+        merged.merge(&b);
+
+        let mut direct = Metrics::new();
+        direct.record_sent(link(0, 1), "data");
+        direct.record_delivered("data");
+        direct.record_lost();
+        direct.record_sent(link(0, 1), "data");
+        direct.record_sent(link(1, 2), "ack");
+        direct.record_dropped_receiver_down();
+        direct.record_invalid();
+        assert_eq!(merged, direct);
+
+        // Merge order does not change the aggregate.
+        let mut reversed = Metrics::new();
+        reversed.merge(&b);
+        reversed.merge(&a);
+        assert_eq!(merged, reversed);
     }
 
     #[test]
