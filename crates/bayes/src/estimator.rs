@@ -45,9 +45,26 @@ const LOG_SPACE_THRESHOLD: u32 = 32;
 ///     assert!((e.belief(u) - want).abs() < 1e-12);
 /// }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct BeliefEstimator {
     beliefs: Arc<Vec<f64>>,
+    /// Snapshot taken by the most recent [`decrease_reliability`] call and
+    /// consumed by a matching [`undo_decrease`]: `(factor, beliefs before the
+    /// decrease)`. Restoring the snapshot makes the undo *bit-exact* — a
+    /// numeric inverse cannot be, because each forward multiply rounds.
+    /// Cleared by every other mutation; excluded from equality and the wire.
+    ///
+    /// [`decrease_reliability`]: BeliefEstimator::decrease_reliability
+    /// [`undo_decrease`]: BeliefEstimator::undo_decrease
+    undo_checkpoint: Option<(u32, Arc<Vec<f64>>)>,
+}
+
+/// Equality is over the belief vector only: the undo checkpoint is
+/// bookkeeping (it never crosses the wire and never affects reads).
+impl PartialEq for BeliefEstimator {
+    fn eq(&self, other: &Self) -> bool {
+        self.beliefs == other.beliefs
+    }
 }
 
 impl BeliefEstimator {
@@ -61,6 +78,7 @@ impl BeliefEstimator {
         assert!(intervals > 0, "at least one probability interval required");
         BeliefEstimator {
             beliefs: Arc::new(vec![1.0 / intervals as f64; intervals]),
+            undo_checkpoint: None,
         }
     }
 
@@ -88,6 +106,7 @@ impl BeliefEstimator {
         let normalized = beliefs.into_iter().map(|b| b / sum).collect();
         Ok(BeliefEstimator {
             beliefs: Arc::new(normalized),
+            undo_checkpoint: None,
         })
     }
 
@@ -122,9 +141,17 @@ impl BeliefEstimator {
         &self.beliefs
     }
 
-    /// Applies `beliefs[u] *= weight(u)^factor` followed by normalization,
-    /// switching to log-space when `factor` is large.
-    fn apply(&mut self, factor: u32, weight: impl Fn(f64) -> f64) {
+    /// Applies `factor` repeated multiplicative updates `beliefs[u] *=
+    /// weight(u)` (or `/=` when `invert`), followed by a single
+    /// normalization, switching to log-space when `factor` is large.
+    ///
+    /// The linear path multiplies the weight into each belief `factor`
+    /// times *in place*, so one batched call is bit-for-bit identical to
+    /// the same `factor` multiplies written out as a loop followed by one
+    /// normalization (pinned by `prop_batched_update_is_looped_multiplies`).
+    /// A pre-folded `weight^factor` — `powi` uses binary exponentiation —
+    /// rounds differently for `factor >= 3`; do not "optimize" this back.
+    fn apply(&mut self, factor: u32, invert: bool, weight: impl Fn(f64) -> f64) {
         if factor == 0 {
             return;
         }
@@ -134,22 +161,34 @@ impl BeliefEstimator {
             let mut sum = 0.0;
             for (u, b) in beliefs.iter_mut().enumerate() {
                 let mid = (2 * u + 1) as f64 / (2 * u_count) as f64;
-                // lint:allow(det-pow): belief update computed once by this estimator and gossiped as-is; receivers adopt the bits, they never re-derive them.
-                *b *= weight(mid).powi(factor as i32);
+                let w = weight(mid);
+                if invert {
+                    // Division is the numeric inverse of the forward
+                    // multiply (closer than multiplying by `1/w`, which
+                    // rounds the reciprocal first).
+                    for _ in 0..factor {
+                        *b /= w;
+                    }
+                } else {
+                    for _ in 0..factor {
+                        *b *= w;
+                    }
+                }
                 sum += *b;
             }
-            if sum > 0.0 {
+            if sum > 0.0 && sum.is_finite() {
                 for b in beliefs.iter_mut() {
                     *b /= sum;
                 }
             } else {
-                // Degenerate case (all likelihoods zero): reset to uniform
-                // rather than propagate NaNs.
+                // Degenerate case (all likelihoods zero or overflowed):
+                // reset to uniform rather than propagate NaNs.
                 beliefs.fill(1.0 / u_count as f64);
             }
         } else {
-            // Log-space: b' ∝ exp(ln b + factor · ln w), stabilized by the
+            // Log-space: b' ∝ exp(ln b ± factor · ln w), stabilized by the
             // maximum exponent.
+            let sign = if invert { -1.0 } else { 1.0 };
             let mut logs: Vec<f64> = beliefs
                 .iter()
                 .enumerate()
@@ -157,7 +196,7 @@ impl BeliefEstimator {
                     let mid = (2 * u + 1) as f64 / (2 * u_count) as f64;
                     let lw = weight(mid).ln();
                     if b > 0.0 {
-                        b.ln() + factor as f64 * lw
+                        b.ln() + sign * factor as f64 * lw
                     } else {
                         f64::NEG_INFINITY
                     }
@@ -182,35 +221,67 @@ impl BeliefEstimator {
     /// Records `factor` failure observations (crash, loss, or suspicion of
     /// one): `P_B[u] ∝ P_B[u] · P_{F|B}[u]` per observation — Algorithm 5's
     /// `decreaseReliability`.
+    ///
+    /// Also snapshots the pre-decrease beliefs (a cheap `Arc` clone) so an
+    /// immediately following [`undo_decrease`] with the same `factor`
+    /// reverts this call *bit-exactly*.
+    ///
+    /// [`undo_decrease`]: BeliefEstimator::undo_decrease
     pub fn decrease_reliability(&mut self, factor: u32) {
-        self.apply(factor, |mid| mid);
+        if factor == 0 {
+            return;
+        }
+        let snapshot = Arc::clone(&self.beliefs);
+        self.apply(factor, false, |mid| mid);
+        self.undo_checkpoint = Some((factor, snapshot));
     }
 
     /// Records `factor` success observations (absence of failure):
     /// `P_B[u] ∝ P_B[u] · (1 - P_{F|B}[u])` per observation — Algorithm 5's
     /// `increaseReliability`.
     pub fn increase_reliability(&mut self, factor: u32) {
-        self.apply(factor, |mid| 1.0 - mid);
+        if factor == 0 {
+            return;
+        }
+        self.undo_checkpoint = None;
+        self.apply(factor, false, |mid| 1.0 - mid);
     }
 
-    /// Exactly reverts `factor` earlier [`decrease_reliability`] updates by
-    /// dividing out the likelihood and renormalizing.
+    /// Exactly reverts `factor` earlier [`decrease_reliability`] updates.
     ///
     /// Used when a suspicion turns out to have been unfounded (the sender
     /// never sent, so the link never lost anything): a Bayesian *increase*
-    /// does not cancel a decrease, but this inverse does, up to floating
-    /// point round-off. See DESIGN.md §4.5.
+    /// does not cancel a decrease, but this inverse does. When the undo
+    /// directly follows `decrease_reliability(factor)` with no intervening
+    /// mutation, the recorded checkpoint is restored and the revert is
+    /// *bit-for-bit exact*; otherwise the likelihood is divided back out
+    /// numerically (exact up to floating-point round-off). See DESIGN.md
+    /// §4.5.
     ///
     /// [`decrease_reliability`]: BeliefEstimator::decrease_reliability
     pub fn undo_decrease(&mut self, factor: u32) {
-        self.apply(factor, |mid| 1.0 / mid);
+        if factor == 0 {
+            return;
+        }
+        match self.undo_checkpoint.take() {
+            Some((recorded, snapshot)) if recorded == factor => {
+                self.beliefs = snapshot;
+            }
+            _ => self.apply(factor, true, |mid| mid),
+        }
     }
 
-    /// Exactly reverts `factor` earlier [`increase_reliability`] updates.
+    /// Reverts `factor` earlier [`increase_reliability`] updates by
+    /// dividing the success likelihood back out (numeric inverse, exact up
+    /// to floating-point round-off).
     ///
     /// [`increase_reliability`]: BeliefEstimator::increase_reliability
     pub fn undo_increase(&mut self, factor: u32) {
-        self.apply(factor, |mid| 1.0 / (1.0 - mid));
+        if factor == 0 {
+            return;
+        }
+        self.undo_checkpoint = None;
+        self.apply(factor, true, |mid| 1.0 - mid);
     }
 
     /// Records a single Bernoulli observation: a success increases
@@ -298,6 +369,7 @@ impl BeliefEstimator {
             refined.push(b / 2.0);
         }
         self.beliefs = Arc::new(refined);
+        self.undo_checkpoint = None;
     }
 
     /// Returns `true` when both estimators share the same belief storage
@@ -418,6 +490,58 @@ mod tests {
         for u in 0..50 {
             assert!((e.belief(u) - before.belief(u)).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn undo_decrease_bit_exactly_reverts_a_batched_decrease() {
+        // Satellite regression: `undo_decrease(k)` must revert one
+        // `decrease_reliability(k)` exactly — not approximately, and not
+        // just k unit decreases. The checkpoint restore makes it bitwise.
+        for k in [1u32, 2, 5, 16, 32, 60] {
+            let mut e = BeliefEstimator::new(100);
+            e.increase_reliability(10);
+            let before = e.clone();
+            e.decrease_reliability(k);
+            e.undo_decrease(k);
+            assert!(
+                e.bits_eq(&before),
+                "factor {k} did not round-trip bit-exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn undo_checkpoint_is_cleared_by_intervening_mutations() {
+        let mut e = BeliefEstimator::new(50);
+        e.decrease_reliability(3);
+        e.increase_reliability(1); // invalidates the snapshot
+        let mid = e.clone();
+        e.undo_decrease(3); // numeric fallback, not the stale snapshot
+        assert!((belief_sum(&e) - 1.0).abs() < 1e-9);
+        assert!(!e.bits_eq(&mid));
+    }
+
+    #[test]
+    fn mismatched_undo_factor_falls_back_to_the_numeric_inverse() {
+        let mut e = BeliefEstimator::new(40);
+        e.increase_reliability(4);
+        let before = e.clone();
+        e.decrease_reliability(4);
+        e.undo_decrease(2);
+        e.undo_decrease(2);
+        for u in 0..40 {
+            assert!((e.belief(u) - before.belief(u)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn refine_invalidates_the_undo_checkpoint() {
+        let mut e = BeliefEstimator::new(10);
+        e.decrease_reliability(2);
+        e.refine();
+        e.undo_decrease(2); // must not restore the 10-interval snapshot
+        assert_eq!(e.intervals(), 20);
+        assert!((belief_sum(&e) - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -559,7 +683,120 @@ mod tests {
         assert!(BeliefEstimator::from_beliefs(vec![0.0, 0.0]).is_err());
     }
 
+    /// The written-out "k looped multiplies, then one normalization"
+    /// reference the batched linear path must match bit-for-bit.
+    fn looped_reference(before: &[f64], factor: u32, weight: impl Fn(f64) -> f64) -> Vec<f64> {
+        let mut out = before.to_vec();
+        let u_count = out.len();
+        let mut sum = 0.0;
+        for (u, b) in out.iter_mut().enumerate() {
+            let mid = (2 * u + 1) as f64 / (2 * u_count) as f64;
+            let w = weight(mid);
+            for _ in 0..factor {
+                *b *= w;
+            }
+            sum += *b;
+        }
+        if sum > 0.0 && sum.is_finite() {
+            for b in out.iter_mut() {
+                *b /= sum;
+            }
+        } else {
+            out.fill(1.0 / u_count as f64);
+        }
+        out
+    }
+
     proptest! {
+        /// Tentpole contract: one batched update with factor `k` is
+        /// bit-for-bit identical to `k` looped multiplies followed by a
+        /// single normalization. (`powi(k)` — binary exponentiation —
+        /// would drift from this for `k >= 3`.)
+        #[test]
+        fn prop_batched_update_is_looped_multiplies(
+            prior in proptest::collection::vec((any::<bool>(), 1u32..8), 0..12),
+            k in 1u32..=32,
+            u_sel in 0usize..3,
+            failed in any::<bool>(),
+        ) {
+            let intervals = [8usize, 16, 100][u_sel];
+            let mut e = BeliefEstimator::new(intervals);
+            for (f, n) in prior {
+                if f {
+                    e.decrease_reliability(n);
+                } else {
+                    e.increase_reliability(n);
+                }
+            }
+            let before = e.beliefs().to_vec();
+            let reference =
+                looped_reference(&before, k, |mid| if failed { mid } else { 1.0 - mid });
+            if failed {
+                e.decrease_reliability(k);
+            } else {
+                e.increase_reliability(k);
+            }
+            for (u, (got, want)) in e.beliefs().iter().zip(&reference).enumerate() {
+                prop_assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "interval {} of {}: batched {} != looped {}",
+                    u, intervals, got, want
+                );
+            }
+        }
+
+        /// A batched update stays numerically on top of the same number of
+        /// unit updates (each with its own normalization): the two differ
+        /// only by when the scale factor is divided out.
+        #[test]
+        fn prop_batched_update_tracks_unit_updates(
+            k in 1u32..=32,
+            u_sel in 0usize..3,
+            failed in any::<bool>(),
+        ) {
+            let intervals = [8usize, 16, 100][u_sel];
+            let mut batched = BeliefEstimator::new(intervals);
+            let mut unit = BeliefEstimator::new(intervals);
+            if failed {
+                batched.decrease_reliability(k);
+                for _ in 0..k {
+                    unit.decrease_reliability(1);
+                }
+            } else {
+                batched.increase_reliability(k);
+                for _ in 0..k {
+                    unit.increase_reliability(1);
+                }
+            }
+            for u in 0..intervals {
+                let (a, b) = (batched.belief(u), unit.belief(u));
+                let scale = a.abs().max(b.abs()).max(1e-300);
+                prop_assert!((a - b).abs() / scale < 1e-9, "interval {}: {} vs {}", u, a, b);
+            }
+        }
+
+        /// Bit-exact decrease/undo round trip at any factor, including the
+        /// log-space regime (the checkpoint restore is path-independent).
+        #[test]
+        fn prop_undo_decrease_round_trips_bit_exactly(
+            prior in proptest::collection::vec((any::<bool>(), 1u32..6), 0..10),
+            k in 1u32..=60,
+        ) {
+            let mut e = BeliefEstimator::new(100);
+            for (f, n) in prior {
+                if f {
+                    e.decrease_reliability(n);
+                } else {
+                    e.increase_reliability(n);
+                }
+            }
+            let before = e.clone();
+            e.decrease_reliability(k);
+            e.undo_decrease(k);
+            prop_assert!(e.bits_eq(&before));
+        }
+
         /// Invariant from the paper: Σ_u P_B[u] = 1 after any update
         /// sequence.
         #[test]

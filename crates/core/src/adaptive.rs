@@ -62,6 +62,16 @@ struct PeerRecord {
     /// Ticks this process itself was down since the last heartbeat from
     /// this peer — misses that must not be blamed on the link.
     downtime_since_receipt: u64,
+    /// Pending success observations for the direct link to this neighbor,
+    /// not yet folded into the link estimator (see
+    /// [`AdaptiveParams::evidence_batch`]).
+    link_up: u32,
+    /// Pending loss observations for the direct link to this neighbor.
+    ///
+    /// Keeping losses pending also makes over-suspicion corrections exact
+    /// for free: `reconcile_link` cancels unfounded suspicions against this
+    /// counter (integer arithmetic) before any estimator-level undo.
+    link_down: u32,
 }
 
 /// The suspicion-deadline schedule: the set of times at which an
@@ -412,6 +422,10 @@ pub struct AdaptiveBroadcast {
     /// Recycled frame-member index buffers for delta merges.
     member_scratch: (Vec<u32>, Vec<u32>),
 
+    /// Pending self-uptime success observations (Event 3), folded into my
+    /// own estimate once [`AdaptiveParams::evidence_batch`] accumulate.
+    self_up: u32,
+
     my_seq: u64,
     next_heartbeat: SimTime,
     next_self_tick: SimTime,
@@ -474,6 +488,8 @@ impl AdaptiveBroadcast {
                     // heartbeats can possibly arrive.
                     deadline: SimTime::new(2 * delta + 1),
                     downtime_since_receipt: 0,
+                    link_up: 0,
+                    link_down: 0,
                 },
             );
         }
@@ -509,6 +525,7 @@ impl AdaptiveBroadcast {
             emission: EmissionCache::default(),
             mirrors: BTreeMap::new(),
             member_scratch: (Vec::new(), Vec::new()),
+            self_up: 0,
             my_seq: 0,
             next_heartbeat: SimTime::ZERO,
             next_self_tick: SimTime::new(params.self_tick_period),
@@ -700,7 +717,36 @@ impl AdaptiveBroadcast {
         self.mirrors.get(&n).map_or(0, |m| m.generation)
     }
 
+    /// Folds pending link evidence into the estimator and clears the
+    /// counters.
+    ///
+    /// Canonical flush order — the contract every batched path relies on:
+    /// all pending successes first (`increase_reliability(up)`), then all
+    /// pending losses (`decrease_reliability(down)`). Because the flush
+    /// ends on the decrease, the estimator's undo checkpoint still covers
+    /// it, so a subsequent `undo_decrease(down)` with the same factor
+    /// reverts it bit-exactly.
+    fn flush_link_evidence(estimate: &mut Estimate, up: &mut u32, down: &mut u32) {
+        if *up > 0 {
+            estimate.beliefs_mut().increase_reliability(*up);
+            *up = 0;
+        }
+        if *down > 0 {
+            estimate.beliefs_mut().decrease_reliability(*down);
+            *down = 0;
+        }
+    }
+
     /// Event 1 bookkeeping for the link to the heartbeat's sender.
+    ///
+    /// Link evidence (the receipt itself, inferred gap losses, and
+    /// over-suspicion corrections) accumulates in the peer's pending
+    /// counters and is folded into the Bayesian estimator in batches of
+    /// [`AdaptiveParams::evidence_batch`] observations — so in the
+    /// steady state the link entry's version (and hence the delta view)
+    /// only moves once per batch, not once per heartbeat. Reads of the
+    /// link estimate lag the newest `evidence_batch - 1` observations by
+    /// design.
     fn reconcile_link(&mut self, from: ProcessId, seq: u64, now: SimTime) {
         let link = LinkId::new(self.id, from).expect("sender differs from self");
         let Some(record) = self.peers.get_mut(&from) else {
@@ -754,31 +800,47 @@ impl AdaptiveBroadcast {
                         }
                         ReconcileMode::PaperLiteral => missed,
                     };
-                    if blamable > 0 {
-                        estimate.beliefs_mut().decrease_reliability(blamable);
-                    }
+                    record.link_down = record.link_down.saturating_add(blamable);
                 }
                 LinkBlame::OnTimeout => {
-                    // Suspicions already decreased the link; settle the
+                    // Suspicions already charged the link; settle the
                     // difference.
                     if adjust_pos > 0 {
                         match self.params.correction {
                             CorrectionMode::Exact => {
-                                estimate.beliefs_mut().undo_decrease(adjust_pos)
+                                // Unfounded suspicions that are still
+                                // pending cancel as integers — exact by
+                                // construction. Only suspicions already
+                                // folded into the estimator need an
+                                // estimator-level undo, on the settled
+                                // (flushed) state.
+                                let cancel = adjust_pos.min(record.link_down);
+                                record.link_down -= cancel;
+                                let undo = adjust_pos - cancel;
+                                if undo > 0 {
+                                    Self::flush_link_evidence(
+                                        estimate,
+                                        &mut record.link_up,
+                                        &mut record.link_down,
+                                    );
+                                    estimate.beliefs_mut().undo_decrease(undo);
+                                }
                             }
                             CorrectionMode::Bayes => {
-                                estimate.beliefs_mut().increase_reliability(adjust_pos)
+                                record.link_up = record.link_up.saturating_add(adjust_pos);
                             }
                         }
                     }
-                    if adjust_neg > 0 {
-                        estimate.beliefs_mut().decrease_reliability(adjust_neg);
-                    }
+                    record.link_down = record.link_down.saturating_add(adjust_neg);
                 }
             }
             // The received heartbeat itself is a success observation.
             if self.params.reconcile == ReconcileMode::SeqGap {
-                estimate.beliefs_mut().increase_reliability(1);
+                record.link_up = record.link_up.saturating_add(1);
+            }
+            if record.link_up.saturating_add(record.link_down) >= self.params.evidence_batch.max(1)
+            {
+                Self::flush_link_evidence(estimate, &mut record.link_up, &mut record.link_down);
             }
         }
 
@@ -1259,26 +1321,42 @@ impl AdaptiveBroadcast {
         }
 
         // Line 39 (paper mode): the link to a suspected neighbor is
-        // decreased as well.
+        // charged as well — batched like every other link observation.
         if blame_link_now {
+            let batch = self.params.evidence_batch.max(1);
             for p in suspected_neighbors {
                 let link = LinkId::new(self.id, p).expect("neighbor differs");
                 if let Some(estimate) = self.links.get_mut(&link) {
-                    estimate.beliefs_mut().decrease_reliability(1);
+                    let record = self.peers.get_mut(&p).expect("suspected peer exists");
+                    record.link_down = record.link_down.saturating_add(1);
+                    if record.link_up.saturating_add(record.link_down) >= batch {
+                        Self::flush_link_evidence(
+                            estimate,
+                            &mut record.link_up,
+                            &mut record.link_down,
+                        );
+                    }
                 }
             }
         }
         self.arm_suspicion(actions);
     }
 
-    /// Event 3: my own uptime is evidence of my reliability.
+    /// Event 3: my own uptime is evidence of my reliability — accumulated
+    /// and folded in batches so the self entry (which every neighbor
+    /// adopts and re-gossips) only changes once per
+    /// [`AdaptiveParams::evidence_batch`] periods.
     fn self_tick(&mut self, now: SimTime, actions: &mut Actions) {
         if now < self.next_self_tick {
             actions.set_timer(Self::SELF_TICK, self.next_self_tick);
             return;
         }
         if let Some(me) = self.peers.get_mut(&self.id) {
-            me.estimate.beliefs_mut().increase_reliability(1);
+            self.self_up = self.self_up.saturating_add(1);
+            if self.self_up >= self.params.evidence_batch.max(1) {
+                me.estimate.beliefs_mut().increase_reliability(self.self_up);
+                self.self_up = 0;
+            }
         }
         self.next_self_tick = now + self.params.self_tick_period.max(1);
         actions.set_timer(Self::SELF_TICK, self.next_self_tick);
@@ -1355,6 +1433,12 @@ impl AdaptiveBroadcast {
         let n =
             u32::try_from((down_ticks / self.params.self_tick_period).max(1)).unwrap_or(u32::MAX);
         if let Some(me) = self.peers.get_mut(&self.id) {
+            // Settle any pending uptime evidence first (canonical order:
+            // successes precede failures), then charge the crash.
+            if self.self_up > 0 {
+                me.estimate.beliefs_mut().increase_reliability(self.self_up);
+                self.self_up = 0;
+            }
             me.estimate.beliefs_mut().decrease_reliability(n);
         }
         // My silence was my fault, not my neighbors': excuse the misses I
@@ -1501,6 +1585,106 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn link_evidence_flushes_in_batches() {
+        let all = vec![p(0), p(1)];
+        // OnReconcile keeps suspicions off the link so the test sees
+        // exactly the four receipt observations, nothing else.
+        let pr = params()
+            .with_evidence_batch(4)
+            .with_link_blame(LinkBlame::OnReconcile);
+        let mut a = shim(AdaptiveBroadcast::new(
+            p(0),
+            all.clone(),
+            vec![p(1)],
+            pr.clone(),
+        ));
+        let mut b = shim(AdaptiveBroadcast::new(p(1), all, vec![p(0)], pr));
+        let link = LinkId::new(p(0), p(1)).unwrap();
+        let initial = a.protocol().link_estimate(link).unwrap().clone();
+
+        for t in 1..=3u64 {
+            exchange(&mut [&mut a, &mut b], SimTime::new(t));
+        }
+        // Three receipts are still pending: the estimator has not moved.
+        assert!(a
+            .protocol()
+            .link_estimate(link)
+            .unwrap()
+            .beliefs()
+            .bits_eq(initial.beliefs()));
+
+        exchange(&mut [&mut a, &mut b], SimTime::new(4));
+        // The fourth receipt fills the batch: exactly one batched
+        // increase_reliability(4), bit-for-bit.
+        let mut expected = initial.beliefs().clone();
+        expected.increase_reliability(4);
+        assert!(a
+            .protocol()
+            .link_estimate(link)
+            .unwrap()
+            .beliefs()
+            .bits_eq(&expected));
+    }
+
+    #[test]
+    fn evidence_batch_one_reproduces_per_observation_updates() {
+        let all = vec![p(0), p(1)];
+        let pr = params().with_evidence_batch(1);
+        let mut a = shim(AdaptiveBroadcast::new(
+            p(0),
+            all.clone(),
+            vec![p(1)],
+            pr.clone(),
+        ));
+        let mut b = shim(AdaptiveBroadcast::new(p(1), all, vec![p(0)], pr));
+        let link = LinkId::new(p(0), p(1)).unwrap();
+        let initial = a.protocol().link_estimate(link).unwrap().clone();
+
+        exchange(&mut [&mut a, &mut b], SimTime::new(1));
+        // Batch size 1 is the paper's per-receipt update, applied
+        // immediately.
+        let mut expected = initial.beliefs().clone();
+        expected.increase_reliability(1);
+        assert!(a
+            .protocol()
+            .link_estimate(link)
+            .unwrap()
+            .beliefs()
+            .bits_eq(&expected));
+    }
+
+    #[test]
+    fn self_uptime_evidence_flushes_in_batches() {
+        let mut node = shim(AdaptiveBroadcast::new(
+            p(0),
+            vec![p(0)],
+            vec![],
+            params().with_evidence_batch(4),
+        ));
+        let mut actions = Actions::new();
+        let initial = node.protocol().process_estimate(p(0)).unwrap().clone();
+        for t in 1..=3u64 {
+            node.handle_tick(SimTime::new(t), &mut actions);
+            actions.clear();
+        }
+        assert!(node
+            .protocol()
+            .process_estimate(p(0))
+            .unwrap()
+            .beliefs()
+            .bits_eq(initial.beliefs()));
+        node.handle_tick(SimTime::new(4), &mut actions);
+        let mut expected = initial.beliefs().clone();
+        expected.increase_reliability(4);
+        assert!(node
+            .protocol()
+            .process_estimate(p(0))
+            .unwrap()
+            .beliefs()
+            .bits_eq(&expected));
     }
 
     #[test]

@@ -83,7 +83,9 @@ pub use optimize::{
     gain, optimize, optimize_budget, optimize_budget_greedy, optimize_exhaustive, optimize_greedy,
     MessagePlan,
 };
-pub use params::{AdaptiveParams, CorrectionMode, LinkBlame, ReconcileMode, ViewMode};
+pub use params::{
+    AdaptiveParams, CorrectionMode, LinkBlame, ReconcileMode, ViewMode, DEFAULT_EVIDENCE_BATCH,
+};
 pub use protocol::{
     Actions, BroadcastId, DataMessage, Event, GossipMessage, HeartbeatMessage, HeartbeatView,
     LegacyTickShim, Message, Payload, Protocol, ProtocolActor, TimerOp,

@@ -112,7 +112,21 @@ pub struct AdaptiveParams {
     /// What heartbeats carry: changed-entry deltas (default) or full
     /// views (the executable specification).
     pub heartbeat_views: ViewMode,
+    /// How many link/self observations accumulate before they are folded
+    /// into the Bayesian estimator as one batched
+    /// `increase_reliability(k)` / `decrease_reliability(k)` update.
+    ///
+    /// `1` reproduces the paper's per-observation updates exactly. The
+    /// default of 16 keeps steady-state delta views sparse (an entry's
+    /// version only moves on flush) at the cost of estimates lagging the
+    /// newest `evidence_batch - 1` observations. Capped at 32 so every
+    /// flush stays on the estimator's linear (bit-specified) path.
+    pub evidence_batch: u32,
 }
+
+/// Default [`AdaptiveParams::evidence_batch`]: sparse steady-state deltas
+/// while staying well inside the estimator's linear-path bound (32).
+pub const DEFAULT_EVIDENCE_BATCH: u32 = 16;
 
 impl Default for AdaptiveParams {
     fn default() -> Self {
@@ -126,6 +140,7 @@ impl Default for AdaptiveParams {
             correction: CorrectionMode::default(),
             link_blame: LinkBlame::default(),
             heartbeat_views: ViewMode::default(),
+            evidence_batch: DEFAULT_EVIDENCE_BATCH,
         }
     }
 }
@@ -168,6 +183,15 @@ impl AdaptiveParams {
     #[must_use]
     pub fn with_timeout_growth(mut self, enabled: bool) -> Self {
         self.timeout_growth = enabled;
+        self
+    }
+
+    /// Replaces the evidence batch size (clamped to `1..=32`; see
+    /// [`AdaptiveParams::evidence_batch`]). `1` restores the paper's
+    /// per-observation updates.
+    #[must_use]
+    pub fn with_evidence_batch(mut self, observations: u32) -> Self {
+        self.evidence_batch = observations.clamp(1, 32);
         self
     }
 

@@ -36,8 +36,7 @@
 //! `O(L log L)` and independent of the total message count.
 
 use crate::optimize::{
-    greedy_until_target, preflight, MessagePlan, Preflight, MAX_INCREMENTS, REACH_EPS,
-    RECOMPUTE_EVERY,
+    preflight, MessagePlan, Preflight, MAX_INCREMENTS, REACH_EPS, RECOMPUTE_EVERY,
 };
 use crate::reach::{link_success, pow_det, reach};
 use crate::{gain, CoreError, MessageVector, ReliabilityTree};
@@ -52,7 +51,10 @@ const MAX_BISECTIONS: u32 = 128;
 const TAIL_BUDGET: u64 = 64;
 
 /// Beyond this many distinct λ values the cursor tail's linear winner
-/// scans lose to the heap; fall back to the general greedy tail.
+/// scans lose to a heap: the tail switches from `O(classes)` scans to a
+/// per-class [`std::collections::BinaryHeap`] keyed on the same
+/// `(gain, link index)` order, so the advance sequence — and therefore
+/// the plan — is bit-identical either way.
 const MAX_CURSOR_CLASSES: usize = 32;
 
 /// Conservative classification margin for the bisection's reach
@@ -391,9 +393,15 @@ pub fn optimize_waterfill(tree: &ReliabilityTree, k: f64) -> Result<MessagePlan,
 /// the next link. The cursor models this directly: `links[..drilled]`
 /// sit at the plateau's `bottom` count, `links[drilled]` is mid-drill at
 /// `cur_count`, and the rest remain at `level`; when every link reaches
-/// `bottom` the class rolls to the next (plateau-collapsed) level. The
-/// only remaining fallback is `MAX_CURSOR_CLASSES`, beyond which the
-/// linear winner scans lose to the heap.
+/// `bottom` the class rolls to the next (plateau-collapsed) level.
+///
+/// Past [`MAX_CURSOR_CLASSES`] distinct λ values the winner is selected
+/// from a per-class max-heap instead of a linear scan. Each class keeps
+/// exactly one live heap entry — its current head `(gain, link)` —
+/// popped to advance and re-pushed afterwards (with the possibly-new
+/// head) while its gain exceeds 1. The heap's [`ClassHead`] order is the
+/// scan's winner predicate verbatim, so both selectors produce the same
+/// advance sequence and the same bits.
 fn class_cursor_tail(
     tree: &ReliabilityTree,
     classes: &LambdaClasses,
@@ -402,9 +410,6 @@ fn class_cursor_tail(
     increments_so_far: u64,
     k: f64,
 ) -> Result<MessagePlan, CoreError> {
-    if classes.lambda.len() > MAX_CURSOR_CLASSES {
-        return greedy_until_target(tree, m, increments_so_far, k);
-    }
     let mut r = reach(tree, &m);
     if r + REACH_EPS >= k {
         return Ok(MessagePlan::new(m, r));
@@ -455,31 +460,79 @@ fn class_cursor_tail(
             }
         })
         .collect();
+    /// A class's current head in the many-classes heap: the winner
+    /// predicate of the linear scan as a max-heap order — larger gain
+    /// first (`total_cmp`, matching the scan's comparator bit-for-bit),
+    /// gain ties broken by the *smaller* current link index.
+    struct ClassHead {
+        gain: f64,
+        link: u32,
+        class: u32,
+    }
+    impl Ord for ClassHead {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.gain
+                .total_cmp(&other.gain)
+                .then_with(|| other.link.cmp(&self.link))
+        }
+    }
+    impl PartialOrd for ClassHead {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl PartialEq for ClassHead {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == std::cmp::Ordering::Equal
+        }
+    }
+    impl Eq for ClassHead {}
+    let head_of = |cursors: &[Cursor], classes: &LambdaClasses, i: usize| ClassHead {
+        gain: cursors[i].gain,
+        link: classes.links[i][cursors[i].drilled as usize],
+        class: i as u32,
+    };
+    // One live entry per class with gain > 1; `None` below the class cap
+    // (the linear scan is faster there).
+    let mut heap: Option<std::collections::BinaryHeap<ClassHead>> =
+        (classes.lambda.len() > MAX_CURSOR_CLASSES).then(|| {
+            cursors
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.gain > 1.0)
+                .map(|(i, _)| head_of(&cursors, classes, i))
+                .collect()
+        });
     let mut increments = increments_so_far;
     let mut trigger = k - REACH_EPS;
     loop {
-        let mut winner: Option<usize> = None;
-        for (i, c) in cursors.iter().enumerate() {
-            if c.gain <= 1.0 {
-                continue;
-            }
-            winner = match winner {
-                None => Some(i),
-                Some(w) => {
-                    let cw = &cursors[w];
-                    match c.gain.total_cmp(&cw.gain) {
-                        std::cmp::Ordering::Greater => Some(i),
-                        std::cmp::Ordering::Equal
-                            if classes.links[i][c.drilled as usize]
-                                < classes.links[w][cw.drilled as usize] =>
-                        {
-                            Some(i)
-                        }
-                        _ => Some(w),
-                    }
+        let winner: Option<usize> = if let Some(heap) = heap.as_mut() {
+            heap.pop().map(|head| head.class as usize)
+        } else {
+            let mut winner: Option<usize> = None;
+            for (i, c) in cursors.iter().enumerate() {
+                if c.gain <= 1.0 {
+                    continue;
                 }
-            };
-        }
+                winner = match winner {
+                    None => Some(i),
+                    Some(w) => {
+                        let cw = &cursors[w];
+                        match c.gain.total_cmp(&cw.gain) {
+                            std::cmp::Ordering::Greater => Some(i),
+                            std::cmp::Ordering::Equal
+                                if classes.links[i][c.drilled as usize]
+                                    < classes.links[w][cw.drilled as usize] =>
+                            {
+                                Some(i)
+                            }
+                            _ => Some(w),
+                        }
+                    }
+                };
+            }
+            winner
+        };
         let Some(w) = winner else {
             // No link can improve the reach any further.
             return Err(CoreError::TargetUnreachable {
@@ -506,6 +559,14 @@ fn class_cursor_tail(
                 if cur.gain > 1.0 {
                     cur.bottom = plateau_bottom(lambda, cur.level, cur.gain);
                 }
+            }
+        }
+        if let Some(heap) = heap.as_mut() {
+            // Re-offer the class's (possibly new) head; classes whose
+            // gain decays to ≤ 1 leave the heap for good — gains are
+            // non-increasing, so they can never win again.
+            if cursors[w].gain > 1.0 {
+                heap.push(head_of(&cursors, classes, w));
             }
         }
         increments += 1;
@@ -710,6 +771,54 @@ mod tests {
                 ) => {
                     assert_eq!(a.to_bits(), b.to_bits())
                 }
+                other => panic!("solver disagreement: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn heap_tail_matches_greedy_past_the_class_cap() {
+        // 40 distinct λ values — well past MAX_CURSOR_CLASSES — so the
+        // boundary tail runs on the per-class heap, not the linear scan.
+        let lambdas: Vec<f64> = (0..40).map(|i| 0.02 + 0.023 * f64::from(i)).collect();
+        assert!(
+            LambdaClasses::build(&lambdas).lambda.len() > MAX_CURSOR_CLASSES,
+            "fixture must exceed the cursor class cap"
+        );
+        for k in [0.5, 0.9, 0.999] {
+            for tree in [star_tree(&lambdas), chain_tree(&lambdas[..34])] {
+                let fast = optimize_waterfill(&tree, k).unwrap();
+                let slow = optimize_greedy(&tree, k).unwrap();
+                assert_eq!(fast, slow, "k={k}");
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Bit-identity to the reference greedy survives the switch to
+        /// the per-class heap: 33+ λ classes drawn from disjoint
+        /// intervals (distinctness guaranteed by construction), random
+        /// reach targets.
+        #[test]
+        fn prop_heap_tail_is_bit_identical_past_the_class_cap(
+            fracs in proptest::collection::vec(0.05f64..0.95, 33..44),
+            k in 0.5f64..0.999999,
+        ) {
+            let n = fracs.len() as f64;
+            let lambdas: Vec<f64> = fracs
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (i as f64 + f) / n)
+                .collect();
+            let classes = LambdaClasses::build(&lambdas);
+            proptest::prop_assert!(classes.lambda.len() > MAX_CURSOR_CLASSES);
+            let tree = star_tree(&lambdas);
+            match (optimize_waterfill(&tree, k), optimize_greedy(&tree, k)) {
+                (Ok(f), Ok(s)) => proptest::prop_assert_eq!(f, s),
+                (
+                    Err(CoreError::TargetUnreachable { best_reach: a }),
+                    Err(CoreError::TargetUnreachable { best_reach: b }),
+                ) => proptest::prop_assert_eq!(a.to_bits(), b.to_bits()),
                 other => panic!("solver disagreement: {other:?}"),
             }
         }

@@ -16,6 +16,7 @@ pub const RULES: &[&str] = &[
     "no-unordered-iteration",
     "no-threading",
     "det-pow",
+    "batched-loss-draw",
     "codec-tag-coverage",
     "version-bump-audit",
     "crate-hygiene",
@@ -183,6 +184,23 @@ fn line_rules(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                     ));
                 }
             }
+        }
+
+        // Delivery sampling in the message-path substrates is batched
+        // (crates/sim/src/loss.rs): a per-message `gen_bool` in a send
+        // loop re-serializes sampling on the RNG and reintroduces the
+        // dense-regime slow path. Non-delivery draws (per-process crash
+        // scripts, chaos duplication) are sanctioned via reasoned
+        // site pragmas.
+        if (file.path.starts_with("crates/sim/") || file.path.starts_with("crates/net/src/"))
+            && contains_token(code, "gen_bool")
+        {
+            out.push(Diagnostic::new(
+                &file.path,
+                at,
+                "batched-loss-draw",
+                "per-message `gen_bool` in a message-path crate; route delivery sampling through `LossBatcher::should_drop` (crates/sim/src/loss.rs) so the batched draw order stays frozen",
+            ));
         }
 
         for method in [".powi(", ".powf("] {

@@ -1,0 +1,12 @@
+// lint-fixture: crates/sim/src/flood.rs
+//! Per-message Bernoulli sampling in a send loop.
+
+pub fn flood(rng: &mut StdRng, loss: f64, frames: &[Frame]) -> u64 {
+    let mut delivered = 0;
+    for _frame in frames {
+        if !rng.gen_bool(loss) {
+            delivered += 1;
+        }
+    }
+    delivered
+}

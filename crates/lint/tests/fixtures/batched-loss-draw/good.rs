@@ -1,0 +1,25 @@
+// lint-fixture: crates/sim/src/good_flood.rs
+//! Delivery sampling through the batched sampler; a sanctioned
+//! non-delivery draw suppressed with a written reason.
+
+pub fn flood(
+    batcher: &mut LossBatcher,
+    rng: &mut StdRng,
+    from: ProcessId,
+    to: ProcessId,
+    loss: f64,
+    frames: &[Frame],
+) -> u64 {
+    let mut delivered = 0;
+    for _frame in frames {
+        if !batcher.should_drop(from, to, loss, rng) {
+            delivered += 1;
+        }
+    }
+    delivered
+}
+
+pub fn crash_tick(rng: &mut StdRng, p: f64) -> bool {
+    // lint:allow(batched-loss-draw): per-process crash draw, once per tick — not a message-path sample.
+    rng.gen_bool(p)
+}

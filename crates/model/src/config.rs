@@ -38,7 +38,6 @@ use crate::{LinkId, ModelError, Probability, ProcessId, Topology};
 /// # }
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Configuration {
     crash: BTreeMap<ProcessId, Probability>,
     loss: BTreeMap<LinkId, Probability>,

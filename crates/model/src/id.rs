@@ -20,7 +20,6 @@ use crate::ModelError;
 /// assert_eq!(p.to_string(), "p3");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProcessId(u32);
 
 impl ProcessId {
@@ -79,7 +78,6 @@ impl fmt::Display for ProcessId {
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinkId {
     lo: ProcessId,
     hi: ProcessId,

@@ -34,7 +34,6 @@ use crate::ModelError;
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Probability(f64);
 
 impl Probability {

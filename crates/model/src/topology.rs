@@ -35,7 +35,6 @@ use crate::{LinkId, ModelError, ProcessId};
 /// # }
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Topology {
     adjacency: BTreeMap<ProcessId, BTreeSet<ProcessId>>,
 }

@@ -32,7 +32,7 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use diffuse_model::{LinkId, Probability, ProcessId};
-use diffuse_sim::Metrics;
+use diffuse_sim::{LossBatcher, Metrics};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -104,6 +104,9 @@ struct ChaosShared {
 struct ChaosState {
     policy: ChaosPolicy,
     rng: StdRng,
+    /// Batched per-(sender, destination) geometric loss runs, consuming
+    /// draws from `rng` per [`LossBatcher`]'s documented total order.
+    loss_runs: LossBatcher,
     counters: ChaosCounters,
     /// Wire-level sent accounting at (link, kind) granularity — finer
     /// than [`Metrics`] stores, so per-process counters survive a
@@ -221,6 +224,7 @@ impl<T: Transport> ChaosTransport<T> {
             state: Mutex::new(ChaosState {
                 policy: ChaosPolicy::default(),
                 rng: StdRng::seed_from_u64(seed),
+                loss_runs: LossBatcher::new(),
                 counters: ChaosCounters::default(),
                 sent_cells: BTreeMap::new(),
                 delivered_cells: BTreeMap::new(),
@@ -302,7 +306,8 @@ impl<T: Transport> Transport for ChaosTransport<T> {
 
     fn send(&self, to: ProcessId, frame: &[u8]) -> Result<(), NetError> {
         let kind = frame_kind(frame);
-        let link = LinkId::new(self.local_id(), to).ok();
+        let from = self.local_id();
+        let link = LinkId::new(from, to).ok();
         // One state lock per send: sample every decision at once.
         let copies = {
             let mut state = self.shared.state.lock();
@@ -317,7 +322,12 @@ impl<T: Transport> Transport for ChaosTransport<T> {
                 return self.inner.send(to, frame);
             };
             let loss = state.policy.loss_for(link);
-            let lost = !loss.is_zero() && state.rng.gen_bool(loss.value());
+            let lost = !loss.is_zero() && {
+                let state = &mut *state;
+                state
+                    .loss_runs
+                    .should_drop(from, to, loss.value(), &mut state.rng)
+            };
             if lost {
                 state.counters.dropped += 1;
                 state.lost += 1;
@@ -325,6 +335,7 @@ impl<T: Transport> Transport for ChaosTransport<T> {
                 return Ok(());
             }
             let dup = state.policy.duplicate;
+            // lint:allow(batched-loss-draw): duplication is chaos injection, not delivery sampling; it has no frozen-stream twin to replay.
             let copies = if !dup.is_zero() && state.rng.gen_bool(dup.value()) {
                 state.counters.duplicated += 1;
                 2u64

@@ -6,10 +6,10 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
-use diffuse_sim::Metrics;
+use diffuse_sim::{LossBatcher, Metrics};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use crate::codec::frame_kind;
 use crate::virtual_time::{VirtualCore, VirtualNet, VirtualOptions};
@@ -54,7 +54,9 @@ pub trait Transport: Send {
 struct FabricShared {
     topology: Topology,
     loss: Mutex<Configuration>,
-    rng: Mutex<StdRng>,
+    /// The loss generator and its batched run-length sampler, under one
+    /// lock — they are only ever used together, per send.
+    rng: Mutex<(StdRng, LossBatcher)>,
     inboxes: BTreeMap<ProcessId, Sender<(ProcessId, Vec<u8>)>>,
     /// Transport-level wire counters for wall-clock runs (sent / lost /
     /// enqueued-as-delivered per kind and link). Best effort: see
@@ -168,7 +170,7 @@ impl Fabric {
         let shared = Arc::new(FabricShared {
             topology: topology.clone(),
             loss: Mutex::new(loss),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            rng: Mutex::new((StdRng::seed_from_u64(seed), LossBatcher::new())),
             inboxes,
             metrics: Mutex::new(Metrics::new()),
             virtual_core,
@@ -272,7 +274,11 @@ impl Transport for FabricTransport {
         }
         let kind = frame_kind(frame);
         let loss = self.shared.loss.lock().loss(link);
-        let lost = !loss.is_zero() && self.shared.rng.lock().gen_bool(loss.value());
+        let lost = !loss.is_zero() && {
+            let mut guard = self.shared.rng.lock();
+            let (rng, runs) = &mut *guard;
+            runs.should_drop(self.id, to, loss.value(), rng)
+        };
         if lost {
             let mut metrics = self.shared.metrics.lock();
             metrics.record_sent_batch(link, kind, 1);

@@ -16,10 +16,12 @@
 //! 4. loss-sampling of new sends at send time, in handler order.
 //!
 //! Because the authority owns the loss RNG and consumes it in the same
-//! order the kernel does — one `gen_bool` per sent message, in send
-//! order — a fabric run under virtual time is *bit-identical* to the
-//! same scenario on [`diffuse_sim::Simulation`]: same per-process
-//! delivery counts, same wire [`Metrics`], same everything. That is what
+//! order the kernel does — batched geometric run-length draws per lossy
+//! `(from, to)` cell, consumed at send time per
+//! [`diffuse_sim::LossBatcher`]'s documented total order — a fabric run
+//! under virtual time is *bit-identical* to the same scenario on
+//! [`diffuse_sim::Simulation`]: same per-process delivery counts, same
+//! wire [`Metrics`], same everything. That is what
 //! `tests/fabric_conformance.rs` asserts.
 //!
 //! Eventless stretches fast-forward exactly like the kernel: when no
@@ -34,9 +36,9 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use diffuse_core::{Payload, TimerOp};
 use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
-use diffuse_sim::{CrashModel, CrashState, Metrics, SimTime, TimerId};
+use diffuse_sim::{CrashModel, CrashState, LossBatcher, Metrics, SimTime, TimerId};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use diffuse_core::scenario::Scenario;
 
@@ -146,6 +148,9 @@ struct VState {
     link_delay: u64,
     crash_model: CrashModel,
     rng: StdRng,
+    /// Batched loss sampling over the authority's stream — the same
+    /// cells, same draw order as the kernel's `flush_outbox`.
+    loss_runs: LossBatcher,
     next_seq: u64,
     in_flight: BinaryHeap<Reverse<Flight>>,
     /// Pending timer deadlines, one per `(process, timer)` pair …
@@ -205,9 +210,11 @@ impl VirtualCore {
         s.metrics.record_sent_batch(link, kind, 1);
         let loss = s.loss.loss(link).value();
         if loss > 0.0 {
-            let lost = s.rng.gen_bool(loss);
-            if lost {
-                s.metrics.record_lost();
+            // Reborrow the guard so the sampler and generator (disjoint
+            // fields) can be borrowed together.
+            let state = &mut *s;
+            if state.loss_runs.should_drop(from, to, loss, &mut state.rng) {
+                state.metrics.record_lost();
                 return;
             }
         }
@@ -307,6 +314,7 @@ impl VirtualNet {
                     link_delay: options.link_delay.max(1),
                     crash_model: options.crash_model,
                     rng: StdRng::seed_from_u64(seed),
+                    loss_runs: LossBatcher::new(),
                     next_seq: 0,
                     in_flight: BinaryHeap::new(),
                     timers: BTreeMap::new(),

@@ -177,6 +177,69 @@ fn same_scenario_on_all_three_substrates() {
     check("udp-cluster", &cluster);
 }
 
+/// The UDP leg of the batched-evidence regime matrix (the in-process
+/// substrates live in `tests/regime_matrix.rs`): the adaptive protocol
+/// — default params, so batched link evidence and batched delivery
+/// sampling both run — on a lossy crash scenario over real processes.
+/// The cluster draws its own wall-clock RNG streams, so wire metrics
+/// are not kernel-comparable; the contract is delivery parity with the
+/// kernel run of the same scenario plus zero skipped faults.
+fn adaptive_regime_matches_kernel_deliveries() {
+    let topology = circulant(6);
+    let workload = Workload::new()
+        .broadcast(SimTime::new(20), p(0), b"pre-crash".to_vec().into())
+        .broadcast(SimTime::new(80), p(3), b"mid-crash".to_vec().into())
+        .broadcast(SimTime::new(170), p(5), b"post-recovery".to_vec().into());
+    let faults = FaultScript::new().at(
+        SimTime::new(60),
+        FaultAction::Crash {
+            process: p(2),
+            down_ticks: 60,
+        },
+    );
+    let scenario = Scenario::builder(topology.clone())
+        .uniform_loss(prob(0.05))
+        .seed(0xBA7C)
+        .workload(workload)
+        .faults(faults)
+        .build();
+
+    let all: Vec<ProcessId> = topology.processes().collect();
+    let kernel = scenario.run_sim(300, |id| {
+        diffuse_core::AdaptiveBroadcast::new(
+            id,
+            all.clone(),
+            topology.neighbors(id).collect(),
+            diffuse_core::AdaptiveParams::default(),
+        )
+    });
+    assert_eq!(kernel.skipped_faults, 0, "kernel: nothing skipped");
+
+    let cluster = run_scenario_on_udp_cluster(
+        &scenario,
+        UdpClusterOptions {
+            tick_interval: Duration::from_millis(3),
+            run_ticks: 300,
+            settle: Duration::from_millis(250),
+            handshake_timeout: Duration::from_secs(10),
+        },
+        ProtocolSpec::Adaptive,
+    )
+    .expect("cluster launches");
+
+    assert_eq!(cluster.skipped_faults, 0, "cluster: nothing skipped");
+    assert_eq!(cluster.failed_broadcasts, 0, "cluster: nothing failed");
+    assert_eq!(
+        cluster.delivered, kernel.delivered,
+        "cluster and kernel delivery sets diverged on the lossy crash regime"
+    );
+    let metrics = cluster.metrics.as_ref().expect("cluster wire metrics");
+    assert!(
+        metrics.lost_in_link() > 0,
+        "the lossy regime must actually lose messages on the wire"
+    );
+}
+
 /// The CI soak profile: 8 processes, sustained stream, loss spike,
 /// partition + heal, one hard kill + restart — and the paper's
 /// delivery guarantee holds for every correct process.
@@ -199,7 +262,7 @@ fn main() {
     // here and never return.
     diffuse_net::maybe_run_udp_worker();
 
-    let tests: [(&str, fn()); 3] = [
+    let tests: [(&str, fn()); 4] = [
         (
             "scripted_scenario_runs_every_fault",
             scripted_scenario_runs_every_fault,
@@ -207,6 +270,10 @@ fn main() {
         (
             "same_scenario_on_all_three_substrates",
             same_scenario_on_all_three_substrates,
+        ),
+        (
+            "adaptive_regime_matches_kernel_deliveries",
+            adaptive_regime_matches_kernel_deliveries,
         ),
         (
             "quick_soak_holds_delivery_guarantee",

@@ -121,6 +121,7 @@ impl CrashState {
             }
             CrashModel::Bernoulli { p } => {
                 let was_down = !self.up;
+                // lint:allow(batched-loss-draw): per-process crash draw, once per tick — not a message-path sample.
                 let down_now = !p.is_zero() && rng.gen_bool(p.value());
                 self.up = !down_now;
                 if down_now {
@@ -137,11 +138,13 @@ impl CrashState {
             CrashModel::Markov { p, mean_downtime } => {
                 let (crash, recover) = CrashModel::markov_rates(*p, *mean_downtime);
                 if self.up {
+                    // lint:allow(batched-loss-draw): per-process crash draw, once per tick — not a message-path sample.
                     if crash > 0.0 && rng.gen_bool(crash) {
                         self.up = false;
                         self.down_ticks = 1;
                     }
                     None
+                // lint:allow(batched-loss-draw): per-process recovery draw, once per tick — not a message-path sample.
                 } else if rng.gen_bool(recover) {
                     let downtime = self.down_ticks;
                     self.up = true;

@@ -5,9 +5,10 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use crate::crash::CrashState;
+use crate::loss::LossBatcher;
 use crate::{CrashModel, Metrics, SimTime, TimerId};
 
 /// A message that can travel through the simulated network.
@@ -311,6 +312,9 @@ pub struct Simulation<A: Actor> {
     next_seq: u64,
     now: SimTime,
     rng: StdRng,
+    /// Batched per-(sender, destination) loss sampling (see
+    /// [`LossBatcher`] for the draw-order contract).
+    loss_runs: LossBatcher,
     metrics: Metrics,
     outbox: Vec<(ProcessId, A::Message)>,
     timer_ops: Vec<(TimerId, Option<SimTime>)>,
@@ -378,6 +382,7 @@ impl<A: Actor> Simulation<A> {
             topology,
             loss,
             rng: StdRng::seed_from_u64(options.seed),
+            loss_runs: LossBatcher::new(),
             options,
             nodes,
             ids,
@@ -622,9 +627,13 @@ impl<A: Actor> Simulation<A> {
     /// This is the Monte-Carlo inner loop: link validation and loss
     /// probabilities are resolved once per distinct destination of the
     /// burst (a small linear cache instead of per-message map walks), and
-    /// sent-message metrics are recorded in per-destination batches. The
-    /// loss RNG is still consulted once per message *in send order*, so
-    /// seeded simulation streams are byte-identical to the naive loop.
+    /// sent-message metrics are recorded in per-destination batches. Loss
+    /// decisions come from the batched geometric sampler ([`LossBatcher`])
+    /// rather than one `gen_bool` per message: the RNG is consulted only
+    /// when a lossy cell needs a fresh run length, in send order per the
+    /// sampler's documented total order, so seeded streams stay frozen
+    /// and the virtual-time fabric and one-worker sharded kernel replay
+    /// this loop bit-exactly.
     fn flush_outbox(&mut self, from: ProcessId) {
         // Drain into a persistent scratch buffer: scheduling needs
         // `&mut self`, and reusing the buffer keeps the flush
@@ -676,7 +685,11 @@ impl<A: Actor> Simulation<A> {
                 Some((_, n)) => *n += 1,
                 None => slot.sent.push((kind, 1)),
             }
-            if slot.loss > 0.0 && self.rng.gen_bool(slot.loss) {
+            if slot.loss > 0.0
+                && self
+                    .loss_runs
+                    .should_drop(from, to, slot.loss, &mut self.rng)
+            {
                 self.metrics.record_lost();
                 continue;
             }

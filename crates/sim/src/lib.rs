@@ -25,6 +25,7 @@
 
 mod crash;
 mod kernel;
+mod loss;
 mod metrics;
 mod shard;
 mod shard_rng;
@@ -32,6 +33,7 @@ mod time;
 
 pub use crash::{CrashModel, CrashState};
 pub use kernel::{Actor, Context, SimMessage, SimOptions, Simulation};
+pub use loss::LossBatcher;
 pub use metrics::Metrics;
 pub use shard::ShardedKernel;
 pub use shard_rng::shard_seed;

@@ -1,0 +1,248 @@
+//! Batched Bernoulli delivery sampling: per-(sender, destination) geometric
+//! run-length draws replacing one `gen_bool` per message.
+//!
+//! # Why
+//!
+//! Drawing one `gen_bool(loss)` per message in send order serializes
+//! delivery sampling on the RNG: every message costs a generator step even
+//! on links that lose nothing for thousands of sends, and the draw-per-send
+//! coupling blocks any batched or vectorized send path. The standard
+//! equivalence is to sample, per lossy cell, the *run length* — how many
+//! messages survive before the next loss — from the geometric distribution
+//! and then count sends against it: `S = ⌊ln(1 − u) / ln(1 − p)⌋` with
+//! `u ~ U[0, 1)` delivers exactly `S` messages and loses the next one, and
+//! `P(S = 0) = P(u < p) = p` recovers the per-message Bernoulli law.
+//!
+//! # The documented total order
+//!
+//! Substrates replay each other bit-exactly (kernel ≡ virtual fabric,
+//! kernel ≡ sharded at one worker), so the *order* of generator draws is
+//! part of the wire contract. The batched sampler consumes draws in this
+//! order, and only this order:
+//!
+//! 1. **Cell creation:** the first message sent through a lossy
+//!    `(from, to)` cell draws that cell's initial run length, at the
+//!    moment of that send (send order, like the per-message scheme).
+//! 2. **After each loss:** the message that exhausts the run is lost and
+//!    immediately draws the next run length.
+//! 3. **Loss-rate change:** a send that observes a different loss
+//!    probability than the cell was drawn under (fault scripts and chaos
+//!    policies reconfigure loss at runtime) resets the cell with a fresh
+//!    draw — stale run lengths never survive a rate change.
+//!
+//! Zero-loss sends consume **no** draws (the legacy paths already skipped
+//! the RNG when `loss == 0`, preserving the loss-free-streams-identical
+//! invariant), and `loss >= 1` consumes no draw either: the message is
+//! always lost. Because every substrate routes its loss decisions through
+//! [`LossBatcher::should_drop`] with its own generator, per-substrate
+//! streams stay frozen and mutually replayable.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use diffuse_model::ProcessId;
+
+/// One lossy `(from, to)` cell: the loss rate its current run was drawn
+/// under, and how many more messages survive before the next loss.
+#[derive(Debug, Clone, Copy)]
+struct LossCell {
+    /// `f64::to_bits` of the loss probability — bit-compared so any
+    /// reconfiguration (however small) resets the run.
+    loss_bits: u64,
+    /// Messages still delivered before the next loss.
+    remaining: u64,
+}
+
+/// Batched per-cell delivery sampler (see the module docs for the draw
+/// order contract).
+///
+/// Keyed by directed `(from, to)` pairs in a `BTreeMap`, so iteration and
+/// growth stay deterministic; each simulation substrate owns one batcher
+/// per RNG stream (the sharded kernel: one per shard).
+#[derive(Debug, Default)]
+pub struct LossBatcher {
+    cells: BTreeMap<(ProcessId, ProcessId), LossCell>,
+}
+
+impl LossBatcher {
+    /// Creates an empty batcher (no cells, no draws consumed).
+    pub fn new() -> Self {
+        LossBatcher::default()
+    }
+
+    /// Decides whether the next message from `from` to `to` is lost,
+    /// consuming generator draws only per the module-level order contract.
+    pub fn should_drop(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        loss: f64,
+        rng: &mut StdRng,
+    ) -> bool {
+        if loss <= 0.0 {
+            // Loss-free sends never touch the RNG *or* the cell table: a
+            // link healed back to zero loss keeps its stale cell, which a
+            // later non-zero rate resets via the bits check.
+            return false;
+        }
+        if loss >= 1.0 {
+            // Certain loss needs no randomness.
+            return true;
+        }
+        let loss_bits = loss.to_bits();
+        let cell = self.cells.entry((from, to)).or_insert_with(|| LossCell {
+            loss_bits,
+            remaining: run_length(loss, rng),
+        });
+        if cell.loss_bits != loss_bits {
+            *cell = LossCell {
+                loss_bits,
+                remaining: run_length(loss, rng),
+            };
+        }
+        if cell.remaining == 0 {
+            // This message exhausts the run: it is lost, and the next
+            // run is drawn immediately (draw-order rule 2).
+            cell.remaining = run_length(loss, rng);
+            true
+        } else {
+            cell.remaining -= 1;
+            false
+        }
+    }
+}
+
+/// Samples the geometric run length: how many messages survive before the
+/// next loss at rate `loss ∈ (0, 1)`.
+///
+/// `⌊ln(1 − u) / ln(1 − p)⌋` with `u ~ U[0, 1)` from the frozen
+/// unit-interval mapping (53-bit, the same one `gen_bool` uses), so
+/// `P(run = 0) = P(u < p) = p` exactly reproduces the per-message
+/// Bernoulli marginal.
+fn run_length(loss: f64, rng: &mut StdRng) -> u64 {
+    let u: f64 = rng.gen();
+    // 1 - u ∈ (0, 1], so the numerator is ≤ 0; ln(1 - loss) < 0 for
+    // loss ∈ (0, 1); the ratio is a finite non-negative float.
+    let runs = ((1.0 - u).ln() / (1.0 - loss).ln()).floor();
+    if runs >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        runs as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngCore, SeedableRng};
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn zero_loss_consumes_no_draws() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut reference = StdRng::seed_from_u64(7);
+        let mut batcher = LossBatcher::new();
+        for _ in 0..100 {
+            assert!(!batcher.should_drop(p(0), p(1), 0.0, &mut rng));
+        }
+        // The generator never moved.
+        assert_eq!(rng.next_u64(), reference.next_u64());
+    }
+
+    #[test]
+    fn certain_loss_consumes_no_draws() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut reference = StdRng::seed_from_u64(7);
+        let mut batcher = LossBatcher::new();
+        for _ in 0..100 {
+            assert!(batcher.should_drop(p(0), p(1), 1.0, &mut rng));
+        }
+        assert_eq!(rng.next_u64(), reference.next_u64());
+    }
+
+    #[test]
+    fn marginal_loss_rate_matches_bernoulli() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut batcher = LossBatcher::new();
+        for &loss in &[0.05f64, 0.25, 0.5, 0.9] {
+            let mut lost = 0u32;
+            let n = 200_000;
+            for _ in 0..n {
+                if batcher.should_drop(p(0), p(1), loss, &mut rng) {
+                    lost += 1;
+                }
+            }
+            let rate = f64::from(lost) / f64::from(n);
+            assert!(
+                (rate - loss).abs() < 0.01,
+                "loss {loss}: observed rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn cells_are_independent_per_directed_pair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut batcher = LossBatcher::new();
+        // Interleaving a second destination must not perturb the first
+        // cell's run: record (0→1)'s decisions alone, then replay the
+        // same seed interleaved with (0→2) traffic and compare.
+        let solo: Vec<bool> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut solo_batcher = LossBatcher::new();
+            (0..50)
+                .map(|_| solo_batcher.should_drop(p(0), p(1), 0.3, &mut rng))
+                .collect()
+        };
+        // The interleaved run sees different draws (the shared generator
+        // advances for both cells), but each cell still follows a valid
+        // geometric schedule; here we only pin that the first decision
+        // matches (it is drawn before any 0→2 traffic).
+        let first = batcher.should_drop(p(0), p(1), 0.3, &mut rng);
+        assert_eq!(first, solo[0]);
+        let _ = batcher.should_drop(p(0), p(2), 0.3, &mut rng);
+        let _ = batcher.should_drop(p(0), p(1), 0.3, &mut rng);
+    }
+
+    #[test]
+    fn loss_rate_change_resets_the_run() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut batcher = LossBatcher::new();
+        // Exercise a run drawn at 1% — long with high probability — then
+        // flip the rate to 99.9…%: stale long runs must not keep
+        // delivering at the new rate.
+        let _ = batcher.should_drop(p(0), p(1), 0.01, &mut rng);
+        let mut lost = 0;
+        for _ in 0..1000 {
+            if batcher.should_drop(p(0), p(1), 0.999, &mut rng) {
+                lost += 1;
+            }
+        }
+        assert!(lost > 950, "rate change ignored: only {lost}/1000 lost");
+    }
+
+    #[test]
+    fn run_length_zero_iff_unit_sample_below_loss() {
+        // P(run = 0) = P(u < p): the batched scheme's first decision on a
+        // fresh cell agrees with what gen_bool would have said on the
+        // same draw.
+        for seed in 0..200u64 {
+            for &loss in &[0.1f64, 0.5, 0.83] {
+                // lint:allow(batched-loss-draw): the reference draw this test compares the batcher against.
+                let gb = StdRng::seed_from_u64(seed).gen_bool(loss);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut batcher = LossBatcher::new();
+                assert_eq!(
+                    batcher.should_drop(p(0), p(1), loss, &mut rng),
+                    gb,
+                    "seed {seed} loss {loss}"
+                );
+            }
+        }
+    }
+}

@@ -52,10 +52,11 @@ use std::sync::{Barrier, Mutex};
 
 use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use crate::crash::CrashState;
 use crate::kernel::{Actor, Context, SimMessage, SimOptions};
+use crate::loss::LossBatcher;
 use crate::shard_rng::shard_seed;
 use crate::{CrashModel, Metrics, SimTime, TimerId};
 
@@ -169,6 +170,11 @@ struct Shard<A: Actor> {
     nodes: BTreeMap<ProcessId, ShardNode<A>>,
     ids: Vec<ProcessId>,
     rng: StdRng,
+    /// Batched loss sampling over this shard's stream. Cells are keyed by
+    /// `(from, to)` with `from` owned by this shard, so the cell tables of
+    /// different shards are disjoint and one worker replays the kernel's
+    /// table exactly.
+    loss_runs: LossBatcher,
     now: SimTime,
     busy_ticks: u64,
     next_seq: u64,
@@ -233,9 +239,10 @@ impl<A: Actor> Shard<A> {
 
     /// The kernel's `flush_outbox`, with one difference: scheduled
     /// messages route either into the local heap or into the
-    /// per-destination-shard outbound batch. Loss draws come from this
-    /// shard's stream, in local send order — same guard, same order,
-    /// same stagger and sequence discipline as the spec kernel.
+    /// per-destination-shard outbound batch. Loss decisions come from
+    /// this shard's batched sampler over this shard's stream, in local
+    /// send order — same guard, same [`LossBatcher`] draw order, same
+    /// stagger and sequence discipline as the spec kernel.
     fn flush_outbox(&mut self, env: &ShardEnv<'_>, from: ProcessId) {
         let mut pending = std::mem::take(&mut self.flush_scratch);
         std::mem::swap(&mut pending, &mut self.outbox);
@@ -280,7 +287,11 @@ impl<A: Actor> Shard<A> {
                 Some((_, n)) => *n += 1,
                 None => slot.sent.push((kind, 1)),
             }
-            if slot.loss > 0.0 && self.rng.gen_bool(slot.loss) {
+            if slot.loss > 0.0
+                && self
+                    .loss_runs
+                    .should_drop(from, to, slot.loss, &mut self.rng)
+            {
                 self.metrics.record_lost();
                 continue;
             }
@@ -579,6 +590,7 @@ impl<A: Actor> ShardedKernel<A> {
                 nodes,
                 ids: chunk.to_vec(),
                 rng: StdRng::seed_from_u64(shard_seed(options.seed, index as u32)),
+                loss_runs: LossBatcher::new(),
                 now: SimTime::ZERO,
                 busy_ticks: 0,
                 next_seq: 0,

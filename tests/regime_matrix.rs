@@ -1,0 +1,184 @@
+//! Regime matrix: one lossy crash scenario under the **batched**
+//! evidence pipeline (`AdaptiveParams::evidence_batch > 1`, the
+//! default), executed on every simulation substrate and compared
+//! bit-for-bit.
+//!
+//! The matrix pins the two batching changes at once: batched link
+//! evidence (runs of inferred successes/losses folded into single
+//! `increase_reliability(k)` / `decrease_reliability(k)` calls) and
+//! batched delivery sampling (per-(sender, destination) geometric
+//! run-length draws in place of one `gen_bool` per message). Both are
+//! pure representation changes — if any substrate batched differently
+//! it would fork the frozen RNG stream or the belief trajectory, and
+//! the full-report `assert_eq!`s below would catch the first diverging
+//! field. Kernel, sharded-at-one-worker and the virtual fabric share
+//! one stream and must match bit for bit; sharded at four workers runs
+//! per-shard streams, so its contract is byte-identical self-replay
+//! plus delivery/fault parity. The UDP-cluster leg of the same matrix
+//! lives in `crates/net/tests/udp_cluster.rs` (wall-clock lane).
+
+use diffuse::core::scenario::{FaultAction, FaultScript, Scenario, ScenarioReport, Workload};
+use diffuse::core::{AdaptiveBroadcast, AdaptiveParams, Payload};
+use diffuse::graph::generators;
+use diffuse::model::{Configuration, Probability, ProcessId};
+use diffuse::net::run_scenario_on_fabric_virtual;
+use diffuse::sim::SimTime;
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+const HORIZON: u64 = 140;
+
+/// The matrix's single scenario: a lossy circulant with a mid-run crash
+/// and a late loss degradation — dense enough that both evidence
+/// batching (suspicion churn at the crash) and batched delivery
+/// sampling (every heartbeat exchange crosses lossy links) are on the
+/// hot path.
+fn lossy_crash_scenario() -> Scenario {
+    let topology = generators::circulant(7, 4).unwrap();
+    let config = Configuration::uniform(
+        &topology,
+        Probability::ZERO,
+        Probability::new(0.12).unwrap(),
+    );
+    Scenario::builder(topology)
+        .config(config)
+        .seed(0xBA7C)
+        .link_delay(2)
+        .workload(
+            Workload::new()
+                .broadcast(SimTime::new(5), p(0), Payload::from("early"))
+                .broadcast(SimTime::new(55), p(3), Payload::from("mid-crash"))
+                .broadcast(SimTime::new(100), p(5), Payload::from("late")),
+        )
+        .faults(
+            FaultScript::new()
+                .at(
+                    SimTime::new(40),
+                    FaultAction::Crash {
+                        process: p(2),
+                        down_ticks: 25,
+                    },
+                )
+                .at(
+                    SimTime::new(90),
+                    FaultAction::DegradeAll {
+                        loss: Probability::new(0.3).unwrap(),
+                    },
+                ),
+        )
+        .build()
+}
+
+fn adaptive(scenario: &Scenario) -> impl Fn(ProcessId) -> AdaptiveBroadcast + '_ {
+    let topology = scenario.topology.clone();
+    let all: Vec<ProcessId> = topology.processes().collect();
+    // Spell the batch out instead of relying on the default: this test
+    // is the regime matrix for *batched* evidence specifically.
+    let params = AdaptiveParams::default()
+        .with_intervals(16)
+        .with_evidence_batch(16);
+    move |id| {
+        AdaptiveBroadcast::new(
+            id,
+            all.clone(),
+            topology.neighbors(id).collect(),
+            params.clone(),
+        )
+    }
+}
+
+/// Sanity for the whole matrix: the scenario is not vacuous on this
+/// substrate — messages were lost in-link (delivery sampling ran) and
+/// every fault executed.
+fn assert_exercised(report: &ScenarioReport, label: &str) {
+    assert_eq!(report.skipped_faults, 0, "{label}: skipped faults");
+    assert_eq!(report.failed_broadcasts, 0, "{label}: failed broadcasts");
+    let metrics = report
+        .metrics
+        .as_ref()
+        .unwrap_or_else(|| panic!("{label}: substrate must fill exact metrics"));
+    assert!(
+        metrics.lost_in_link() > 0,
+        "{label}: no in-link losses — the lossy regime was not exercised"
+    );
+    assert!(
+        report.delivered.values().any(|&d| d >= 2),
+        "{label}: deliveries too sparse: {report:?}"
+    );
+}
+
+/// Kernel ≡ sharded (1 and 4 workers) ≡ virtual-time fabric on the
+/// batched-evidence lossy crash scenario, field for field.
+#[test]
+fn batched_evidence_regime_is_bit_identical_across_substrates() {
+    let scenario = lossy_crash_scenario();
+    let make = adaptive(&scenario);
+
+    let kernel = scenario.run_sim(HORIZON, &make);
+    assert_exercised(&kernel, "kernel");
+
+    // One worker replays the kernel draw for draw — the full report,
+    // wire metrics included, must be bit-identical.
+    let sharded_one = scenario.run_sim_sharded(HORIZON, 1, &make);
+    assert_eq!(
+        kernel, sharded_one,
+        "kernel and sharded (1 worker) diverged"
+    );
+
+    // Four workers run per-shard RNG streams, so lossy wire metrics
+    // legitimately differ from the kernel's; the contract there is
+    // byte-identical self-replay plus delivery/fault parity.
+    let sharded_four = scenario.run_sim_sharded(HORIZON, 4, &make);
+    let again = scenario.run_sim_sharded(HORIZON, 4, &make);
+    assert_eq!(
+        format!("{sharded_four:?}"),
+        format!("{again:?}"),
+        "sharded (4 workers) must replay byte-identically"
+    );
+    assert_eq!(
+        kernel.delivered, sharded_four.delivered,
+        "kernel and sharded (4 workers) delivery sets diverged"
+    );
+    assert_eq!(kernel.failed_broadcasts, sharded_four.failed_broadcasts);
+    assert_eq!(sharded_four.skipped_faults, 0, "sharded: skipped faults");
+    assert_exercised(&sharded_four, "sharded (4 workers)");
+
+    let fabric = run_scenario_on_fabric_virtual(&scenario, HORIZON, &make);
+    assert_eq!(kernel, fabric, "kernel and virtual fabric diverged");
+    assert_exercised(&fabric, "virtual fabric");
+}
+
+/// The batch width is observable: per-observation evidence (batch 1)
+/// must produce a *different* trajectory than the batched default on
+/// the same seed — otherwise the matrix above is vacuous about
+/// batching.
+#[test]
+fn batch_width_changes_the_trajectory() {
+    let scenario = lossy_crash_scenario();
+    let topology = scenario.topology.clone();
+    let all: Vec<ProcessId> = topology.processes().collect();
+    let run = |batch: u32| {
+        let params = AdaptiveParams::default()
+            .with_intervals(16)
+            .with_evidence_batch(batch);
+        scenario.run_sim(HORIZON, |id| {
+            AdaptiveBroadcast::new(
+                id,
+                all.clone(),
+                topology.neighbors(id).collect(),
+                params.clone(),
+            )
+        })
+    };
+    let batched = run(16);
+    let per_observation = run(1);
+    assert_eq!(batched.skipped_faults, 0);
+    assert_eq!(per_observation.skipped_faults, 0);
+    assert_ne!(
+        format!("{batched:?}"),
+        format!("{per_observation:?}"),
+        "batch width 16 and 1 produced identical reports — batching is not reaching the estimator"
+    );
+}
