@@ -106,11 +106,19 @@ pub struct Estimate {
     beliefs: BeliefEstimator,
     distortion: Distortion,
     version: u64,
+    /// Set only by [`Estimate::forged`] — the adversary-engine marker.
+    /// Like the version it is local bookkeeping: it never travels on the
+    /// wire and is excluded from equality, but it *does* propagate
+    /// through adoption, so white-box containment tests can ask whether
+    /// any poisoned content survives in an honest store and at what
+    /// distortion.
+    tainted: bool,
 }
 
 impl PartialEq for Estimate {
     /// Equality over the gossiped content (beliefs + distortion); the
-    /// local [`version`](Estimate::version) stamp is excluded.
+    /// local [`version`](Estimate::version) stamp and the
+    /// [`tainted`](Estimate::tainted) marker are excluded.
     fn eq(&self, other: &Self) -> bool {
         self.beliefs == other.beliefs && self.distortion == other.distortion
     }
@@ -124,6 +132,7 @@ impl Estimate {
             beliefs: BeliefEstimator::new(intervals),
             distortion: Distortion::Infinite,
             version: 0,
+            tainted: false,
         }
     }
 
@@ -135,6 +144,7 @@ impl Estimate {
             beliefs: BeliefEstimator::new(intervals),
             distortion: Distortion::ZERO,
             version: 0,
+            tainted: false,
         }
     }
 
@@ -145,6 +155,26 @@ impl Estimate {
             beliefs,
             distortion,
             version: 0,
+            tainted: false,
+        }
+    }
+
+    /// Fabricates an estimate with an arbitrary distortion stamp and the
+    /// tainted marker set — the **adversary-only** constructor behind
+    /// every lying-node corruption mode.
+    ///
+    /// Honest protocol code must never call this: first-hand knowledge
+    /// comes from [`Estimate::first_hand`] and relayed knowledge always
+    /// passes through [`Estimate::adopt_if_better`] /
+    /// [`Estimate::adopt`], which increment the distortion. The
+    /// workspace lint (`adversary-forge`) confines callers to the
+    /// adversary modules and tests.
+    pub fn forged(beliefs: BeliefEstimator, distortion: Distortion) -> Self {
+        Estimate {
+            beliefs,
+            distortion,
+            version: 0,
+            tainted: true,
         }
     }
 
@@ -156,6 +186,13 @@ impl Estimate {
     /// How eroded this posterior is.
     pub fn distortion(&self) -> Distortion {
         self.distortion
+    }
+
+    /// Whether this estimate's content descends from a
+    /// [`forged`](Estimate::forged) one (local-only marker; see the
+    /// field docs).
+    pub fn tainted(&self) -> bool {
+        self.tainted
     }
 
     /// Monotone mutation counter: strictly increases across any sequence
@@ -202,6 +239,7 @@ impl Estimate {
             }
             self.beliefs = theirs.beliefs.clone();
             self.distortion = distortion;
+            self.tainted = theirs.tainted;
             true
         } else {
             false
@@ -218,6 +256,7 @@ impl Estimate {
         }
         self.beliefs = theirs.beliefs.clone();
         self.distortion = distortion;
+        self.tainted = theirs.tainted;
     }
 }
 
@@ -334,6 +373,42 @@ mod tests {
 
         e.adopt(&Estimate::unknown(5));
         assert!(e.version() > v3);
+    }
+
+    #[test]
+    fn forged_estimates_carry_and_propagate_taint() {
+        // lint:allow(adversary-forge): testing the adversary constructor itself.
+        let poison = Estimate::forged(BeliefEstimator::new(10), Distortion::ZERO);
+        assert!(poison.tainted());
+        assert_eq!(poison.distortion(), Distortion::ZERO);
+        assert_eq!(poison.version(), 0);
+        // Taint is excluded from equality, like the version stamp.
+        assert_eq!(poison, Estimate::first_hand(10));
+
+        // Adoption carries the taint into the adopting store, one hop
+        // more distorted — the containment bound under test everywhere.
+        let mut victim = Estimate::unknown(10);
+        assert!(victim.adopt_if_better(&poison));
+        assert!(victim.tainted());
+        assert_eq!(victim.distortion(), Distortion::finite(1));
+
+        // Re-adopting honest content washes the taint back out.
+        let honest = Estimate::first_hand(10);
+        assert!(victim.adopt_if_better(&honest));
+        assert!(!victim.tainted());
+
+        let mut relearned = Estimate::unknown(10);
+        relearned.adopt(&poison);
+        assert!(relearned.tainted());
+        relearned.adopt(&honest);
+        assert!(!relearned.tainted());
+    }
+
+    #[test]
+    fn honest_constructors_are_untainted() {
+        assert!(!Estimate::unknown(4).tainted());
+        assert!(!Estimate::first_hand(4).tainted());
+        assert!(!Estimate::from_parts(BeliefEstimator::new(4), Distortion::finite(2)).tainted());
     }
 
     #[test]

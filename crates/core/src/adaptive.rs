@@ -38,6 +38,7 @@ use diffuse_bayes::{Distortion, Estimate};
 use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
 use diffuse_sim::{SimTime, TimerId};
 
+use crate::adversary::ProtocolAudit;
 use crate::knowledge::{DeltaView, View};
 use crate::optimal::propagate;
 use crate::params::{AdaptiveParams, CorrectionMode, LinkBlame, ReconcileMode, ViewMode};
@@ -436,6 +437,9 @@ pub struct AdaptiveBroadcast {
     delivered: Vec<(BroadcastId, Payload)>,
     errors: u64,
     heartbeats_sent: u64,
+    /// Adversary-facing receiver counters: per-sender entries offered
+    /// vs. adopted, and future-stamped acks rejected.
+    audit: ProtocolAudit,
 }
 
 impl AdaptiveBroadcast {
@@ -534,6 +538,7 @@ impl AdaptiveBroadcast {
             delivered: Vec::new(),
             errors: 0,
             heartbeats_sent: 0,
+            audit: ProtocolAudit::default(),
             params,
         }
     }
@@ -882,6 +887,9 @@ impl AdaptiveBroadcast {
     fn merge_view_legacy(&mut self, from: ProcessId, view: &View, now: SimTime) {
         self.merge_topology(from, view.topology_version, &view.topology);
 
+        let mut adopted_count = 0u64;
+        let mut bound_violations = 0u64;
+
         // Process estimates: lines 26–27, selectBestEstimate for every
         // process. The sender's self-estimate has distortion 0 and is
         // always adopted.
@@ -891,6 +899,10 @@ impl AdaptiveBroadcast {
             }
             if let Some(record) = self.peers.get_mut(p) {
                 if record.estimate.adopt_if_better(theirs) {
+                    adopted_count += 1;
+                    if record.estimate.distortion() == Distortion::ZERO {
+                        bound_violations += 1;
+                    }
                     // Adoption counts as an update of C_k[p_i] (Event 2's
                     // "not updated … in the last ∆" clock restarts).
                     let at = now + record.timeout;
@@ -908,11 +920,20 @@ impl AdaptiveBroadcast {
         for (l, theirs) in &view.links {
             match self.links.get_mut(l) {
                 Some(mine) => {
-                    mine.adopt_if_better(theirs);
+                    if mine.adopt_if_better(theirs) {
+                        adopted_count += 1;
+                        if mine.distortion() == Distortion::ZERO {
+                            bound_violations += 1;
+                        }
+                    }
                 }
                 None => {
                     let mut adopted = Estimate::unknown(self.params.intervals);
                     adopted.adopt(theirs);
+                    adopted_count += 1;
+                    if adopted.distortion() == Distortion::ZERO {
+                        bound_violations += 1;
+                    }
                     self.links.insert(*l, adopted);
                     let merged = Arc::make_mut(&mut self.topology);
                     if !merged.contains_link(*l) {
@@ -922,6 +943,11 @@ impl AdaptiveBroadcast {
                 }
             }
         }
+
+        let sa = self.audit.sender(from);
+        sa.offered += (view.processes.len() + view.links.len()) as u64;
+        sa.adopted += adopted_count;
+        sa.bound_violations += bound_violations;
     }
 
     /// Delta-mode handling of a *full* view: same merge as the legacy
@@ -931,6 +957,9 @@ impl AdaptiveBroadcast {
     /// are acceptable here.
     fn merge_full_view(&mut self, from: ProcessId, view: &Arc<View>, now: SimTime) {
         self.merge_topology(from, view.topology_version, &view.topology);
+
+        let mut adopted_count = 0u64;
+        let mut bound_violations = 0u64;
 
         let mut mirror = NeighborMirror {
             generation: view.generation,
@@ -947,6 +976,10 @@ impl AdaptiveBroadcast {
             } else if let Some(record) = self.peers.get_mut(p) {
                 let adopted = record.estimate.adopt_if_better(theirs);
                 if adopted {
+                    adopted_count += 1;
+                    if record.estimate.distortion() == Distortion::ZERO {
+                        bound_violations += 1;
+                    }
                     let at = now + record.timeout;
                     if record.deadline != at {
                         record.deadline = at;
@@ -968,11 +1001,21 @@ impl AdaptiveBroadcast {
             let (adopted, my_version) = match self.links.get_mut(l) {
                 Some(mine) => {
                     let adopted = mine.adopt_if_better(theirs);
+                    if adopted {
+                        adopted_count += 1;
+                        if mine.distortion() == Distortion::ZERO {
+                            bound_violations += 1;
+                        }
+                    }
                     (adopted, mine.version())
                 }
                 None => {
                     let mut fresh = Estimate::unknown(self.params.intervals);
                     fresh.adopt(theirs);
+                    adopted_count += 1;
+                    if fresh.distortion() == Distortion::ZERO {
+                        bound_violations += 1;
+                    }
                     let v = fresh.version();
                     self.links.insert(*l, fresh);
                     let merged = Arc::make_mut(&mut self.topology);
@@ -991,6 +1034,11 @@ impl AdaptiveBroadcast {
             });
         }
         self.mirrors.insert(from, mirror);
+
+        let sa = self.audit.sender(from);
+        sa.offered += (view.processes.len() + view.links.len()) as u64;
+        sa.adopted += adopted_count;
+        sa.bound_violations += bound_violations;
     }
 
     /// Merges a delta view: evaluates the changed entries, re-evaluates
@@ -1015,6 +1063,9 @@ impl AdaptiveBroadcast {
             self.errors += 1;
             return;
         }
+
+        let mut adopted_count = 0u64;
+        let mut bound_violations = 0u64;
 
         // Swap in the new frame; the old one stays alive through this
         // merge for value resolution and the materialization pass.
@@ -1066,6 +1117,10 @@ impl AdaptiveBroadcast {
                     let theirs = &delta.processes[di].1;
                     let adopted = record.estimate.adopt_if_better(theirs);
                     if adopted {
+                        adopted_count += 1;
+                        if record.estimate.distortion() == Distortion::ZERO {
+                            bound_violations += 1;
+                        }
                         let at = now + record.timeout;
                         if record.deadline != at {
                             record.deadline = at;
@@ -1085,6 +1140,10 @@ impl AdaptiveBroadcast {
                     };
                     let adopted = record.estimate.adopt_if_better(theirs);
                     if adopted {
+                        adopted_count += 1;
+                        if record.estimate.distortion() == Distortion::ZERO {
+                            bound_violations += 1;
+                        }
                         let at = now + record.timeout;
                         if record.deadline != at {
                             record.deadline = at;
@@ -1137,7 +1196,14 @@ impl AdaptiveBroadcast {
                 // merge that built the mirror inserted it.
                 let Some(mine) = mine else { continue };
                 if changed {
-                    entry.adopted = mine.adopt_if_better(&delta.links[di].1);
+                    let adopted = mine.adopt_if_better(&delta.links[di].1);
+                    if adopted {
+                        adopted_count += 1;
+                        if mine.distortion() == Distortion::ZERO {
+                            bound_violations += 1;
+                        }
+                    }
+                    entry.adopted = adopted;
                     entry.my_version = mine.version();
                 } else if mine.version() != entry.my_version {
                     let theirs = match &entry.value {
@@ -1145,6 +1211,12 @@ impl AdaptiveBroadcast {
                         MirrorValue::Latest(idx) => frame_link(&old_frame, *idx),
                     };
                     let adopted = mine.adopt_if_better(theirs);
+                    if adopted {
+                        adopted_count += 1;
+                        if mine.distortion() == Distortion::ZERO {
+                            bound_violations += 1;
+                        }
+                    }
                     entry.adopted = adopted;
                     entry.my_version = mine.version();
                 }
@@ -1172,6 +1244,11 @@ impl AdaptiveBroadcast {
         self.member_scratch.0 = std::mem::replace(&mut mirror.latest_procs, new_procs);
         self.member_scratch.1 = std::mem::replace(&mut mirror.latest_links, new_links);
         mirror.generation = delta.generation;
+
+        let sa = self.audit.sender(from);
+        sa.offered += (delta.processes.len() + delta.links.len()) as u64;
+        sa.adopted += adopted_count;
+        sa.bound_violations += bound_violations;
     }
 }
 
@@ -1375,13 +1452,28 @@ impl AdaptiveBroadcast {
                     self.errors += 1;
                     return;
                 }
+                // Freshness is decided against the pre-reconcile
+                // sequence state (reconciliation advances `last_seq`).
+                let fresh = self.peers.get(&from).is_some_and(|r| seq > r.last_seq);
                 // Event 1: reconcile the direct link, then merge the view.
                 self.reconcile_link(from, seq, now);
                 if self.params.heartbeat_views == ViewMode::Delta {
                     // The sender's ack of *our* emissions anchors the
-                    // base of our future deltas to it.
+                    // base of our future deltas to it. Hardened against
+                    // lying senders two ways: acks naming a generation
+                    // we never emitted are rejected (and counted), and
+                    // the freshest heartbeat's ack is taken *verbatim*
+                    // rather than max-merged — honest acks are monotone
+                    // in `seq`, so for conformant senders this is the
+                    // old behavior bit for bit, while a within-range
+                    // forged ack gets repaired by the liar's next
+                    // honest heartbeat instead of wedging delta
+                    // emission to that neighbor forever.
+                    let generation = self.emission.generation;
                     let st = self.emission.neighbors.entry(from).or_default();
-                    if ack > st.acked {
+                    if ack > generation {
+                        self.audit.future_acks_rejected += 1;
+                    } else if fresh {
                         st.acked = ack;
                     }
                 }
@@ -1486,6 +1578,9 @@ impl Protocol for AdaptiveBroadcast {
                     self.errors += 1;
                 }
             }
+            // Corruption windows are consumed by the Adversary wrapper;
+            // the honest protocol never lies.
+            Event::Corrupt { .. } => {}
         }
     }
 
@@ -1522,6 +1617,10 @@ impl Protocol for AdaptiveBroadcast {
 
     fn delivered(&self) -> &[(BroadcastId, Payload)] {
         &self.delivered
+    }
+
+    fn audit(&self) -> ProtocolAudit {
+        self.audit.clone()
     }
 }
 

@@ -1,0 +1,652 @@
+//! The adversary engine: lying nodes and their containment accounting.
+//!
+//! The paper's adaptive diffusion is built for *unreliable* environments;
+//! its distortion machinery ([`Estimate::adopt_if_better`]'s strict
+//! ranking, the delta codec's full-view fallback) is what is supposed to
+//! contain nodes that do worse than crash — nodes that **lie**. This
+//! module makes such nodes constructible so the containment claims become
+//! testable:
+//!
+//! * [`CorruptionMode`] names the lie families: understated distortion
+//!   stamps, stale views re-stamped as fresh, and forged piggybacked
+//!   acks.
+//! * [`Adversary`] wraps any [`Protocol`] and, while a scripted
+//!   corruption window is active, rewrites the wrapped protocol's
+//!   outgoing heartbeats in place. An *inactive* adversary is
+//!   bit-for-bit the inner protocol, so every node of a scenario can be
+//!   wrapped and the fault script alone decides who lies — on the sim
+//!   kernel, the sharded kernel, and the virtual fabric alike.
+//! * [`ProtocolAudit`] / [`SenderAudit`] are the receiver-side counters
+//!   (entries offered vs. adopted per sender, future acks rejected) that
+//!   [`Containment`] aggregates into scenario-level containment metrics.
+//!
+//! Corrupted estimates are fabricated through [`Estimate::forged`] — the
+//! single constructor that can mint arbitrary distortion stamps — and the
+//! workspace lint confines its callers to this module, the chaos layer,
+//! and tests. The containment theorem this machinery checks is
+//! structural: honest stores only ever ingest remote content through
+//! `adopt_if_better`/`adopt`, which store it at `theirs.distortion + 1 ≥
+//! 1`, so no lie can ever occupy an honest store at distortion 0 — and
+//! first-hand (distortion-0) honest knowledge can therefore never lose to
+//! a forgery under the strict `<` ranking.
+
+use core::fmt;
+use std::collections::{BTreeMap, BTreeSet};
+use std::str::FromStr;
+use std::sync::Arc;
+
+use diffuse_bayes::{Distortion, Estimate};
+use diffuse_model::ProcessId;
+use diffuse_sim::SimTime;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::knowledge::{DeltaView, View};
+use crate::protocol::{
+    Actions, BroadcastId, Event, HeartbeatMessage, HeartbeatView, Message, Payload, Protocol,
+};
+use crate::CoreError;
+
+/// Golden-ratio odd multiplier (same family as the sharded executor's
+/// seed spreading).
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Domain-separation salt for lying-node streams: adversary draws must
+/// ride their own seeded streams so adversary-free scenarios keep their
+/// frozen kernel/fabric RNG streams bit-identical.
+const LIAR_SALT: u64 = 0xAD5E_ECA7_5EED_0001;
+
+/// SplitMix64 finalizer (Steele, Lea & Flood) — bijective mixer for seed
+/// derivation only; the streams themselves are the workspace's frozen
+/// `StdRng`.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(GOLDEN);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed for process `id`'s lying-node stream under run seed
+/// `run_seed`.
+///
+/// Pure function of `(run_seed, id)` and domain-separated from both the
+/// kernel's delivery stream and the message adversary's suppression
+/// stream, so the same scripted liar draws the same corruption schedule
+/// on every substrate.
+#[must_use]
+pub fn adversary_seed(run_seed: u64, id: ProcessId) -> u64 {
+    splitmix64(run_seed ^ LIAR_SALT ^ u64::from(id.index()).wrapping_mul(GOLDEN))
+}
+
+/// A lying-node corruption family (scripted via
+/// `FaultAction::Corrupt`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CorruptionMode {
+    /// Re-stamp every outgoing link estimate at distortion 0 with a
+    /// worsened posterior: the strongest possible claim ("first-hand
+    /// knowledge, the link is bad") about links the liar has no business
+    /// speaking for. Exercises `adopt_if_better`'s distortion bound.
+    UnderstateDistortion,
+    /// Cache the first view emitted inside the window and replay it on
+    /// every later heartbeat with fresh sequence numbers — stale but
+    /// fresh-stamped knowledge. Exercises idempotent re-application and
+    /// the cumulative-delta base rules.
+    StaleReplay,
+    /// Inflate the piggybacked `ack` field — claim to have merged view
+    /// generations the peer never emitted (or not yet). Exercises the
+    /// receiver's future-ack rejection and the delta codec's
+    /// full-view/first-contact fallback.
+    ForgeAck,
+}
+
+impl CorruptionMode {
+    /// Every mode, in a fixed order (test matrices iterate this).
+    pub const ALL: [CorruptionMode; 3] = [
+        CorruptionMode::UnderstateDistortion,
+        CorruptionMode::StaleReplay,
+        CorruptionMode::ForgeAck,
+    ];
+}
+
+impl fmt::Display for CorruptionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CorruptionMode::UnderstateDistortion => "understate",
+            CorruptionMode::StaleReplay => "stale",
+            CorruptionMode::ForgeAck => "forge-ack",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for CorruptionMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "understate" => Ok(CorruptionMode::UnderstateDistortion),
+            "stale" => Ok(CorruptionMode::StaleReplay),
+            "forge-ack" => Ok(CorruptionMode::ForgeAck),
+            other => Err(format!(
+                "unknown corruption mode `{other}` (expected understate|stale|forge-ack)"
+            )),
+        }
+    }
+}
+
+/// Receiver-side counters about one heartbeat sender.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SenderAudit {
+    /// Estimate entries (process + link) this sender's heartbeats
+    /// offered us.
+    pub offered: u64,
+    /// Offered entries our store actually adopted (via
+    /// `adopt_if_better`/`adopt`, including delta re-evaluations).
+    pub adopted: u64,
+    /// Adoptions that landed in our store at [`Distortion::ZERO`] —
+    /// structurally impossible (adoption increments), so any nonzero
+    /// count is a broken containment bound.
+    pub bound_violations: u64,
+}
+
+impl SenderAudit {
+    fn merge(&mut self, other: &SenderAudit) {
+        self.offered += other.offered;
+        self.adopted += other.adopted;
+        self.bound_violations += other.bound_violations;
+    }
+}
+
+/// One protocol instance's adversary-facing audit counters.
+///
+/// Every [`Protocol`] exposes these via [`Protocol::audit`]; the default
+/// is all-zero, so protocols without audit bookkeeping (gossip, optimal)
+/// participate in scenario reports for free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProtocolAudit {
+    /// Per-sender offer/adoption counters, keyed by the heartbeat
+    /// sender.
+    pub per_sender: BTreeMap<ProcessId, SenderAudit>,
+    /// Heartbeats whose piggybacked ack named a view generation we have
+    /// not emitted yet (rejected, ack state untouched).
+    pub future_acks_rejected: u64,
+    /// Heartbeats this node emitted while its corruption window was
+    /// active (nonzero only on lying nodes).
+    pub corrupt_emissions: u64,
+}
+
+impl ProtocolAudit {
+    /// The audit row for one sender, creating it at zero on first use.
+    pub fn sender(&mut self, from: ProcessId) -> &mut SenderAudit {
+        self.per_sender.entry(from).or_default()
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &ProtocolAudit) {
+        for (&from, audit) in &other.per_sender {
+            self.per_sender.entry(from).or_default().merge(audit);
+        }
+        self.future_acks_rejected += other.future_acks_rejected;
+        self.corrupt_emissions += other.corrupt_emissions;
+    }
+}
+
+/// Scenario-level containment metrics: what the adversaries did, and how
+/// far it got into honest stores.
+///
+/// Adversary-free scenarios report the all-zero value (the corrupt set
+/// is empty and no suppression ran), so report-equality suites that
+/// predate the adversary engine are unaffected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Containment {
+    /// Heartbeats emitted by lying nodes inside their corruption
+    /// windows.
+    pub corrupt_emissions: u64,
+    /// Estimate entries lying nodes offered to *correct* nodes.
+    pub corrupt_offers: u64,
+    /// Offered entries correct nodes adopted (at incremented
+    /// distortion — the bounded, self-healing kind of damage).
+    pub corrupt_adoptions: u64,
+    /// Adoptions by correct nodes that landed at distortion 0. The
+    /// containment theorem says this is always zero.
+    pub bound_violations: u64,
+    /// Emissions suppressed by the message adversary.
+    pub suppressed_emissions: u64,
+    /// Future-stamped acks correct nodes rejected.
+    pub future_acks_rejected: u64,
+}
+
+impl Containment {
+    /// Aggregates per-node audits into scenario containment metrics.
+    ///
+    /// `corrupt` is the set of scripted liars; offers/adoptions are
+    /// counted only where a **correct** node's audit names a corrupt
+    /// sender, and `corrupt_emissions` only from the liars' own
+    /// counters, so honest gossip between honest nodes never shows up
+    /// here.
+    pub fn assemble(
+        corrupt: &BTreeSet<ProcessId>,
+        audits: &BTreeMap<ProcessId, ProtocolAudit>,
+        suppressed_emissions: u64,
+    ) -> Self {
+        let mut c = Containment {
+            suppressed_emissions,
+            ..Containment::default()
+        };
+        for (node, audit) in audits {
+            if corrupt.contains(node) {
+                c.corrupt_emissions += audit.corrupt_emissions;
+                continue;
+            }
+            c.future_acks_rejected += audit.future_acks_rejected;
+            for (sender, sa) in &audit.per_sender {
+                if corrupt.contains(sender) {
+                    c.corrupt_offers += sa.offered;
+                    c.corrupt_adoptions += sa.adopted;
+                    c.bound_violations += sa.bound_violations;
+                }
+            }
+        }
+        c
+    }
+
+    /// `true` when nothing adversarial happened (the adversary-free
+    /// report value).
+    pub fn is_clean(&self) -> bool {
+        *self == Containment::default()
+    }
+}
+
+/// An active corruption window.
+#[derive(Debug, Clone)]
+struct ActiveWindow {
+    mode: CorruptionMode,
+    /// First tick at which the node is honest again.
+    until: SimTime,
+}
+
+/// Wraps a [`Protocol`] with a scripted lying-node layer.
+///
+/// Outside a corruption window the wrapper is transparent: it delegates
+/// every call and rewrites nothing, so a `Simulation<ProtocolActor<
+/// Adversary<P>>>` with no `Corrupt` fault scripted is bit-identical to
+/// one over plain `P`. [`Event::Corrupt`] (injected by the scenario
+/// engine's fault scripts) opens a window during which every outgoing
+/// [`Message::Heartbeat`] is rewritten per the scripted
+/// [`CorruptionMode`], drawing from the node's private
+/// [`adversary_seed`] stream.
+#[derive(Debug)]
+pub struct Adversary<P> {
+    inner: P,
+    rng: StdRng,
+    active: Option<ActiveWindow>,
+    /// [`CorruptionMode::StaleReplay`]'s cached first-in-window view.
+    stale: Option<HeartbeatView>,
+    corrupt_emissions: u64,
+}
+
+impl<P: Protocol> Adversary<P> {
+    /// Wraps `inner`, seeding the corruption stream from the run seed
+    /// and the node's identity.
+    pub fn new(inner: P, run_seed: u64) -> Self {
+        let seed = adversary_seed(run_seed, inner.id());
+        Adversary {
+            inner,
+            rng: StdRng::seed_from_u64(seed),
+            active: None,
+            stale: None,
+            corrupt_emissions: 0,
+        }
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped protocol.
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+
+    /// Heartbeats emitted inside corruption windows so far.
+    pub fn corrupt_emissions(&self) -> u64 {
+        self.corrupt_emissions
+    }
+
+    /// Whether a corruption window is open at `now`.
+    pub fn is_lying(&self, now: SimTime) -> bool {
+        self.active.as_ref().is_some_and(|w| now < w.until)
+    }
+
+    /// Rewrites the queued heartbeat sends in place if a window is
+    /// active, preserving send order.
+    fn rewrite(&mut self, now: SimTime, actions: &mut Actions) {
+        let mode = match &self.active {
+            Some(w) if now < w.until => w.mode,
+            Some(_) => {
+                // Window expired: drop the state so the node is honest
+                // (and allocation-free) again.
+                self.active = None;
+                self.stale = None;
+                return;
+            }
+            None => return,
+        };
+        let sends = actions.take_sends();
+        if sends.is_empty() {
+            return;
+        }
+        for (to, message) in sends {
+            let message = match message {
+                Message::Heartbeat(hb) => {
+                    self.corrupt_emissions += 1;
+                    Message::Heartbeat(corrupt_heartbeat(mode, hb, &mut self.rng, &mut self.stale))
+                }
+                other => other,
+            };
+            actions.send(to, message);
+        }
+    }
+}
+
+impl<P: Protocol> Protocol for Adversary<P> {
+    fn id(&self) -> ProcessId {
+        self.inner.id()
+    }
+
+    fn on_start(&mut self, now: SimTime, actions: &mut Actions) {
+        self.inner.on_start(now, actions);
+        self.rewrite(now, actions);
+    }
+
+    fn on_event(&mut self, now: SimTime, event: Event, actions: &mut Actions) {
+        if let Event::Corrupt { mode, window } = event {
+            self.active = Some(ActiveWindow {
+                mode,
+                until: now + window,
+            });
+            self.stale = None;
+            return;
+        }
+        self.inner.on_event(now, event, actions);
+        self.rewrite(now, actions);
+    }
+
+    fn broadcast(
+        &mut self,
+        now: SimTime,
+        payload: Payload,
+        actions: &mut Actions,
+    ) -> Result<BroadcastId, CoreError> {
+        let id = self.inner.broadcast(now, payload, actions)?;
+        self.rewrite(now, actions);
+        Ok(id)
+    }
+
+    fn delivered(&self) -> &[(BroadcastId, Payload)] {
+        self.inner.delivered()
+    }
+
+    fn audit(&self) -> ProtocolAudit {
+        let mut audit = self.inner.audit();
+        audit.corrupt_emissions += self.corrupt_emissions;
+        audit
+    }
+}
+
+/// Rewrites one heartbeat per the scripted corruption mode — the single
+/// corruption kernel shared by the in-process [`Adversary`] wrapper and
+/// the UDP cluster's chaos-level frame rewriting.
+///
+/// Draw discipline (part of the cross-substrate determinism contract):
+/// [`CorruptionMode::UnderstateDistortion`] and
+/// [`CorruptionMode::ForgeAck`] consume exactly one `u64` draw per
+/// heartbeat; [`CorruptionMode::StaleReplay`] consumes none.
+pub fn corrupt_heartbeat(
+    mode: CorruptionMode,
+    mut hb: HeartbeatMessage,
+    rng: &mut StdRng,
+    stale: &mut Option<HeartbeatView>,
+) -> HeartbeatMessage {
+    match mode {
+        CorruptionMode::UnderstateDistortion => {
+            // One worsening factor per heartbeat: every link estimate is
+            // re-stamped first-hand ("I observed this") with a posterior
+            // pushed toward unreliable.
+            let k = 1 + (rng.next_u64() % 32) as u32;
+            hb.view = match hb.view {
+                HeartbeatView::Full(view) => {
+                    let mut poisoned = View::clone(&view);
+                    poisoned.links = poison_links(&poisoned.links, k);
+                    HeartbeatView::Full(Arc::new(poisoned))
+                }
+                HeartbeatView::Delta(delta) => {
+                    let mut poisoned = DeltaView::clone(&delta);
+                    poisoned.links = poison_links(&poisoned.links, k);
+                    HeartbeatView::Delta(Arc::new(poisoned))
+                }
+            };
+        }
+        CorruptionMode::StaleReplay => match stale {
+            Some(cached) => hb.view = cached.clone(),
+            None => *stale = Some(hb.view.clone()),
+        },
+        CorruptionMode::ForgeAck => {
+            // Claim to have merged a generation ahead of anything the
+            // peer plausibly emitted. Small offsets land inside the
+            // peer's emitted range (poisoning its ack bookkeeping until
+            // an honest ack repairs it); larger ones trip the
+            // future-ack rejection. Both containment paths get
+            // exercised across a window.
+            hb.ack = hb.ack.saturating_add(1 + rng.next_u64() % 64);
+        }
+    }
+    hb
+}
+
+/// Re-stamps every link estimate as a distortion-0 forgery with the
+/// posterior worsened by `k` silence periods.
+fn poison_links(
+    links: &[(diffuse_model::LinkId, Arc<Estimate>)],
+    k: u32,
+) -> Vec<(diffuse_model::LinkId, Arc<Estimate>)> {
+    links
+        .iter()
+        .map(|(id, est)| {
+            let mut beliefs = est.beliefs().clone();
+            beliefs.decrease_reliability(k);
+            // lint:allow(adversary-forge): this *is* the adversary module.
+            (*id, Arc::new(Estimate::forged(beliefs, Distortion::ZERO)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffuse_bayes::BeliefEstimator;
+    use diffuse_model::LinkId;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn sample_heartbeat(view: HeartbeatView) -> HeartbeatMessage {
+        HeartbeatMessage {
+            seq: 9,
+            ack: 4,
+            view,
+        }
+    }
+
+    fn full_view() -> HeartbeatView {
+        let mut topo = diffuse_model::Topology::new();
+        topo.add_link(p(0), p(1)).unwrap();
+        HeartbeatView::Full(Arc::new(View {
+            generation: 3,
+            topology_version: 1,
+            topology: Arc::new(topo),
+            processes: vec![(p(0), Arc::new(Estimate::first_hand(10)))],
+            links: vec![(
+                LinkId::new(p(0), p(1)).unwrap(),
+                Arc::new(Estimate::from_parts(
+                    BeliefEstimator::new(10),
+                    Distortion::finite(2),
+                )),
+            )],
+        }))
+    }
+
+    #[test]
+    fn corruption_mode_round_trips_through_strings() {
+        for mode in CorruptionMode::ALL {
+            assert_eq!(mode.to_string().parse::<CorruptionMode>(), Ok(mode));
+        }
+        assert!("nonsense".parse::<CorruptionMode>().is_err());
+    }
+
+    #[test]
+    fn adversary_seed_is_domain_separated() {
+        // Distinct per process, distinct per run seed, never the raw
+        // run seed (which is the kernel delivery stream).
+        assert_ne!(adversary_seed(7, p(0)), adversary_seed(7, p(1)));
+        assert_ne!(adversary_seed(7, p(0)), adversary_seed(8, p(0)));
+        assert_ne!(adversary_seed(7, p(0)), 7);
+    }
+
+    #[test]
+    fn understate_forges_zero_distortion_links() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stale = None;
+        let hb = corrupt_heartbeat(
+            CorruptionMode::UnderstateDistortion,
+            sample_heartbeat(full_view()),
+            &mut rng,
+            &mut stale,
+        );
+        let HeartbeatView::Full(view) = hb.view else {
+            panic!("mode must not change the view flavor");
+        };
+        for (_, est) in &view.links {
+            assert_eq!(est.distortion(), Distortion::ZERO);
+            assert!(est.tainted());
+        }
+        // Process entries are left alone.
+        assert!(!view.processes[0].1.tainted());
+        assert!(stale.is_none());
+    }
+
+    #[test]
+    fn stale_replay_caches_then_replays() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut reference = StdRng::seed_from_u64(1);
+        let mut stale = None;
+        let first = corrupt_heartbeat(
+            CorruptionMode::StaleReplay,
+            sample_heartbeat(full_view()),
+            &mut rng,
+            &mut stale,
+        );
+        assert!(stale.is_some());
+
+        let mut fresher = sample_heartbeat(full_view());
+        fresher.seq = 10;
+        let replayed =
+            corrupt_heartbeat(CorruptionMode::StaleReplay, fresher, &mut rng, &mut stale);
+        // Fresh stamp, stale body.
+        assert_eq!(replayed.seq, 10);
+        assert_eq!(replayed.view, first.view);
+        // StaleReplay consumes no draws.
+        assert_eq!(rng.next_u64(), reference.next_u64());
+    }
+
+    #[test]
+    fn forge_ack_inflates_the_ack() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stale = None;
+        let hb = corrupt_heartbeat(
+            CorruptionMode::ForgeAck,
+            sample_heartbeat(full_view()),
+            &mut rng,
+            &mut stale,
+        );
+        assert!(hb.ack > 4 && hb.ack <= 4 + 64);
+    }
+
+    #[test]
+    fn containment_assembly_splits_corrupt_and_correct() {
+        let corrupt: BTreeSet<ProcessId> = [p(1)].into_iter().collect();
+        let mut audits: BTreeMap<ProcessId, ProtocolAudit> = BTreeMap::new();
+
+        // Correct node 0 heard from liar 1 and honest 2.
+        let mut a0 = ProtocolAudit::default();
+        *a0.sender(p(1)) = SenderAudit {
+            offered: 10,
+            adopted: 3,
+            bound_violations: 0,
+        };
+        *a0.sender(p(2)) = SenderAudit {
+            offered: 50,
+            adopted: 40,
+            bound_violations: 0,
+        };
+        a0.future_acks_rejected = 2;
+        audits.insert(p(0), a0);
+
+        // The liar's own audit only contributes its emission count.
+        let mut a1 = ProtocolAudit::default();
+        *a1.sender(p(0)) = SenderAudit {
+            offered: 99,
+            adopted: 99,
+            bound_violations: 99,
+        };
+        a1.corrupt_emissions = 7;
+        a1.future_acks_rejected = 99;
+        audits.insert(p(1), a1);
+
+        let c = Containment::assemble(&corrupt, &audits, 5);
+        assert_eq!(
+            c,
+            Containment {
+                corrupt_emissions: 7,
+                corrupt_offers: 10,
+                corrupt_adoptions: 3,
+                bound_violations: 0,
+                suppressed_emissions: 5,
+                future_acks_rejected: 2,
+            }
+        );
+        assert!(!c.is_clean());
+        assert!(Containment::default().is_clean());
+
+        // Adversary-free: empty corrupt set, no suppression.
+        let free = Containment::assemble(&BTreeSet::new(), &audits, 0);
+        assert_eq!(free.corrupt_offers, 0);
+        assert_eq!(free.corrupt_emissions, 0);
+    }
+
+    #[test]
+    fn audit_merge_sums_fields() {
+        let mut a = ProtocolAudit::default();
+        *a.sender(p(1)) = SenderAudit {
+            offered: 1,
+            adopted: 1,
+            bound_violations: 0,
+        };
+        a.future_acks_rejected = 1;
+        let mut b = ProtocolAudit::default();
+        *b.sender(p(1)) = SenderAudit {
+            offered: 2,
+            adopted: 0,
+            bound_violations: 1,
+        };
+        b.corrupt_emissions = 3;
+        a.merge(&b);
+        assert_eq!(a.sender(p(1)).offered, 3);
+        assert_eq!(a.sender(p(1)).adopted, 1);
+        assert_eq!(a.sender(p(1)).bound_violations, 1);
+        assert_eq!(a.future_acks_rejected, 1);
+        assert_eq!(a.corrupt_emissions, 3);
+    }
+}

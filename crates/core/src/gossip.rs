@@ -307,7 +307,7 @@ impl Protocol for ReferenceGossip {
         match event {
             Event::Message { from, message } => self.on_message(now, from, message, actions),
             Event::Timer(Self::STEP) => self.on_step_timer(now, actions),
-            Event::Timer(_) | Event::Recovery { .. } => {}
+            Event::Timer(_) | Event::Recovery { .. } | Event::Corrupt { .. } => {}
             Event::Broadcast(payload) => {
                 let _ = self.broadcast(now, payload, actions);
             }

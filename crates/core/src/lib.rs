@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 
 mod adaptive;
+pub mod adversary;
 pub mod analysis;
 mod error;
 mod gossip;
@@ -74,6 +75,10 @@ mod tree;
 mod waterfill;
 
 pub use adaptive::AdaptiveBroadcast;
+pub use adversary::{
+    adversary_seed, corrupt_heartbeat, Adversary, Containment, CorruptionMode, ProtocolAudit,
+    SenderAudit,
+};
 pub use diffuse_sim::TimerId;
 pub use error::CoreError;
 pub use gossip::ReferenceGossip;

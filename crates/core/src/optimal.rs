@@ -152,8 +152,9 @@ impl Protocol for OptimalBroadcast {
                 }
             }
             // Perfect knowledge needs no timers and survives crashes
-            // statelessly (stable storage holds `seen`).
-            Event::Timer(_) | Event::Recovery { .. } => {}
+            // statelessly (stable storage holds `seen`). Corruption
+            // windows are consumed by the Adversary wrapper.
+            Event::Timer(_) | Event::Recovery { .. } | Event::Corrupt { .. } => {}
             Event::Broadcast(payload) => {
                 if self.broadcast(now, payload, actions).is_err() {
                     self.errors += 1;

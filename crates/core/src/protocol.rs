@@ -23,6 +23,7 @@ use std::sync::Arc;
 use diffuse_model::ProcessId;
 use diffuse_sim::{Actor, Context, SimMessage, SimTime, TimerId};
 
+use crate::adversary::{CorruptionMode, ProtocolAudit};
 use crate::knowledge::{DeltaView, View};
 use crate::tree::SharedWireTree;
 
@@ -208,6 +209,16 @@ pub enum Event {
     /// that need the [`BroadcastId`] or retryable errors call
     /// [`Protocol::broadcast`] directly.
     Broadcast(Payload),
+    /// Opens a lying-node corruption window: for the next `window` ticks
+    /// the process emits heartbeats corrupted per `mode` (scripted via
+    /// `FaultAction::Corrupt`). Honest protocols ignore this event — it
+    /// is consumed by the [`Adversary`](crate::Adversary) wrapper.
+    Corrupt {
+        /// What kind of lie to tell.
+        mode: CorruptionMode,
+        /// Window length in ticks, starting now.
+        window: u64,
+    },
 }
 
 /// A buffered timer operation (see [`Actions::set_timer`]).
@@ -351,6 +362,14 @@ pub trait Protocol {
     /// Broadcast payloads delivered so far, in delivery order.
     fn delivered(&self) -> &[(BroadcastId, Payload)];
 
+    /// Adversary-facing audit counters (entries offered vs. adopted per
+    /// sender, rejected future acks, corrupt emissions). The default is
+    /// all-zero — protocols without audit bookkeeping participate in
+    /// scenario containment reports for free.
+    fn audit(&self) -> ProtocolAudit {
+        ProtocolAudit::default()
+    }
+
     /// Convenience wrapper: feeds an [`Event::Message`] to
     /// [`Protocol::on_event`].
     fn handle_message(
@@ -417,6 +436,14 @@ impl<P: Protocol> ProtocolActor<P> {
             .broadcast(ctx.now(), payload, &mut self.actions)?;
         self.flush(ctx);
         Ok(id)
+    }
+
+    /// Feeds an out-of-band event (e.g. [`Event::Corrupt`] from a fault
+    /// script) to the protocol and flushes the resulting sends into the
+    /// simulation context.
+    pub fn inject_event(&mut self, ctx: &mut Context<'_, Message>, event: Event) {
+        self.protocol.on_event(ctx.now(), event, &mut self.actions);
+        self.flush(ctx);
     }
 
     fn flush(&mut self, ctx: &mut Context<'_, Message>) {

@@ -42,12 +42,13 @@
 //! # }
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
 use diffuse_sim::{CrashModel, Metrics, ShardedKernel, SimOptions, SimTime, Simulation};
 
-use crate::protocol::{Payload, Protocol, ProtocolActor};
+use crate::adversary::{Containment, CorruptionMode, ProtocolAudit};
+use crate::protocol::{Event, Payload, Protocol, ProtocolActor};
 
 /// One scripted broadcast: at `at`, `origin` broadcasts `payload`.
 #[derive(Debug, Clone, PartialEq)]
@@ -162,6 +163,32 @@ pub enum FaultAction {
         /// Outage length in ticks.
         down_ticks: u64,
     },
+    /// Turn one process into a *lying node* for a bounded window: its
+    /// outgoing heartbeats are rewritten per `mode` by the process's
+    /// [`Adversary`](crate::Adversary) wrapper. Substrates execute this
+    /// by injecting [`Event::Corrupt`] into the process's protocol
+    /// stack; a substrate that cannot reach the process (or has no
+    /// corruption hook) counts the action in
+    /// [`ScenarioReport::skipped_faults`].
+    Corrupt {
+        /// The process that starts lying.
+        process: ProcessId,
+        /// How its heartbeats are corrupted.
+        mode: CorruptionMode,
+        /// Window length in ticks; the node is honest again afterwards.
+        window: u64,
+    },
+    /// (Re)configure the substrate's scheduled message adversary: from
+    /// now on it destroys up to `d` of each sender's emissions per
+    /// `window` ticks (`d == 0` switches it off). The adversary draws
+    /// from its own seeded stream, so loss sampling for surviving
+    /// messages is unchanged.
+    MessageAdversary {
+        /// Per-sender, per-window suppression budget.
+        d: u32,
+        /// Window length in ticks.
+        window: u64,
+    },
 }
 
 /// The two hooks a substrate exposes for fault injection: override a
@@ -176,6 +203,21 @@ pub trait FaultSink {
     fn set_loss(&mut self, link: LinkId, loss: Probability);
     /// Forces `process` down for the next `down_ticks` ticks.
     fn force_down(&mut self, process: ProcessId, down_ticks: u64);
+    /// Injects a corruption window into `process`'s protocol stack
+    /// (see [`FaultAction::Corrupt`]). Returns `false` when this
+    /// substrate has no corruption hook or cannot reach the process;
+    /// the action is then counted as skipped.
+    fn inject_corrupt(&mut self, process: ProcessId, mode: CorruptionMode, window: u64) -> bool {
+        let _ = (process, mode, window);
+        false
+    }
+    /// (Re)configures the substrate's message adversary (see
+    /// [`FaultAction::MessageAdversary`]). Returns `false` when
+    /// unsupported; the action is then counted as skipped.
+    fn set_message_adversary(&mut self, d: u32, window: u64) -> bool {
+        let _ = (d, window);
+        false
+    }
 }
 
 impl<A: diffuse_sim::Actor> FaultSink for Simulation<A> {
@@ -186,6 +228,11 @@ impl<A: diffuse_sim::Actor> FaultSink for Simulation<A> {
     fn force_down(&mut self, process: ProcessId, down_ticks: u64) {
         Simulation::force_down(self, process, down_ticks);
     }
+
+    fn set_message_adversary(&mut self, d: u32, window: u64) -> bool {
+        Simulation::set_message_adversary(self, d, window);
+        true
+    }
 }
 
 impl<A: diffuse_sim::Actor> FaultSink for ShardedKernel<A> {
@@ -195,6 +242,11 @@ impl<A: diffuse_sim::Actor> FaultSink for ShardedKernel<A> {
 
     fn force_down(&mut self, process: ProcessId, down_ticks: u64) {
         ShardedKernel::force_down(self, process, down_ticks);
+    }
+
+    fn set_message_adversary(&mut self, d: u32, window: u64) -> bool {
+        ShardedKernel::set_message_adversary(self, d, window);
+        true
     }
 }
 
@@ -208,7 +260,17 @@ impl FaultAction {
     /// the substrates cannot drift apart variant by variant. `base` is
     /// the scenario's base configuration, which [`FaultAction::Heal`]
     /// restores.
-    pub fn apply(&self, topology: &Topology, base: &Configuration, sink: &mut dyn FaultSink) {
+    ///
+    /// Returns how many actions (zero or one) the sink could not
+    /// execute — drivers accumulate this into
+    /// [`ScenarioReport::skipped_faults`].
+    #[must_use]
+    pub fn apply(
+        &self,
+        topology: &Topology,
+        base: &Configuration,
+        sink: &mut dyn FaultSink,
+    ) -> u64 {
         match self {
             FaultAction::SetLoss { link, loss } => sink.set_loss(*link, *loss),
             FaultAction::DegradeAll { loss } => {
@@ -230,7 +292,16 @@ impl FaultAction {
                 process,
                 down_ticks,
             } => sink.force_down(*process, *down_ticks),
+            FaultAction::Corrupt {
+                process,
+                mode,
+                window,
+            } => return u64::from(!sink.inject_corrupt(*process, *mode, *window)),
+            FaultAction::MessageAdversary { d, window } => {
+                return u64::from(!sink.set_message_adversary(*d, *window));
+            }
         }
+        0
     }
 }
 
@@ -435,13 +506,17 @@ pub struct ScenarioReport {
     /// conditions (incomplete knowledge, down origin) that never manage
     /// to issue before the run ends are counted here too.
     pub failed_broadcasts: u64,
-    /// Fault events the substrate could not execute. Every current
-    /// [`FaultAction`] variant is executable on both substrates (forced
-    /// crashes run cooperatively on the fabric), so this is zero on a
-    /// healthy run anywhere; the field stays so substrates that grow new,
-    /// partially-supported fault kinds have somewhere honest to count
-    /// them.
+    /// Fault events the substrate could not execute. Every
+    /// [`FaultAction`] variant is executable on the kernel, the sharded
+    /// executor, and the virtual-time fabric (forced crashes run
+    /// cooperatively on the fabric), so this is zero on a healthy run
+    /// there; substrates without a corruption or suppression hook count
+    /// [`FaultAction::Corrupt`] / [`FaultAction::MessageAdversary`]
+    /// events here instead of silently dropping them.
     pub skipped_faults: u64,
+    /// Adversary containment metrics (all-zero when the scenario
+    /// scripted no lying nodes and no message adversary).
+    pub containment: Containment,
     /// Wire-level metrics. Kernel and virtual-fabric runs fill these
     /// exactly (bit-comparable across those substrates); wall-clock
     /// fabric runs fill best-effort transport-level counters that are
@@ -582,6 +657,10 @@ pub struct ScenarioSim<P: Protocol> {
     topology: Topology,
     base_config: Configuration,
     script: ScriptSchedule,
+    skipped_faults: u64,
+    /// Processes a [`FaultAction::Corrupt`] ever targeted — the "liar
+    /// set" that containment metrics are assembled against.
+    corrupt: BTreeSet<ProcessId>,
 }
 
 impl<P: Protocol> std::fmt::Debug for ScenarioSim<P> {
@@ -607,6 +686,8 @@ impl<P: Protocol> ScenarioSim<P> {
             topology: scenario.topology.clone(),
             base_config: scenario.config.clone(),
             script: ScriptSchedule::new(scenario),
+            skipped_faults: 0,
+            corrupt: BTreeSet::new(),
         }
     }
 
@@ -670,7 +751,26 @@ impl<P: Protocol> ScenarioSim<P> {
     }
 
     fn apply_fault(&mut self, action: &FaultAction) {
-        action.apply(&self.topology, &self.base_config, &mut self.sim);
+        if let FaultAction::Corrupt { process, .. } = action {
+            self.corrupt.insert(*process);
+        }
+        let mut sink = KernelScriptSink { sim: &mut self.sim };
+        self.skipped_faults += action.apply(&self.topology, &self.base_config, &mut sink);
+    }
+
+    /// Containment metrics assembled from per-node protocol audits, the
+    /// scripted liar set, and the kernel's suppression counter.
+    pub fn containment(&self) -> Containment {
+        let audits: BTreeMap<ProcessId, ProtocolAudit> = self
+            .sim
+            .nodes()
+            .map(|(id, actor)| (id, actor.protocol().audit()))
+            .collect();
+        Containment::assemble(
+            &self.corrupt,
+            &audits,
+            self.sim.metrics().suppressed_by_adversary(),
+        )
     }
 
     /// Advances `n` ticks, applying script events at their scheduled
@@ -730,9 +830,68 @@ impl<P: Protocol> ScenarioSim<P> {
                 .map(|(id, actor)| (id, actor.protocol().delivered().len() as u64))
                 .collect(),
             failed_broadcasts: self.script.failed_broadcasts() + self.script.pending(),
-            skipped_faults: 0,
+            skipped_faults: self.skipped_faults,
+            containment: self.containment(),
             metrics: Some(self.sim.metrics().clone()),
         }
+    }
+}
+
+/// The kernel driver's fault sink: loss and crash hooks delegate to the
+/// [`Simulation`], and — because the driver knows its actors are
+/// [`ProtocolActor`]s — corruption windows are injected as
+/// [`Event::Corrupt`] through a live context, with the resulting sends
+/// flushed like any handler's.
+struct KernelScriptSink<'a, P: Protocol> {
+    sim: &'a mut Simulation<ProtocolActor<P>>,
+}
+
+impl<P: Protocol> FaultSink for KernelScriptSink<'_, P> {
+    fn set_loss(&mut self, link: LinkId, loss: Probability) {
+        self.sim.set_loss(link, loss);
+    }
+
+    fn force_down(&mut self, process: ProcessId, down_ticks: u64) {
+        self.sim.force_down(process, down_ticks);
+    }
+
+    fn inject_corrupt(&mut self, process: ProcessId, mode: CorruptionMode, window: u64) -> bool {
+        self.sim.command(process, |actor, ctx| {
+            actor.inject_event(ctx, Event::Corrupt { mode, window });
+        })
+    }
+
+    fn set_message_adversary(&mut self, d: u32, window: u64) -> bool {
+        self.sim.set_message_adversary(d, window);
+        true
+    }
+}
+
+/// [`KernelScriptSink`]'s twin for the sharded executor (commands run on
+/// the coordinator between segments, so the injection lands at a tick
+/// barrier on every shard).
+struct ShardedScriptSink<'a, P: Protocol + Send> {
+    sim: &'a mut ShardedKernel<ProtocolActor<P>>,
+}
+
+impl<P: Protocol + Send> FaultSink for ShardedScriptSink<'_, P> {
+    fn set_loss(&mut self, link: LinkId, loss: Probability) {
+        self.sim.set_loss(link, loss);
+    }
+
+    fn force_down(&mut self, process: ProcessId, down_ticks: u64) {
+        self.sim.force_down(process, down_ticks);
+    }
+
+    fn inject_corrupt(&mut self, process: ProcessId, mode: CorruptionMode, window: u64) -> bool {
+        self.sim.command(process, |actor, ctx| {
+            actor.inject_event(ctx, Event::Corrupt { mode, window });
+        })
+    }
+
+    fn set_message_adversary(&mut self, d: u32, window: u64) -> bool {
+        self.sim.set_message_adversary(d, window);
+        true
     }
 }
 
@@ -752,6 +911,8 @@ pub struct ShardedScenarioSim<P: Protocol + Send> {
     topology: Topology,
     base_config: Configuration,
     script: ScriptSchedule,
+    skipped_faults: u64,
+    corrupt: BTreeSet<ProcessId>,
 }
 
 impl<P: Protocol + Send> std::fmt::Debug for ShardedScenarioSim<P> {
@@ -780,6 +941,8 @@ impl<P: Protocol + Send> ShardedScenarioSim<P> {
             topology: scenario.topology.clone(),
             base_config: scenario.config.clone(),
             script: ScriptSchedule::new(scenario),
+            skipped_faults: 0,
+            corrupt: BTreeSet::new(),
         }
     }
 
@@ -811,11 +974,30 @@ impl<P: Protocol + Send> ShardedScenarioSim<P> {
     fn apply_due_events(&mut self) {
         let now = self.sim.now();
         for action in self.script.due_faults(now) {
-            action.apply(&self.topology, &self.base_config, &mut self.sim);
+            if let FaultAction::Corrupt { process, .. } = &action {
+                self.corrupt.insert(*process);
+            }
+            let mut sink = ShardedScriptSink { sim: &mut self.sim };
+            self.skipped_faults += action.apply(&self.topology, &self.base_config, &mut sink);
         }
         for event in self.script.due_broadcasts(now) {
             self.issue_broadcast(event);
         }
+    }
+
+    /// Containment metrics assembled from per-node protocol audits, the
+    /// scripted liar set, and the shards' suppression counters.
+    pub fn containment(&self) -> Containment {
+        let audits: BTreeMap<ProcessId, ProtocolAudit> = self
+            .sim
+            .nodes()
+            .map(|(id, actor)| (id, actor.protocol().audit()))
+            .collect();
+        Containment::assemble(
+            &self.corrupt,
+            &audits,
+            self.sim.metrics().suppressed_by_adversary(),
+        )
     }
 
     /// Issues one scripted broadcast; retryable outcomes defer to the
@@ -863,7 +1045,8 @@ impl<P: Protocol + Send> ShardedScenarioSim<P> {
                 .map(|(id, actor)| (id, actor.protocol().delivered().len() as u64))
                 .collect(),
             failed_broadcasts: self.script.failed_broadcasts() + self.script.pending(),
-            skipped_faults: 0,
+            skipped_faults: self.skipped_faults,
+            containment: self.containment(),
             metrics: Some(self.sim.metrics()),
         }
     }
@@ -977,6 +1160,74 @@ mod tests {
         run.run_ticks(30);
         assert!(run.sim().is_up(p(2)));
         assert!(run.report().all_delivered_at_least(1));
+    }
+
+    #[test]
+    fn adversarial_faults_execute_with_zero_skips() {
+        // One lying node plus a bounded message adversary on the
+        // kernel: both actions execute (nothing skipped), containment
+        // counters move, and no corrupted entry lands at distortion 0.
+        let topology = generators::complete(4).unwrap();
+        let all: Vec<ProcessId> = topology.processes().collect();
+        let neighbors = |id: ProcessId| topology.neighbors(id).collect::<Vec<_>>();
+        let scenario = Scenario::builder(topology.clone())
+            .seed(11)
+            .workload(Workload::new().broadcast(SimTime::new(60), p(1), Payload::from("x")))
+            .faults(
+                FaultScript::new()
+                    .at(
+                        SimTime::new(20),
+                        FaultAction::Corrupt {
+                            process: p(0),
+                            mode: CorruptionMode::UnderstateDistortion,
+                            window: 40,
+                        },
+                    )
+                    .at(
+                        SimTime::new(20),
+                        FaultAction::MessageAdversary { d: 1, window: 10 },
+                    )
+                    // Switched off before the broadcast, so the data
+                    // copies themselves run unsuppressed.
+                    .at(
+                        SimTime::new(50),
+                        FaultAction::MessageAdversary { d: 0, window: 1 },
+                    ),
+            )
+            .build();
+        let report = scenario.run_sim(200, |id| {
+            crate::Adversary::new(
+                crate::AdaptiveBroadcast::new(
+                    id,
+                    all.clone(),
+                    neighbors(id),
+                    crate::AdaptiveParams::default(),
+                ),
+                11,
+            )
+        });
+        assert_eq!(report.skipped_faults, 0);
+        let c = report.containment;
+        assert!(c.corrupt_emissions > 0, "{c:?}");
+        assert!(c.suppressed_emissions > 0, "{c:?}");
+        assert_eq!(c.bound_violations, 0, "{c:?}");
+        assert!(!c.is_clean());
+        assert!(report.all_delivered_at_least(1), "{report:?}");
+
+        // The sharded executor at one worker replays the kernel's run
+        // bit for bit — adversary streams included.
+        let sharded = scenario.run_sim_sharded(200, 1, |id| {
+            crate::Adversary::new(
+                crate::AdaptiveBroadcast::new(
+                    id,
+                    all.clone(),
+                    neighbors(id),
+                    crate::AdaptiveParams::default(),
+                ),
+                11,
+            )
+        });
+        assert_eq!(report, sharded);
     }
 
     #[test]

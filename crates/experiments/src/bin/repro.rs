@@ -8,8 +8,11 @@
 //! experiments: fig1 table1 fig4a fig4b fig5a fig5b fig6 hetero refine scenario scale all
 //!
 //! repro lint            # alias for `cargo run -p diffuse-lint -- check`
-//! repro soak [--quick] [--nodes N] [--ticks N] [--seed N]
-//!                       # chaos soak: multi-process UDP cluster under churn
+//! repro soak [--quick] [--adversary] [--nodes N] [--ticks N] [--seed N]
+//!                       # chaos soak: multi-process UDP cluster under churn,
+//!                       # or (--adversary) under a lying node + message
+//!                       # adversary; the long `repro soak --adversary`
+//!                       # profile is the nightly adversarial entry point
 //! ```
 
 #![forbid(unsafe_code)]
@@ -34,8 +37,10 @@ const USAGE: &str =
     "usage: repro <fig1|table1|fig4a|fig4b|fig5a|fig5b|fig6|hetero|refine|scenario|scale|all> \
      [--quick] [--csv] [--runs N] [--graphs N] [--seed N] [--workers N]\n       \
      repro lint   (determinism lint over the workspace; alias for `diffuse-lint check`)\n       \
-     repro soak [--quick] [--nodes N] [--ticks N] [--seed N]   \
-     (multi-process UDP soak under loss spikes, partition and crash+restart)";
+     repro soak [--quick] [--adversary] [--nodes N] [--ticks N] [--seed N]   \
+     (multi-process UDP soak under loss spikes, partition and crash+restart; \
+     --adversary swaps the churn for a lying node + message adversary — the long \
+     adversary profile is the nightly entry point)";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -75,9 +80,11 @@ fn run_lint() -> ExitCode {
     }
 }
 
-/// `repro soak`: launches the multi-process UDP chaos soak (loss
-/// spikes, partition + heal, hard crash + restart) and reports whether
-/// the delivery guarantee held.
+/// `repro soak`: launches the multi-process UDP chaos soak — churn
+/// profile (loss spikes, partition + heal, hard crash + restart) or,
+/// with `--adversary`, one lying node plus a message adversary — and
+/// reports whether the delivery guarantee held (and, adversarially,
+/// whether the interference was contained).
 fn run_soak_cli(args: &[String]) -> ExitCode {
     let mut options = if args.iter().any(|a| a == "--quick") {
         diffuse_net::SoakOptions::quick()
@@ -97,6 +104,7 @@ fn run_soak_cli(args: &[String]) -> ExitCode {
         };
         match a.as_str() {
             "--quick" => {}
+            "--adversary" => options.adversary = true,
             "--nodes" => match parse("--nodes") {
                 Ok(v) if v >= 8 => options.nodes = v as u32,
                 Ok(v) => {
@@ -132,17 +140,39 @@ fn run_soak_cli(args: &[String]) -> ExitCode {
         }
     };
     println!(
-        "[soak] accepted {} broadcasts from correct origins (+{} from the crashing node)",
-        report.accepted, report.accepted_from_crashed
+        "[soak] accepted {} broadcasts from correct origins (+{} exempt)",
+        report.accepted, report.accepted_exempt
     );
-    println!(
-        "[soak] crashed+restarted {:?}; {} correct processes; {} wire messages; \
-         {} malformed frames survived",
-        report.crashed,
-        report.correct.len(),
-        report.sent_total,
-        report.malformed_frames
-    );
+    if let Some(crashed) = report.crashed {
+        println!(
+            "[soak] crashed+restarted {:?}; {} correct processes; {} wire messages; \
+             {} malformed frames survived",
+            crashed,
+            report.correct.len(),
+            report.sent_total,
+            report.malformed_frames
+        );
+    }
+    if let Some(liar) = report.liar {
+        let c = &report.containment;
+        println!(
+            "[soak] liar {:?}: {} corrupted heartbeats on the wire, {} entries offered, \
+             {} adopted (bounded), {} bound violations; adversary suppressed {} frames; \
+             {} future acks rejected; {} faults skipped",
+            liar,
+            c.corrupt_emissions,
+            c.corrupt_offers,
+            c.corrupt_adoptions,
+            c.bound_violations,
+            c.suppressed_emissions,
+            c.future_acks_rejected,
+            report.skipped_faults
+        );
+        if !report.contained() {
+            println!("[soak] FAIL: adversarial interference was absent or uncontained");
+            return ExitCode::FAILURE;
+        }
+    }
     if report.complete() {
         println!(
             "[soak] PASS: every correct process delivered all {} broadcasts",

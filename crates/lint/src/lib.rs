@@ -23,8 +23,8 @@
 //! Rules: `no-wall-clock`, `no-ambient-rng`, `no-unordered-iteration`,
 //! `no-threading`,
 //! `det-pow`, `codec-tag-coverage`, `version-bump-audit`,
-//! `crate-hygiene` — see [`rules::RULES`] and the README's "Static
-//! analysis & determinism invariants" section.
+//! `adversary-forge`, `crate-hygiene` — see [`rules::RULES`] and the
+//! README's "Static analysis & determinism invariants" section.
 
 #![forbid(unsafe_code)]
 

@@ -19,6 +19,7 @@ pub const RULES: &[&str] = &[
     "batched-loss-draw",
     "codec-tag-coverage",
     "version-bump-audit",
+    "adversary-forge",
     "crate-hygiene",
 ];
 
@@ -200,6 +201,22 @@ fn line_rules(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 at,
                 "batched-loss-draw",
                 "per-message `gen_bool` in a message-path crate; route delivery sampling through `LossBatcher::should_drop` (crates/sim/src/loss.rs) so the batched draw order stays frozen",
+            ));
+        }
+
+        // Corruption constructors stay confined: `Estimate::forged`
+        // fabricates distortion stamps and the taint marker, which
+        // honest code only ever produces through `first_hand` /
+        // `adopt_if_better`. The definition site (ESTIMATE_FILE) is
+        // exempt; every caller — the adversary engine included — needs
+        // a reasoned site pragma, so each forge site is a deliberate,
+        // documented decision.
+        if file.path != ESTIMATE_FILE && contains_token(code, "forged(") {
+            out.push(Diagnostic::new(
+                &file.path,
+                at,
+                "adversary-forge",
+                "`Estimate::forged` outside the adversary engine; honest estimates come from `first_hand`/`adopt_if_better` — forge sites (adversary module, adversarial tests) need a reasoned site pragma",
             ));
         }
 

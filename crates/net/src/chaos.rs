@@ -18,7 +18,16 @@
 //!   dropped (the node-level cooperative crash in
 //!   [`NodeHandle::inject_crash`](crate::NodeHandle::inject_crash)
 //!   remains the scenario-faithful crash; mute is for soak-style
-//!   blackouts).
+//!   blackouts);
+//! * **corruption** — a lying-node window: egress heartbeats are
+//!   decoded, rewritten through the shared corruption kernel
+//!   ([`corrupt_heartbeat`]) and re-encoded, so a UDP worker lies on
+//!   the wire exactly as an [`Adversary`](diffuse_core::Adversary)-
+//!   wrapped protocol lies in process;
+//! * **suppression** — the message adversary: up to *d* of this
+//!   sender's emissions per window are destroyed before loss sampling,
+//!   reusing the kernel's [`MessageAdversary`] policy with wall time
+//!   mapped onto logical ticks.
 //!
 //! All randomness comes from one seeded [`StdRng`], so a chaos schedule
 //! is reproducible given `(seed, traffic)`. The policy is shared behind
@@ -31,15 +40,17 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
+use diffuse_core::{corrupt_heartbeat, CorruptionMode, HeartbeatView, Message};
 use diffuse_model::{LinkId, Probability, ProcessId};
-use diffuse_sim::{LossBatcher, Metrics};
+use diffuse_sim::{LossBatcher, MessageAdversary, Metrics, SimTime};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 use crate::clock::monotonic_now;
-use crate::codec::frame_kind;
+use crate::codec::{decode_message, encode_message, frame_kind};
 use crate::{NetError, Transport};
 
 /// Caps a single receive budget so `Instant + Duration` arithmetic
@@ -92,6 +103,11 @@ pub struct ChaosCounters {
     pub transient_recv: u64,
     /// Frames dropped (either direction) inside a mute window.
     pub muted: u64,
+    /// Egress heartbeats rewritten inside a lying-node window.
+    pub corrupted: u64,
+    /// Egress frames destroyed by the message adversary (counted as
+    /// sent, like the kernel's suppression hook).
+    pub suppressed: u64,
 }
 
 /// Shared state between a [`ChaosTransport`] and its [`ChaosControl`]s.
@@ -114,6 +130,51 @@ struct ChaosState {
     sent_cells: BTreeMap<(LinkId, &'static str), u64>,
     delivered_cells: BTreeMap<&'static str, u64>,
     lost: u64,
+    /// Active lying-node window: the scripted mode and its wall-clock
+    /// deadline.
+    corrupt: Option<(CorruptionMode, Instant)>,
+    /// The liar's private corruption stream (seeded per node via
+    /// [`adversary_seed`](diffuse_core::adversary_seed) by the caller).
+    liar_rng: StdRng,
+    /// `StaleReplay`'s cached first-in-window view.
+    stale: Option<HeartbeatView>,
+    /// The message adversary's suppression policy; windows measured in
+    /// ticks of `adversary_tick` since `adversary_epoch`.
+    adversary: MessageAdversary,
+    adversary_epoch: Instant,
+    adversary_tick: Duration,
+}
+
+impl ChaosState {
+    /// Applies an active lying-node window to one egress frame:
+    /// heartbeats are decoded, corrupted through the shared kernel, and
+    /// re-encoded; other frame kinds — and frames that fail to decode —
+    /// pass through untouched.
+    fn rewrite_egress(&mut self, kind: &str, frame: &[u8]) -> Option<Bytes> {
+        let (mode, until) = self.corrupt?;
+        if monotonic_now() >= until {
+            // Window expired: honest (and allocation-free) again.
+            self.corrupt = None;
+            self.stale = None;
+            return None;
+        }
+        if kind != "heartbeat" {
+            return None;
+        }
+        let Ok(Message::Heartbeat(hb)) = decode_message(frame) else {
+            return None;
+        };
+        let hb = corrupt_heartbeat(mode, hb, &mut self.liar_rng, &mut self.stale);
+        self.counters.corrupted += 1;
+        Some(encode_message(&Message::Heartbeat(hb)))
+    }
+
+    /// The current logical tick of the suppression clock.
+    fn adversary_now(&self) -> SimTime {
+        let elapsed = monotonic_now().saturating_duration_since(self.adversary_epoch);
+        let tick = self.adversary_tick.as_micros().max(1);
+        SimTime::new(u64::try_from(elapsed.as_micros() / tick).unwrap_or(u64::MAX))
+    }
 }
 
 /// A handle that reconfigures a running [`ChaosTransport`]'s policy and
@@ -150,6 +211,38 @@ impl ChaosControl {
     /// Enters or leaves a wire-level blackout window.
     pub fn set_mute(&self, mute: bool) {
         self.shared.state.lock().policy.mute = mute;
+    }
+
+    /// Opens a lying-node window: for the next `window` of wall time,
+    /// egress heartbeats are rewritten per `mode`, drawing from a fresh
+    /// corruption stream seeded with `seed` (callers derive it via
+    /// [`adversary_seed`](diffuse_core::adversary_seed) so the same
+    /// scripted liar draws the same schedule on every substrate).
+    pub fn set_corrupt(&self, mode: CorruptionMode, window: Duration, seed: u64) {
+        let mut state = self.shared.state.lock();
+        state.liar_rng = StdRng::seed_from_u64(seed);
+        state.stale = None;
+        state.corrupt = Some((mode, monotonic_now() + window));
+    }
+
+    /// (Re)configures the message adversary: suppress up to `d` of this
+    /// sender's emissions per `window_ticks` logical ticks of `tick`
+    /// wall time each, starting now. `d == 0` deactivates.
+    pub fn set_message_adversary(&self, d: u32, window_ticks: u64, tick: Duration) {
+        let mut state = self.shared.state.lock();
+        state.adversary_epoch = monotonic_now();
+        state.adversary_tick = tick.max(Duration::from_micros(1));
+        state.adversary.configure(d, window_ticks, SimTime::ZERO);
+    }
+
+    /// Egress frames destroyed by the message adversary so far.
+    pub fn suppressed(&self) -> u64 {
+        self.shared.state.lock().adversary.suppressed()
+    }
+
+    /// Egress heartbeats rewritten by lying-node windows so far.
+    pub fn corrupted(&self) -> u64 {
+        self.shared.state.lock().counters.corrupted
     }
 
     /// A snapshot of the injected-fault counters.
@@ -229,6 +322,12 @@ impl<T: Transport> ChaosTransport<T> {
                 sent_cells: BTreeMap::new(),
                 delivered_cells: BTreeMap::new(),
                 lost: 0,
+                corrupt: None,
+                liar_rng: StdRng::seed_from_u64(seed),
+                stale: None,
+                adversary: MessageAdversary::inactive(seed),
+                adversary_epoch: monotonic_now(),
+                adversary_tick: Duration::from_millis(1),
             }),
         });
         let control = ChaosControl {
@@ -309,7 +408,7 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         let from = self.local_id();
         let link = LinkId::new(from, to).ok();
         // One state lock per send: sample every decision at once.
-        let copies = {
+        let (copies, rewritten) = {
             let mut state = self.shared.state.lock();
             if state.policy.mute {
                 state.counters.muted += 1;
@@ -321,6 +420,22 @@ impl<T: Transport> Transport for ChaosTransport<T> {
                 drop(state);
                 return self.inner.send(to, frame);
             };
+            // Lying-node window first: the corruption stream advances
+            // once per emitted heartbeat, exactly like the in-process
+            // Adversary wrapper (which rewrites before any drop
+            // decision is made).
+            let rewritten = state.rewrite_egress(kind, frame);
+            // Message adversary next: a suppressed emission counts as
+            // sent (the node did emit it) but consumes no loss draws,
+            // matching the kernel's suppression ordering.
+            if state.adversary.is_active() {
+                let tick = state.adversary_now();
+                if state.adversary.should_suppress(from, tick) {
+                    state.counters.suppressed += 1;
+                    *state.sent_cells.entry((link, kind)).or_insert(0) += 1;
+                    return Ok(());
+                }
+            }
             let loss = state.policy.loss_for(link);
             let lost = !loss.is_zero() && {
                 let state = &mut *state;
@@ -343,8 +458,9 @@ impl<T: Transport> Transport for ChaosTransport<T> {
                 1u64
             };
             *state.sent_cells.entry((link, kind)).or_insert(0) += copies;
-            copies
+            (copies, rewritten)
         };
+        let frame: &[u8] = rewritten.as_deref().unwrap_or(frame);
         for _ in 0..copies {
             match self.inner.send(to, frame) {
                 Ok(()) => {}
@@ -598,6 +714,92 @@ mod tests {
             .unwrap()
             .is_none());
         assert_eq!(control.counters().transient_recv, 1);
+    }
+
+    fn heartbeat_frame() -> Bytes {
+        let mut topo = diffuse_model::Topology::new();
+        topo.add_link(p(0), p(1)).unwrap();
+        let view = diffuse_core::View {
+            generation: 1,
+            topology_version: 1,
+            topology: Arc::new(topo),
+            processes: vec![(p(0), Arc::new(diffuse_bayes::Estimate::first_hand(5)))],
+            links: vec![(
+                link(0, 1),
+                Arc::new(diffuse_bayes::Estimate::from_parts(
+                    diffuse_bayes::BeliefEstimator::new(5),
+                    diffuse_bayes::Distortion::finite(2),
+                )),
+            )],
+        };
+        encode_message(&Message::Heartbeat(diffuse_core::HeartbeatMessage {
+            seq: 1,
+            ack: 0,
+            view: HeartbeatView::Full(Arc::new(view)),
+        }))
+    }
+
+    #[test]
+    fn corrupt_window_rewrites_heartbeats_on_the_wire() {
+        let (a, control, mut b) = chaotic_pair(21);
+        control.set_corrupt(
+            CorruptionMode::UnderstateDistortion,
+            Duration::from_secs(60),
+            diffuse_core::adversary_seed(21, p(0)),
+        );
+        a.send(p(1), &heartbeat_frame()).unwrap();
+        let (_, frame) = b.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
+        let Ok(Message::Heartbeat(hb)) = decode_message(&frame) else {
+            panic!("rewritten frame must stay a decodable heartbeat");
+        };
+        let HeartbeatView::Full(view) = hb.view else {
+            panic!("corruption must not change the view flavor");
+        };
+        // The taint marker is in-memory only (the wire format is
+        // frozen), so assert the observable forgery: first-hand
+        // stamping plus a posterior pushed toward failure (`mean()` is
+        // the posterior mean of the *failure* probability).
+        let honest = diffuse_bayes::BeliefEstimator::new(5);
+        for (_, est) in &view.links {
+            assert_eq!(est.distortion(), diffuse_bayes::Distortion::ZERO);
+            assert!(est.beliefs().mean() > honest.mean());
+        }
+        assert_eq!(control.corrupted(), 1);
+
+        // Non-heartbeat frames pass through unmodified.
+        a.send(p(1), b"not a heartbeat").unwrap();
+        let (_, raw) = b.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
+        assert_eq!(raw, b"not a heartbeat");
+        assert_eq!(control.corrupted(), 1);
+    }
+
+    #[test]
+    fn message_adversary_is_bounded_and_counts_sends() {
+        let (a, control, mut b) = chaotic_pair(33);
+        // One long window with a budget of 4: across 64 sends the
+        // adversary destroys at least one and at most 4 frames.
+        control.set_message_adversary(4, 1_000_000, Duration::from_millis(1));
+        for _ in 0..64 {
+            a.send(p(1), b"s").unwrap();
+        }
+        let suppressed = control.suppressed();
+        assert!(suppressed >= 1, "an active adversary should act");
+        assert!(suppressed <= 4, "budget exceeded: {suppressed}");
+        assert_eq!(control.counters().suppressed, suppressed);
+        // Suppressed frames still count as sent, and are not loss.
+        assert_eq!(control.metrics().sent_total(), 64);
+        assert_eq!(control.lost(), 0);
+        // The survivors all arrive.
+        let mut got = 0u64;
+        while b.recv_timeout(Duration::from_millis(50)).unwrap().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 64 - suppressed);
+
+        // Deactivation restores pass-through.
+        control.set_message_adversary(0, 1, Duration::from_millis(1));
+        a.send(p(1), b"clear").unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(2)).unwrap().is_some());
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! comes from the shared [`ScriptSchedule`], so all three substrates
 //! execute the same events; fault actions translate to wire-level
 //! behavior (loss/partition → per-link egress loss in the worker's
-//! chaos policy, crash → the node runtime's cooperative crash window),
-//! and nothing is ever skipped ([`ScenarioReport::skipped_faults`] is
-//! zero).
+//! chaos policy, crash → the node runtime's cooperative crash window,
+//! lying nodes → chaos-level heartbeat rewriting, the message adversary
+//! → chaos-level egress suppression), and nothing is ever skipped
+//! ([`ScenarioReport::skipped_faults`] is zero).
 //!
 //! # Worker processes
 //!
@@ -40,8 +41,8 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use diffuse_core::scenario::{FaultSink, Scenario, ScenarioReport, ScriptSchedule};
 use diffuse_core::{
-    AdaptiveBroadcast, AdaptiveParams, NetworkKnowledge, OptimalBroadcast, Payload, Protocol,
-    ReferenceGossip,
+    adversary_seed, AdaptiveBroadcast, AdaptiveParams, Containment, CorruptionMode,
+    NetworkKnowledge, OptimalBroadcast, Payload, Protocol, ProtocolAudit, ReferenceGossip,
 };
 use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
 use diffuse_sim::{Metrics, SimTime};
@@ -179,6 +180,10 @@ impl Protocol for ClusterProtocol {
 
     fn delivered(&self) -> &[(diffuse_core::BroadcastId, Payload)] {
         delegate!(self, p => p.delivered())
+    }
+
+    fn audit(&self) -> ProtocolAudit {
+        delegate!(self, p => p.audit())
     }
 }
 
@@ -371,6 +376,10 @@ enum WorkerCommand {
     Loss(LinkId, Probability),
     Delay(Option<(Duration, Duration)>),
     Duplicate(Probability),
+    /// Open a lying-node window: `CORRUPT <mode> <window_ticks>`.
+    Corrupt(CorruptionMode, u64),
+    /// (Re)configure the message adversary: `ADV <d> <window_ticks>`.
+    Adversary(u32, u64),
     Stop,
 }
 
@@ -407,6 +416,17 @@ fn parse_command(line: &str) -> Result<WorkerCommand, NetError> {
                 Probability::new(p).map_err(|_| NetError::Invalid("DUP out of range"))?,
             ))
         }
+        Some("CORRUPT") => {
+            let mode: CorruptionMode = words
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(NetError::Invalid("unknown CORRUPT mode"))?;
+            Ok(WorkerCommand::Corrupt(mode, parse_num(words.next())?))
+        }
+        Some("ADV") => Ok(WorkerCommand::Adversary(
+            parse_num(words.next())?,
+            parse_num(words.next())?,
+        )),
         Some("STOP") => Ok(WorkerCommand::Stop),
         _ => Err(NetError::Invalid("unknown control command")),
     }
@@ -491,6 +511,21 @@ fn worker_main(spec: &str) -> Result<(), NetError> {
                 Ok(WorkerCommand::Loss(link, p)) => control.set_link_loss(link, p),
                 Ok(WorkerCommand::Delay(range)) => control.set_delay(range),
                 Ok(WorkerCommand::Duplicate(p)) => control.set_duplicate(p),
+                Ok(WorkerCommand::Corrupt(mode, window)) => {
+                    // Chaos-level frame rewriting (the ISSUE's UDP
+                    // execution of `FaultAction::Corrupt`): the liar's
+                    // stream is the same per-(seed, id) stream the
+                    // in-process Adversary wrapper would draw from.
+                    let tick_us = u64::try_from(spec.tick.as_micros()).unwrap_or(u64::MAX);
+                    control.set_corrupt(
+                        mode,
+                        Duration::from_micros(tick_us.saturating_mul(window)),
+                        adversary_seed(spec.seed, spec.id),
+                    );
+                }
+                Ok(WorkerCommand::Adversary(d, window)) => {
+                    control.set_message_adversary(d, window, spec.tick);
+                }
                 Ok(WorkerCommand::Stop) => break 'run,
                 Err(_) => break,
             }
@@ -509,7 +544,7 @@ fn worker_main(spec: &str) -> Result<(), NetError> {
         writeln!(out, "D {} {}", id.origin.index(), id.seq).map_err(NetError::Io)?;
     }
     let malformed = handle.malformed_frames();
-    handle.shutdown();
+    let audit = handle.shutdown_with_audit();
 
     for (link, kind, n) in control.sent_cells() {
         writeln!(
@@ -524,6 +559,23 @@ fn worker_main(spec: &str) -> Result<(), NetError> {
         writeln!(out, "M DELIV {kind} {n}").map_err(NetError::Io)?;
     }
     writeln!(out, "M LOST {}", control.lost()).map_err(NetError::Io)?;
+    writeln!(out, "M SUPP {}", control.suppressed()).map_err(NetError::Io)?;
+    // Adversary-containment audit: corrupt emissions come from the
+    // chaos layer (corruption is wire-level on this substrate), the
+    // receiver-side counters from the protocol.
+    writeln!(out, "A CE {}", control.corrupted()).map_err(NetError::Io)?;
+    writeln!(out, "A FUT {}", audit.future_acks_rejected).map_err(NetError::Io)?;
+    for (sender, sa) in &audit.per_sender {
+        writeln!(
+            out,
+            "A S {} {} {} {}",
+            sender.index(),
+            sa.offered,
+            sa.adopted,
+            sa.bound_violations
+        )
+        .map_err(NetError::Io)?;
+    }
     writeln!(out, "MAL {malformed}").map_err(NetError::Io)?;
     writeln!(out, "DONE {delivered_count}").map_err(NetError::Io)?;
     out.flush().map_err(NetError::Io)?;
@@ -543,6 +595,14 @@ enum WorkerEvent {
     Sent(LinkId, &'static str, u64),
     Delivered(&'static str, u64),
     Lost(u64),
+    Suppressed(u64),
+    /// Heartbeats the worker's chaos layer rewrote (lying nodes only).
+    AuditEmissions(u64),
+    /// Future-stamped acks the worker's protocol rejected.
+    AuditFuture(u64),
+    /// Per-sender offer/adoption counters: `(sender, offered, adopted,
+    /// bound_violations)`.
+    AuditSender(ProcessId, u64, u64, u64),
     Malformed(u64),
     Done(u64),
     Exited,
@@ -571,6 +631,18 @@ fn parse_event(line: &str) -> Option<WorkerEvent> {
                 words.next()?.parse().ok()?,
             )),
             "LOST" => Some(WorkerEvent::Lost(words.next()?.parse().ok()?)),
+            "SUPP" => Some(WorkerEvent::Suppressed(words.next()?.parse().ok()?)),
+            _ => None,
+        },
+        "A" => match words.next()? {
+            "CE" => Some(WorkerEvent::AuditEmissions(words.next()?.parse().ok()?)),
+            "FUT" => Some(WorkerEvent::AuditFuture(words.next()?.parse().ok()?)),
+            "S" => Some(WorkerEvent::AuditSender(
+                ProcessId::new(words.next()?.parse().ok()?),
+                words.next()?.parse().ok()?,
+                words.next()?.parse().ok()?,
+                words.next()?.parse().ok()?,
+            )),
             _ => None,
         },
         "MAL" => Some(WorkerEvent::Malformed(words.next()?.parse().ok()?)),
@@ -635,6 +707,12 @@ pub struct UdpCluster {
     metrics: Metrics,
     malformed: u64,
     done_counts: BTreeMap<ProcessId, u64>,
+    /// Processes a `FaultAction::Corrupt` was scripted against.
+    corrupt: BTreeSet<ProcessId>,
+    /// Per-worker adversary-containment audits, merged from `A` lines.
+    audits: BTreeMap<ProcessId, ProtocolAudit>,
+    /// Emissions destroyed by the message adversary, cluster-wide.
+    suppressed: u64,
 }
 
 /// The report a finished cluster run produces, alongside the
@@ -684,6 +762,9 @@ impl UdpCluster {
             metrics: Metrics::new(),
             malformed: 0,
             done_counts: BTreeMap::new(),
+            corrupt: BTreeSet::new(),
+            audits: BTreeMap::new(),
+            suppressed: 0,
         };
         let ids: Vec<ProcessId> = topology.processes().collect();
         for &id in &ids {
@@ -816,6 +897,19 @@ impl UdpCluster {
             WorkerEvent::Sent(link, kind, n) => self.metrics.record_sent_batch(link, kind, n),
             WorkerEvent::Delivered(kind, n) => self.metrics.record_delivered_batch(kind, n),
             WorkerEvent::Lost(n) => self.metrics.record_lost_batch(n),
+            WorkerEvent::Suppressed(n) => self.suppressed += n,
+            WorkerEvent::AuditEmissions(n) => {
+                self.audits.entry(id).or_default().corrupt_emissions += n;
+            }
+            WorkerEvent::AuditFuture(n) => {
+                self.audits.entry(id).or_default().future_acks_rejected += n;
+            }
+            WorkerEvent::AuditSender(sender, offered, adopted, violations) => {
+                let sa = self.audits.entry(id).or_default().sender(sender);
+                sa.offered += offered;
+                sa.adopted += adopted;
+                sa.bound_violations += violations;
+            }
             WorkerEvent::Malformed(n) => self.malformed += n,
             WorkerEvent::Done(n) => {
                 self.done_counts.insert(id, n);
@@ -921,9 +1015,10 @@ impl UdpCluster {
     }
 
     /// Stops every worker, collects final deliveries and metrics, and
-    /// produces the cluster report. `failed_broadcasts` is supplied by
-    /// the driver (the cluster cannot see schedule-level failures).
-    pub fn finish(mut self, failed_broadcasts: u64) -> ClusterReport {
+    /// produces the cluster report. `failed_broadcasts` and
+    /// `skipped_faults` are supplied by the driver (the cluster cannot
+    /// see schedule-level failures or skips).
+    pub fn finish(mut self, failed_broadcasts: u64, skipped_faults: u64) -> ClusterReport {
         let ids: Vec<ProcessId> = self.nodes.keys().copied().collect();
         for &id in &ids {
             self.write_line(id, "STOP");
@@ -965,7 +1060,8 @@ impl UdpCluster {
             report: ScenarioReport {
                 delivered,
                 failed_broadcasts,
-                skipped_faults: 0,
+                skipped_faults,
+                containment: Containment::assemble(&self.corrupt, &self.audits, self.suppressed),
                 metrics: Some(self.metrics.clone()),
             },
             delivered_ids: self.delivered_ids.clone(),
@@ -1000,6 +1096,27 @@ impl FaultSink for UdpCluster {
 
     fn force_down(&mut self, process: ProcessId, down_ticks: u64) {
         self.write_line(process, &format!("CRASH {down_ticks}"));
+    }
+
+    fn inject_corrupt(&mut self, process: ProcessId, mode: CorruptionMode, window: u64) -> bool {
+        // Recorded as scripted-corrupt even if the write fails, so the
+        // containment assembly never misclassifies a liar as correct
+        // (the kernel driver records before applying the same way).
+        self.corrupt.insert(process);
+        self.write_line(process, &format!("CORRUPT {mode} {window}"))
+    }
+
+    fn set_message_adversary(&mut self, d: u32, window: u64) -> bool {
+        // A cluster-wide policy: every worker's chaos layer suppresses
+        // its own egress. Reaching any live worker counts as executed —
+        // dead workers have no emissions left to suppress.
+        let line = format!("ADV {d} {window}");
+        let ids: Vec<ProcessId> = self.nodes.keys().copied().collect();
+        let mut reached = false;
+        for id in ids {
+            reached |= self.write_line(id, &line);
+        }
+        reached
     }
 }
 
@@ -1039,11 +1156,12 @@ pub fn run_scenario_on_udp_cluster(
     let mut script = ScriptSchedule::new(scenario);
     let horizon_tick = SimTime::new(options.run_ticks);
     let session = clock.begin();
+    let mut skipped = 0u64;
     while let Some(at) = script.next_time().filter(|&at| at < horizon_tick) {
         session.sleep_until(at);
         cluster.pump();
         for action in script.due_faults(at) {
-            action.apply(&scenario.topology, &scenario.config, &mut cluster);
+            skipped += action.apply(&scenario.topology, &scenario.config, &mut cluster);
         }
         for event in script.due_broadcasts(at) {
             if !cluster.broadcast(event.origin, event.payload.as_bytes()) {
@@ -1054,7 +1172,7 @@ pub fn run_scenario_on_udp_cluster(
     session.sleep_until(horizon_tick);
     session.settle(options.settle);
 
-    let report = cluster.finish(script.failed_broadcasts());
+    let report = cluster.finish(script.failed_broadcasts(), skipped);
     Ok(report.report)
 }
 
@@ -1155,11 +1273,24 @@ mod tests {
             WorkerCommand::Duplicate(_)
         ));
         assert!(matches!(
+            parse_command("CORRUPT understate 40").unwrap(),
+            WorkerCommand::Corrupt(CorruptionMode::UnderstateDistortion, 40)
+        ));
+        assert!(matches!(
+            parse_command("CORRUPT forge-ack 12").unwrap(),
+            WorkerCommand::Corrupt(CorruptionMode::ForgeAck, 12)
+        ));
+        assert!(matches!(
+            parse_command("ADV 2 30").unwrap(),
+            WorkerCommand::Adversary(2, 30)
+        ));
+        assert!(matches!(
             parse_command("STOP").unwrap(),
             WorkerCommand::Stop
         ));
         assert!(parse_command("FLY me to the moon").is_err());
         assert!(parse_command("LOSS 3 3 0.5").is_err(), "self-loop");
+        assert!(parse_command("CORRUPT warp-drive 4").is_err());
     }
 
     #[test]
@@ -1183,6 +1314,22 @@ mod tests {
         assert!(matches!(
             parse_event("M LOST 9"),
             Some(WorkerEvent::Lost(9))
+        ));
+        assert!(matches!(
+            parse_event("M SUPP 4"),
+            Some(WorkerEvent::Suppressed(4))
+        ));
+        assert!(matches!(
+            parse_event("A CE 11"),
+            Some(WorkerEvent::AuditEmissions(11))
+        ));
+        assert!(matches!(
+            parse_event("A FUT 3"),
+            Some(WorkerEvent::AuditFuture(3))
+        ));
+        assert!(matches!(
+            parse_event("A S 2 10 4 0"),
+            Some(WorkerEvent::AuditSender(sender, 10, 4, 0)) if sender == p(2)
         ));
         assert!(matches!(
             parse_event("MAL 2"),

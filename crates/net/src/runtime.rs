@@ -21,8 +21,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use diffuse_core::{Actions, BroadcastId, CoreError, Event, Payload, Protocol};
+use diffuse_core::{
+    Actions, BroadcastId, CoreError, CorruptionMode, Event, Payload, Protocol, ProtocolAudit,
+};
 use diffuse_sim::{SimTime, TimerId};
+use parking_lot::Mutex;
 
 use crate::clock::{Clock, WallClock, WallSession};
 use crate::codec::{decode_message, encode_message};
@@ -34,6 +37,7 @@ use crate::{NetError, Transport};
 enum Command {
     Broadcast(Payload),
     Crash { down_ticks: u64 },
+    Corrupt { mode: CorruptionMode, window: u64 },
     Shutdown,
 }
 
@@ -62,6 +66,9 @@ pub struct NodeHandle {
     deliveries: Receiver<(BroadcastId, Payload)>,
     wakeups: Arc<AtomicU64>,
     malformed: Arc<AtomicU64>,
+    /// The protocol's final [`ProtocolAudit`], written by the node
+    /// thread as it exits.
+    final_audit: Arc<Mutex<Option<ProtocolAudit>>>,
     /// Set for virtual-time nodes: retiring the node from its authority
     /// is what unblocks the parked thread on shutdown.
     vclock: Option<VirtualClock>,
@@ -120,6 +127,29 @@ impl NodeHandle {
             .map_err(|_| NetError::Closed)
     }
 
+    /// Opens a corruption window: from its next wakeup the node's
+    /// protocol stack sees [`Event::Corrupt`] — an
+    /// [`Adversary`](diffuse_core::Adversary)-wrapped protocol starts
+    /// rewriting its heartbeats for `window` logical ticks. The fabric
+    /// analogue of the kernel driver's scripted
+    /// `FaultAction::Corrupt` injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Closed`] if the node has shut down, and
+    /// [`NetError::Unsupported`] on a virtual-time node (use
+    /// [`VirtualNet::inject_corrupt`](crate::VirtualNet::inject_corrupt)).
+    pub fn inject_corrupt(&self, mode: CorruptionMode, window: u64) -> Result<(), NetError> {
+        if self.vclock.is_some() {
+            return Err(NetError::Unsupported(
+                "corruption on a virtual-time node goes through VirtualNet::inject_corrupt",
+            ));
+        }
+        self.commands
+            .send(Command::Corrupt { mode, window })
+            .map_err(|_| NetError::Closed)
+    }
+
     /// Receives the next delivered broadcast, waiting up to `timeout`.
     ///
     /// Returns `Ok(None)` on timeout.
@@ -164,6 +194,15 @@ impl NodeHandle {
     /// docs for the drop equivalent).
     pub fn shutdown(mut self) {
         self.shutdown_in_place();
+    }
+
+    /// Like [`NodeHandle::shutdown`], but returns the protocol's final
+    /// [`ProtocolAudit`] — the receiver-side adversary-containment
+    /// counters the UDP cluster worker ships back over its control
+    /// channel.
+    pub fn shutdown_with_audit(mut self) -> ProtocolAudit {
+        self.shutdown_in_place();
+        self.final_audit.lock().take().unwrap_or_default()
     }
 
     fn shutdown_in_place(&mut self) {
@@ -222,6 +261,8 @@ where
     let wakeup_counter = Arc::clone(&wakeups);
     let malformed = Arc::new(AtomicU64::new(0));
     let malformed_counter = Arc::clone(&malformed);
+    let final_audit: Arc<Mutex<Option<ProtocolAudit>>> = Arc::new(Mutex::new(None));
+    let audit_slot = Arc::clone(&final_audit);
 
     let vclock = match &clock {
         Clock::Wall(_) => None,
@@ -236,6 +277,7 @@ where
             delivery_tx,
             wakeup_counter,
             malformed_counter,
+            audit_slot,
         ),
         Clock::Virtual(virt) => run_virtual_node(
             protocol,
@@ -244,6 +286,7 @@ where
             delivery_tx,
             wakeup_counter,
             malformed_counter,
+            audit_slot,
         ),
     });
 
@@ -252,6 +295,7 @@ where
         deliveries: delivery_rx,
         wakeups,
         malformed,
+        final_audit,
         vclock,
         thread: Some(thread),
     }
@@ -268,6 +312,7 @@ struct CrashWindow {
 }
 
 /// The wall-clock event loop.
+#[allow(clippy::too_many_arguments)]
 fn run_wall_node<P, T>(
     mut protocol: P,
     mut transport: T,
@@ -276,6 +321,7 @@ fn run_wall_node<P, T>(
     delivery_tx: Sender<(BroadcastId, Payload)>,
     wakeup_counter: Arc<AtomicU64>,
     malformed_counter: Arc<AtomicU64>,
+    audit_slot: Arc<Mutex<Option<ProtocolAudit>>>,
 ) where
     P: Protocol + Send + 'static,
     T: Transport + 'static,
@@ -326,6 +372,11 @@ fn run_wall_node<P, T>(
                         started,
                         until: now + down_ticks,
                     });
+                }
+                Ok(Command::Corrupt { mode, window }) => {
+                    protocol.on_event(now, Event::Corrupt { mode, window }, &mut actions);
+                    absorb_timers(&mut timers, &mut actions);
+                    flush(&mut actions, &transport, &delivery_tx);
                 }
                 Ok(Command::Shutdown) | Err(TryRecvError::Disconnected) => {
                     shutting_down = true;
@@ -408,6 +459,7 @@ fn run_wall_node<P, T>(
             Err(_) => break 'run,
         }
     }
+    *audit_slot.lock() = Some(protocol.audit());
 }
 
 /// The virtual-clock turn loop: executes exactly the handler invocations
@@ -419,6 +471,7 @@ fn run_virtual_node<P, T>(
     delivery_tx: Sender<(BroadcastId, Payload)>,
     wakeup_counter: Arc<AtomicU64>,
     malformed_counter: Arc<AtomicU64>,
+    audit_slot: Arc<Mutex<Option<ProtocolAudit>>>,
 ) where
     P: Protocol + Send + 'static,
     T: Transport + 'static,
@@ -439,6 +492,7 @@ fn run_virtual_node<P, T>(
         wakeup_counter.fetch_add(1, Ordering::Relaxed);
         let now = clock.now();
         let mut outcome = None;
+        let mut audit = None;
         match turn {
             Turn::Start => protocol.on_start(now, &mut actions),
             Turn::Deliver { from, frame } => {
@@ -464,6 +518,10 @@ fn run_virtual_node<P, T>(
                     Err(_) => BroadcastOutcome::Failed,
                 });
             }
+            Turn::Corrupt { mode, window } => {
+                protocol.on_event(now, Event::Corrupt { mode, window }, &mut actions)
+            }
+            Turn::Audit => audit = Some(protocol.audit()),
         }
         // A broadcast that did not issue is not flushed — anything it
         // buffered waits for the next handler, exactly like the kernel's
@@ -478,8 +536,9 @@ fn run_virtual_node<P, T>(
             flush(&mut actions, &transport, &delivery_tx);
             actions.take_timer_ops()
         };
-        clock.complete_turn(timer_ops, outcome);
+        clock.complete_turn(timer_ops, outcome, audit);
     }
+    *audit_slot.lock() = Some(protocol.audit());
 }
 
 /// Moves the timer operations a handler emitted into the runtime's

@@ -20,14 +20,20 @@
 //!   metrics included.
 //!
 //! Every [`FaultAction`](diffuse_core::scenario::FaultAction) — including [`FaultAction::Crash`](diffuse_core::scenario::FaultAction::Crash), executed
-//! cooperatively by the node runtimes — runs on both modes, so
-//! [`ScenarioReport::skipped_faults`] is zero everywhere.
+//! cooperatively by the node runtimes, and the adversarial pair
+//! [`FaultAction::Corrupt`](diffuse_core::scenario::FaultAction::Corrupt) /
+//! [`FaultAction::MessageAdversary`](diffuse_core::scenario::FaultAction::MessageAdversary) —
+//! runs on the virtual clock, so its [`ScenarioReport::skipped_faults`]
+//! is zero for every scenario. The wall-clock runner executes
+//! everything except `MessageAdversary` (its transports have no
+//! deterministic suppression hook); such events are counted in
+//! `skipped_faults` rather than silently dropped.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
-use diffuse_core::scenario::{FaultSink, Scenario, ScenarioReport, ScriptSchedule};
-use diffuse_core::Protocol;
+use diffuse_core::scenario::{FaultAction, FaultSink, Scenario, ScenarioReport, ScriptSchedule};
+use diffuse_core::{Containment, CorruptionMode, Protocol, ProtocolAudit};
 use diffuse_model::{Probability, ProcessId};
 use diffuse_sim::SimTime;
 
@@ -107,6 +113,7 @@ where
     // it), and the two substrates must agree on which events a run
     // executes.
     let mut script = ScriptSchedule::new(scenario);
+    let mut skipped = 0u64;
     let horizon_tick = SimTime::new(options.run_ticks);
     let session = clock.begin();
     while let Some(at) = script.next_time().filter(|&at| at < horizon_tick) {
@@ -116,7 +123,7 @@ where
                 control: &control,
                 handles: &handles,
             };
-            action.apply(&scenario.topology, &scenario.config, &mut sink);
+            skipped += action.apply(&scenario.topology, &scenario.config, &mut sink);
         }
         for event in script.due_broadcasts(at) {
             let ok = handles
@@ -148,7 +155,11 @@ where
     ScenarioReport {
         delivered,
         failed_broadcasts: script.failed_broadcasts(),
-        skipped_faults: 0,
+        skipped_faults: skipped,
+        // Wall runs do not collect protocol audits (node threads are
+        // joined without an audit hook) — containment metrics come from
+        // the kernel and virtual-time substrates.
+        containment: Containment::default(),
         // Transport-level counters: best effort, NOT kernel-comparable
         // (different RNG stream, real scheduling, delivered-at-enqueue
         // semantics — see FabricControl::metrics). Collected after the
@@ -178,6 +189,15 @@ impl FaultSink for WallSink<'_> {
             let _ = handle.inject_crash(down_ticks);
         }
     }
+
+    fn inject_corrupt(&mut self, process: ProcessId, mode: CorruptionMode, window: u64) -> bool {
+        self.handles
+            .get(&process)
+            .is_some_and(|handle| handle.inject_corrupt(mode, window).is_ok())
+    }
+    // set_message_adversary keeps the default `false`: the wall
+    // fabric's transports have no deterministic suppression hook, so
+    // the action is honestly reported as skipped.
 }
 
 /// Runs `scenario` on the virtual-time fabric for `run_ticks` virtual
@@ -221,6 +241,8 @@ where
     // repeat. Faults at t=0 land before the on_start turns — the same
     // order the kernel's lazy ensure_started produces.
     let mut script = ScriptSchedule::new(scenario);
+    let mut skipped = 0u64;
+    let mut corrupt: BTreeSet<ProcessId> = BTreeSet::new();
     let end = SimTime::new(run_ticks);
     loop {
         let now = net.now();
@@ -228,7 +250,10 @@ where
             break;
         }
         for action in script.due_faults(now) {
-            action.apply(&scenario.topology, &scenario.config, &mut VirtualSink(&net));
+            if let FaultAction::Corrupt { process, .. } = &action {
+                corrupt.insert(*process);
+            }
+            skipped += action.apply(&scenario.topology, &scenario.config, &mut VirtualSink(&net));
         }
         net.start();
         for event in script.due_broadcasts(now) {
@@ -241,6 +266,14 @@ where
         let target = script.next_time().filter(|&t| t <= end).unwrap_or(end);
         net.run_ticks(target - net.now());
     }
+
+    // Collect per-node protocol audits while the node threads are
+    // still parked (an audit turn runs no handler and draws no
+    // randomness), then assemble containment exactly as the kernel
+    // driver does.
+    let audits: BTreeMap<ProcessId, ProtocolAudit> =
+        ids.iter().map(|&id| (id, net.audit(id))).collect();
+    let suppressed = net.suppressed_by_adversary();
 
     // Nothing is in flight past the horizon by construction; release
     // the parked node threads and collect.
@@ -260,7 +293,8 @@ where
     ScenarioReport {
         delivered,
         failed_broadcasts: script.failed_broadcasts() + script.pending(),
-        skipped_faults: 0,
+        skipped_faults: skipped,
+        containment: Containment::assemble(&corrupt, &audits, suppressed),
         metrics: Some(net.metrics()),
     }
 }
@@ -278,6 +312,15 @@ impl FaultSink for VirtualSink<'_> {
 
     fn force_down(&mut self, process: ProcessId, down_ticks: u64) {
         self.0.force_down(process, down_ticks);
+    }
+
+    fn inject_corrupt(&mut self, process: ProcessId, mode: CorruptionMode, window: u64) -> bool {
+        self.0.inject_corrupt(process, mode, window)
+    }
+
+    fn set_message_adversary(&mut self, d: u32, window: u64) -> bool {
+        self.0.set_message_adversary(d, window);
+        true
     }
 }
 

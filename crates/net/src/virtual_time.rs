@@ -34,9 +34,11 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-use diffuse_core::{Payload, TimerOp};
+use diffuse_core::{CorruptionMode, Payload, ProtocolAudit, TimerOp};
 use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
-use diffuse_sim::{CrashModel, CrashState, LossBatcher, Metrics, SimTime, TimerId};
+use diffuse_sim::{
+    CrashModel, CrashState, LossBatcher, MessageAdversary, Metrics, SimTime, TimerId,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -65,6 +67,18 @@ pub(crate) enum Turn {
     },
     /// Attempt to issue a broadcast.
     Broadcast(Payload),
+    /// Open a corruption window on the node's protocol stack (the
+    /// fabric's `FaultAction::Corrupt` hook).
+    Corrupt {
+        /// How outgoing heartbeats are rewritten.
+        mode: CorruptionMode,
+        /// Window length in ticks.
+        window: u64,
+    },
+    /// Report the protocol's audit counters back to the authority
+    /// (granted once per node at collection time; runs no handler and
+    /// draws no randomness).
+    Audit,
 }
 
 /// What a broadcast turn produced (see [`VirtualNet::broadcast`]).
@@ -126,6 +140,8 @@ struct NodeSlot {
     retired: bool,
     /// Outcome reported by the last broadcast turn.
     outcome: Option<BroadcastOutcome>,
+    /// Audit reported by the last audit turn.
+    audit: Option<ProtocolAudit>,
 }
 
 impl NodeSlot {
@@ -136,6 +152,7 @@ impl NodeSlot {
             done: false,
             retired: false,
             outcome: None,
+            audit: None,
         }
     }
 }
@@ -151,6 +168,10 @@ struct VState {
     /// Batched loss sampling over the authority's stream — the same
     /// cells, same draw order as the kernel's `flush_outbox`.
     loss_runs: LossBatcher,
+    /// Scheduled message adversary on its own seeded stream, mirroring
+    /// the kernel's field (inactive by default: adversary-free runs
+    /// draw nothing from it).
+    adversary: MessageAdversary,
     next_seq: u64,
     in_flight: BinaryHeap<Reverse<Flight>>,
     /// Pending timer deadlines, one per `(process, timer)` pair …
@@ -208,6 +229,18 @@ impl VirtualCore {
         };
         let kind = frame_kind(frame);
         s.metrics.record_sent_batch(link, kind, 1);
+        // The message adversary acts before link loss and consumes no
+        // loss draws (it has its own stream), so surviving frames see
+        // the exact loss schedule of an adversary-free run — the
+        // kernel's flush_outbox order.
+        let now = s.now;
+        {
+            let state = &mut *s;
+            if state.adversary.should_suppress(from, now) {
+                state.metrics.record_suppressed();
+                return;
+            }
+        }
         let loss = s.loss.loss(link).value();
         if loss > 0.0 {
             // Reborrow the guard so the sampler and generator (disjoint
@@ -315,6 +348,7 @@ impl VirtualNet {
                     crash_model: options.crash_model,
                     rng: StdRng::seed_from_u64(seed),
                     loss_runs: LossBatcher::new(),
+                    adversary: MessageAdversary::inactive(seed),
                     next_seq: 0,
                     in_flight: BinaryHeap::new(),
                     timers: BTreeMap::new(),
@@ -382,6 +416,63 @@ impl VirtualNet {
             }
             node.crash.force_down(ticks);
         }
+    }
+
+    /// (Re)configures the scheduled message adversary — the kernel's
+    /// `Simulation::set_message_adversary` with the same private
+    /// stream seeding, so adversarial runs stay bit-identical to the
+    /// kernel. `d == 0` deactivates it.
+    pub fn set_message_adversary(&self, d: u32, window: u64) {
+        let mut s = self.core.lock();
+        let now = s.now;
+        s.adversary.configure(d, window, now);
+    }
+
+    /// Emissions destroyed by the message adversary so far.
+    pub fn suppressed_by_adversary(&self) -> u64 {
+        self.core.lock().adversary.suppressed()
+    }
+
+    /// Opens a corruption window on `id`'s protocol stack by granting
+    /// it a [`Turn::Corrupt`] — the fabric's hook for
+    /// `FaultAction::Corrupt`. Mirrors the kernel's `Simulation::command`
+    /// semantics: starts the net if needed and refuses (returns
+    /// `false`, running no handler) when the process is unknown, down,
+    /// or retired.
+    pub fn inject_corrupt(&self, id: ProcessId, mode: CorruptionMode, window: u64) -> bool {
+        self.start();
+        {
+            let s = self.core.lock();
+            match s.nodes.get(&id) {
+                None => return false,
+                Some(node) if !node.crash.up || node.retired => return false,
+                Some(_) => {}
+            }
+        }
+        self.run_turn(id, Turn::Corrupt { mode, window });
+        true
+    }
+
+    /// Collects `id`'s protocol audit counters by granting an audit
+    /// turn (no handler runs, no randomness is drawn). Returns the
+    /// all-zero audit for unknown or retired nodes. Call after the run
+    /// horizon and before [`VirtualNet::shutdown`].
+    pub fn audit(&self, id: ProcessId) -> ProtocolAudit {
+        {
+            let s = self.core.lock();
+            match s.nodes.get(&id) {
+                None => return ProtocolAudit::default(),
+                Some(node) if node.retired => return ProtocolAudit::default(),
+                Some(_) => {}
+            }
+        }
+        self.run_turn(id, Turn::Audit);
+        self.core
+            .lock()
+            .nodes
+            .get_mut(&id)
+            .and_then(|node| node.audit.take())
+            .unwrap_or_default()
     }
 
     /// Runs every node's `on_start` handler, in process-id order.
@@ -658,8 +749,14 @@ impl VirtualClock {
 
     /// Reports the granted turn as finished, publishing the timer
     /// operations the handler emitted (applied in emission order, as the
-    /// kernel's `apply_timer_ops` does).
-    pub(crate) fn complete_turn(&self, timer_ops: Vec<TimerOp>, outcome: Option<BroadcastOutcome>) {
+    /// kernel's `apply_timer_ops` does) and, for audit turns, the
+    /// protocol's audit counters.
+    pub(crate) fn complete_turn(
+        &self,
+        timer_ops: Vec<TimerOp>,
+        outcome: Option<BroadcastOutcome>,
+        audit: Option<ProtocolAudit>,
+    ) {
         let mut s = self.core.lock();
         for (timer, op) in timer_ops {
             let key = (self.id, timer);
@@ -673,6 +770,9 @@ impl VirtualClock {
         }
         if let Some(node) = s.nodes.get_mut(&self.id) {
             node.outcome = outcome;
+            if audit.is_some() {
+                node.audit = audit;
+            }
             node.done = true;
         }
         self.core.cv.notify_all();

@@ -9,14 +9,29 @@
 //! the malformed counter's exact value can be asserted; the codec fuzz
 //! additionally throws bit flips and random soup, where decoding may
 //! legitimately succeed — the property is totality, not rejection.
+//!
+//! A fourth family sits *past* the decoder: semantically hostile frames
+//! that are perfectly well-formed on the wire — heartbeats naming links
+//! between processes outside the system, acks for view generations the
+//! receiver never emitted, view generations that roll backward. The
+//! codec cannot reject these (they are valid encodings); the protocol
+//! must absorb them: rejected frames are counted (`error_count`,
+//! `future_acks_rejected`), no-op frames leave the receiver's view
+//! bit-identical, and the node keeps delivering either way.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
-use diffuse_core::{BroadcastId, GossipMessage, Message, ReferenceGossip};
-use diffuse_model::{Configuration, Probability, ProcessId, Topology};
-use diffuse_net::codec::{decode_message, encode_message, frame_kind};
+use diffuse_bayes::{BeliefEstimator, Distortion, Estimate, DEFAULT_INTERVALS};
+use diffuse_core::{
+    Actions, AdaptiveBroadcast, AdaptiveParams, BroadcastId, DataMessage, DeltaView, GossipMessage,
+    HeartbeatMessage, HeartbeatView, Message, Payload, Protocol, ReferenceGossip, View, WireTree,
+};
+use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
+use diffuse_net::codec::{decode_message, encode_message, frame_kind, WIRE_VERSION};
 use diffuse_net::{spawn_node, Fabric, NodeHandle, Transport, UdpTransport, MAX_DATAGRAM};
+use diffuse_sim::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -194,4 +209,317 @@ fn udp_node_counts_malformed_and_keeps_delivering() {
         "every malformed datagram is counted, nothing else"
     );
     handle.shutdown();
+}
+
+// --- Semantically hostile, well-formed frames -------------------------
+
+/// An estimate claiming perfect first-hand knowledge (distortion 0) —
+/// the strongest claim a hostile sender can put on the wire, built with
+/// the codec's own constructor (nothing here forges adversary state).
+fn claimed_first_hand() -> Arc<Estimate> {
+    Arc::new(Estimate::from_parts(
+        BeliefEstimator::new(DEFAULT_INTERVALS),
+        Distortion::ZERO,
+    ))
+}
+
+fn heartbeat_delta(
+    seq: u64,
+    ack: u64,
+    generation: u64,
+    base: u64,
+    processes: Vec<(ProcessId, Arc<Estimate>)>,
+    links: Vec<(LinkId, Arc<Estimate>)>,
+) -> Message {
+    Message::Heartbeat(HeartbeatMessage {
+        seq,
+        ack,
+        view: HeartbeatView::Delta(Arc::new(DeltaView {
+            generation,
+            base,
+            topology_version: 1,
+            processes,
+            links,
+        })),
+    })
+}
+
+fn heartbeat_full(
+    seq: u64,
+    generation: u64,
+    topology: &Arc<Topology>,
+    processes: Vec<(ProcessId, Arc<Estimate>)>,
+    links: Vec<(LinkId, Arc<Estimate>)>,
+) -> Message {
+    Message::Heartbeat(HeartbeatMessage {
+        seq,
+        ack: 0,
+        view: HeartbeatView::Full(Arc::new(View {
+            generation,
+            topology_version: 1,
+            topology: Arc::clone(topology),
+            processes,
+            links,
+        })),
+    })
+}
+
+/// Round-trips a hostile message through the real codec, proving it is
+/// well-formed on the wire before the protocol ever sees it.
+fn roundtrip(message: &Message) -> Message {
+    decode_message(&encode_message(message)).expect("hostile frame must stay well-formed")
+}
+
+/// The protocol-level contract for hostile well-formed heartbeats, one
+/// frame family at a time against a live `AdaptiveBroadcast` state:
+/// frames the receiver cannot anchor are rejected *and counted*; frames
+/// naming processes or links outside the system are entry-level no-ops
+/// that leave the view bit-identical; acks from the future are counted
+/// and never advance delta emission; generation rollbacks displace
+/// nothing (strict `adopt_if_better`) and do not wedge later progress.
+#[test]
+fn hostile_heartbeats_are_counted_and_never_corrupt_the_view() {
+    let me = p(1);
+    let sender = p(0);
+    let direct = LinkId::new(sender, me).unwrap();
+    let alien_link = LinkId::new(p(5), p(6)).unwrap();
+    let topology = {
+        let mut t = Topology::new();
+        t.add_link(sender, me).unwrap();
+        Arc::new(t)
+    };
+
+    let mut node = AdaptiveBroadcast::new(
+        me,
+        vec![sender, me],
+        vec![sender],
+        AdaptiveParams::default(), // delta heartbeat views
+    );
+    let mut actions = Actions::new();
+    node.on_start(SimTime::ZERO, &mut actions);
+
+    // 1. A delta with no full-view base, carrying an out-of-range link
+    //    (processes 5 and 6 do not exist in this two-process system):
+    //    rejected and counted, nothing merged.
+    let orphan = heartbeat_delta(1, 0, 5, 3, vec![], vec![(alien_link, claimed_first_hand())]);
+    node.handle_message(SimTime::new(1), sender, roundtrip(&orphan), &mut actions);
+    assert_eq!(node.error_count(), 1, "orphan delta is counted");
+    assert!(node.link_estimate(alien_link).is_none());
+
+    // An honest full view anchors the sender's mirror; the sender's
+    // self-estimate is adopted at distortion 1, and my own direct-link
+    // estimate stays first-hand (distortion 0).
+    let honest = heartbeat_full(
+        2,
+        10,
+        &topology,
+        vec![(sender, claimed_first_hand())],
+        vec![(direct, claimed_first_hand())],
+    );
+    node.handle_message(SimTime::new(2), sender, roundtrip(&honest), &mut actions);
+    assert_eq!(
+        node.process_estimate(sender).unwrap().distortion(),
+        Distortion::finite(1)
+    );
+    let snapshot = |node: &AdaptiveBroadcast| {
+        format!(
+            "{:?}",
+            (
+                node.process_estimate(sender),
+                node.process_estimate(me),
+                node.link_estimate(direct),
+            )
+        )
+    };
+
+    // 2. An in-range delta whose entries all name out-of-range keys:
+    //    every entry is skipped, the view stays bit-identical, and the
+    //    alien processes and links never materialize anywhere.
+    let alien = heartbeat_delta(
+        3,
+        0,
+        11,
+        10,
+        vec![(p(9), claimed_first_hand())],
+        vec![(alien_link, claimed_first_hand())],
+    );
+    let before = snapshot(&node);
+    node.handle_message(SimTime::new(3), sender, roundtrip(&alien), &mut actions);
+    assert_eq!(snapshot(&node), before, "alien delta entries are no-ops");
+    assert!(node.process_estimate(p(9)).is_none());
+    assert!(node.link_estimate(alien_link).is_none());
+    assert_eq!(node.error_count(), 1, "entry-level skips are not errors");
+
+    // 3. An ack from the future: this node has emitted generation 0, so
+    //    an ack of 2^40 names a state that cannot exist. Counted and
+    //    rejected; the emission ack state is untouched.
+    let future_ack = heartbeat_delta(4, 1 << 40, 12, 10, vec![], vec![]);
+    node.handle_message(
+        SimTime::new(4),
+        sender,
+        roundtrip(&future_ack),
+        &mut actions,
+    );
+    assert_eq!(node.audit().future_acks_rejected, 1);
+
+    // 4. A generation rollback: a full view re-announcing generation 2
+    //    (after 12) with *worse* estimates and a stale heartbeat seq.
+    //    Strict adopt-if-better displaces nothing.
+    let worse = Arc::new(Estimate::from_parts(
+        BeliefEstimator::new(DEFAULT_INTERVALS),
+        Distortion::finite(40),
+    ));
+    let rollback = heartbeat_full(
+        2,
+        2,
+        &topology,
+        vec![(sender, Arc::clone(&worse))],
+        vec![(direct, worse)],
+    );
+    let before = snapshot(&node);
+    node.handle_message(SimTime::new(5), sender, roundtrip(&rollback), &mut actions);
+    assert_eq!(snapshot(&node), before, "rollback view displaces nothing");
+
+    // The rollback must not wedge the stream: a later honest delta
+    // based on the rolled-back generation still merges and adopts.
+    let adopted_before = node
+        .audit()
+        .per_sender
+        .get(&sender)
+        .map_or(0, |s| s.adopted);
+    let recover = heartbeat_delta(6, 0, 13, 0, vec![(sender, claimed_first_hand())], vec![]);
+    node.handle_message(SimTime::new(6), sender, roundtrip(&recover), &mut actions);
+    let adopted_after = node
+        .audit()
+        .per_sender
+        .get(&sender)
+        .map_or(0, |s| s.adopted);
+    assert!(
+        adopted_after > adopted_before,
+        "honest deltas keep merging after the hostile barrage"
+    );
+    assert_eq!(node.error_count(), 1, "no spurious errors accumulated");
+
+    // My own first-hand state survived everything untouched.
+    let mine = node.link_estimate(direct).unwrap();
+    assert_eq!(mine.distortion(), Distortion::ZERO);
+    assert!(!mine.tainted());
+
+    // And the node still initiates broadcasts.
+    node.broadcast(
+        SimTime::new(7),
+        Payload::from("after-the-barrage"),
+        &mut actions,
+    )
+    .expect("topology spans the system; broadcast still works");
+}
+
+/// The one hostile link shape the codec *does* reject: a self-loop,
+/// which no `LinkId` can represent. Hand-encoded because the encoder
+/// cannot produce it either.
+#[test]
+fn self_loop_link_frames_are_rejected_by_the_decoder() {
+    let mut raw = vec![WIRE_VERSION, 5]; // tag 5 = delta heartbeat
+    raw.extend_from_slice(&7u64.to_le_bytes()); // seq
+    raw.extend_from_slice(&0u64.to_le_bytes()); // ack
+    raw.extend_from_slice(&14u64.to_le_bytes()); // generation
+    raw.extend_from_slice(&10u64.to_le_bytes()); // base
+    raw.extend_from_slice(&1u64.to_le_bytes()); // topology_version
+    raw.extend_from_slice(&0u32.to_le_bytes()); // no process entries
+    raw.extend_from_slice(&1u32.to_le_bytes()); // one link entry …
+    raw.extend_from_slice(&3u32.to_le_bytes()); // … from process 3
+    raw.extend_from_slice(&3u32.to_le_bytes()); // … to process 3
+    assert!(
+        decode_message(&raw).is_err(),
+        "self-loop links must not decode"
+    );
+    let _ = frame_kind(&raw);
+}
+
+/// The same hostile families against a *spawned* node on the in-memory
+/// fabric: none of the frames trip the malformed counter (they are
+/// well-formed), the future ack is counted in the node's audit, and the
+/// node still delivers application data afterwards.
+#[test]
+fn fabric_adaptive_node_survives_hostile_heartbeats() {
+    let mut topology = Topology::new();
+    let direct = topology.add_link(p(0), p(1)).unwrap();
+    let config = Configuration::uniform(&topology, Probability::ZERO, Probability::ZERO);
+    let mut transports = Fabric::build(&topology, config, 5);
+    let node_transport = transports.remove(&p(1)).unwrap();
+    let injector = transports.remove(&p(0)).unwrap();
+
+    let protocol = AdaptiveBroadcast::new(
+        p(1),
+        vec![p(0), p(1)],
+        vec![p(0)],
+        AdaptiveParams::default(),
+    );
+    let handle = spawn_node(protocol, node_transport, Duration::from_millis(2));
+
+    let view_topology = {
+        let mut t = Topology::new();
+        t.add_link(p(0), p(1)).unwrap();
+        Arc::new(t)
+    };
+    let alien_link = LinkId::new(p(5), p(6)).unwrap();
+    let hostile = [
+        // Orphan delta carrying an out-of-range link.
+        heartbeat_delta(1, 0, 5, 3, vec![], vec![(alien_link, claimed_first_hand())]),
+        // Honest full view (anchors the mirror for the frames below).
+        heartbeat_full(
+            2,
+            10,
+            &view_topology,
+            vec![(p(0), claimed_first_hand())],
+            vec![(direct, claimed_first_hand())],
+        ),
+        // Alien-keyed delta, ack from the future, generation rollback.
+        heartbeat_delta(3, 0, 11, 10, vec![(p(9), claimed_first_hand())], vec![]),
+        heartbeat_delta(4, 1 << 40, 12, 10, vec![], vec![]),
+        heartbeat_full(
+            2,
+            2,
+            &view_topology,
+            vec![(p(0), claimed_first_hand())],
+            vec![],
+        ),
+    ];
+    for message in &hostile {
+        injector.send(p(1), &encode_message(message)).unwrap();
+    }
+
+    // Application data after the barrage: the node must still deliver.
+    let tree = WireTree::from_parts(p(0), vec![p(0), p(1)], vec![0], vec![1.0]).unwrap();
+    let data = Message::Data(DataMessage {
+        id: BroadcastId {
+            origin: p(0),
+            seq: 1,
+        },
+        payload: b"still-alive".to_vec().into(),
+        tree: Arc::new(tree),
+    });
+    injector.send(p(1), &encode_message(&data)).unwrap();
+
+    let delivered = handle
+        .next_delivery(Duration::from_secs(5))
+        .unwrap()
+        .expect("node still delivers after hostile heartbeats");
+    assert_eq!(
+        delivered.0,
+        BroadcastId {
+            origin: p(0),
+            seq: 1
+        }
+    );
+    assert_eq!(
+        handle.malformed_frames(),
+        0,
+        "hostile frames are well-formed: the wire layer must not count them"
+    );
+    let audit = handle.shutdown_with_audit();
+    assert!(
+        audit.future_acks_rejected >= 1,
+        "the future ack must be counted: {audit:?}"
+    );
 }

@@ -9,7 +9,9 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use diffuse_core::{FaultAction, FaultScript, ReferenceGossip, Scenario, ScenarioReport, Workload};
+use diffuse_core::{
+    CorruptionMode, FaultAction, FaultScript, ReferenceGossip, Scenario, ScenarioReport, Workload,
+};
 use diffuse_model::{Probability, ProcessId, Topology};
 use diffuse_net::{
     run_scenario_on_fabric, run_scenario_on_udp_cluster, run_soak, FabricScenarioOptions,
@@ -240,6 +242,90 @@ fn adaptive_regime_matches_kernel_deliveries() {
     );
 }
 
+/// The adversarial fault family on real processes: a scripted lying
+/// node (chaos-level heartbeat rewriting) and a scheduled message
+/// adversary (bounded egress suppression) both execute on the UDP
+/// cluster with zero skipped faults, the interference is real
+/// (corrupted heartbeats and suppressed frames on the wire), and no
+/// correct node adopts a corrupted entry past the distortion bound.
+/// Links are lossless, so the liar's window must not cost a single
+/// delivery — heartbeat lies never touch the data plane.
+fn adversarial_faults_execute_on_real_processes() {
+    let topology = circulant(8);
+    let liar = p(4);
+    let workload = Workload::new()
+        .broadcast(SimTime::new(120), p(0), b"under-lies".to_vec().into())
+        .broadcast(SimTime::new(150), p(2), b"still-lying".to_vec().into())
+        .broadcast(SimTime::new(220), p(6), b"post-window".to_vec().into());
+    let faults = FaultScript::new()
+        // Suppression burst early in the run, switched off before the
+        // first broadcast (adaptive data trees are one-shot, so no
+        // delivery guarantee can hold *during* suppression).
+        .at(
+            SimTime::new(20),
+            FaultAction::MessageAdversary { d: 1, window: 25 },
+        )
+        .at(
+            SimTime::new(80),
+            FaultAction::MessageAdversary { d: 0, window: 25 },
+        )
+        // The liar's window spans two of the three broadcasts.
+        .at(
+            SimTime::new(100),
+            FaultAction::Corrupt {
+                process: liar,
+                mode: CorruptionMode::UnderstateDistortion,
+                window: 100,
+            },
+        );
+    let scenario = Scenario::builder(topology)
+        .uniform_loss(Probability::ZERO)
+        .seed(0x11A5)
+        .workload(workload)
+        .faults(faults)
+        .build();
+
+    let report = run_scenario_on_udp_cluster(
+        &scenario,
+        UdpClusterOptions {
+            // Paced slower than the churn tests: adaptive data trees
+            // are one-shot (no re-send), so on a 1-2 core host a
+            // worker starved off-CPU long enough to overflow its
+            // socket buffer loses deliveries unrecoverably.
+            tick_interval: Duration::from_millis(25),
+            run_ticks: 320,
+            settle: Duration::from_millis(250),
+            handshake_timeout: Duration::from_secs(10),
+        },
+        ProtocolSpec::Adaptive,
+    )
+    .expect("cluster launches");
+
+    assert_eq!(
+        report.skipped_faults, 0,
+        "Corrupt and MessageAdversary must both execute on the cluster"
+    );
+    assert_eq!(report.failed_broadcasts, 0, "all origins were up");
+    assert!(
+        report.all_delivered_at_least(3),
+        "lossless links: heartbeat lies must not cost deliveries: {:?}",
+        report.delivered
+    );
+    let c = &report.containment;
+    assert!(
+        c.corrupt_emissions > 0,
+        "the liar must actually rewrite heartbeats on the wire"
+    );
+    assert!(
+        c.suppressed_emissions > 0,
+        "the message adversary must actually suppress frames"
+    );
+    assert_eq!(
+        c.bound_violations, 0,
+        "no correct node may adopt a corrupted entry at distortion 0"
+    );
+}
+
 /// The CI soak profile: 8 processes, sustained stream, loss spike,
 /// partition + heal, one hard kill + restart — and the paper's
 /// delivery guarantee holds for every correct process.
@@ -257,12 +343,39 @@ fn quick_soak_holds_delivery_guarantee() {
     assert!(report.sent_total > 0, "soak merged wire metrics");
 }
 
+/// The adversary soak profile (`repro soak --quick --adversary`): the
+/// rotating stream keeps its delivery guarantee while one lying node
+/// and a message adversary interfere, and the interference is
+/// contained.
+fn quick_adversary_soak_is_contained() {
+    let report =
+        run_soak(SoakOptions::quick().with_adversary()).expect("adversary soak cluster launches");
+    assert!(report.accepted > 0, "the stream accepted broadcasts");
+    assert!(
+        report.accepted_exempt > 0,
+        "the exempt stream kept flowing under suppression"
+    );
+    assert_eq!(report.correct.len(), 7, "8 nodes, one liar");
+    assert!(
+        report.complete(),
+        "heartbeat lies and bounded (exempted) suppression must not break the \
+         delivery guarantee; missing = {:?} of {} accepted",
+        report.missing,
+        report.accepted
+    );
+    assert!(
+        report.contained(),
+        "interference must be real and contained: {:?}",
+        report.containment
+    );
+}
+
 fn main() {
     // Worker invocations (child processes of the clusters below) divert
     // here and never return.
     diffuse_net::maybe_run_udp_worker();
 
-    let tests: [(&str, fn()); 4] = [
+    let tests: [(&str, fn()); 6] = [
         (
             "scripted_scenario_runs_every_fault",
             scripted_scenario_runs_every_fault,
@@ -276,8 +389,16 @@ fn main() {
             adaptive_regime_matches_kernel_deliveries,
         ),
         (
+            "adversarial_faults_execute_on_real_processes",
+            adversarial_faults_execute_on_real_processes,
+        ),
+        (
             "quick_soak_holds_delivery_guarantee",
             quick_soak_holds_delivery_guarantee,
+        ),
+        (
+            "quick_adversary_soak_is_contained",
+            quick_adversary_soak_is_contained,
         ),
     ];
     for (name, test) in tests {

@@ -1,0 +1,259 @@
+//! The message adversary: deterministic, bounded emission suppression.
+//!
+//! Albouy et al.'s message-adversary model (PAPERS.md) lets an adversary
+//! destroy up to *d* of each sender's emissions per round. This module
+//! is the simulation-side policy: a scheduled suppressor that sits next
+//! to [`LossBatcher`](crate::LossBatcher) in every substrate's send path
+//! and drops at most `d` messages per sender per window.
+//!
+//! # Draw-order contract
+//!
+//! Like the loss batcher, the suppressor's RNG consumption is part of
+//! the cross-substrate wire contract (kernel ≡ virtual fabric ≡ sharded
+//! at one worker, bit for bit):
+//!
+//! 1. An **inactive** adversary (`d == 0`, the default) consumes **no**
+//!    draws — adversary-free scenarios keep their frozen streams.
+//! 2. An active adversary consumes exactly **one `u64` draw per
+//!    eligible send**: a send by a sender whose per-window suppression
+//!    budget is not yet exhausted. The send is suppressed iff the
+//!    draw's low bit is set (so roughly half the eligible sends go
+//!    missing until the budget runs out).
+//! 3. Budget-exhausted sends consume no draws.
+//!
+//! The suppressor owns a **private** generator seeded by
+//! [`suppression_seed`] — domain-separated from the substrate's
+//! delivery stream — so switching the adversary on cannot perturb loss
+//! sampling for the messages that do get through.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use diffuse_model::ProcessId;
+
+use crate::SimTime;
+
+/// Golden-ratio odd multiplier (shared constant family with
+/// [`shard_seed`](crate::shard_seed)).
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Domain-separation salt for suppression streams.
+const SUPPRESS_SALT: u64 = 0x5ABB_07A6_E000_0002;
+
+/// SplitMix64 finalizer (Steele, Lea & Flood).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(GOLDEN);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed of a substrate's suppression stream under `substrate_seed`
+/// (the kernel's run seed; a shard's [`shard_seed`](crate::shard_seed),
+/// so one-worker sharded runs replay the kernel's suppression stream
+/// draw for draw).
+#[must_use]
+pub fn suppression_seed(substrate_seed: u64) -> u64 {
+    splitmix64(substrate_seed ^ SUPPRESS_SALT)
+}
+
+/// Per-sender suppression bookkeeping for the current window.
+#[derive(Debug, Clone, Copy)]
+struct SenderWindow {
+    /// Window index this entry was last reset for.
+    window_index: u64,
+    /// Suppressions already spent inside that window.
+    used: u32,
+}
+
+/// Scheduled message adversary: suppresses up to `d` of each sender's
+/// emissions per `window` ticks (see the module docs for the draw-order
+/// contract).
+#[derive(Debug)]
+pub struct MessageAdversary {
+    rng: StdRng,
+    /// Per-sender, per-window suppression budget; 0 = inactive.
+    d: u32,
+    /// Window length in ticks.
+    window: u64,
+    /// Tick at which window 0 starts (the configure time).
+    start: SimTime,
+    /// Per-sender window state, keyed deterministically.
+    state: BTreeMap<ProcessId, SenderWindow>,
+    /// Total emissions suppressed since construction.
+    suppressed: u64,
+}
+
+impl MessageAdversary {
+    /// Creates an inactive adversary over the substrate's suppression
+    /// stream.
+    pub fn inactive(substrate_seed: u64) -> Self {
+        MessageAdversary {
+            rng: StdRng::seed_from_u64(suppression_seed(substrate_seed)),
+            d: 0,
+            window: 1,
+            start: SimTime::ZERO,
+            state: BTreeMap::new(),
+            suppressed: 0,
+        }
+    }
+
+    /// (Re)configures the adversary: from `now` on, suppress up to `d`
+    /// emissions per sender per `window` ticks. `d == 0` deactivates.
+    /// Reconfiguring resets all per-sender budgets.
+    pub fn configure(&mut self, d: u32, window: u64, now: SimTime) {
+        self.d = d;
+        self.window = window.max(1);
+        self.start = now;
+        self.state.clear();
+    }
+
+    /// Whether the adversary is currently suppressing anything.
+    pub fn is_active(&self) -> bool {
+        self.d > 0
+    }
+
+    /// Emissions suppressed so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Decides whether `from`'s next emission at `now` is destroyed,
+    /// consuming draws only per the module-level order contract.
+    pub fn should_suppress(&mut self, from: ProcessId, now: SimTime) -> bool {
+        if self.d == 0 {
+            return false;
+        }
+        let window_index = now.saturating_since(self.start) / self.window;
+        let entry = self.state.entry(from).or_insert(SenderWindow {
+            window_index,
+            used: 0,
+        });
+        if entry.window_index != window_index {
+            entry.window_index = window_index;
+            entry.used = 0;
+        }
+        if entry.used >= self.d {
+            // Budget exhausted: the adversary is d-bounded, and spent
+            // budgets consume no draws.
+            return false;
+        }
+        if self.rng.next_u64() & 1 == 1 {
+            entry.used += 1;
+            self.suppressed += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn inactive_adversary_consumes_no_draws() {
+        let mut adv = MessageAdversary::inactive(7);
+        let mut reference = StdRng::seed_from_u64(suppression_seed(7));
+        for t in 0..100u64 {
+            assert!(!adv.should_suppress(p(0), SimTime::new(t)));
+        }
+        assert_eq!(adv.rng.next_u64(), reference.next_u64());
+        assert_eq!(adv.suppressed(), 0);
+        assert!(!adv.is_active());
+    }
+
+    #[test]
+    fn suppression_is_bounded_per_sender_per_window() {
+        let mut adv = MessageAdversary::inactive(42);
+        adv.configure(3, 10, SimTime::new(100));
+        assert!(adv.is_active());
+        // 200 sends inside one window: at most d suppressed.
+        let mut dropped = 0;
+        for _ in 0..200 {
+            if adv.should_suppress(p(1), SimTime::new(105)) {
+                dropped += 1;
+            }
+        }
+        assert!(dropped <= 3, "budget exceeded: {dropped}");
+        assert_eq!(adv.suppressed(), dropped);
+
+        // Budgets are per sender.
+        let mut other = 0;
+        for _ in 0..200 {
+            if adv.should_suppress(p(2), SimTime::new(105)) {
+                other += 1;
+            }
+        }
+        assert!(other <= 3);
+
+        // A new window refills the budget.
+        let mut next = 0;
+        for _ in 0..200 {
+            if adv.should_suppress(p(1), SimTime::new(115)) {
+                next += 1;
+            }
+        }
+        assert!(next <= 3);
+        assert!(dropped + next >= 1, "an active adversary should act");
+    }
+
+    #[test]
+    fn exhausted_budget_consumes_no_draws() {
+        let mut adv = MessageAdversary::inactive(9);
+        adv.configure(1, 1_000, SimTime::ZERO);
+        // Drain until the single suppression lands.
+        let mut spent = 0;
+        for _ in 0..500 {
+            if adv.should_suppress(p(0), SimTime::new(1)) {
+                spent += 1;
+            }
+        }
+        assert_eq!(spent, 1);
+        // Stream position is now frozen: further sends draw nothing.
+        let mut probe = adv.rng.clone();
+        let expected = probe.next_u64();
+        for _ in 0..50 {
+            assert!(!adv.should_suppress(p(0), SimTime::new(2)));
+        }
+        assert_eq!(adv.rng.next_u64(), expected);
+    }
+
+    #[test]
+    fn deactivation_and_reset() {
+        let mut adv = MessageAdversary::inactive(3);
+        adv.configure(2, 5, SimTime::ZERO);
+        let _ = adv.should_suppress(p(0), SimTime::new(1));
+        adv.configure(0, 5, SimTime::ZERO);
+        assert!(!adv.is_active());
+        for _ in 0..50 {
+            assert!(!adv.should_suppress(p(0), SimTime::new(2)));
+        }
+    }
+
+    #[test]
+    fn suppression_seed_is_domain_separated() {
+        assert_ne!(suppression_seed(7), 7);
+        assert_ne!(suppression_seed(7), suppression_seed(8));
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_schedule() {
+        let run = |seed: u64| {
+            let mut adv = MessageAdversary::inactive(seed);
+            adv.configure(2, 8, SimTime::ZERO);
+            (0..64u64)
+                .map(|t| adv.should_suppress(p(t as u32 % 3), SimTime::new(t)))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

@@ -7,6 +7,7 @@ use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::adversary::MessageAdversary;
 use crate::crash::CrashState;
 use crate::loss::LossBatcher;
 use crate::{CrashModel, Metrics, SimTime, TimerId};
@@ -315,6 +316,10 @@ pub struct Simulation<A: Actor> {
     /// Batched per-(sender, destination) loss sampling (see
     /// [`LossBatcher`] for the draw-order contract).
     loss_runs: LossBatcher,
+    /// Scheduled message adversary on its own seeded stream (see
+    /// [`MessageAdversary`] for the draw-order contract). Inactive by
+    /// default, so adversary-free runs draw nothing from it.
+    adversary: MessageAdversary,
     metrics: Metrics,
     outbox: Vec<(ProcessId, A::Message)>,
     timer_ops: Vec<(TimerId, Option<SimTime>)>,
@@ -383,6 +388,7 @@ impl<A: Actor> Simulation<A> {
             loss,
             rng: StdRng::seed_from_u64(options.seed),
             loss_runs: LossBatcher::new(),
+            adversary: MessageAdversary::inactive(options.seed),
             options,
             nodes,
             ids,
@@ -465,6 +471,20 @@ impl<A: Actor> Simulation<A> {
     /// a path mid-run).
     pub fn set_loss(&mut self, link: LinkId, p: Probability) {
         self.loss.set_loss(link, p);
+    }
+
+    /// (Re)configures the message adversary: from now on it destroys up
+    /// to `d` of each sender's emissions per `window` ticks. `d == 0`
+    /// deactivates it. The adversary draws from its own seeded stream,
+    /// so toggling it never perturbs loss sampling for surviving
+    /// messages.
+    pub fn set_message_adversary(&mut self, d: u32, window: u64) {
+        self.adversary.configure(d, window, self.now);
+    }
+
+    /// Emissions destroyed by the message adversary so far.
+    pub fn suppressed_by_adversary(&self) -> u64 {
+        self.adversary.suppressed()
     }
 
     /// Runs a closure against one process's actor with a live context, as
@@ -684,6 +704,14 @@ impl<A: Actor> Simulation<A> {
             match slot.sent.iter_mut().find(|(k, _)| *k == kind) {
                 Some((_, n)) => *n += 1,
                 None => slot.sent.push((kind, 1)),
+            }
+            // The message adversary acts before link loss and consumes
+            // no loss draws (it has its own stream), so surviving
+            // messages see the exact loss schedule of an adversary-free
+            // run.
+            if self.adversary.should_suppress(from, self.now) {
+                self.metrics.record_suppressed();
+                continue;
             }
             if slot.loss > 0.0
                 && self

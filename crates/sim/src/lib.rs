@@ -23,6 +23,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod adversary;
 mod crash;
 mod kernel;
 mod loss;
@@ -31,6 +32,7 @@ mod shard;
 mod shard_rng;
 mod time;
 
+pub use adversary::{suppression_seed, MessageAdversary};
 pub use crash::{CrashModel, CrashState};
 pub use kernel::{Actor, Context, SimMessage, SimOptions, Simulation};
 pub use loss::LossBatcher;

@@ -17,6 +17,7 @@ pub struct Metrics {
     lost_in_link: u64,
     dropped_receiver_down: u64,
     dropped_invalid: u64,
+    suppressed_by_adversary: u64,
     sent_by_kind: BTreeMap<&'static str, u64>,
     delivered_by_kind: BTreeMap<&'static str, u64>,
     sent_per_link: BTreeMap<LinkId, u64>,
@@ -77,6 +78,13 @@ impl Metrics {
         self.dropped_receiver_down += 1;
     }
 
+    /// Records one emission destroyed by the message adversary (counted
+    /// as sent, never as lost-in-link — suppression is a separate fault
+    /// family and stays zero in adversary-free runs).
+    pub fn record_suppressed(&mut self) {
+        self.suppressed_by_adversary += 1;
+    }
+
     #[cfg(test)]
     pub(crate) fn record_invalid(&mut self) {
         self.record_invalid_batch(1);
@@ -110,6 +118,11 @@ impl Metrics {
     /// Messages sent to a non-neighbor or unknown process.
     pub fn dropped_invalid(&self) -> u64 {
         self.dropped_invalid
+    }
+
+    /// Emissions destroyed by the message adversary.
+    pub fn suppressed_by_adversary(&self) -> u64 {
+        self.suppressed_by_adversary
     }
 
     /// Messages sent of a given kind.
@@ -171,6 +184,7 @@ impl Metrics {
         self.lost_in_link += other.lost_in_link;
         self.dropped_receiver_down += other.dropped_receiver_down;
         self.dropped_invalid += other.dropped_invalid;
+        self.suppressed_by_adversary += other.suppressed_by_adversary;
         for (&kind, &n) in &other.sent_by_kind {
             *self.sent_by_kind.entry(kind).or_insert(0) += n;
         }

@@ -54,6 +54,7 @@ use diffuse_model::{Configuration, LinkId, Probability, ProcessId, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::adversary::MessageAdversary;
 use crate::crash::CrashState;
 use crate::kernel::{Actor, Context, SimMessage, SimOptions};
 use crate::loss::LossBatcher;
@@ -175,6 +176,11 @@ struct Shard<A: Actor> {
     /// different shards are disjoint and one worker replays the kernel's
     /// table exactly.
     loss_runs: LossBatcher,
+    /// Per-shard message adversary over this shard's suppression stream
+    /// (seeded from the shard seed, so one worker replays the kernel's
+    /// suppression stream draw for draw). Senders are shard-owned, so
+    /// per-sender budgets never straddle shards.
+    adversary: MessageAdversary,
     now: SimTime,
     busy_ticks: u64,
     next_seq: u64,
@@ -286,6 +292,12 @@ impl<A: Actor> Shard<A> {
             match slot.sent.iter_mut().find(|(k, _)| *k == kind) {
                 Some((_, n)) => *n += 1,
                 None => slot.sent.push((kind, 1)),
+            }
+            // Adversary before loss, no loss draws consumed — exactly
+            // the kernel's flush (see `Simulation::flush_outbox`).
+            if self.adversary.should_suppress(from, self.now) {
+                self.metrics.record_suppressed();
+                continue;
             }
             if slot.loss > 0.0
                 && self
@@ -591,6 +603,7 @@ impl<A: Actor> ShardedKernel<A> {
                 ids: chunk.to_vec(),
                 rng: StdRng::seed_from_u64(shard_seed(options.seed, index as u32)),
                 loss_runs: LossBatcher::new(),
+                adversary: MessageAdversary::inactive(shard_seed(options.seed, index as u32)),
                 now: SimTime::ZERO,
                 busy_ticks: 0,
                 next_seq: 0,
@@ -701,6 +714,21 @@ impl<A: Actor> ShardedKernel<A> {
     /// segments, so every shard observes the change at the same tick.
     pub fn set_loss(&mut self, link: LinkId, p: Probability) {
         self.loss.set_loss(link, p);
+    }
+
+    /// (Re)configures every shard's message adversary (see
+    /// [`crate::Simulation::set_message_adversary`]). Applied between
+    /// run segments; shard clocks are in lockstep, so every shard's
+    /// window 0 starts at the same tick.
+    pub fn set_message_adversary(&mut self, d: u32, window: u64) {
+        for shard in &mut self.shards {
+            shard.adversary.configure(d, window, shard.now);
+        }
+    }
+
+    /// Emissions destroyed by the message adversary, summed over shards.
+    pub fn suppressed_by_adversary(&self) -> u64 {
+        self.shards.iter().map(|s| s.adversary.suppressed()).sum()
     }
 
     /// Runs a closure against one process's actor with a live context,

@@ -238,6 +238,82 @@ fn adaptive_protocol_conformance() {
     }
 }
 
+/// The adversarial fault family: a scripted lying node
+/// ([`FaultAction::Corrupt`], all three corruption modes across seeds)
+/// plus a bounded message adversary ([`FaultAction::MessageAdversary`])
+/// must be *bit-identical* across the kernel and the virtual fabric —
+/// same corrupted heartbeats (the adversary RNG streams are keyed by
+/// `(run seed, process)` on both substrates), same suppression draws,
+/// same containment counters, zero skips. Both heartbeat view modes
+/// ride the wire, so forged frames cross the delta codec too.
+#[test]
+fn adversarial_scenarios_conformance() {
+    use diffuse::core::{Adversary, CorruptionMode};
+    for (mode, view) in [
+        (
+            CorruptionMode::UnderstateDistortion,
+            diffuse::core::ViewMode::Delta,
+        ),
+        (CorruptionMode::StaleReplay, diffuse::core::ViewMode::Full),
+        (CorruptionMode::ForgeAck, diffuse::core::ViewMode::Delta),
+    ] {
+        let (mut scenario, horizon) = random_scenario(0xBAD ^ mode as u64);
+        let processes: Vec<ProcessId> = scenario.topology.processes().collect();
+        let liar = processes[processes.len() / 2];
+        scenario.workload = Workload::new()
+            .broadcast(SimTime::new(5), processes[0], Payload::from("w0"))
+            .broadcast(SimTime::new(horizon / 2), processes[1], Payload::from("w1"));
+        scenario.faults = FaultScript::new()
+            .at(
+                SimTime::new(horizon / 4),
+                FaultAction::Corrupt {
+                    process: liar,
+                    mode,
+                    window: horizon / 2,
+                },
+            )
+            .at(
+                SimTime::new(horizon / 3),
+                FaultAction::MessageAdversary { d: 1, window: 15 },
+            )
+            .at(
+                SimTime::new(2 * horizon / 3),
+                FaultAction::MessageAdversary { d: 0, window: 1 },
+            );
+        let topology = scenario.topology.clone();
+        let all: Vec<ProcessId> = topology.processes().collect();
+        let params = AdaptiveParams::default()
+            .with_intervals(16)
+            .with_heartbeat_views(view);
+        let seed = scenario.seed;
+        let make = |id: ProcessId| {
+            Adversary::new(
+                AdaptiveBroadcast::new(
+                    id,
+                    all.clone(),
+                    topology.neighbors(id).collect(),
+                    params.clone(),
+                ),
+                seed,
+            )
+        };
+        let sim = scenario.run_sim(horizon, make);
+        assert_eq!(sim.skipped_faults, 0, "{mode}: kernel skipped a fault");
+        assert!(
+            sim.containment.corrupt_emissions > 0,
+            "{mode}: the liar never rewrote a heartbeat — the row is vacuous: {sim:?}"
+        );
+        assert_eq!(sim.containment.bound_violations, 0, "{mode}: {sim:?}");
+        assert_conformant(
+            &scenario,
+            horizon,
+            sim,
+            || run_scenario_on_fabric_virtual(&scenario, horizon, make),
+            &format!("adversarial ({mode}, {view:?} views)"),
+        );
+    }
+}
+
 /// Stochastic crash models draw per-tick randomness in the kernel's
 /// crash phase; the virtual fabric replays the same draws in the same
 /// order.

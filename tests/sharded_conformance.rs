@@ -175,6 +175,84 @@ fn scripted_faults_execute_at_barriers_with_none_skipped() {
     }
 }
 
+/// The adversarial fault family on the sharded executor: a scripted
+/// lying node plus a bounded message adversary execute with zero skips
+/// at every worker count. One worker replays the kernel draw-for-draw
+/// (adversary and suppression streams included); at W > 1 the
+/// cross-shard send interleaving differs, so the claim narrows to the
+/// executor's own: byte-identical re-runs, nothing skipped, real
+/// interference, zero bound violations.
+#[test]
+fn adversarial_faults_execute_sharded_with_none_skipped() {
+    use diffuse::core::{AdaptiveBroadcast, AdaptiveParams, Adversary, CorruptionMode};
+    let topology = generators::complete(6).unwrap();
+    let liar = p(2);
+    let scenario = Scenario::builder(topology.clone())
+        .seed(0x5AAD)
+        .workload(Workload::new().broadcast(SimTime::new(40), p(0), Payload::from("x")))
+        .faults(
+            FaultScript::new()
+                .at(
+                    SimTime::new(20),
+                    FaultAction::Corrupt {
+                        process: liar,
+                        mode: CorruptionMode::UnderstateDistortion,
+                        window: 50,
+                    },
+                )
+                .at(
+                    SimTime::new(25),
+                    FaultAction::MessageAdversary { d: 1, window: 10 },
+                )
+                .at(
+                    SimTime::new(60),
+                    FaultAction::MessageAdversary { d: 0, window: 1 },
+                ),
+        )
+        .build();
+    let all: Vec<ProcessId> = topology.processes().collect();
+    let make = |id: ProcessId| {
+        Adversary::new(
+            AdaptiveBroadcast::new(
+                id,
+                all.clone(),
+                topology.neighbors(id).collect(),
+                AdaptiveParams::default(),
+            ),
+            scenario.seed,
+        )
+    };
+
+    let horizon = 150;
+    let kernel = scenario.run_sim(horizon, make);
+    assert_eq!(kernel.skipped_faults, 0, "kernel: {kernel:?}");
+    assert!(kernel.containment.corrupt_emissions > 0, "{kernel:?}");
+    assert!(kernel.containment.suppressed_emissions > 0, "{kernel:?}");
+    assert_eq!(kernel.containment.bound_violations, 0, "{kernel:?}");
+
+    let single = scenario.run_sim_sharded(horizon, 1, make);
+    assert_eq!(kernel, single, "one worker must replay the kernel");
+
+    for workers in [3usize, 8] {
+        let sharded = scenario.run_sim_sharded(horizon, workers, make);
+        assert_eq!(sharded.skipped_faults, 0, "{workers} workers: {sharded:?}");
+        assert!(
+            sharded.containment.corrupt_emissions > 0,
+            "{workers} workers: {sharded:?}"
+        );
+        assert_eq!(
+            sharded.containment.bound_violations, 0,
+            "{workers} workers: {sharded:?}"
+        );
+        let again = scenario.run_sim_sharded(horizon, workers, make);
+        assert_eq!(
+            format!("{sharded:?}"),
+            format!("{again:?}"),
+            "{workers} workers: re-runs must be byte-identical"
+        );
+    }
+}
+
 /// The acceptance gate for the parallel kernel: at n = 5000 (≥ the
 /// 1000-node floor), eight workers must finish a sustained gossip sweep
 /// at least twice as fast as the deterministic kernel — while producing
